@@ -1,0 +1,16 @@
+"""E1 bench — regenerate the index-recovery exactness table."""
+
+from repro.experiments.e01_index_recovery import check_shape, run
+
+
+def test_e01_index_recovery(benchmark, save_table):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("e01_index_recovery", table)
+    assert all(m == 0 for m in table.column("mismatches"))
+    assert sum(table.column("points")) > 0
+
+
+def test_e01_recovery_evaluation_throughput(benchmark):
+    """Micro-bench: evaluating recovery for one 3-deep shape end to end."""
+    points, mismatches = benchmark(check_shape, (8, 9, 10), "ceiling")
+    assert points == 720 and mismatches == 0

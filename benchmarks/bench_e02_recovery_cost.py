@@ -1,0 +1,30 @@
+"""E2 bench — regenerate the measured recovery-cost table."""
+
+from repro.experiments.e02_recovery_cost import run
+
+
+def _row_lookup(table):
+    return {
+        (depth, style, scheme): (divmod_c, arith)
+        for depth, style, scheme, divmod_c, arith in table.rows
+    }
+
+
+def test_e02_recovery_cost(benchmark, save_table):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("e02_recovery_cost", table)
+    rows = _row_lookup(table)
+
+    # Claim 1: naive recovery divmod cost grows with nest depth.
+    naive = [rows[(d, "ceiling", "naive")][0] for d in (2, 3, 4)]
+    assert naive[0] < naive[1] < naive[2]
+
+    # Claim 2: depth-1 coalescing is free (identity recovery).
+    assert rows[(1, "ceiling", "naive")][0] == 0
+
+    # Claim 3: blocked recovery pays a small fraction of the naive divmods.
+    for depth in (2, 3, 4):
+        for style in ("ceiling", "divmod"):
+            naive_cost = rows[(depth, style, "naive")][0]
+            blocked_cost = rows[(depth, style, "blocked(B=8)")][0]
+            assert blocked_cost < naive_cost / 4

@@ -1,0 +1,32 @@
+"""E3 bench — regenerate the scheduling-operation-count table."""
+
+from repro.experiments.e03_sched_ops import run
+
+
+def test_e03_sched_ops(benchmark, save_table):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("e03_sched_ops", table)
+
+    by_scheme = {}
+    for label, scheme, barriers, dispatches, divmods in table.rows:
+        by_scheme.setdefault(scheme, []).append(
+            (label, barriers, dispatches, divmods)
+        )
+
+    # Claim 1: every coalesced configuration uses exactly one barrier.
+    for scheme, rows in by_scheme.items():
+        if scheme.startswith("coalesced") or scheme.startswith("outer"):
+            assert all(b == 1 for _, b, _, _ in rows), scheme
+
+    # Claim 2: inner-barrier scheduling pays N1 barriers.
+    for label, barriers, _, _ in by_scheme["inner-barriers(self)"]:
+        n1 = int(label.split("x")[0])
+        assert barriers == n1
+
+    # Claim 3: chunking divides both dispatches and recovery divmods by ~chunk.
+    for (l1, _, d_self, r_self), (l2, _, d_chunk, r_chunk) in zip(
+        by_scheme["coalesced(self)"], by_scheme["coalesced(chunk=8)"]
+    ):
+        assert l1 == l2
+        assert d_chunk * 8 == d_self
+        assert r_chunk * 8 == r_self

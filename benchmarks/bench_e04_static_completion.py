@@ -1,0 +1,29 @@
+"""E4 bench — regenerate static completion time vs processor count."""
+
+from repro.experiments.e04_static_completion import run
+
+N1 = 12  # default shape in the experiment
+
+
+def test_e04_static_completion(benchmark, save_table):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("e04_static_completion", table)
+
+    rows = {p: (t_out, t_coal, winner) for p, t_out, t_coal, winner, _ in table.rows}
+
+    # Claim 1: wherever p does not divide N1 (and overheads are the small
+    # defaults), the coalesced loop wins.
+    for p, (t_out, t_coal, winner) in rows.items():
+        if p <= N1 and N1 % p == 0:
+            # Near-tie: outer-only may win by only the small recovery tax.
+            assert abs(t_out - t_coal) / t_out < 0.08, p
+        elif p > N1:
+            assert winner == "coalesced", p
+
+    # Claim 2: outer-only stops improving beyond p = N1.
+    beyond = [t for p, (t, _, _) in rows.items() if p > N1]
+    assert len(set(beyond)) == 1
+
+    # Claim 3: the coalesced advantage grows monotonically past N1.
+    ratios = [t_out / t_coal for p, (t_out, t_coal, _) in sorted(rows.items()) if p >= N1]
+    assert all(a <= b + 1e-9 for a, b in zip(ratios, ratios[1:]))

@@ -1,0 +1,33 @@
+"""E5 bench — regenerate the speedup-vs-p curves."""
+
+from repro.experiments.e05_speedup import run
+
+N1, N2 = 8, 64
+
+
+def test_e05_speedup(benchmark, save_table):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("e05_speedup", table)
+
+    ps = table.column("p")
+    outer = table.column("outer-only")
+    naive = table.column("coalesced(naive)")
+    blocked = table.column("coalesced(blocked)")
+
+    # Claim 1: outer-only plateaus at (just under) N1 once p ≥ N1.
+    plateau = [s for p, s in zip(ps, outer) if p >= N1]
+    assert max(plateau) <= N1
+    assert len(set(plateau)) == 1
+
+    # Claim 2: the coalesced loop keeps scaling far past N1.
+    assert max(blocked) > 10 * max(outer) / N1 * 4  # well beyond the plateau
+    assert blocked[-1] > 50
+
+    # Claim 3: blocked recovery dominates naive recovery while blocks hold
+    # several iterations (once chunks shrink to one iteration, the head
+    # recovery is paid per iteration anyway and the two converge).
+    n_total = N1 * N2
+    for p, n, b in zip(ps, naive, blocked):
+        if 2 <= p and -(-n_total // p) >= 4:
+            assert b >= n - 1e-9, p
+    assert all(a <= b + 1e-9 for a, b in zip(naive, naive[1:]))

@@ -1,0 +1,28 @@
+"""E6 bench — regenerate the static load-imbalance table."""
+
+from repro.experiments.e06_imbalance import run
+
+BODY = 10.0
+P = 8
+
+
+def test_e06_imbalance(benchmark, save_table):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("e06_imbalance", table)
+
+    coalesced = [row for row in table.rows if row[1] == "coalesced"]
+    outer = [row for row in table.rows if row[1] == "outer-only"]
+
+    # Claim 1: coalesced spread never exceeds one loop body.
+    assert all(row[2] <= BODY + 1e-9 for row in coalesced)
+
+    # Claim 2: outer-only spread reaches a whole inner instance whenever
+    # p does not divide N1.
+    for row in outer:
+        n1, n2 = map(int, row[0].split("x"))
+        if n1 % P != 0:
+            assert row[2] >= n2 * BODY - 1e-9, row
+
+    # Claim 3: coalesced is never worse than outer-only on the same shape.
+    for o, c in zip(outer, coalesced):
+        assert c[2] <= o[2] + 1e-9

@@ -1,0 +1,35 @@
+"""E7 bench — regenerate the overhead-sensitivity sweep."""
+
+from repro.experiments.e07_overhead import run
+
+N1 = 16  # outer extent of the default shape
+
+
+def test_e07_overhead(benchmark, save_table):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("e07_overhead", table)
+
+    rows = {
+        (sigma, beta): (t_bar, t_self, t_blk, winner)
+        for sigma, beta, t_bar, t_self, t_blk, winner in table.rows
+    }
+
+    # Claim 1: with overheads present, a coalesced scheme always wins.
+    for (sigma, beta), (_, _, _, winner) in rows.items():
+        if sigma > 0 or beta > 0:
+            assert winner.startswith("coalesced"), (sigma, beta)
+
+    # Claim 2: inner-barrier time grows ~N1× faster in β than coalesced.
+    betas = sorted({b for _, b in rows})
+    lo, hi = betas[0], betas[-1]
+    for sigma in sorted({s for s, _ in rows}):
+        bar_growth = rows[(sigma, hi)][0] - rows[(sigma, lo)][0]
+        coal_growth = rows[(sigma, hi)][1] - rows[(sigma, lo)][1]
+        assert bar_growth >= (N1 - 1) * coal_growth - 1e-9
+
+    # Claim 3: the blocked static schedule is nearly σ-insensitive:
+    # its time varies by at most one dispatch per processor across the sweep.
+    sigmas = sorted({s for s, _ in rows})
+    blk_lo = rows[(sigmas[0], betas[0])][2]
+    blk_hi = rows[(sigmas[-1], betas[0])][2]
+    assert blk_hi - blk_lo <= sigmas[-1] + 1e-9  # one dispatch's worth

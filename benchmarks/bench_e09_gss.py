@@ -1,0 +1,27 @@
+"""E9 bench — regenerate the GSS-on-coalesced-loop comparison."""
+
+from repro.experiments.e09_gss import run
+
+
+def test_e09_gss(benchmark, save_table):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("e09_gss", table)
+
+    rows = {name: (t, d, spread) for name, t, d, spread, _ in table.rows}
+
+    gss_t, gss_d, gss_spread = rows["gss"]
+    self_t, self_d, _ = rows["self-sched"]
+    static_t, static_d, static_spread = rows["static-balanced"]
+
+    # Claim 1: GSS beats static blocks on a cost gradient.
+    assert gss_t < static_t
+    assert gss_spread < static_spread
+
+    # Claim 2: GSS needs far fewer dispatches than pure self-scheduling
+    # while finishing at least as fast.
+    assert gss_d < self_d / 5
+    assert gss_t <= self_t + 1e-9
+
+    # Claim 3: GSS is competitive with the best policy overall (within 10%).
+    best = min(t for t, _, _ in rows.values())
+    assert gss_t <= 1.10 * best

@@ -1,0 +1,24 @@
+"""E10 bench — regenerate the end-to-end equivalence matrix."""
+
+from repro.experiments.e10_end_to_end import run
+
+
+def test_e10_end_to_end(benchmark, save_table):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("e10_end_to_end", table)
+
+    statuses = table.column("status")
+    assert statuses, "no checks ran"
+    bad = [row for row in table.rows if row[2] != "ok"]
+    assert not bad, f"failed checks: {bad}"
+
+    # Every registered workload must appear, under both recovery styles
+    # and both backends.
+    from repro.workloads import WORKLOADS
+
+    names = set(table.column("workload"))
+    assert names == set(WORKLOADS)
+    checks = set(table.column("check"))
+    for style in ("ceiling", "divmod"):
+        assert f"coalesce[{style}] + interpreter" in checks
+        assert f"coalesce[{style}] + codegen" in checks

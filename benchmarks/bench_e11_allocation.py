@@ -1,0 +1,24 @@
+"""E11 bench — regenerate the processor-allocation comparison."""
+
+from repro.experiments.e11_allocation import run
+
+
+def test_e11_allocation(benchmark, save_table):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("e11_allocation", table)
+
+    penalties = table.column("penalty")
+    used = table.column("procs used")
+    ps = table.column("p")
+
+    # Claim 1: coalescing lower-bounds every factorization.
+    assert all(pen >= 1.0 for pen in penalties)
+
+    # Claim 2: awkward processor counts make nested allocation pay —
+    # somewhere in the sweep the penalty is at least 15%.
+    assert max(penalties) >= 1.15
+
+    # Claim 3: the best factorization frequently idles processors
+    # (Π qk < p), which the coalesced loop never does while N ≥ p.
+    wasted = [u < p for u, p in zip(used, ps)]
+    assert sum(wasted) >= len(ps) // 4

@@ -1,0 +1,28 @@
+"""E12 bench — regenerate the triangular-coalescing comparison."""
+
+from repro.experiments.e12_triangular import run
+
+
+def test_e12_triangular(benchmark, save_table):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("e12_triangular", table)
+
+    by = {}
+    for n, scheme, iters, waste, ops, t in table.rows:
+        by[(n, scheme)] = (iters, waste, ops, t)
+
+    sizes = sorted({n for n, _ in by})
+    for n in sizes:
+        outer = by[(n, "outer-only rows")]
+        guarded = by[(n, "coalesced guarded")]
+        exact = by[(n, "coalesced exact")]
+        # Claim 1: guarded runs the n² box and wastes ~half of it.
+        assert guarded[0] == n * n
+        assert 40.0 <= guarded[1] <= 50.0
+        # Claim 2: exact runs exactly the triangle.
+        assert exact[0] == n * (n + 1) // 2
+        assert exact[1] == 0.0
+        # Claim 3: exact beats guarded (no wasted bodies) and is at least
+        # competitive with skewed outer-row distribution.
+        assert exact[3] < guarded[3]
+        assert exact[3] <= outer[3] * 1.05

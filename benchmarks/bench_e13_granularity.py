@@ -1,0 +1,34 @@
+"""E13 bench — regenerate the granularity-threshold table."""
+
+from repro.experiments.e13_granularity import run
+
+
+def test_e13_granularity(benchmark, save_table):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("e13_granularity", table)
+
+    rows = {}
+    for p, scheme, lbg, e10, e100, e1000 in table.rows:
+        rows[(p, scheme)] = (lbg, e10, e100, e1000)
+
+    ps = sorted({p for p, _ in rows})
+    for p in ps:
+        blocked = rows[(p, "coalesced-blocked")]
+        barriers = rows[(p, "inner-barriers")]
+        # Claim 1: the paper's configuration (coalesced + blocked recovery)
+        # has the best efficiency at every probed body size.
+        for scheme in ("coalesced-static", "coalesced-self", "inner-barriers"):
+            other = rows[(p, scheme)]
+            assert blocked[1] >= other[1] - 1e-9, (p, scheme)
+            assert blocked[2] >= other[2] - 1e-9, (p, scheme)
+        # Claim 2: at scale, barrier-per-row efficiency collapses while
+        # the coalesced loop holds up.
+        if p >= 64:
+            assert blocked[1] > 3 * barriers[1]
+
+    # Claim 3: break-even bodies are tiny for the blocked scheme (< 1
+    # instruction unit at every p ≥ 2) — fine-grained nests are schedulable.
+    for p in ps:
+        lbg = rows[(p, "coalesced-blocked")][0]
+        value = 0.0 if lbg == "never" else float(lbg)
+        assert value < 1.0

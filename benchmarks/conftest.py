@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one experiment table (DESIGN.md §4), asserts the
+paper's qualitative claim on it, and writes the rendered table to
+``benchmarks/results/<experiment>.txt`` so the numbers behind EXPERIMENTS.md
+can be re-produced with one command::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_table(results_dir):
+    """Write one or more tables to results/<name>.txt."""
+
+    def save(name: str, *tables) -> None:
+        text = "\n\n".join(t.format() for t in tables)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return save

@@ -1,0 +1,51 @@
+"""Gauss–Jordan elimination: coalescing inside a hybrid (serial/parallel) nest.
+
+Real programs are rarely perfect rectangular DOALL nests top to bottom.
+Gauss–Jordan has a serial pivot loop wrapping parallel work, plus a clean
+DOALL pair at the end.  This example shows `coalesce_procedure` doing the
+right thing automatically — descending through the serial loop, leaving the
+imperfect update nest alone, and coalescing the solution nest — and then
+verifies the transformed solver against numpy.
+
+Run:  python examples/gauss_jordan_hybrid.py
+"""
+
+import numpy as np
+
+from repro.ir import to_source, validate
+from repro.runtime import run
+from repro.runtime.equivalence import copy_env
+from repro.transforms import coalesce_procedure
+from repro.workloads import gauss_jordan, gauss_reference, make_env
+
+
+def main() -> None:
+    w = gauss_jordan()
+    print("== Gauss-Jordan (hybrid nest) ==")
+    print(to_source(w.proc))
+
+    coalesced, results = coalesce_procedure(w.proc)
+    validate(coalesced)
+    print("\n== after coalesce_procedure ==")
+    print(to_source(coalesced))
+    print(
+        f"\ncoalesced nests: {len(results)} — the solution-extraction pair "
+        f"{results[0].index_vars} became one loop of "
+        f"{to_source(results[0].loop.upper)} iterations; the pivot loop and "
+        "the guarded update (imperfect nest) were correctly left alone."
+    )
+
+    # Solve a real system with the transformed program.
+    n, m = 20, 4
+    arrays, sc = make_env(w, {"n": n, "m": m}, seed=42)
+    before = copy_env(arrays)
+    run(coalesced, arrays, sc)
+    x_ref = gauss_reference(before, sc)
+    err = np.max(np.abs(arrays["X"][1:, 1:] - x_ref))
+    print(f"\nsolved {n}x{n} system with {m} right-hand sides;")
+    print(f"max |X - numpy.linalg.solve| = {err:.2e} ✓")
+    assert err < 1e-9
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Matrix multiply: the paper's flagship example, end to end.
+
+Starts from an ordinary *Python* function (the ``ast`` frontend), analyses
+it, coalesces the (i, j) DOALL pair — turning n² units of parallelism into
+one flat loop — verifies against numpy, and then asks the simulated
+multiprocessor what the transformation buys at various machine sizes.
+
+Run:  python examples/matmul_pipeline.py
+"""
+
+import numpy as np
+
+from repro.analysis import mark_doall
+from repro.experiments.report import Table
+from repro.frontend import from_python
+from repro.ir import to_source
+from repro.machine import MachineParams
+from repro.runtime import run
+from repro.scheduling import (
+    NestCosts,
+    simulate_coalesced_blocked,
+    simulate_outer_only,
+    simulate_sequential,
+)
+from repro.transforms import coalesce_procedure
+
+
+# An ordinary Python function; `range` loops are serial as written —
+# the dependence analyser upgrades what it can prove independent.
+MATMUL_SRC = '''
+def matmul(A, B, C, n):
+    for i in range(1, n + 1):
+        for j in range(1, n + 1):
+            C[i, j] = 0.0
+            for k in range(1, n + 1):
+                C[i, j] = C[i, j] + A[i, k] * B[k, j]
+'''
+
+
+def main() -> None:
+    proc = mark_doall(from_python(MATMUL_SRC))
+    print("== analysed matmul (i, j proven DOALL; k is a reduction) ==")
+    print(to_source(proc))
+
+    coalesced, results = coalesce_procedure(proc)
+    print("\n== coalesced ==")
+    print(to_source(coalesced))
+    assert results[0].index_vars == ("i", "j")
+
+    # Verify against numpy on real data.
+    n = 12
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((n + 1, n + 1))
+    b = rng.standard_normal((n + 1, n + 1))
+    c = np.zeros((n + 1, n + 1))
+    run(coalesced, {"A": a, "B": b, "C": c}, {"n": n})
+    np.testing.assert_allclose(c[1:, 1:], a[1:, 1:] @ b[1:, 1:])
+    print(f"\nnumerical check vs numpy @: max err "
+          f"{np.max(np.abs(c[1:, 1:] - a[1:, 1:] @ b[1:, 1:])):.2e} ✓")
+
+    # What does coalescing buy on a parallel machine?  The body of one
+    # (i, j) task is the k-reduction: ~3 flops × n plus bookkeeping.
+    n_big = 24
+    body_cost = 3.0 * n_big
+    nest = NestCosts((n_big, n_big), body_cost=body_cost)
+    table = Table(
+        f"matmul {n_big}x{n_big}: simulated speedup "
+        f"(outer-only parallel vs coalesced)",
+        ["p", "outer-only", "coalesced", "advantage"],
+    )
+    for p in (4, 8, 16, 24, 32, 64, 128, 256):
+        params = MachineParams(processors=p)
+        seq = simulate_sequential(nest, params)
+        s_outer = simulate_outer_only(nest, params).speedup(seq)
+        s_coal = simulate_coalesced_blocked(nest, params).speedup(seq)
+        table.add(p, round(s_outer, 2), round(s_coal, 2),
+                  f"{s_coal / s_outer:.2f}x")
+    print()
+    print(table.format())
+    print(
+        f"\nouter-only parallelism is capped at n = {n_big}; the coalesced "
+        f"loop exposes n^2 = {n_big * n_big} units."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""The OpenMP lineage: loop coalescing is `collapse`, 35 years early.
+
+The 1987 transformation and OpenMP's modern ``collapse(k)`` clause are the
+same idea at different layers: one flattens the nest *in the program text*
+(emitting explicit index recovery), the other asks the compiler's runtime to
+do it.  This example emits both as compilable C from the same IR —
+
+* the untransformed nest with ``#pragma omp parallel for collapse(2)``
+  (what you would write today), and
+* the source-coalesced loop with a plain ``parallel for`` (what the paper's
+  restructurer produced)
+
+— and, when gcc is available, compiles both with ``-fopenmp``, runs them on
+the same data, and checks they agree with the Python reference interpreter
+bit for bit.
+
+Run:  python examples/openmp_lineage.py
+"""
+
+import numpy as np
+
+from repro.codegen import compile_c_procedure, generate_c, have_compiler
+from repro.frontend import parse
+from repro.runtime import run
+from repro.runtime.equivalence import copy_env, random_env
+from repro.transforms import coalesce_procedure
+
+SOURCE = """
+procedure heat(U[2], V[2]; n, m)
+  doall i = 2, n - 1
+    doall j = 2, m - 1
+      V(i, j) := 0.25 * (U(i - 1, j) + U(i + 1, j) + U(i, j - 1) + U(i, j + 1))
+    end
+  end
+end
+"""
+
+
+def main() -> None:
+    proc = parse(SOURCE)
+    coalesced, info = coalesce_procedure(proc)
+
+    modern = generate_c(proc)
+    vintage = generate_c(coalesced)
+
+    print("== modern form: the nest + OpenMP collapse ==")
+    print(_kernel_only(modern))
+    print("== 1987 form: source-level coalescing ==")
+    print(_kernel_only(vintage))
+
+    if not have_compiler():
+        print("(no gcc on PATH — skipping the compile-and-run check)")
+        return
+
+    n, m = 18, 13
+    env = random_env(proc, {"U": (n + 1, m + 1), "V": (n + 1, m + 1)})
+    reference = copy_env(env)
+    run(proc, reference, {"n": n, "m": m})
+
+    for label, p in (("collapse-pragma", proc), ("source-coalesced", coalesced)):
+        e = copy_env(env)
+        compile_c_procedure(p).run(e, {"n": n, "m": m})
+        assert np.array_equal(reference["V"], e["V"]), label
+        print(f"{label:>17}: compiled with gcc -fopenmp, matches reference ✓")
+    print("\nSame results, same idea — coalescing became `collapse`.")
+
+
+def _kernel_only(c_source: str) -> str:
+    return "void " + c_source.split("void ", 1)[1]
+
+
+if __name__ == "__main__":
+    main()

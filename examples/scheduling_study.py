@@ -1,0 +1,90 @@
+"""Scheduling study: pick a policy for a coalesced loop.
+
+Coalescing turns a whole nest into one flat index, which makes every
+single-loop scheduling policy applicable to the nest.  This example sweeps
+the provided policies over (a) uniform bodies and (b) a strongly skewed cost
+profile, on machines with cheap and expensive dispatch, and prints the
+resulting completion times, dispatch counts, and balance — the practical
+decision matrix a runtime implementor needs.
+
+Run:  python examples/scheduling_study.py
+"""
+
+from repro.experiments.report import Table
+from repro.machine import MachineParams
+from repro.scheduling import NestCosts, simulate_coalesced
+from repro.scheduling.policies import (
+    ChunkSelfScheduled,
+    GuidedSelfScheduled,
+    SelfScheduled,
+    StaticBalanced,
+    StaticCyclic,
+)
+
+POLICIES = [
+    StaticBalanced(),
+    StaticCyclic(),
+    SelfScheduled(),
+    ChunkSelfScheduled(chunk=8),
+    GuidedSelfScheduled(),
+]
+
+
+def skewed_cost(idx):
+    """Almost all work concentrated in the last rows (e.g. a guarded hot
+    region): the adversarial case for static distribution."""
+    i, j = idx
+    return 40.0 if i > 28 else 2.0
+
+
+def study(title: str, nest: NestCosts, params: MachineParams) -> Table:
+    table = Table(
+        title, ["policy", "time", "dispatches", "busy spread"]
+    )
+    for policy in POLICIES:
+        r = simulate_coalesced(nest, params, policy=policy)
+        table.add(
+            policy.name,
+            round(r.finish_time, 1),
+            r.total_dispatches,
+            round(r.imbalance, 1),
+        )
+    return table
+
+
+def main() -> None:
+    uniform = NestCosts((32, 16), body_cost=10.0)
+    skewed = NestCosts((32, 16), cost_fn=skewed_cost)
+
+    cheap = MachineParams(processors=8, dispatch_cost=5)
+    dear = MachineParams(processors=8, dispatch_cost=200)
+
+    print(study("uniform bodies, cheap dispatch (sigma=5)", uniform, cheap).format())
+    print()
+    print(study("uniform bodies, dear dispatch (sigma=200)", uniform, dear).format())
+    print()
+    print(study("skewed bodies, cheap dispatch (sigma=5)", skewed, cheap).format())
+    print()
+    print(study("skewed bodies, dear dispatch (sigma=200)", skewed, dear).format())
+
+    # Timelines make the difference visible: static strands processors on
+    # the heavy tail; GSS back-fills it.
+    from repro.machine import render_timeline
+
+    print("\ntimeline, skewed bodies, static-balanced:")
+    print(render_timeline(simulate_coalesced(skewed, cheap, policy=POLICIES[0]), 64))
+    print("\ntimeline, skewed bodies, gss:")
+    print(render_timeline(simulate_coalesced(skewed, cheap, policy=POLICIES[4]), 64))
+    print(
+        "\nReading: with uniform work, static blocks are unbeatable — "
+        "dynamic schemes only add dispatch cost.  With skewed work, pure "
+        "self-scheduling balances best but its advantage collapses when "
+        "dispatch is expensive; GSS keeps most of the balance at a fraction "
+        "of the dispatches.  This is why the paper pairs coalescing with "
+        "fetch&add self-scheduling on combining-network machines and with "
+        "static blocks elsewhere."
+    )
+
+
+if __name__ == "__main__":
+    main()

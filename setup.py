@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The offline environment has no ``wheel`` package, so ``pip install -e .``
+cannot take the PEP 517 path; this file lets pip fall back to the classic
+``setup.py develop`` editable install.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

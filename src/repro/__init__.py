@@ -1,0 +1,25 @@
+"""repro — Loop Coalescing: A Compiler Transformation for Parallel Machines.
+
+A complete Python reproduction of Polychronopoulos (ICPP 1987).  The
+high-level entry points live here; the subpackages are the system:
+
+* :mod:`repro.api` — one-call decorator pipeline for Python functions
+* :mod:`repro.frontend` / :mod:`repro.ir` — parse programs into the loop IR
+* :mod:`repro.analysis` — dependence tests and DOALL classification
+* :mod:`repro.transforms` — coalescing and the supporting transformations
+* :mod:`repro.codegen` / :mod:`repro.runtime` — execution backends
+* :mod:`repro.machine` / :mod:`repro.scheduling` — the simulated
+  multiprocessor and its scheduling policies
+* :mod:`repro.workloads` / :mod:`repro.experiments` — the evaluation suite
+"""
+
+from repro.api import TransformedFunction, coalesce_jit, transform_function
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "TransformedFunction",
+    "__version__",
+    "coalesce_jit",
+    "transform_function",
+]

@@ -1,0 +1,49 @@
+"""Dependence analysis: the substrate that justifies DOALL tags.
+
+The paper assumes a restructuring compiler (Parafrase) has already classified
+loops as parallel.  This package supplies that classification for this
+library: affine subscript extraction, the classic ZIV/SIV/GCD/Banerjee
+dependence tests with direction vectors, scalar privatization analysis, and a
+DOALL classifier/auto-tagger.
+"""
+
+from repro.analysis.subscripts import AffineForm, affine_of
+from repro.analysis.space import IterationSpace
+from repro.analysis.dependence import (
+    Dependence,
+    DependenceTester,
+    direction_vectors,
+    has_dependence,
+)
+from repro.analysis.doall import (
+    AccessInfo,
+    classify_loop,
+    interchange_legal,
+    loop_carried_dependences,
+    mark_doall,
+)
+from repro.analysis.summary import (
+    LoopVerdict,
+    NestPlan,
+    ProcedureSummary,
+    analyze_procedure,
+)
+
+__all__ = [
+    "AccessInfo",
+    "AffineForm",
+    "Dependence",
+    "DependenceTester",
+    "IterationSpace",
+    "LoopVerdict",
+    "NestPlan",
+    "ProcedureSummary",
+    "affine_of",
+    "analyze_procedure",
+    "classify_loop",
+    "direction_vectors",
+    "has_dependence",
+    "interchange_legal",
+    "loop_carried_dependences",
+    "mark_doall",
+]

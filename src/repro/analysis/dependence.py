@@ -1,0 +1,247 @@
+"""Data-dependence testing: ZIV / GCD / Banerjee with direction vectors.
+
+The tester answers: can two subscripted references to the same array touch
+the same element on two iterations related by a given *direction vector*
+(one of ``<``, ``=``, ``>`` per common loop)?  A loop is parallel (DOALL) at
+level k exactly when no dependence exists whose direction vector carries
+``<`` or ``>`` at position k with ``=`` before it.
+
+Machinery, per array dimension:
+
+* affine extraction (:mod:`repro.analysis.subscripts`); non-affine ⇒ assume
+  dependence (conservative);
+* **ZIV**: both subscripts constant ⇒ dependence iff equal;
+* **GCD test**: the linear Diophantine equation must be solvable in integers;
+* **Banerjee bounds**: the equation must be solvable in *reals within the
+  loop bounds*, evaluated separately under each direction constraint —
+  implemented exactly by enumerating the vertices of the (i, i′) order
+  polytope, which is tight for linear forms.
+
+Symbolic loop bounds are handled conservatively (treated as unbounded above).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.analysis.subscripts import AffineForm, affine_of
+from repro.ir.expr import ArrayRef, Const
+from repro.ir.stmt import Loop
+
+#: Direction symbols, ordered for display.
+DIRECTIONS = ("<", "=", ">")
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class LoopInfo:
+    """A loop level as the tester sees it: name plus (maybe unknown) bounds."""
+
+    var: str
+    lower: int | None
+    upper: int | None
+
+    @staticmethod
+    def of(loop: Loop) -> "LoopInfo":
+        lo = loop.lower.value if isinstance(loop.lower, Const) else None
+        hi = loop.upper.value if isinstance(loop.upper, Const) else None
+        return LoopInfo(loop.var, lo, hi)
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A (possibly conservative) dependence between two references."""
+
+    array: str
+    kind: str  # "flow", "anti", "output"
+    directions: tuple[str, ...]  # per common loop, outermost first
+    exact: bool  # False when assumed conservatively
+
+    def carried_level(self) -> int | None:
+        """First level with a non-'=' direction (0-based), or None (loop
+        independent)."""
+        for k, d in enumerate(self.directions):
+            if d != "=":
+                return k
+        return None
+
+
+def _interval_mul(coeff: int, lo: float, hi: float) -> tuple[float, float]:
+    """Range of ``coeff · x`` for x in [lo, hi] (handles ±inf, coeff 0)."""
+    if coeff == 0:
+        return (0.0, 0.0)
+    a, b = coeff * lo, coeff * hi
+    return (min(a, b), max(a, b))
+
+
+def _vertices_for_direction(
+    direction: str, lo: float, hi: float
+) -> list[tuple[float, float]]:
+    """Vertices of {(i, i′) : lo ≤ i, i′ ≤ hi, i direction i′}.
+
+    Linear forms attain extrema at vertices; for unbounded regions the
+    "vertices" include ±inf corners, which propagate through
+    :func:`_interval_mul` correctly.
+    """
+    if direction == "=":
+        return [(lo, lo), (hi, hi)]
+    if direction == "<":
+        if hi - lo < 1:
+            return []  # i < i' impossible in a width-<1 range
+        return [(lo, lo + 1), (lo, hi), (hi - 1, hi)]
+    if direction == ">":
+        if hi - lo < 1:
+            return []
+        return [(lo + 1, lo), (hi, lo), (hi, hi - 1)]
+    raise ValueError(f"unknown direction {direction!r}")
+
+
+def _term_range(
+    a: int, b: int, direction: str, lo: float, hi: float
+) -> tuple[float, float] | None:
+    """Range of ``a·i − b·i′`` under the direction constraint, or None if
+    the constraint is unsatisfiable."""
+    verts = _vertices_for_direction(direction, lo, hi)
+    if not verts:
+        return None
+    values = [a * i - b * j for i, j in verts]
+    finite = [val for val in values if not math.isnan(val)]
+    return (min(finite), max(finite))
+
+
+def _gcd_feasible(coeffs: Iterable[int], delta: int) -> bool:
+    """Solvable as a linear Diophantine equation?"""
+    g = 0
+    for a in coeffs:
+        g = math.gcd(g, abs(a))
+    if g == 0:
+        return delta == 0
+    return delta % g == 0
+
+
+class DependenceTester:
+    """Tests a pair of references under common loops.
+
+    ``common``: the loops enclosing *both* references, outermost first.
+    ``extra_src`` / ``extra_sink``: loops enclosing only one side (e.g. when
+    the two statements sit in sibling inner loops); their indices range
+    freely.
+    """
+
+    def __init__(
+        self,
+        common: Sequence[LoopInfo],
+        extra_src: Sequence[LoopInfo] = (),
+        extra_sink: Sequence[LoopInfo] = (),
+    ) -> None:
+        self.common = list(common)
+        self.extra_src = list(extra_src)
+        self.extra_sink = list(extra_sink)
+
+    # -- single dimension ------------------------------------------------
+    def _dimension_feasible(
+        self,
+        f: AffineForm | None,
+        g: AffineForm | None,
+        directions: Sequence[str],
+    ) -> bool:
+        """Can f(i) == g(i′) hold under the direction constraints?"""
+        if f is None or g is None:
+            return True  # non-affine: assume dependence
+        # ZIV
+        if f.is_constant and g.is_constant:
+            return f.const == g.const
+
+        delta = g.const - f.const  # move constants right: Σ terms = delta
+
+        # GCD over every index coefficient (source and sink treated as
+        # distinct unknowns).
+        coeffs: list[int] = []
+        for info in self.common:
+            coeffs.append(f.coeff(info.var))
+            coeffs.append(g.coeff(info.var))
+        for info in self.extra_src:
+            coeffs.append(f.coeff(info.var))
+        for info in self.extra_sink:
+            coeffs.append(g.coeff(info.var))
+        if not _gcd_feasible(coeffs, delta):
+            return False
+
+        # Banerjee: range of Σ (a_v·i_v − b_v·i′_v) over the constrained box.
+        total_lo, total_hi = 0.0, 0.0
+        for info, direction in zip(self.common, directions):
+            a, b = f.coeff(info.var), g.coeff(info.var)
+            lo = info.lower if info.lower is not None else -_INF
+            hi = info.upper if info.upper is not None else _INF
+            rng = _term_range(a, b, direction, lo, hi)
+            if rng is None:
+                return False
+            total_lo += rng[0]
+            total_hi += rng[1]
+        for info in self.extra_src:
+            a = f.coeff(info.var)
+            lo = info.lower if info.lower is not None else -_INF
+            hi = info.upper if info.upper is not None else _INF
+            r = _interval_mul(a, lo, hi)
+            total_lo += r[0]
+            total_hi += r[1]
+        for info in self.extra_sink:
+            b = g.coeff(info.var)
+            lo = info.lower if info.lower is not None else -_INF
+            hi = info.upper if info.upper is not None else _INF
+            r = _interval_mul(-b, lo, hi)
+            total_lo += r[0]
+            total_hi += r[1]
+        return total_lo <= delta <= total_hi
+
+    # -- whole reference pair ------------------------------------------------
+    def feasible_directions(
+        self, src: ArrayRef, sink: ArrayRef
+    ) -> list[tuple[str, ...]]:
+        """All direction vectors under which src and sink may collide."""
+        if src.name != sink.name:
+            return []
+        loop_vars = [info.var for info in self.common]
+        loop_vars += [info.var for info in self.extra_src]
+        loop_vars += [info.var for info in self.extra_sink]
+        fs = [affine_of(e, loop_vars) for e in src.indices]
+        gs = [affine_of(e, loop_vars) for e in sink.indices]
+
+        out: list[tuple[str, ...]] = []
+        for directions in itertools.product(DIRECTIONS, repeat=len(self.common)):
+            ok = all(
+                self._dimension_feasible(f, g, directions)
+                for f, g in zip(fs, gs)
+            )
+            if ok:
+                out.append(directions)
+        return out
+
+
+def direction_vectors(
+    src: ArrayRef,
+    sink: ArrayRef,
+    common: Sequence[Loop],
+    extra_src: Sequence[Loop] = (),
+    extra_sink: Sequence[Loop] = (),
+) -> list[tuple[str, ...]]:
+    """Feasible direction vectors for two references under common loops."""
+    tester = DependenceTester(
+        [LoopInfo.of(lp) for lp in common],
+        [LoopInfo.of(lp) for lp in extra_src],
+        [LoopInfo.of(lp) for lp in extra_sink],
+    )
+    return tester.feasible_directions(src, sink)
+
+
+def has_dependence(
+    src: ArrayRef,
+    sink: ArrayRef,
+    common: Sequence[Loop],
+) -> bool:
+    """True when any direction vector (including all-'=') is feasible."""
+    return bool(direction_vectors(src, sink, common))

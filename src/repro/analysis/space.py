@@ -1,0 +1,75 @@
+"""Iteration-space arithmetic: the ground truth behind index recovery.
+
+:class:`IterationSpace` maps between flat (coalesced) iteration numbers and
+multidimensional index tuples in plain Python.  The transformation tests use
+it as the oracle the IR-level recovery expressions must agree with; the
+scheduling layer uses it to translate dispatched flat ranges back to nest
+coordinates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class IterationSpace:
+    """Rectangular, 1-based iteration space of a normalized loop nest."""
+
+    bounds: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.bounds:
+            raise ValueError("iteration space needs at least one dimension")
+        for n in self.bounds:
+            if not isinstance(n, int) or n < 0:
+                raise ValueError(f"bounds must be non-negative integers, got {n!r}")
+
+    @property
+    def depth(self) -> int:
+        return len(self.bounds)
+
+    @property
+    def size(self) -> int:
+        total = 1
+        for n in self.bounds:
+            total *= n
+        return total
+
+    def products(self) -> tuple[int, ...]:
+        """``P_k = Π_{j>k} N_j``, innermost product = 1."""
+        out = [1] * self.depth
+        for k in range(self.depth - 2, -1, -1):
+            out[k] = out[k + 1] * self.bounds[k + 1]
+        return tuple(out)
+
+    def unrank(self, flat: int) -> tuple[int, ...]:
+        """Flat index (1-based) → index tuple (1-based), lexicographic."""
+        if not 1 <= flat <= self.size:
+            raise ValueError(f"flat index {flat} outside 1..{self.size}")
+        rem = flat - 1
+        idx = []
+        for p, n in zip(self.products(), self.bounds):
+            q, rem = divmod(rem, p)
+            idx.append(q + 1)
+        return tuple(idx)
+
+    def rank(self, index: tuple[int, ...]) -> int:
+        """Index tuple (1-based) → flat index (1-based)."""
+        if len(index) != self.depth:
+            raise ValueError(f"index has {len(index)} coords, space has {self.depth}")
+        flat = 0
+        for i, n, p in zip(index, self.bounds, self.products()):
+            if not 1 <= i <= n:
+                raise ValueError(f"coordinate {i} outside 1..{n}")
+            flat += (i - 1) * p
+        return flat + 1
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return itertools.product(*[range(1, n + 1) for n in self.bounds])
+
+    def block(self, lo: int, hi: int) -> list[tuple[int, ...]]:
+        """Index tuples of the contiguous flat range ``lo..hi`` inclusive."""
+        return [self.unrank(i) for i in range(lo, hi + 1)]

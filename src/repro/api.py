@@ -1,0 +1,154 @@
+"""High-level one-call API: analyse, transform, and compile Python loops.
+
+The adoption surface for users who do not want to touch the IR::
+
+    from repro.api import coalesce_jit
+
+    @coalesce_jit
+    def sweep(A, B, n, m):
+        for i in range(1, n + 1):
+            for j in range(1, m + 1):
+                B[i, j] = 2.0 * A[i, j]
+
+    sweep(A, B, n, m)        # runs the coalesced program
+    print(sweep.loop_source) # inspect the transformed loop nest
+    sweep.report()           # what was proven parallel / coalesced
+
+The decorator lowers the function through the ``ast`` frontend, proves
+parallelism with the dependence analyser (``range`` loops may be upgraded to
+DOALL; ``prange`` is taken as an assertion and *demoted* if disproven),
+distributes imperfect nests, coalesces, and compiles back to Python — or to
+C/OpenMP with ``backend="c"`` when a compiler is available.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.doall import mark_doall
+from repro.codegen.pygen import CompiledProcedure, compile_procedure
+from repro.frontend.pyfront import from_python
+from repro.ir.printer import to_source
+from repro.ir.stmt import Procedure
+from repro.ir.validate import validate
+from repro.transforms.coalesce import CoalesceResult, coalesce_procedure
+from repro.transforms.distribute import distribute_procedure
+from repro.transforms.normalize import normalize_procedure
+
+
+@dataclass
+class TransformedFunction:
+    """A Python function lowered, transformed, and recompiled.
+
+    Callable with the original positional signature (arrays first, then
+    scalars, exactly as declared).
+    """
+
+    original: Procedure
+    transformed: Procedure
+    results: list[CoalesceResult]
+    _backend: object
+    name: str
+
+    def __call__(self, *args, **kwargs):
+        names = list(self.transformed.arrays) + list(self.transformed.scalars)
+        if len(args) > len(names):
+            raise TypeError(
+                f"{self.name}() takes {len(names)} arguments, got {len(args)}"
+            )
+        bound = dict(zip(names, args))
+        for key, value in kwargs.items():
+            if key not in names:
+                raise TypeError(f"{self.name}() got unexpected argument {key!r}")
+            if key in bound:
+                raise TypeError(f"{self.name}() got duplicate argument {key!r}")
+            bound[key] = value
+        missing = [n for n in names if n not in bound]
+        if missing:
+            raise TypeError(f"{self.name}() missing arguments: {missing}")
+        arrays = {n: bound[n] for n in self.transformed.arrays}
+        scalars = {n: bound[n] for n in self.transformed.scalars}
+        self._backend.run(arrays, scalars)
+
+    @property
+    def loop_source(self) -> str:
+        """The transformed program in the mini-language."""
+        return to_source(self.transformed)
+
+    @property
+    def generated_source(self) -> str:
+        """The backend's generated source (Python or C)."""
+        return self._backend.source
+
+    def report(self) -> str:
+        """Human-readable summary of what the pipeline did."""
+        lines = [f"{self.name}: {len(self.results)} nest(s) coalesced"]
+        for r in self.results:
+            bounds = " x ".join(to_source(b) for b in r.bounds)
+            lines.append(
+                f"  ({', '.join(r.index_vars)}) depth={r.depth} "
+                f"bounds=[{bounds}] -> flat index {r.flat_var}"
+            )
+        return "\n".join(lines)
+
+
+def transform_function(
+    fn: Callable | str,
+    style: str = "ceiling",
+    depth: int | None = None,
+    distribute: bool = True,
+    analyze: bool = True,
+    backend: str = "python",
+) -> TransformedFunction:
+    """Run the full pipeline on a restricted Python function.
+
+    Args:
+        fn: the function (or its source text).
+        style: index-recovery style.
+        depth: cap on coalesce depth per nest.
+        distribute: run loop distribution before coalescing.
+        analyze: re-derive DOALL tags with the dependence analyser
+            (disproven ``prange`` claims are demoted — the safe default).
+        backend: ``"python"`` (generated Python) or ``"c"`` (gcc + OpenMP).
+    """
+    original = from_python(fn)
+    validate(original)
+    proc = normalize_procedure(original)
+    if analyze:
+        proc = mark_doall(proc)
+    if distribute:
+        proc = distribute_procedure(proc)
+    proc, results = coalesce_procedure(proc, depth=depth, style=style)
+    validate(proc)
+    if backend == "python":
+        compiled: object = compile_procedure(proc)
+    elif backend == "c":
+        from repro.codegen.cload import compile_c_procedure
+
+        compiled = compile_c_procedure(proc)
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+    return TransformedFunction(
+        original=original,
+        transformed=proc,
+        results=results,
+        _backend=compiled,
+        name=original.name,
+    )
+
+
+def coalesce_jit(fn: Callable | None = None, **options):
+    """Decorator form of :func:`transform_function`.
+
+    Use bare (``@coalesce_jit``) or with options
+    (``@coalesce_jit(style="divmod", backend="c")``).
+    """
+    if fn is not None:
+        return functools.wraps(fn)(transform_function(fn))
+
+    def wrap(f: Callable) -> TransformedFunction:
+        return functools.wraps(f)(transform_function(f, **options))
+
+    return wrap

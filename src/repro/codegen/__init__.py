@@ -1,0 +1,22 @@
+"""Code generation: IR procedures → executable Python or compiled C/OpenMP."""
+
+from repro.codegen.cgen import CGenError, generate_c
+from repro.codegen.cload import (
+    CCompileError,
+    CProcedure,
+    compile_c_procedure,
+    have_compiler,
+)
+from repro.codegen.pygen import CompiledProcedure, compile_procedure, generate_source
+
+__all__ = [
+    "CCompileError",
+    "CGenError",
+    "CProcedure",
+    "CompiledProcedure",
+    "compile_c_procedure",
+    "compile_procedure",
+    "generate_c",
+    "generate_source",
+    "have_compiler",
+]

@@ -1,0 +1,369 @@
+"""C / OpenMP code generation.
+
+Loop coalescing survives today as OpenMP's ``collapse`` clause; this backend
+makes the lineage concrete by emitting compilable C from IR procedures:
+
+* DOALL loops carry ``#pragma omp parallel for``; a perfect DOALL subnest
+  gets ``collapse(k)`` — so the *untransformed* nest compiled with this
+  backend is exactly what a modern programmer writes, while the *coalesced*
+  IR compiled with it is what the 1987 transformation produces.  Both can be
+  compiled with ``gcc -fopenmp``, executed through ctypes, and compared
+  bit-for-bit against the Python backends (the test suite does).
+
+Conventions:
+
+* arrays are passed as ``double *`` plus one ``long`` extent per dimension
+  (row-major indexing is generated explicitly);
+* scalar parameters are ``long`` (all registered workloads use integral
+  parameters; floating coefficients belong in arrays);
+* ``div``/``mod``/``ceildiv`` compile to floor-semantics helpers matching
+  the IR exactly (C's ``/`` truncates toward zero);
+* body-local scalars are declared at the top of the innermost loop body
+  that contains all their uses, which also makes them OpenMP-private.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.expr import ArrayRef, BinOp, Call, Const, Expr, Unary, Var
+from repro.ir.stmt import Assign, Block, If, Loop, Procedure, Stmt
+from repro.ir.validate import validate
+from repro.ir.visitor import walk_exprs, walk_stmts
+
+_PRELUDE = """\
+#include <math.h>
+
+static long floordiv_(long a, long b) {
+    long q = a / b, r = a % b;
+    return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+static long mod_(long a, long b) {
+    long r = a % b;
+    return (r != 0 && ((r < 0) != (b < 0))) ? r + b : r;
+}
+static long ceildiv_(long a, long b) { return -floordiv_(-a, b); }
+static long isqrt_(long a) {
+    long x = (long)sqrt((double)a);
+    while (x > 0 && x * x > a) x--;
+    while ((x + 1) * (x + 1) <= a) x++;
+    return x;
+}
+static double min_(double a, double b) { return a < b ? a : b; }
+static double max_(double a, double b) { return a > b ? a : b; }
+static long lmin_(long a, long b) { return a < b ? a : b; }
+static long lmax_(long a, long b) { return a > b ? a : b; }
+"""
+
+_INTRINSIC_C = {
+    "sin": "sin",
+    "cos": "cos",
+    "sqrt": "sqrt",
+    "exp": "exp",
+    "log": "log",
+    "abs": "fabs",
+    "float": "(double)",
+    "int": "(long)",
+    "isqrt": "isqrt_",
+}
+
+
+class CGenError(ValueError):
+    """The procedure cannot be lowered to the C conventions."""
+
+
+# ---------------------------------------------------------------------------
+# Type inference: every scalar is either "long" (index-like) or "double".
+# ---------------------------------------------------------------------------
+
+
+def _infer_scalar_types(proc: Procedure) -> dict[str, str]:
+    """Map every assigned scalar to 'long' or 'double'.
+
+    A scalar is double when any assignment to it involves a float constant,
+    an array element, true division, or a floating intrinsic; otherwise
+    long.  Iterated to a fixed point so doubles propagate through chains.
+    """
+    types: dict[str, str] = {}
+    loop_vars = {lp.var for lp in walk_stmts(proc) if isinstance(lp, Loop)}
+    for name in proc.scalars:
+        types[name] = "long"
+    for var in loop_vars:
+        types[var] = "long"
+
+    assigns = [
+        s
+        for s in walk_stmts(proc)
+        if isinstance(s, Assign) and isinstance(s.target, Var)
+    ]
+    for s in assigns:
+        types.setdefault(s.target.name, "long")
+
+    def expr_is_double(e: Expr) -> bool:
+        for sub in walk_exprs(e):
+            if isinstance(sub, Const) and isinstance(sub.value, float):
+                return True
+            if isinstance(sub, ArrayRef):
+                return True
+            if isinstance(sub, BinOp) and sub.op == "/":
+                return True
+            if isinstance(sub, Call) and sub.func in (
+                "sin", "cos", "sqrt", "exp", "log", "float",
+            ):
+                return True
+            if isinstance(sub, Var) and types.get(sub.name) == "double":
+                return True
+        return False
+
+    changed = True
+    while changed:
+        changed = False
+        for s in assigns:
+            name = s.target.name
+            if types.get(name) == "double":
+                continue
+            if expr_is_double(s.value):
+                types[name] = "double"
+                changed = True
+    return types
+
+
+# ---------------------------------------------------------------------------
+# Scalar declaration placement
+# ---------------------------------------------------------------------------
+
+
+def _declaration_sites(proc: Procedure) -> dict[int, list[str]]:
+    """Map id(loop-body Block) → scalar names to declare at its top.
+
+    Each assigned scalar is declared in the innermost loop body containing
+    *all* its references (assignments and reads); scalars not enclosed by
+    any loop are declared at function scope (key: id(proc.body)).
+    """
+    mentions: dict[str, list[tuple[int, ...]]] = {}
+
+    def visit(s: Stmt, path: tuple[int, ...]) -> None:
+        if isinstance(s, Block):
+            for child in s.stmts:
+                visit(child, path)
+            return
+        if isinstance(s, Loop):
+            visit(s.body, path + (id(s.body),))
+            return
+        if isinstance(s, If):
+            visit(s.then, path)
+            visit(s.orelse, path)
+        names = set()
+        for e in walk_exprs(s):
+            if isinstance(e, Var):
+                names.add(e.name)
+        if isinstance(s, Assign) and isinstance(s.target, Var):
+            names.add(s.target.name)
+        for name in names:
+            mentions.setdefault(name, []).append(path)
+
+    visit(proc.body, (id(proc.body),))
+
+    loop_vars = {lp.var for lp in walk_stmts(proc) if isinstance(lp, Loop)}
+    assigned = {
+        s.target.name
+        for s in walk_stmts(proc)
+        if isinstance(s, Assign) and isinstance(s.target, Var)
+    }
+
+    sites: dict[int, list[str]] = {}
+    for name in sorted(assigned - set(proc.scalars) - loop_vars):
+        paths = mentions.get(name, [])
+        if not paths:
+            continue
+        # Longest common prefix of all mention paths.
+        prefix = paths[0]
+        for p in paths[1:]:
+            k = 0
+            while k < len(prefix) and k < len(p) and prefix[k] == p[k]:
+                k += 1
+            prefix = prefix[:k]
+        key = prefix[-1] if prefix else id(proc.body)
+        sites.setdefault(key, []).append(name)
+    return sites
+
+
+# ---------------------------------------------------------------------------
+# Expression emission
+# ---------------------------------------------------------------------------
+
+
+class _CEmitter:
+    def __init__(self, proc: Procedure, types: dict[str, str]) -> None:
+        self.proc = proc
+        self.types = types
+
+    def is_long(self, e: Expr) -> bool:
+        if isinstance(e, Const):
+            return isinstance(e.value, int)
+        if isinstance(e, Var):
+            return self.types.get(e.name, "long") == "long"
+        if isinstance(e, ArrayRef):
+            return False
+        if isinstance(e, Call):
+            return e.func in ("int", "isqrt", "abs")
+        if isinstance(e, Unary):
+            return self.is_long(e.operand)
+        if isinstance(e, BinOp):
+            if e.op in ("floordiv", "ceildiv", "mod"):
+                return True
+            if e.op == "/":
+                return False
+            if e.op in ("==", "!=", "<", "<=", ">", ">=", "and", "or"):
+                return True
+            return self.is_long(e.lhs) and self.is_long(e.rhs)
+        return False
+
+    def emit(self, e: Expr) -> str:
+        if isinstance(e, Const):
+            if isinstance(e.value, int):
+                return f"{e.value}L" if e.value >= 0 else f"({e.value}L)"
+            return repr(e.value)
+        if isinstance(e, Var):
+            return e.name
+        if isinstance(e, ArrayRef):
+            return self._emit_array(e)
+        if isinstance(e, Call):
+            fn = _INTRINSIC_C.get(e.func)
+            if fn is None:
+                raise CGenError(f"intrinsic {e.func!r} has no C lowering")
+            args = ", ".join(self.emit(a) for a in e.args)
+            if fn.startswith("("):  # cast style
+                return f"{fn}({args})"
+            return f"{fn}({args})"
+        if isinstance(e, Unary):
+            if e.op == "-":
+                return f"(-{self.emit(e.operand)})"
+            return f"(!{self.emit(e.operand)})"
+        if isinstance(e, BinOp):
+            return self._emit_binop(e)
+        raise CGenError(f"cannot emit {type(e).__name__}")
+
+    def _emit_binop(self, e: BinOp) -> str:
+        lhs, rhs = self.emit(e.lhs), self.emit(e.rhs)
+        if e.op in ("floordiv", "ceildiv", "mod"):
+            fn = {"floordiv": "floordiv_", "ceildiv": "ceildiv_", "mod": "mod_"}[e.op]
+            return f"{fn}({lhs}, {rhs})"
+        if e.op in ("min", "max"):
+            both_long = self.is_long(e.lhs) and self.is_long(e.rhs)
+            fn = ("lmin_" if e.op == "min" else "lmax_") if both_long else (
+                "min_" if e.op == "min" else "max_"
+            )
+            return f"{fn}({lhs}, {rhs})"
+        if e.op == "/":
+            # IR '/' is true division even on integers.
+            return f"((double)({lhs}) / (double)({rhs}))"
+        token = {"and": "&&", "or": "||"}.get(e.op, e.op)
+        return f"({lhs} {token} {rhs})"
+
+    def _emit_array(self, ref: ArrayRef) -> str:
+        dims = [f"{ref.name}_d{k}" for k in range(ref.rank)]
+        index = self.emit(ref.indices[0])
+        for k in range(1, ref.rank):
+            index = f"({index}) * {dims[k]} + ({self.emit(ref.indices[k])})"
+        return f"{ref.name}[{index}]"
+
+
+# ---------------------------------------------------------------------------
+# Statement emission
+# ---------------------------------------------------------------------------
+
+
+def _doall_subnest_depth(loop: Loop) -> int:
+    """Depth of the perfect all-DOALL nest rooted at ``loop``."""
+    depth = 1
+    current = loop
+    while (
+        len(current.body) == 1
+        and isinstance(current.body.stmts[0], Loop)
+        and current.body.stmts[0].is_doall
+    ):
+        current = current.body.stmts[0]
+        depth += 1
+    return depth
+
+
+def generate_c(proc: Procedure, omp: bool = True, check: bool = True) -> str:
+    """Generate a complete C translation unit for ``proc``.
+
+    Signature: one ``double *`` + per-dimension ``long`` extents per array
+    (declaration order), then the scalar parameters as ``long``.
+    """
+    if check:
+        validate(proc)
+    types = _infer_scalar_types(proc)
+    sites = _declaration_sites(proc)
+    emitter = _CEmitter(proc, types)
+
+    params: list[str] = []
+    for name, rank in proc.arrays.items():
+        params.append(f"double *{name}")
+        params.extend(f"long {name}_d{k}" for k in range(rank))
+    params.extend(f"long {name}" for name in proc.scalars)
+
+    lines: list[str] = [_PRELUDE]
+    lines.append(f"void {proc.name}({', '.join(params)}) {{")
+    for name in sites.get(id(proc.body), []):
+        lines.append(f"    {types[name]} {name};")
+    _emit_block(proc.body, lines, 1, emitter, sites, types, omp, top=True)
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _emit_block(
+    block: Block, lines, depth, emitter, sites, types, omp, top=False, suppress=0
+):
+    pad = "    " * depth
+    for name in () if top else sites.get(id(block), []):
+        lines.append(f"{pad}{types[name]} {name};")
+    for s in block.stmts:
+        _emit_stmt(s, lines, depth, emitter, sites, types, omp, suppress)
+
+
+def _emit_stmt(s: Stmt, lines, depth, emitter, sites, types, omp, suppress=0):
+    pad = "    " * depth
+    if isinstance(s, Assign):
+        if isinstance(s.target, Var):
+            lines.append(f"{pad}{s.target.name} = {emitter.emit(s.value)};")
+        else:
+            lines.append(
+                f"{pad}{emitter._emit_array(s.target)} = {emitter.emit(s.value)};"
+            )
+        return
+    if isinstance(s, If):
+        lines.append(f"{pad}if ({emitter.emit(s.cond)}) {{")
+        _emit_block(s.then, lines, depth + 1, emitter, sites, types, omp)
+        if len(s.orelse):
+            lines.append(f"{pad}}} else {{")
+            _emit_block(s.orelse, lines, depth + 1, emitter, sites, types, omp)
+        lines.append(f"{pad}}}")
+        return
+    if isinstance(s, Loop):
+        inner_suppress = max(0, suppress - 1)
+        if omp and s.is_doall and suppress == 0:
+            collapse = _doall_subnest_depth(s)
+            clause = f" collapse({collapse})" if collapse > 1 else ""
+            lines.append(f"{pad}#pragma omp parallel for{clause}")
+            # Loops folded into this collapse region must not get pragmas.
+            inner_suppress = collapse - 1
+        lo, hi = emitter.emit(s.lower), emitter.emit(s.upper)
+        step = emitter.emit(s.step)
+        lines.append(
+            f"{pad}for (long {s.var} = {lo}; {s.var} <= {hi}; "
+            f"{s.var} += {step}) {{"
+        )
+        _emit_block(
+            s.body, lines, depth + 1, emitter, sites, types, omp,
+            suppress=inner_suppress,
+        )
+        lines.append(f"{pad}}}")
+        return
+    if isinstance(s, Block):
+        _emit_block(s, lines, depth, emitter, sites, types, omp, suppress=suppress)
+        return
+    raise CGenError(f"cannot emit statement {type(s).__name__}")

@@ -1,0 +1,12 @@
+"""Reconstructed evaluation suite (E1–E10) — see DESIGN.md §4.
+
+Each module exposes ``run(...) -> Table`` (or a list of tables) with the
+default parameters used by the corresponding ``benchmarks/bench_eNN_*.py``
+target, plus a ``main()`` so every experiment is runnable standalone::
+
+    python -m repro.experiments.e05_speedup
+"""
+
+from repro.experiments.report import Table, format_tables
+
+__all__ = ["Table", "format_tables"]

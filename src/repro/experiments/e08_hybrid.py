@@ -1,0 +1,96 @@
+"""E8 — Hybrid nests: coalescing inside a serial outer loop (Gauss–Jordan).
+
+Gauss–Jordan elimination has an inherently serial pivot loop over columns;
+each pivot step contains parallel work (row updates), and the algorithm ends
+with a perfectly nested DOALL pair (solution extraction).  Two claims:
+
+1. *Functional*: `coalesce_procedure` transforms the real Gauss–Jordan IR —
+   coalescing the solution nest under the serial phase — and the transformed
+   program still solves the system (checked against numpy).
+2. *Performance*: per pivot step, driving the row-update work as one
+   coalesced loop instead of one parallel loop per row cuts the barrier
+   count from n·(rows) to n and improves balance; the simulator quantifies
+   it for several system sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.report import Table
+from repro.machine.params import MachineParams
+from repro.machine.trace import SimResult
+from repro.runtime.equivalence import copy_env
+from repro.runtime.interp import run as interp_run
+from repro.scheduling.nested import NestCosts, simulate_coalesced_blocked, simulate_inner_barriers
+from repro.transforms import coalesce_procedure
+from repro.workloads.gauss import gauss_jordan, gauss_reference
+from repro.workloads.kernels import make_env
+
+
+def functional_check(n: int = 12, m: int = 3, seed: int = 0) -> float:
+    """Coalesce the Gauss–Jordan procedure and return max |X − X_ref|."""
+    w = gauss_jordan()
+    arrays, sc = make_env(w, {"n": n, "m": m}, seed=seed)
+    before = copy_env(arrays)
+    coalesced, results = coalesce_procedure(w.proc)
+    if len(results) != 1:
+        raise AssertionError(f"expected 1 coalesced nest, got {len(results)}")
+    interp_run(coalesced, arrays, sc)
+    x_ref = gauss_reference(before, sc)
+    return float(np.max(np.abs(arrays["X"][1:, 1:] - x_ref)))
+
+
+def run(
+    sizes: tuple[int, ...] = (8, 16, 32),
+    m: int = 4,
+    p: int = 8,
+    body: float = 12.0,
+) -> Table:
+    params = MachineParams(processors=p)
+    table = Table(
+        f"E8: Gauss-Jordan elimination phase, n pivots, p={p}",
+        ["n", "scheme", "barriers", "time", "ratio"],
+        notes=(
+            "Per pivot j the update touches (n−1)·(n+m−j) elements.  "
+            "'per-row barriers' forks one parallel loop per updated row "
+            "(n−1 barriers per pivot); 'coalesced per pivot' runs the whole "
+            "(i, k) update space as one flat loop (1 barrier per pivot).  "
+            "Functional check: the coalesced IR solves A·X = B to "
+            f"max-abs error {functional_check():.2e} against numpy."
+        ),
+    )
+    for n in sizes:
+        per_row: SimResult | None = None
+        per_pivot: SimResult | None = None
+        for j in range(1, n + 1):
+            rows = n - 1  # i ≠ j rows updated
+            width = n + m - j  # k = j+1 .. n+m
+            if width == 0 or rows == 0:
+                continue
+            update = NestCosts((rows, width), body_cost=body)
+            a = simulate_inner_barriers(update, params)
+            b = simulate_coalesced_blocked(update, params)
+            per_row = a if per_row is None else per_row.merge_serial(a)
+            per_pivot = b if per_pivot is None else per_pivot.merge_serial(b)
+        assert per_row is not None and per_pivot is not None
+        table.add(
+            n, "per-row barriers", per_row.barriers, round(per_row.finish_time, 0),
+            "",
+        )
+        table.add(
+            n,
+            "coalesced per pivot",
+            per_pivot.barriers,
+            round(per_pivot.finish_time, 0),
+            round(per_row.finish_time / per_pivot.finish_time, 2),
+        )
+    return table
+
+
+def main() -> None:
+    print(run().format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+"""E14 — Closing the loop: simulation driven entirely from source.
+
+Every other experiment hand-specifies a body cost; this one derives the
+per-iteration cost vectors *from the IR itself* via the static cost model
+(:mod:`repro.machine.costmodel`), for both the original outer loop and the
+transformed flat loops — recovery arithmetic included, because it is real
+code in the transformed IR.  The comparison is therefore end-to-end honest:
+source program in, schedule quality out, no assumed constants beyond the
+per-operation weights.
+
+Workloads: matmul (uniform rows) and the canonical triangle (skewed rows,
+where the transformed exact form both removes the skew *and* pays visible
+isqrt recovery).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import Table
+from repro.frontend.dsl import parse
+from repro.machine.costmodel import CostWeights, doall_iteration_costs
+from repro.machine.params import MachineParams
+from repro.machine.simulator import simulate_loop
+from repro.scheduling.policies import StaticBalanced
+from repro.transforms.coalesce import coalesce
+from repro.transforms.strength import block_recovered_loop
+from repro.transforms.triangular import coalesce_triangular_exact
+
+MATMUL = """
+procedure matmul(A[2], B[2], C[2]; n)
+  doall i = 1, n
+    doall j = 1, n
+      C(i, j) := 0.0
+      for k = 1, n
+        C(i, j) := C(i, j) + A(i, k) * B(k, j)
+      end
+    end
+  end
+end
+"""
+
+TRIANGLE = """
+procedure tri(T[2]; n)
+  doall i = 1, n
+    doall j = 1, i
+      T(i, j) := T(i, j) * 0.5 + 1.0
+    end
+  end
+end
+"""
+
+TRIANGLE_HEAVY = """
+procedure tri_heavy(T[2]; n)
+  doall i = 1, n
+    doall j = 1, i
+      T(i, j) := sqrt(T(i, j) * T(i, j) + 2.0) + exp(0.5 * T(i, j)) + log(1.0 + T(i, j) * T(i, j))
+    end
+  end
+end
+"""
+
+
+def _simulate(loop, env, params, weights):
+    costs = doall_iteration_costs(loop, env, weights)
+    return simulate_loop(costs, params, StaticBalanced())
+
+
+def run(n: int = 24, p: int = 16) -> Table:
+    params = MachineParams(processors=p)
+    weights = CostWeights()
+    table = Table(
+        f"E14: schedules simulated from IR-derived costs (n={n}, p={p})",
+        ["program", "form", "iterations", "T", "speedup vs original"],
+        notes=(
+            "Costs come from statically counting each form's own operations "
+            "— the coalesced rows pay their real recovery arithmetic (div/"
+            "mod for matmul, isqrt for the triangles) because it is present "
+            "in the transformed IR.  'original' parallelizes the outer loop "
+            "only.  Honest finding: on the feather-weight triangle body the "
+            "isqrt recovery costs more than the skew it removes — exact "
+            "triangular coalescing pays only once bodies outweigh recovery "
+            "(triangle-heavy), precisely the granularity condition E13 "
+            "formalizes."
+        ),
+    )
+    env = {"n": n}
+
+    for label, src in (
+        ("matmul", MATMUL),
+        ("triangle", TRIANGLE),
+        ("triangle-heavy", TRIANGLE_HEAVY),
+    ):
+        proc = parse(src)
+        outer = proc.body.stmts[0]
+        base = _simulate(outer, env, params, weights)
+        table.add(label, "original outer DOALL", len(
+            doall_iteration_costs(outer, env, weights)
+        ), round(base.finish_time, 0), 1.0)
+
+        if label == "matmul":
+            result = coalesce(outer)
+            flat = result.loop
+            blocked = block_recovered_loop(result, max(1, (n * n) // p))
+            forms = (("coalesced (naive recovery)", flat),
+                     ("coalesced (blocked recovery)", blocked))
+        else:
+            tri = coalesce_triangular_exact(outer)
+            forms = (("coalesced exact (isqrt)", tri.loop),)
+
+        for form_label, loop in forms:
+            r = _simulate(loop, env, params, weights)
+            table.add(
+                label,
+                form_label,
+                len(doall_iteration_costs(loop, env, weights)),
+                round(r.finish_time, 0),
+                round(base.finish_time / r.finish_time, 2),
+            )
+    return table
+
+
+def main() -> None:
+    print(run().format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Plain-text tables: the experiment output format.
+
+The paper reports rows of numbers; so do we.  ``Table.format()`` renders an
+aligned monospace table; ``to_csv()`` exists for post-processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+def _fmt(x) -> str:
+    if isinstance(x, float):
+        if x == int(x) and abs(x) < 1e15:
+            return f"{int(x)}"
+        return f"{x:.3f}"
+    return str(x)
+
+
+@dataclass
+class Table:
+    """Title + headers + rows, with aligned plain-text rendering."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, *row) -> None:
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def column(self, name: str) -> list:
+        """Values of one column, by header name."""
+        idx = list(self.headers).index(name)
+        return [row[idx] for row in self.rows]
+
+    def format(self) -> str:
+        cells = [[_fmt(h) for h in self.headers]] + [
+            [_fmt(x) for x in row] for row in self.rows
+        ]
+        widths = [max(len(r[c]) for r in cells) for c in range(len(self.headers))]
+        lines = [self.title, "-" * len(self.title)]
+        header, *body = cells
+        lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(x.rjust(w) for x, w in zip(row, widths)))
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        out = [",".join(map(str, self.headers))]
+        for row in self.rows:
+            out.append(",".join(_fmt(x) for x in row))
+        return "\n".join(out)
+
+
+def format_tables(tables: Iterable[Table]) -> str:
+    return "\n\n".join(t.format() for t in tables)

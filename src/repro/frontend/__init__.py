@@ -1,0 +1,12 @@
+"""Frontends that build IR from surface syntax.
+
+* :mod:`repro.frontend.dsl` — a Fortran-like mini-language (the dialect the
+  pretty-printer emits, so source ↔ IR round-trips).
+* :mod:`repro.frontend.pyfront` — restricted Python functions via the ``ast``
+  module.
+"""
+
+from repro.frontend.dsl import ParseError, parse, parse_expr
+from repro.frontend.pyfront import FrontendError, from_python
+
+__all__ = ["ParseError", "parse", "parse_expr", "FrontendError", "from_python"]

@@ -1,0 +1,345 @@
+"""Parser for the Fortran-like loop mini-language.
+
+Grammar (keywords are case-sensitive, ``--`` starts a line comment)::
+
+    program   := "procedure" NAME [ "(" decls ")" ] block "end"
+    decls     := [arrays] [";" scalars] | scalars
+    arrays    := NAME "[" INT "]" ("," NAME "[" INT "]")*
+    scalars   := NAME ("," NAME)*
+    block     := stmt*
+    stmt      := loop | cond | assign
+    loop      := ("for" | "doall") NAME "=" expr "," expr ["," expr]
+                 block "end"
+    cond      := "if" expr "then" block ["else" block] "end"
+    assign    := lvalue ":=" expr
+    lvalue    := NAME | NAME "(" expr ("," expr)* ")"
+
+Expressions use the usual precedence with ``div`` (floor), ``mod``,
+``ceildiv`` at multiplicative level, plus ``min(a,b)`` / ``max(a,b)`` and the
+intrinsics of :data:`repro.ir.expr.INTRINSICS`.  The pretty-printer emits this
+dialect, so ``parse(to_source(p))`` reproduces ``p``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.ir.expr import (
+    INTRINSICS,
+    ArrayRef,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    Unary,
+    Var,
+)
+from repro.ir.stmt import Assign, Block, If, Loop, LoopKind, Procedure, Stmt
+
+
+class ParseError(ValueError):
+    """Syntax error in mini-language source."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str  # NAME INT FLOAT OP KEYWORD EOF
+    text: str
+    line: int
+
+
+_KEYWORDS = {
+    "procedure",
+    "for",
+    "doall",
+    "end",
+    "if",
+    "then",
+    "else",
+    "div",
+    "mod",
+    "ceildiv",
+    "and",
+    "or",
+    "not",
+    "min",
+    "max",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t]+)
+  | (?P<comment>--[^\n]*)
+  | (?P<newline>\n)
+  | (?P<float>\d+\.\d*(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>:=|==|!=|<=|>=|[-+*/(),;<>\[\]=])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(src: str) -> list[_Token]:
+    """Convert source text to a token list (raises on stray characters)."""
+    tokens: list[_Token] = []
+    line = 1
+    pos = 0
+    while pos < len(src):
+        m = _TOKEN_RE.match(src, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {src[pos]!r}", line)
+        pos = m.end()
+        kind = m.lastgroup
+        text = m.group()
+        if kind == "newline":
+            line += 1
+            continue
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "name":
+            kind = "KEYWORD" if text in _KEYWORDS else "NAME"
+        elif kind == "int":
+            kind = "INT"
+        elif kind == "float":
+            kind = "FLOAT"
+        else:
+            kind = "OP"
+        tokens.append(_Token(kind, text, line))
+    tokens.append(_Token("EOF", "", line))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+    @property
+    def cur(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> _Token:
+        tok = self.cur
+        self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        tok = self.cur
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> _Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        if not self.check(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, found {self.cur.text!r}", self.cur.line
+            )
+        return self.advance()
+
+    # -- grammar -----------------------------------------------------------
+    def parse_procedure(self) -> Procedure:
+        self.expect("KEYWORD", "procedure")
+        name = self.expect("NAME").text
+        arrays: dict[str, int] = {}
+        scalars: list[str] = []
+        if self.accept("OP", "("):
+            self._parse_decls(arrays, scalars)
+            self.expect("OP", ")")
+        body = self.parse_block(("end",))
+        self.expect("KEYWORD", "end")
+        self.expect("EOF")
+        return Procedure(name, body, arrays, tuple(scalars))
+
+    def _parse_decls(self, arrays: dict[str, int], scalars: list[str]) -> None:
+        # Either "A[2], B[1]; n, m" or just "n, m".
+        while True:
+            name = self.expect("NAME").text
+            if self.accept("OP", "["):
+                rank = int(self.expect("INT").text)
+                self.expect("OP", "]")
+                arrays[name] = rank
+            else:
+                scalars.append(name)
+            if self.accept("OP", ","):
+                continue
+            if self.accept("OP", ";"):
+                while True:
+                    scalars.append(self.expect("NAME").text)
+                    if not self.accept("OP", ","):
+                        return
+            return
+
+    def parse_block(self, stop: tuple[str, ...]) -> Block:
+        stmts: list[Stmt] = []
+        while not (self.cur.kind == "KEYWORD" and self.cur.text in stop):
+            if self.cur.kind == "EOF":
+                raise ParseError(f"unexpected end of input, expected {stop}", self.cur.line)
+            stmts.append(self.parse_stmt())
+        return Block(tuple(stmts))
+
+    def parse_stmt(self) -> Stmt:
+        if self.check("KEYWORD", "for") or self.check("KEYWORD", "doall"):
+            return self.parse_loop()
+        if self.check("KEYWORD", "if"):
+            return self.parse_if()
+        return self.parse_assign()
+
+    def parse_loop(self) -> Loop:
+        kw = self.advance().text
+        kind = LoopKind.DOALL if kw == "doall" else LoopKind.SERIAL
+        var = self.expect("NAME").text
+        self.expect("OP", "=")
+        lower = self.parse_expr()
+        self.expect("OP", ",")
+        upper = self.parse_expr()
+        step: Expr = Const(1)
+        if self.accept("OP", ","):
+            step = self.parse_expr()
+        body = self.parse_block(("end",))
+        self.expect("KEYWORD", "end")
+        return Loop(var, lower, upper, body, step, kind)
+
+    def parse_if(self) -> If:
+        self.expect("KEYWORD", "if")
+        cond = self.parse_expr()
+        self.expect("KEYWORD", "then")
+        then = self.parse_block(("else", "end"))
+        orelse = Block()
+        if self.accept("KEYWORD", "else"):
+            orelse = self.parse_block(("end",))
+        self.expect("KEYWORD", "end")
+        return If(cond, then, orelse)
+
+    def parse_assign(self) -> Assign:
+        name = self.expect("NAME").text
+        if self.accept("OP", "("):
+            indices = [self.parse_expr()]
+            while self.accept("OP", ","):
+                indices.append(self.parse_expr())
+            self.expect("OP", ")")
+            target: Var | ArrayRef = ArrayRef(name, tuple(indices))
+        else:
+            target = Var(name)
+        self.expect("OP", ":=")
+        return Assign(target, self.parse_expr())
+
+    # -- expressions (precedence climbing) ----------------------------------
+    def parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        e = self._parse_and()
+        while self.accept("KEYWORD", "or"):
+            e = BinOp("or", e, self._parse_and())
+        return e
+
+    def _parse_and(self) -> Expr:
+        e = self._parse_cmp()
+        while self.accept("KEYWORD", "and"):
+            e = BinOp("and", e, self._parse_cmp())
+        return e
+
+    def _parse_cmp(self) -> Expr:
+        e = self._parse_addsub()
+        while self.cur.kind == "OP" and self.cur.text in (
+            "==",
+            "!=",
+            "<",
+            "<=",
+            ">",
+            ">=",
+        ):
+            op = self.advance().text
+            e = BinOp(op, e, self._parse_addsub())
+        return e
+
+    def _parse_addsub(self) -> Expr:
+        e = self._parse_muldiv()
+        while self.cur.kind == "OP" and self.cur.text in ("+", "-"):
+            op = self.advance().text
+            e = BinOp(op, e, self._parse_muldiv())
+        return e
+
+    def _parse_muldiv(self) -> Expr:
+        e = self._parse_unary()
+        while True:
+            if self.cur.kind == "OP" and self.cur.text in ("*", "/"):
+                op = self.advance().text
+                e = BinOp(op, e, self._parse_unary())
+            elif self.cur.kind == "KEYWORD" and self.cur.text in (
+                "div",
+                "mod",
+                "ceildiv",
+            ):
+                kw = self.advance().text
+                op = {"div": "floordiv", "mod": "mod", "ceildiv": "ceildiv"}[kw]
+                e = BinOp(op, e, self._parse_unary())
+            else:
+                return e
+
+    def _parse_unary(self) -> Expr:
+        if self.accept("OP", "-"):
+            operand = self._parse_unary()
+            if isinstance(operand, Const):
+                return Const(-operand.value)
+            return Unary("-", operand)
+        if self.accept("KEYWORD", "not"):
+            return Unary("not", self._parse_unary())
+        return self._parse_atom()
+
+    def _parse_atom(self) -> Expr:
+        tok = self.cur
+        if tok.kind == "INT":
+            self.advance()
+            return Const(int(tok.text))
+        if tok.kind == "FLOAT":
+            self.advance()
+            return Const(float(tok.text))
+        if tok.kind == "KEYWORD" and tok.text in ("min", "max"):
+            self.advance()
+            self.expect("OP", "(")
+            a = self.parse_expr()
+            self.expect("OP", ",")
+            b = self.parse_expr()
+            self.expect("OP", ")")
+            return BinOp(tok.text, a, b)
+        if tok.kind == "NAME":
+            self.advance()
+            if self.accept("OP", "("):
+                args = [self.parse_expr()]
+                while self.accept("OP", ","):
+                    args.append(self.parse_expr())
+                self.expect("OP", ")")
+                if tok.text in INTRINSICS:
+                    return Call(tok.text, tuple(args))
+                return ArrayRef(tok.text, tuple(args))
+            return Var(tok.text)
+        if self.accept("OP", "("):
+            e = self.parse_expr()
+            self.expect("OP", ")")
+            return e
+        raise ParseError(f"unexpected token {tok.text!r}", tok.line)
+
+
+def parse(src: str) -> Procedure:
+    """Parse a complete ``procedure … end`` unit."""
+    return _Parser(tokenize(src)).parse_procedure()
+
+
+def parse_expr(src: str) -> Expr:
+    """Parse a standalone expression (for tests and tools)."""
+    p = _Parser(tokenize(src))
+    e = p.parse_expr()
+    p.expect("EOF")
+    return e

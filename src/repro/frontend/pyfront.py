@@ -1,0 +1,254 @@
+"""Python frontend: restricted ``def`` functions → loop-nest IR.
+
+The accepted subset is the loop-nest language itself, written as Python:
+
+* ``for i in range(lo, hi)`` — serial loop over ``lo .. hi-1`` (the IR loop
+  is inclusive, so the upper bound becomes ``hi - 1``); ``range(n)`` means
+  ``0 .. n-1``; an optional positive constant step is allowed.
+* ``for i in prange(...)`` — same, but tagged DOALL.  ``prange`` does not
+  need to exist at runtime; it is recognized purely by name.
+* assignments to scalars or subscripted arrays (``A[i, j] = …``), including
+  augmented assignments (``+=`` etc., expanded to load-op-store),
+* ``if`` / ``else`` on integer comparisons,
+* arithmetic with ``+ - * / // %``, ``min``/``max``, and the intrinsics in
+  :data:`repro.ir.expr.INTRINSICS` (bare name or ``math.`` attribute).
+
+Function parameters that are ever subscripted become arrays (rank inferred
+from subscript length and checked for consistency); the rest are scalars.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable
+
+from repro.ir.expr import (
+    INTRINSICS,
+    ArrayRef,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    Unary,
+    Var,
+)
+from repro.ir.stmt import Assign, Block, If, Loop, LoopKind, Procedure, Stmt
+
+#: Names recognized as the parallel range marker.
+PRANGE_NAMES = frozenset({"prange", "parallel_range"})
+
+
+class FrontendError(ValueError):
+    """The Python function falls outside the supported subset."""
+
+
+def from_python(fn: Callable | str, name: str | None = None) -> Procedure:
+    """Convert a restricted Python function (or its source) to a Procedure."""
+    if callable(fn):
+        src = textwrap.dedent(inspect.getsource(fn))
+    else:
+        src = textwrap.dedent(fn)
+    tree = ast.parse(src)
+    funcs = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    if len(funcs) != 1:
+        raise FrontendError("source must contain exactly one function definition")
+    fdef = funcs[0]
+    params = [a.arg for a in fdef.args.args]
+    conv = _Converter(params)
+    body = conv.convert_block(fdef.body)
+    outside = set(conv.array_ranks) - set(params)
+    if outside:
+        raise FrontendError(
+            f"subscripted names must be parameters: {sorted(outside)}"
+        )
+    # Declaration order follows the parameter list so callers can keep the
+    # original positional convention after transformation.
+    arrays = {p: conv.array_ranks[p] for p in params if p in conv.array_ranks}
+    scalars = tuple(p for p in params if p not in arrays)
+    return Procedure(name or fdef.name, body, arrays, scalars)
+
+
+_BINOP_MAP = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.Div: "/",
+    ast.FloorDiv: "floordiv",
+    ast.Mod: "mod",
+}
+
+_CMP_MAP = {
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Gt: ">",
+    ast.GtE: ">=",
+}
+
+
+class _Converter:
+    def __init__(self, params: list[str]) -> None:
+        self.params = params
+        self.array_ranks: dict[str, int] = {}
+
+    # -- statements --------------------------------------------------------
+    def convert_block(self, stmts: list[ast.stmt]) -> Block:
+        out: list[Stmt] = []
+        for s in stmts:
+            converted = self.convert_stmt(s)
+            if converted is not None:
+                out.append(converted)
+        return Block(tuple(out))
+
+    def convert_stmt(self, s: ast.stmt) -> Stmt | None:
+        if isinstance(s, ast.For):
+            return self._convert_for(s)
+        if isinstance(s, ast.Assign):
+            if len(s.targets) != 1:
+                raise FrontendError("chained assignment is not supported")
+            target = self._convert_target(s.targets[0])
+            return Assign(target, self.convert_expr(s.value))
+        if isinstance(s, ast.AugAssign):
+            target = self._convert_target(s.target)
+            op = _BINOP_MAP.get(type(s.op))
+            if op is None:
+                raise FrontendError(
+                    f"unsupported augmented operator {type(s.op).__name__}"
+                )
+            load: Expr = target
+            return Assign(target, BinOp(op, load, self.convert_expr(s.value)))
+        if isinstance(s, ast.If):
+            cond = self.convert_expr(s.test)
+            return If(cond, self.convert_block(s.body), self.convert_block(s.orelse))
+        if isinstance(s, ast.Pass):
+            return None
+        if isinstance(s, ast.Expr) and isinstance(s.value, ast.Constant):
+            return None  # docstring
+        if isinstance(s, ast.Return):
+            if s.value is None:
+                return None
+            raise FrontendError("return with a value is not supported")
+        raise FrontendError(f"unsupported statement {type(s).__name__}")
+
+    def _convert_for(self, s: ast.For) -> Loop:
+        if s.orelse:
+            raise FrontendError("for-else is not supported")
+        if not isinstance(s.target, ast.Name):
+            raise FrontendError("loop target must be a plain name")
+        call = s.iter
+        if not isinstance(call, ast.Call) or not isinstance(
+            call.func, (ast.Name, ast.Attribute)
+        ):
+            raise FrontendError("loop iterable must be range(...) or prange(...)")
+        fname = (
+            call.func.id if isinstance(call.func, ast.Name) else call.func.attr
+        )
+        if fname == "range":
+            kind = LoopKind.SERIAL
+        elif fname in PRANGE_NAMES:
+            kind = LoopKind.DOALL
+        else:
+            raise FrontendError(f"loop iterable must be range/prange, got {fname!r}")
+        args = [self.convert_expr(a) for a in call.args]
+        if len(args) == 1:
+            lower: Expr = Const(0)
+            upper = _minus_one(args[0])
+            step: Expr = Const(1)
+        elif len(args) == 2:
+            lower, upper, step = args[0], _minus_one(args[1]), Const(1)
+        elif len(args) == 3:
+            lower, upper, step = args[0], _minus_one(args[1]), args[2]
+            if not (isinstance(step, Const) and isinstance(step.value, int) and step.value > 0):
+                raise FrontendError("range step must be a positive integer constant")
+        else:
+            raise FrontendError("range() takes 1-3 arguments")
+        body = self.convert_block(s.body)
+        return Loop(s.target.id, lower, upper, body, step, kind)
+
+    def _convert_target(self, t: ast.expr) -> Var | ArrayRef:
+        out = self.convert_expr(t)
+        if isinstance(out, (Var, ArrayRef)):
+            return out
+        raise FrontendError("assignment target must be a name or subscript")
+
+    # -- expressions ---------------------------------------------------------
+    def convert_expr(self, e: ast.expr) -> Expr:
+        if isinstance(e, ast.Constant):
+            if isinstance(e.value, bool) or not isinstance(e.value, (int, float)):
+                raise FrontendError(f"unsupported literal {e.value!r}")
+            return Const(e.value)
+        if isinstance(e, ast.Name):
+            return Var(e.id)
+        if isinstance(e, ast.BinOp):
+            op = _BINOP_MAP.get(type(e.op))
+            if op is None:
+                raise FrontendError(f"unsupported operator {type(e.op).__name__}")
+            return BinOp(op, self.convert_expr(e.left), self.convert_expr(e.right))
+        if isinstance(e, ast.UnaryOp):
+            if isinstance(e.op, ast.USub):
+                operand = self.convert_expr(e.operand)
+                if isinstance(operand, Const):
+                    return Const(-operand.value)
+                return Unary("-", operand)
+            if isinstance(e.op, ast.Not):
+                return Unary("not", self.convert_expr(e.operand))
+            raise FrontendError(f"unsupported unary {type(e.op).__name__}")
+        if isinstance(e, ast.Compare):
+            if len(e.ops) != 1:
+                raise FrontendError("chained comparisons are not supported")
+            op = _CMP_MAP.get(type(e.ops[0]))
+            if op is None:
+                raise FrontendError(f"unsupported comparison {type(e.ops[0]).__name__}")
+            return BinOp(
+                op, self.convert_expr(e.left), self.convert_expr(e.comparators[0])
+            )
+        if isinstance(e, ast.BoolOp):
+            op = "and" if isinstance(e.op, ast.And) else "or"
+            out = self.convert_expr(e.values[0])
+            for val in e.values[1:]:
+                out = BinOp(op, out, self.convert_expr(val))
+            return out
+        if isinstance(e, ast.Subscript):
+            if not isinstance(e.value, ast.Name):
+                raise FrontendError("only plain-name arrays may be subscripted")
+            name = e.value.id
+            if isinstance(e.slice, ast.Tuple):
+                indices = tuple(self.convert_expr(i) for i in e.slice.elts)
+            else:
+                indices = (self.convert_expr(e.slice),)
+            prev = self.array_ranks.get(name)
+            if prev is not None and prev != len(indices):
+                raise FrontendError(
+                    f"array {name!r} used with both {prev} and {len(indices)} subscripts"
+                )
+            self.array_ranks[name] = len(indices)
+            return ArrayRef(name, indices)
+        if isinstance(e, ast.Call):
+            fname = None
+            if isinstance(e.func, ast.Name):
+                fname = e.func.id
+            elif isinstance(e.func, ast.Attribute) and isinstance(
+                e.func.value, ast.Name
+            ):
+                # math.sin(...) style
+                fname = e.func.attr
+            if fname in ("min", "max") and len(e.args) == 2:
+                return BinOp(
+                    fname, self.convert_expr(e.args[0]), self.convert_expr(e.args[1])
+                )
+            if fname in INTRINSICS:
+                return Call(fname, tuple(self.convert_expr(a) for a in e.args))
+            raise FrontendError(f"unsupported call {ast.dump(e.func)}")
+        raise FrontendError(f"unsupported expression {type(e).__name__}")
+
+
+def _minus_one(e: Expr) -> Expr:
+    """Exclusive → inclusive upper bound."""
+    if isinstance(e, Const) and isinstance(e.value, int):
+        return Const(e.value - 1)
+    if isinstance(e, BinOp) and e.op == "+" and e.rhs == Const(1):
+        return e.lhs
+    return BinOp("-", e, Const(1))

@@ -1,0 +1,84 @@
+"""Loop-nest intermediate representation.
+
+The IR models the structured loop programs that loop coalescing operates on:
+Fortran-style counted loops (inclusive bounds, unit or constant step) marked
+either ``SERIAL`` or ``DOALL``, over bodies of array/scalar assignments and
+conditionals.  All nodes are immutable; transformations construct new trees.
+
+Public surface::
+
+    from repro.ir import (
+        Const, Var, BinOp, Unary, ArrayRef, Call, Expr,
+        Assign, Block, Loop, If, Stmt, Procedure, LoopKind,
+        ceil_div, floor_div, mod, add, sub, mul,
+    )
+"""
+
+from repro.ir.expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    Unary,
+    Var,
+    add,
+    ceil_div,
+    floor_div,
+    max_,
+    min_,
+    mod,
+    mul,
+    sub,
+)
+from repro.ir.stmt import Assign, Block, If, Loop, LoopKind, Procedure, Stmt
+from repro.ir.visitor import (
+    ExprTransformer,
+    collect_array_refs,
+    collect_loops,
+    free_vars,
+    substitute,
+    transform_exprs,
+    walk_exprs,
+    walk_stmts,
+)
+from repro.ir.printer import to_source
+from repro.ir.simplify import simplify
+from repro.ir.validate import ValidationError, validate
+
+__all__ = [
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "Block",
+    "Call",
+    "Const",
+    "Expr",
+    "ExprTransformer",
+    "If",
+    "Loop",
+    "LoopKind",
+    "Procedure",
+    "Stmt",
+    "Unary",
+    "ValidationError",
+    "Var",
+    "add",
+    "ceil_div",
+    "collect_array_refs",
+    "collect_loops",
+    "floor_div",
+    "free_vars",
+    "max_",
+    "min_",
+    "mod",
+    "mul",
+    "simplify",
+    "sub",
+    "substitute",
+    "to_source",
+    "transform_exprs",
+    "validate",
+    "walk_exprs",
+    "walk_stmts",
+]

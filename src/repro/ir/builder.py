@@ -1,0 +1,118 @@
+"""Concise construction helpers for IR trees.
+
+Typical use::
+
+    from repro.ir.builder import doall, serial, assign, block, proc, ref, v, c
+
+    mm = proc(
+        "matmul",
+        doall("i", 1, v("n"))(
+            doall("j", 1, v("n"))(
+                assign(ref("C", v("i"), v("j")), c(0.0)),
+                serial("k", 1, v("n"))(
+                    assign(
+                        ref("C", v("i"), v("j")),
+                        ref("C", v("i"), v("j"))
+                        + ref("A", v("i"), v("k")) * ref("B", v("k"), v("j")),
+                    )
+                ),
+            )
+        ),
+        arrays={"A": 2, "B": 2, "C": 2},
+        scalars=("n",),
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ir.expr import ArrayRef, Const, Expr, Number, Var
+from repro.ir.stmt import Assign, Block, If, Loop, LoopKind, Procedure, Stmt
+
+
+def c(value: Number) -> Const:
+    """Constant literal."""
+    return Const(value)
+
+
+def v(name: str) -> Var:
+    """Scalar variable reference."""
+    return Var(name)
+
+
+def ref(name: str, *indices: Expr | Number) -> ArrayRef:
+    """Array element reference."""
+    return ArrayRef(name, tuple(_as_expr(i) for i in indices))
+
+
+def _as_expr(x: Expr | Number) -> Expr:
+    return x if isinstance(x, Expr) else Const(x)
+
+
+def assign(target: Var | ArrayRef, value: Expr | Number) -> Assign:
+    """Assignment statement."""
+    return Assign(target, _as_expr(value))
+
+
+def block(*stmts: Stmt) -> Block:
+    """Statement sequence; nested blocks are flattened."""
+    flat: list[Stmt] = []
+    for s in stmts:
+        if isinstance(s, Block):
+            flat.extend(s.stmts)
+        else:
+            flat.append(s)
+    return Block(tuple(flat))
+
+
+def _loop_maker(kind: LoopKind):
+    def make(
+        var: str,
+        lower: Expr | Number,
+        upper: Expr | Number,
+        step: Expr | Number = 1,
+    ) -> Callable[..., Loop]:
+        def with_body(*stmts: Stmt) -> Loop:
+            return Loop(
+                var,
+                _as_expr(lower),
+                _as_expr(upper),
+                block(*stmts),
+                _as_expr(step),
+                kind,
+            )
+
+        return with_body
+
+    return make
+
+
+#: ``doall(var, lo, hi)(*body)`` builds a parallel loop.
+doall = _loop_maker(LoopKind.DOALL)
+
+#: ``serial(var, lo, hi)(*body)`` builds a sequential loop.
+serial = _loop_maker(LoopKind.SERIAL)
+
+
+def if_(cond: Expr, then: Stmt | tuple[Stmt, ...], orelse: Stmt | tuple[Stmt, ...] = ()) -> If:
+    """Conditional statement."""
+
+    def as_block(x) -> Block:
+        if isinstance(x, Block):
+            return x
+        if isinstance(x, Stmt):
+            return block(x)
+        return block(*x)
+
+    return If(cond, as_block(then), as_block(orelse))
+
+
+def proc(
+    name: str,
+    *stmts: Stmt,
+    arrays: dict[str, int] | None = None,
+    scalars: tuple[str, ...] = (),
+) -> Procedure:
+    """Procedure with declared arrays (name → rank) and scalar parameters."""
+    return Procedure(name, block(*stmts), arrays or {}, scalars)

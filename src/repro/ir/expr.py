@@ -1,0 +1,360 @@
+"""Expression nodes of the loop-nest IR.
+
+Expressions are immutable, hashable dataclasses.  Integer division semantics
+follow the conventions of the paper's index-recovery formulas:
+
+* ``floordiv`` — mathematical floor division (Python ``//``),
+* ``ceildiv``  — ceiling division ``⌈a / b⌉``,
+* ``mod``      — mathematical modulo with the sign of the divisor
+  (Python ``%``); the paper only ever applies it to non-negative operands.
+
+Convenience constructors (:func:`add`, :func:`mul`, :func:`ceil_div`, …)
+perform light constant folding so generated index-recovery expressions stay
+readable and operation counts honest.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+Number = Union[int, float]
+
+#: Binary operators understood by the IR.  Comparison operators yield 0/1
+#: integers so conditionals need no separate boolean type.
+BINARY_OPS = frozenset(
+    {
+        "+",
+        "-",
+        "*",
+        "/",  # true (float) division
+        "floordiv",
+        "ceildiv",
+        "mod",
+        "min",
+        "max",
+        "==",
+        "!=",
+        "<",
+        "<=",
+        ">",
+        ">=",
+        "and",
+        "or",
+    }
+)
+
+UNARY_OPS = frozenset({"-", "not"})
+
+#: Intrinsic functions available to workload bodies.  ``isqrt`` (integer
+#: square root) exists for the exact triangular index-recovery formulas of
+#: :mod:`repro.transforms.triangular`.
+INTRINSICS = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "sqrt": math.sqrt,
+    "isqrt": math.isqrt,
+    "exp": math.exp,
+    "log": math.log,
+    "abs": abs,
+    "float": float,
+    "int": int,
+}
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> Iterator["Expr"]:
+        """Yield direct sub-expressions."""
+        return iter(())
+
+    # -- operator sugar so tests and transforms read naturally ------------
+    def __add__(self, other: "Expr | Number") -> "Expr":
+        return add(self, _coerce(other))
+
+    def __radd__(self, other: "Expr | Number") -> "Expr":
+        return add(_coerce(other), self)
+
+    def __sub__(self, other: "Expr | Number") -> "Expr":
+        return sub(self, _coerce(other))
+
+    def __rsub__(self, other: "Expr | Number") -> "Expr":
+        return sub(_coerce(other), self)
+
+    def __mul__(self, other: "Expr | Number") -> "Expr":
+        return mul(self, _coerce(other))
+
+    def __rmul__(self, other: "Expr | Number") -> "Expr":
+        return mul(_coerce(other), self)
+
+    # Ordering operators build comparison nodes (note: == stays structural
+    # equality from the dataclass machinery; build BinOp("==", …) explicitly
+    # when an IR-level equality test is meant).
+    def __lt__(self, other: "Expr | Number") -> "Expr":
+        return BinOp("<", self, _coerce(other))
+
+    def __le__(self, other: "Expr | Number") -> "Expr":
+        return BinOp("<=", self, _coerce(other))
+
+    def __gt__(self, other: "Expr | Number") -> "Expr":
+        return BinOp(">", self, _coerce(other))
+
+    def __ge__(self, other: "Expr | Number") -> "Expr":
+        return BinOp(">=", self, _coerce(other))
+
+
+def _coerce(value: "Expr | Number") -> "Expr":
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Const(value)
+    raise TypeError(f"cannot coerce {value!r} to Expr")
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Expr):
+    """Literal integer or float constant."""
+
+    value: Number
+
+    def __post_init__(self) -> None:
+        if isinstance(self.value, bool) or not isinstance(self.value, (int, float)):
+            raise TypeError(f"Const value must be int or float, got {self.value!r}")
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Expr):
+    """Scalar variable reference (loop index, parameter, or temporary)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise ValueError(f"invalid variable name {self.name!r}")
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(Expr):
+    """Binary operation ``lhs op rhs``."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+        if not isinstance(self.lhs, Expr) or not isinstance(self.rhs, Expr):
+            raise TypeError("BinOp operands must be Expr")
+
+    def children(self) -> Iterator[Expr]:
+        yield self.lhs
+        yield self.rhs
+
+
+@dataclass(frozen=True, slots=True)
+class Unary(Expr):
+    """Unary operation ``op operand``."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+    def children(self) -> Iterator[Expr]:
+        yield self.operand
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayRef(Expr):
+    """Subscripted array element ``name(indices…)`` used as a load.
+
+    The same node type appears as the target of :class:`~repro.ir.stmt.Assign`
+    where it denotes a store.
+    """
+
+    name: str
+    indices: tuple[Expr, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ValueError(f"invalid array name {self.name!r}")
+        object.__setattr__(self, "indices", tuple(self.indices))
+        for idx in self.indices:
+            if not isinstance(idx, Expr):
+                raise TypeError("ArrayRef indices must be Expr")
+
+    @property
+    def rank(self) -> int:
+        return len(self.indices)
+
+    def children(self) -> Iterator[Expr]:
+        yield from self.indices
+
+
+@dataclass(frozen=True, slots=True)
+class Call(Expr):
+    """Intrinsic function call (``sin``, ``sqrt``, …)."""
+
+    func: str
+    args: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if self.func not in INTRINSICS:
+            raise ValueError(
+                f"unknown intrinsic {self.func!r}; known: {sorted(INTRINSICS)}"
+            )
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def children(self) -> Iterator[Expr]:
+        yield from self.args
+
+
+# ---------------------------------------------------------------------------
+# Folding constructors
+# ---------------------------------------------------------------------------
+
+
+def _both_const(a: Expr, b: Expr) -> bool:
+    return isinstance(a, Const) and isinstance(b, Const)
+
+
+def add(a: Expr | Number, b: Expr | Number) -> Expr:
+    """``a + b`` with constant folding and identity elimination."""
+    a, b = _coerce(a), _coerce(b)
+    if _both_const(a, b):
+        return Const(a.value + b.value)
+    if isinstance(a, Const) and a.value == 0:
+        return b
+    if isinstance(b, Const) and b.value == 0:
+        return a
+    return BinOp("+", a, b)
+
+
+def sub(a: Expr | Number, b: Expr | Number) -> Expr:
+    """``a - b`` with constant folding and identity elimination."""
+    a, b = _coerce(a), _coerce(b)
+    if _both_const(a, b):
+        return Const(a.value - b.value)
+    if isinstance(b, Const) and b.value == 0:
+        return a
+    if a == b:
+        return Const(0)
+    return BinOp("-", a, b)
+
+
+def mul(a: Expr | Number, b: Expr | Number) -> Expr:
+    """``a * b`` with constant folding, zero and unit elimination."""
+    a, b = _coerce(a), _coerce(b)
+    if _both_const(a, b):
+        return Const(a.value * b.value)
+    for x, y in ((a, b), (b, a)):
+        if isinstance(x, Const):
+            if x.value == 0:
+                return Const(0)
+            if x.value == 1:
+                return y
+    return BinOp("*", a, b)
+
+
+def floor_div(a: Expr | Number, b: Expr | Number) -> Expr:
+    """``⌊a / b⌋`` with folding; division by one is eliminated."""
+    a, b = _coerce(a), _coerce(b)
+    if isinstance(b, Const) and b.value == 1:
+        return a
+    if _both_const(a, b) and b.value != 0:
+        return Const(a.value // b.value)
+    return BinOp("floordiv", a, b)
+
+
+def ceil_div(a: Expr | Number, b: Expr | Number) -> Expr:
+    """``⌈a / b⌉`` with folding; division by one is eliminated."""
+    a, b = _coerce(a), _coerce(b)
+    if isinstance(b, Const) and b.value == 1:
+        return a
+    if _both_const(a, b) and b.value != 0:
+        return Const(-((-a.value) // b.value))
+    return BinOp("ceildiv", a, b)
+
+
+def mod(a: Expr | Number, b: Expr | Number) -> Expr:
+    """``a mod b`` with folding; ``x mod 1`` is zero."""
+    a, b = _coerce(a), _coerce(b)
+    if isinstance(b, Const) and b.value == 1:
+        return Const(0)
+    if _both_const(a, b) and b.value != 0:
+        return Const(a.value % b.value)
+    return BinOp("mod", a, b)
+
+
+def min_(a: Expr | Number, b: Expr | Number) -> Expr:
+    a, b = _coerce(a), _coerce(b)
+    if _both_const(a, b):
+        return Const(min(a.value, b.value))
+    if a == b:
+        return a
+    return BinOp("min", a, b)
+
+
+def max_(a: Expr | Number, b: Expr | Number) -> Expr:
+    a, b = _coerce(a), _coerce(b)
+    if _both_const(a, b):
+        return Const(max(a.value, b.value))
+    if a == b:
+        return a
+    return BinOp("max", a, b)
+
+
+def apply_binop(op: str, left: Number, right: Number) -> Number:
+    """Evaluate binary operator ``op`` on concrete numbers.
+
+    Shared by the interpreter and the simplifier so both agree on semantics.
+    Comparison and logical operators return 0/1 integers.
+    """
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return left / right
+    if op == "floordiv":
+        return left // right
+    if op == "ceildiv":
+        return -((-left) // right)
+    if op == "mod":
+        return left % right
+    if op == "min":
+        return min(left, right)
+    if op == "max":
+        return max(left, right)
+    if op == "==":
+        return int(left == right)
+    if op == "!=":
+        return int(left != right)
+    if op == "<":
+        return int(left < right)
+    if op == "<=":
+        return int(left <= right)
+    if op == ">":
+        return int(left > right)
+    if op == ">=":
+        return int(left >= right)
+    if op == "and":
+        return int(bool(left) and bool(right))
+    if op == "or":
+        return int(bool(left) or bool(right))
+    raise ValueError(f"unknown binary operator {op!r}")

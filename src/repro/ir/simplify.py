@@ -1,0 +1,122 @@
+"""Algebraic simplifier for index expressions.
+
+Coalescing emits index-recovery expressions built from ``ceildiv`` /
+``floordiv`` / ``mod``; when bounds are compile-time constants, much of the
+arithmetic folds away (e.g. the innermost recovered index for a 1-wide inner
+loop collapses to a constant).  The simplifier keeps generated code readable
+and makes the operation counts reported by E2 reflect what a compiler would
+actually emit.
+
+Only rules that are valid for *all* integer values are applied — this is an
+index-expression simplifier, not a general CAS.
+"""
+
+from __future__ import annotations
+
+from repro.ir.expr import (
+    BinOp,
+    Const,
+    Expr,
+    Unary,
+    add,
+    ceil_div,
+    floor_div,
+    max_,
+    min_,
+    mod,
+    mul,
+    sub,
+)
+from repro.ir.stmt import Stmt
+from repro.ir.visitor import ExprTransformer, transform_exprs
+
+
+def _rebuild(op: str, lhs: Expr, rhs: Expr) -> Expr:
+    """Rebuild a binary node through the folding constructors."""
+    table = {
+        "+": add,
+        "-": sub,
+        "*": mul,
+        "floordiv": floor_div,
+        "ceildiv": ceil_div,
+        "mod": mod,
+        "min": min_,
+        "max": max_,
+    }
+    fn = table.get(op)
+    if fn is not None:
+        return fn(lhs, rhs)
+    if isinstance(lhs, Const) and isinstance(rhs, Const):
+        from repro.ir.expr import apply_binop
+
+        return Const(apply_binop(op, lhs.value, rhs.value))
+    return BinOp(op, lhs, rhs)
+
+
+def _simplify_once(e: Expr) -> Expr:
+    """One bottom-up rewrite step over an already-simplified node."""
+    if not isinstance(e, BinOp):
+        if isinstance(e, Unary) and e.op == "-" and isinstance(e.operand, Const):
+            return Const(-e.operand.value)
+        return e
+
+    lhs, rhs = e.lhs, e.rhs
+    out = _rebuild(e.op, lhs, rhs)
+    if not isinstance(out, BinOp):
+        return out
+    lhs, rhs = out.lhs, out.rhs
+
+    # (x + c1) + c2  ->  x + (c1+c2); likewise for -.
+    if out.op in ("+", "-") and isinstance(rhs, Const):
+        if isinstance(lhs, BinOp) and lhs.op in ("+", "-") and isinstance(
+            lhs.rhs, Const
+        ):
+            c1 = lhs.rhs.value if lhs.op == "+" else -lhs.rhs.value
+            c2 = rhs.value if out.op == "+" else -rhs.value
+            total = c1 + c2
+            base = lhs.lhs
+            if total == 0:
+                return base
+            if total > 0:
+                return BinOp("+", base, Const(total))
+            return BinOp("-", base, Const(-total))
+
+    # (x * c1) * c2 -> x * (c1*c2)
+    if out.op == "*" and isinstance(rhs, Const):
+        if isinstance(lhs, BinOp) and lhs.op == "*" and isinstance(lhs.rhs, Const):
+            return mul(lhs.lhs, Const(lhs.rhs.value * rhs.value))
+
+    # ((x - 1) + 1) patterns are handled by the +/- rule above.
+
+    # ceildiv(x, c) where x = y*c  ->  y   (only when provably a multiple)
+    if out.op in ("ceildiv", "floordiv") and isinstance(rhs, Const):
+        c = rhs.value
+        if isinstance(lhs, BinOp) and lhs.op == "*" and isinstance(lhs.rhs, Const):
+            if isinstance(c, int) and c != 0 and lhs.rhs.value % c == 0:
+                return mul(lhs.lhs, Const(lhs.rhs.value // c))
+
+    # mod(mod(x, c), c) -> mod(x, c)
+    if out.op == "mod" and isinstance(rhs, Const):
+        if (
+            isinstance(lhs, BinOp)
+            and lhs.op == "mod"
+            and isinstance(lhs.rhs, Const)
+            and lhs.rhs.value == rhs.value
+        ):
+            return lhs
+
+    return out
+
+
+def simplify(node):
+    """Simplify all expressions in an expression or statement tree."""
+
+    class _Simp(ExprTransformer):
+        def visit(self, e: Expr) -> Expr:
+            return _simplify_once(self.generic_visit(e))
+
+    if isinstance(node, Expr):
+        return _Simp().visit(node)
+    if isinstance(node, Stmt):
+        return transform_exprs(node, _simplify_once)
+    raise TypeError(f"cannot simplify {node!r}")

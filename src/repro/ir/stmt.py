@@ -1,0 +1,176 @@
+"""Statement nodes of the loop-nest IR.
+
+Loops are Fortran-style counted loops with *inclusive* bounds and a positive
+constant step, tagged :class:`LoopKind.SERIAL` or :class:`LoopKind.DOALL`.
+A DOALL tag asserts that iterations are independent; the dependence analyser
+(:mod:`repro.analysis.doall`) can derive the tag automatically, and the
+transformations check it before reshaping a nest.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.ir.expr import ArrayRef, Const, Expr, Var
+
+
+class LoopKind(enum.Enum):
+    """Execution discipline of a loop's iterations."""
+
+    SERIAL = "serial"
+    DOALL = "doall"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Stmt:
+    """Base class for all statement nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Assign(Stmt):
+    """Store ``value`` into a scalar variable or array element."""
+
+    target: Var | ArrayRef
+    value: Expr
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.target, (Var, ArrayRef)):
+            raise TypeError("Assign target must be Var or ArrayRef")
+        if not isinstance(self.value, Expr):
+            raise TypeError("Assign value must be Expr")
+
+
+@dataclass(frozen=True, slots=True)
+class Block(Stmt):
+    """Ordered sequence of statements."""
+
+    stmts: tuple[Stmt, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stmts", tuple(self.stmts))
+        for s in self.stmts:
+            if not isinstance(s, Stmt):
+                raise TypeError(f"Block contains non-statement {s!r}")
+
+    def __iter__(self) -> Iterator[Stmt]:
+        return iter(self.stmts)
+
+    def __len__(self) -> int:
+        return len(self.stmts)
+
+
+@dataclass(frozen=True, slots=True)
+class If(Stmt):
+    """Conditional; ``orelse`` may be an empty block."""
+
+    cond: Expr
+    then: Block
+    orelse: Block = field(default_factory=Block)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.cond, Expr):
+            raise TypeError("If condition must be Expr")
+        if not isinstance(self.then, Block) or not isinstance(self.orelse, Block):
+            raise TypeError("If branches must be Blocks")
+
+
+@dataclass(frozen=True, slots=True)
+class Loop(Stmt):
+    """Counted loop ``for var = lower .. upper step step: body``.
+
+    Bounds are inclusive (Fortran convention, matching the paper).  ``step``
+    must be a positive integer constant; arbitrary bounds/steps are reduced to
+    the normalized ``1..N step 1`` form by
+    :func:`repro.transforms.normalize.normalize_loop`.
+    """
+
+    var: str
+    lower: Expr
+    upper: Expr
+    body: Block
+    step: Expr = field(default_factory=lambda: Const(1))
+    kind: LoopKind = LoopKind.SERIAL
+
+    def __post_init__(self) -> None:
+        if not self.var.isidentifier():
+            raise ValueError(f"invalid loop variable {self.var!r}")
+        for e in (self.lower, self.upper, self.step):
+            if not isinstance(e, Expr):
+                raise TypeError("loop bounds and step must be Expr")
+        if not isinstance(self.body, Block):
+            raise TypeError("loop body must be a Block")
+        if isinstance(self.step, Const) and (
+            not isinstance(self.step.value, int) or self.step.value <= 0
+        ):
+            raise ValueError("loop step must be a positive integer")
+
+    @property
+    def is_doall(self) -> bool:
+        return self.kind is LoopKind.DOALL
+
+    @property
+    def is_normalized(self) -> bool:
+        """True when the loop runs ``1..upper step 1``."""
+        return (
+            isinstance(self.lower, Const)
+            and self.lower.value == 1
+            and isinstance(self.step, Const)
+            and self.step.value == 1
+        )
+
+    def trip_count(self) -> Expr | None:
+        """Constant trip count if bounds and step are constants, else None."""
+        if (
+            isinstance(self.lower, Const)
+            and isinstance(self.upper, Const)
+            and isinstance(self.step, Const)
+        ):
+            lo, hi, st = self.lower.value, self.upper.value, self.step.value
+            return Const(max(0, (hi - lo) // st + 1))
+        return None
+
+    def with_body(self, body: Block) -> "Loop":
+        """Copy of this loop with a replaced body."""
+        return Loop(self.var, self.lower, self.upper, body, self.step, self.kind)
+
+    def with_kind(self, kind: LoopKind) -> "Loop":
+        """Copy of this loop with a replaced kind tag."""
+        return Loop(self.var, self.lower, self.upper, self.body, self.step, kind)
+
+
+@dataclass(frozen=True, slots=True)
+class Procedure(Stmt):
+    """A named routine: the compilation unit of this library.
+
+    ``arrays`` maps array names to their rank (number of dimensions);
+    ``scalars`` lists scalar parameters (problem sizes, coefficients).  Both
+    exist so the validator can reject references to undeclared storage and so
+    code generation / interpretation know the procedure's signature.
+    """
+
+    name: str
+    body: Block
+    arrays: Mapping[str, int] = field(default_factory=dict)
+    scalars: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ValueError(f"invalid procedure name {self.name!r}")
+        object.__setattr__(self, "arrays", dict(self.arrays))
+        object.__setattr__(self, "scalars", tuple(self.scalars))
+        for arr, rank in self.arrays.items():
+            if not isinstance(rank, int) or rank < 1:
+                raise ValueError(f"array {arr!r} must have positive rank")
+        dup = set(self.arrays) & set(self.scalars)
+        if dup:
+            raise ValueError(f"names declared both array and scalar: {sorted(dup)}")
+
+    def with_body(self, body: Block) -> "Procedure":
+        """Copy of this procedure with a replaced body."""
+        return Procedure(self.name, body, self.arrays, self.scalars)

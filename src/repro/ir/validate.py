@@ -1,0 +1,93 @@
+"""Structural validation of IR procedures.
+
+Catches the mistakes that would otherwise surface as confusing interpreter or
+codegen failures: references to undeclared arrays, rank mismatches, shadowed
+or reused induction variables, assignment to an induction variable, and use of
+scalars that are never defined.
+"""
+
+from __future__ import annotations
+
+from repro.ir.expr import ArrayRef, Var
+from repro.ir.stmt import Assign, Block, If, Loop, Procedure, Stmt
+from repro.ir.visitor import walk_exprs
+
+
+class ValidationError(ValueError):
+    """A procedure violates the IR's structural rules."""
+
+
+def validate(proc: Procedure) -> None:
+    """Raise :class:`ValidationError` on the first problem found."""
+    if not isinstance(proc, Procedure):
+        raise ValidationError(f"expected Procedure, got {type(proc).__name__}")
+
+    declared_scalars = set(proc.scalars)
+
+    # Pass 1: arrays exist with a consistent rank.
+    for e in walk_exprs(proc):
+        if isinstance(e, ArrayRef):
+            rank = proc.arrays.get(e.name)
+            if rank is None:
+                raise ValidationError(f"array {e.name!r} is not declared")
+            if e.rank != rank:
+                raise ValidationError(
+                    f"array {e.name!r} declared rank {rank} but used with "
+                    f"{e.rank} subscripts"
+                )
+
+    # Pass 2: scoped walk checking induction variables and scalar defs.
+    def check(s: Stmt, loop_vars: tuple[str, ...], defined: set[str]) -> set[str]:
+        """Return the set of scalars defined after ``s`` executes."""
+        if isinstance(s, Block):
+            for x in s.stmts:
+                defined = check(x, loop_vars, defined)
+            return defined
+        if isinstance(s, Assign):
+            _check_reads(s.value, loop_vars, defined)
+            if isinstance(s.target, Var):
+                if s.target.name in loop_vars:
+                    raise ValidationError(
+                        f"assignment to induction variable {s.target.name!r}"
+                    )
+                return defined | {s.target.name}
+            for idx in s.target.indices:
+                _check_reads(idx, loop_vars, defined)
+            return defined
+        if isinstance(s, If):
+            _check_reads(s.cond, loop_vars, defined)
+            d1 = check(s.then, loop_vars, set(defined))
+            d2 = check(s.orelse, loop_vars, set(defined))
+            # Only scalars defined on *both* paths are definitely defined.
+            return d1 & d2
+        if isinstance(s, Loop):
+            if s.var in loop_vars:
+                raise ValidationError(f"loop variable {s.var!r} shadows an outer loop")
+            if s.var in declared_scalars:
+                raise ValidationError(
+                    f"loop variable {s.var!r} collides with scalar parameter"
+                )
+            _check_reads(s.lower, loop_vars, defined)
+            _check_reads(s.upper, loop_vars, defined)
+            _check_reads(s.step, loop_vars, defined)
+            check(s.body, loop_vars + (s.var,), set(defined))
+            # Definitions inside a loop may not execute (zero trips): they do
+            # not escape.
+            return defined
+        raise ValidationError(f"unexpected statement {type(s).__name__}")
+
+    def _check_reads(e, loop_vars: tuple[str, ...], defined: set[str]) -> None:
+        for sub in walk_exprs(e):
+            if isinstance(sub, Var):
+                name = sub.name
+                if (
+                    name not in loop_vars
+                    and name not in declared_scalars
+                    and name not in defined
+                ):
+                    raise ValidationError(
+                        f"scalar {name!r} read before any definition "
+                        f"(declare it in Procedure.scalars if it is a parameter)"
+                    )
+
+    check(proc.body, (), set())

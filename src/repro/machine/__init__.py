@@ -1,0 +1,26 @@
+"""Simulated shared-memory multiprocessor.
+
+The paper's evaluation is analytic: it counts scheduling operations,
+barriers, and per-iteration overhead on an idealized shared-memory machine
+(processors progress at equal rates; fetch&add combines in the network).
+This package implements that model as a deterministic event-driven simulator
+with explicit costs, so every claim in the evaluation is reproduced by
+*running* the schedule rather than trusting a formula — and the closed forms
+in :mod:`repro.scheduling.analytic` are cross-checked against it.
+"""
+
+from repro.machine.gantt import compare_gantt, render_gantt, render_timeline
+from repro.machine.params import MachineParams
+from repro.machine.simulator import ParallelLoopSimulator, simulate_loop
+from repro.machine.trace import ProcessorTrace, SimResult
+
+__all__ = [
+    "MachineParams",
+    "ParallelLoopSimulator",
+    "ProcessorTrace",
+    "SimResult",
+    "compare_gantt",
+    "render_gantt",
+    "render_timeline",
+    "simulate_loop",
+]

@@ -1,0 +1,58 @@
+"""Machine cost parameters.
+
+All costs are in abstract *instruction units* — the same currency the paper
+uses.  Defaults are round numbers in the ranges reported for
+shared-memory minisupercomputers of the era (a dispatch is tens of
+instructions, a fork/join barrier is tens to hundreds); every benchmark
+sweeps them rather than trusting any single value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Cost model of the simulated shared-memory multiprocessor.
+
+    Attributes:
+        processors: number of identical processors, ``p``.
+        dispatch_cost: σ — cost for a processor to claim a unit of work
+            (a fetch&add on the shared loop index for self-scheduling, or
+            computing the static assignment once per processor).
+        barrier_cost: β — cost of one fork/join episode: starting a parallel
+            loop instance and waiting for all its iterations to finish.
+            Charged once per parallel-loop *instance*, so a nest scheduled
+            level-by-level pays it once per inner-loop instance.
+        loop_overhead: per-iteration increment-and-test bookkeeping, paid by
+            sequential and parallel execution alike.
+        divmod_cost: cost of one integer division/ceiling/mod — the unit in
+            which index-recovery overhead is paid.
+        arith_cost: cost of one add/sub/mul — used when converting measured
+            IR operation counts into simulated time.
+        combining_network: when True (Ultracomputer/RP3 assumption the paper
+            makes), concurrent fetch&adds combine and dispatches do not
+            serialize; when False, each dynamic dispatch also occupies the
+            shared index variable, serializing claims.
+    """
+
+    processors: int = 8
+    dispatch_cost: float = 20.0
+    barrier_cost: float = 100.0
+    loop_overhead: float = 2.0
+    divmod_cost: float = 4.0
+    arith_cost: float = 1.0
+    combining_network: bool = True
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("need at least one processor")
+        for name in ("dispatch_cost", "barrier_cost", "loop_overhead",
+                     "divmod_cost", "arith_cost"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def with_processors(self, p: int) -> "MachineParams":
+        """Copy with a different processor count."""
+        return replace(self, processors=p)

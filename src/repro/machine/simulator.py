@@ -1,0 +1,168 @@
+"""Deterministic event-driven simulation of one parallel-loop execution.
+
+Processors greedily claim work as they become free.  Costs are abstract
+instruction units from :class:`~repro.machine.params.MachineParams`.  The
+model matches the paper's assumptions: identical processors, negligible
+memory contention, fetch&add combining (so concurrent dispatches do not
+serialize) unless ``combining_network=False``.
+
+Each simulated loop instance pays one ``barrier_cost`` (its fork/join); the
+scheduling layer composes instances for nested executions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Sequence
+
+from repro.machine.params import MachineParams
+from repro.machine.trace import ChunkEvent, ProcessorTrace, SimResult
+
+if TYPE_CHECKING:  # avoid a circular package import; policies never import us
+    from repro.scheduling.policies import SchedulingPolicy
+
+
+class ParallelLoopSimulator:
+    """Simulates one parallel loop under a scheduling policy."""
+
+    def __init__(self, params: MachineParams) -> None:
+        self.params = params
+
+    def run(
+        self,
+        costs: Sequence[float],
+        policy: "SchedulingPolicy",
+        iteration_overhead: float = 0.0,
+        chunk_overhead: float = 0.0,
+    ) -> SimResult:
+        """Simulate ``len(costs)`` iterations with per-iteration body costs.
+
+        Args:
+            costs: body cost of each iteration, in flat order.
+            policy: scheduling policy.
+            iteration_overhead: extra per-iteration overhead beyond the
+                machine's ``loop_overhead`` — e.g. naive index recovery.
+            chunk_overhead: extra overhead paid once per claimed chunk —
+                e.g. head-of-block recovery under strength reduction.
+        """
+        p = self.params.processors
+        if policy.is_static:
+            return self._run_static(costs, policy, iteration_overhead, chunk_overhead)
+        return self._run_dynamic(costs, policy, iteration_overhead, chunk_overhead)
+
+    # -- static ------------------------------------------------------------
+    def _run_static(
+        self,
+        costs: Sequence[float],
+        policy: "SchedulingPolicy",
+        iteration_overhead: float,
+        chunk_overhead: float,
+    ) -> SimResult:
+        params = self.params
+        p = params.processors
+        assignment = policy.static_assignment(len(costs), p)
+        traces = [ProcessorTrace() for _ in range(p)]
+        events: list[ChunkEvent] = []
+        for k, chunks in enumerate(assignment):
+            t = traces[k]
+            now = 0.0
+            if chunks:
+                t.overhead += params.dispatch_cost  # compute own bounds once
+                t.dispatches += 1
+                now += params.dispatch_cost
+            for start, size in chunks:
+                over = chunk_overhead + (
+                    params.loop_overhead + iteration_overhead
+                ) * size
+                work = sum(costs[start : start + size])
+                events.append(
+                    ChunkEvent(k, now, now + over, now + over + work, start, size)
+                )
+                now += over + work
+                t.overhead += over
+                t.busy += work
+                t.iterations += size
+            t.finish = t.total
+        finish = max((t.finish for t in traces), default=0.0) + params.barrier_cost
+        return SimResult(
+            finish_time=finish,
+            processors=traces,
+            barriers=1,
+            total_dispatches=sum(t.dispatches for t in traces),
+            events=events,
+        )
+
+    # -- dynamic -----------------------------------------------------------
+    def _run_dynamic(
+        self,
+        costs: Sequence[float],
+        policy: "SchedulingPolicy",
+        iteration_overhead: float,
+        chunk_overhead: float,
+    ) -> SimResult:
+        params = self.params
+        p = params.processors
+        claimer = policy.claimer(len(costs), p)
+        traces = [ProcessorTrace() for _ in range(p)]
+        events: list[ChunkEvent] = []
+        # (next_free_time, processor_id); heap order = claim order.
+        heap: list[tuple[float, int]] = [(0.0, k) for k in range(p)]
+        heapq.heapify(heap)
+        counter_free = 0.0  # shared-index availability without combining
+        dispatches = 0
+        finishes = [0.0] * p
+
+        while heap:
+            now, k = heapq.heappop(heap)
+            chunk = claimer.next_chunk()
+            t = traces[k]
+            if chunk is None:
+                finishes[k] = now
+                continue
+            start_time = now
+            if not params.combining_network:
+                start_time = max(start_time, counter_free)
+                counter_free = start_time + params.dispatch_cost
+            start, size = chunk
+            work = sum(costs[start : start + size])
+            over = (
+                params.dispatch_cost
+                + chunk_overhead
+                + (params.loop_overhead + iteration_overhead) * size
+            )
+            t.busy += work
+            t.overhead += over
+            t.dispatches += 1
+            t.iterations += size
+            dispatches += 1
+            events.append(
+                ChunkEvent(
+                    k, start_time, start_time + over, start_time + over + work,
+                    start, size,
+                )
+            )
+            heapq.heappush(heap, (start_time + over + work, k))
+
+        for k, t in enumerate(traces):
+            t.finish = finishes[k]
+        finish = max(finishes, default=0.0) + params.barrier_cost
+        return SimResult(
+            finish_time=finish,
+            processors=traces,
+            barriers=1,
+            total_dispatches=dispatches,
+            events=events,
+        )
+
+
+def simulate_loop(
+    costs: Sequence[float],
+    params: MachineParams,
+    policy: "SchedulingPolicy",
+    iteration_overhead: float = 0.0,
+    chunk_overhead: float = 0.0,
+) -> SimResult:
+    """One-shot convenience wrapper."""
+    return ParallelLoopSimulator(params).run(
+        costs, policy, iteration_overhead, chunk_overhead
+    )

@@ -1,0 +1,121 @@
+"""Execution traces and aggregate metrics from the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ChunkEvent:
+    """One claimed chunk's execution interval on one processor.
+
+    ``start``/``end`` bracket the whole episode (dispatch + overhead +
+    body work); ``work_start`` marks where overhead ends and body work
+    begins, so renderers can distinguish the two.
+    """
+
+    processor: int
+    start: float
+    work_start: float
+    end: float
+    first_iteration: int  # 0-based flat index
+    size: int
+
+
+@dataclass
+class ProcessorTrace:
+    """Per-processor accounting."""
+
+    busy: float = 0.0  # time spent executing iteration bodies
+    overhead: float = 0.0  # dispatches, recovery, loop bookkeeping
+    dispatches: int = 0  # work-claim operations performed
+    iterations: int = 0  # loop bodies executed
+    finish: float = 0.0  # local completion time (before the final barrier)
+
+    @property
+    def total(self) -> float:
+        return self.busy + self.overhead
+
+
+@dataclass
+class SimResult:
+    """Outcome of simulating one parallel-loop (or nest) execution."""
+
+    finish_time: float
+    processors: list[ProcessorTrace] = field(default_factory=list)
+    barriers: int = 0
+    total_dispatches: int = 0
+    events: list[ChunkEvent] = field(default_factory=list)
+
+    @property
+    def p(self) -> int:
+        return len(self.processors)
+
+    @property
+    def busy_total(self) -> float:
+        return sum(t.busy for t in self.processors)
+
+    @property
+    def overhead_total(self) -> float:
+        return sum(t.overhead for t in self.processors)
+
+    @property
+    def max_busy(self) -> float:
+        return max((t.busy for t in self.processors), default=0.0)
+
+    @property
+    def min_busy(self) -> float:
+        return min((t.busy for t in self.processors), default=0.0)
+
+    @property
+    def imbalance(self) -> float:
+        """Busy-time spread: max − min across processors."""
+        return self.max_busy - self.min_busy
+
+    def speedup(self, sequential_time: float) -> float:
+        """Speedup over a given sequential execution time."""
+        if self.finish_time <= 0:
+            return float("inf") if sequential_time > 0 else 1.0
+        return sequential_time / self.finish_time
+
+    def efficiency(self, sequential_time: float) -> float:
+        """Speedup divided by processor count."""
+        return self.speedup(sequential_time) / max(1, self.p)
+
+    def merge_serial(self, other: "SimResult") -> "SimResult":
+        """Sequential composition: this execution followed by ``other``.
+
+        Used to chain the per-outer-iteration parallel-loop instances of a
+        nested schedule into one end-to-end result.
+        """
+        if self.p != other.p and self.processors and other.processors:
+            raise ValueError("cannot merge results with different processor counts")
+        p = max(self.p, other.p)
+        merged = SimResult(
+            finish_time=self.finish_time + other.finish_time,
+            processors=[ProcessorTrace() for _ in range(p)],
+            barriers=self.barriers + other.barriers,
+            total_dispatches=self.total_dispatches + other.total_dispatches,
+        )
+        for out, src in ((merged.processors, self.processors),
+                         (merged.processors, other.processors)):
+            for k, t in enumerate(src):
+                out[k].busy += t.busy
+                out[k].overhead += t.overhead
+                out[k].dispatches += t.dispatches
+                out[k].iterations += t.iterations
+        for k, t in enumerate(merged.processors):
+            t.finish = merged.finish_time
+        shift = self.finish_time
+        merged.events = list(self.events) + [
+            ChunkEvent(
+                e.processor,
+                e.start + shift,
+                e.work_start + shift,
+                e.end + shift,
+                e.first_iteration,
+                e.size,
+            )
+            for e in other.events
+        ]
+        return merged

@@ -1,0 +1,45 @@
+"""Execution of IR procedures on real data.
+
+* :mod:`repro.runtime.interp` — sequential reference interpreter over numpy
+  arrays, with optional operation counting (used by the recovery-cost
+  experiment E2).
+* :mod:`repro.runtime.executor` — DOALL executors: sequential, thread-pool,
+  and ordered/shuffled iteration drivers used to demonstrate that coalesced
+  iterations can run in any order.
+* :mod:`repro.runtime.equivalence` — harness asserting transformed programs
+  compute the same arrays as the original.
+"""
+
+from repro.runtime.interp import Interpreter, InterpreterError, OpCounts, run
+from repro.runtime.executor import (
+    run_doall_serial,
+    run_doall_shuffled,
+    run_doall_threads,
+)
+from repro.runtime.equivalence import assert_equivalent, random_env
+from repro.runtime.selfsched import (
+    FetchAddCounter,
+    SelfSchedStats,
+    fixed_chunks,
+    guided_chunks,
+    run_self_scheduled,
+    unit_chunks,
+)
+
+__all__ = [
+    "FetchAddCounter",
+    "Interpreter",
+    "InterpreterError",
+    "OpCounts",
+    "SelfSchedStats",
+    "assert_equivalent",
+    "fixed_chunks",
+    "guided_chunks",
+    "random_env",
+    "run",
+    "run_doall_serial",
+    "run_doall_shuffled",
+    "run_doall_threads",
+    "run_self_scheduled",
+    "unit_chunks",
+]

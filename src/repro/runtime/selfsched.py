@@ -1,0 +1,161 @@
+"""Self-scheduled execution of a coalesced DOALL: the paper's runtime model.
+
+On the machines the paper targets, a parallel loop is executed by worker
+processors that repeatedly *fetch&add* a shared iteration counter and run
+the claimed iterations.  Coalescing is what makes this work for whole nests:
+one counter covers the entire iteration space.
+
+This module implements that protocol over real IR programs with Python
+threads: a shared claim counter (mutex-protected — the moral equivalent of
+fetch&add), per-worker scalar environments, shared numpy arrays, and
+pluggable chunk policies (unit, fixed chunk, GSS).  Because of the GIL this
+demonstrates the *protocol and its correctness*, not wall-clock speedup —
+performance claims live in :mod:`repro.machine`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.ir.stmt import Loop, Procedure
+from repro.runtime.interp import Interpreter, InterpreterError
+
+
+@dataclass
+class FetchAddCounter:
+    """Shared iteration counter with atomic claim operations.
+
+    ``claim(size)`` returns the first index of a freshly claimed chunk (the
+    fetch&add result) or None when the range is exhausted; the actual chunk
+    may be shorter at the tail.
+    """
+
+    start: int
+    stop: int  # inclusive
+    _value: int = field(init=False)
+    _lock: threading.Lock = field(init=False, default_factory=threading.Lock)
+    claims: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self._value = self.start
+
+    @property
+    def remaining(self) -> int:
+        with self._lock:
+            return max(0, self.stop - self._value + 1)
+
+    def claim(self, size: int) -> tuple[int, int] | None:
+        """Atomically claim up to ``size`` iterations; returns (lo, hi)."""
+        if size < 1:
+            raise ValueError("chunk size must be ≥ 1")
+        with self._lock:
+            if self._value > self.stop:
+                return None
+            lo = self._value
+            hi = min(lo + size - 1, self.stop)
+            self._value = hi + 1
+            self.claims += 1
+            return lo, hi
+
+
+#: Chunk-size policy: maps (remaining, workers) → chunk size.
+ChunkPolicy = Callable[[int, int], int]
+
+
+def unit_chunks(remaining: int, workers: int) -> int:
+    """Pure self-scheduling: one iteration per fetch&add."""
+    return 1
+
+
+def fixed_chunks(k: int) -> ChunkPolicy:
+    """Chunked self-scheduling with a fixed chunk of k."""
+    if k < 1:
+        raise ValueError("chunk must be ≥ 1")
+    return lambda remaining, workers: k
+
+
+def guided_chunks(remaining: int, workers: int) -> int:
+    """Guided self-scheduling: ⌈remaining / workers⌉."""
+    return max(1, -(-remaining // workers))
+
+
+@dataclass
+class SelfSchedStats:
+    """What the run did: claim count and per-worker iteration tallies."""
+
+    claims: int
+    iterations_per_worker: list[int]
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(self.iterations_per_worker)
+
+
+def run_self_scheduled(
+    proc: Procedure,
+    arrays: Mapping[str, np.ndarray],
+    scalars: Mapping[str, int | float] | None = None,
+    workers: int = 4,
+    policy: ChunkPolicy = unit_chunks,
+) -> SelfSchedStats:
+    """Execute the outermost DOALL of ``proc`` with self-scheduling workers.
+
+    The loop must be the procedure's only top-level statement (the shape
+    coalescing produces).  Iterations claimed through the shared counter are
+    interpreted against the shared ``arrays``; each worker owns a private
+    scalar environment seeded from ``scalars``.
+    """
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    body = proc.body
+    if len(body) != 1 or not isinstance(body.stmts[0], Loop):
+        raise InterpreterError("procedure body must be a single DOALL loop")
+    loop = body.stmts[0]
+    if not loop.is_doall:
+        raise InterpreterError(f"loop {loop.var!r} is not a DOALL")
+
+    probe = Interpreter()
+    env: dict[str, int | float] = dict(scalars or {})
+    lo = probe._eval_int(loop.lower, env, arrays, "lower bound")
+    hi = probe._eval_int(loop.upper, env, arrays, "upper bound")
+    step = probe._eval_int(loop.step, env, arrays, "step")
+    if step != 1:
+        raise InterpreterError(
+            "self-scheduling requires a unit-step loop (normalize first)"
+        )
+
+    counter = FetchAddCounter(lo, hi)
+    per_worker = [0] * workers
+    errors: list[BaseException] = []
+
+    def worker(wid: int) -> None:
+        interp = Interpreter()
+        local_base = dict(env)
+        try:
+            while True:
+                chunk = counter.claim(policy(counter.remaining, workers))
+                if chunk is None:
+                    return
+                for value in range(chunk[0], chunk[1] + 1):
+                    local = dict(local_base)
+                    local[loop.var] = value
+                    interp._exec(loop.body, local, arrays)
+                    per_worker[wid] += 1
+        except BaseException as exc:  # surface worker failures to the caller
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(wid,), name=f"selfsched-{wid}")
+        for wid in range(workers)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return SelfSchedStats(counter.claims, per_worker)

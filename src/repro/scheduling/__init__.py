@@ -1,0 +1,74 @@
+"""Scheduling policies and nest-level scheduling strategies.
+
+``policies`` defines *how* iterations of one parallel loop are handed to
+processors (static block/cyclic, self-scheduling, chunked self-scheduling,
+guided self-scheduling).  ``nested`` defines *what* is handed out for a loop
+nest: the uncoalesced alternatives (outer-only parallel; level-by-level with
+a barrier per inner instance) versus the coalesced flat loop — the comparison
+at the heart of the paper.  ``analytic`` gives closed-form completion times
+that the simulator cross-checks.
+"""
+
+from repro.scheduling.policies import (
+    ChunkSelfScheduled,
+    GuidedSelfScheduled,
+    SchedulingPolicy,
+    SelfScheduled,
+    StaticBalanced,
+    StaticBlock,
+    StaticCyclic,
+    policy_by_name,
+)
+from repro.scheduling.nested import (
+    NestCosts,
+    recovery_cost_per_iteration,
+    recovery_op_counts,
+    simulate_coalesced,
+    simulate_coalesced_blocked,
+    simulate_inner_barriers,
+    simulate_outer_only,
+    simulate_sequential,
+)
+from repro.scheduling.allocation import (
+    Allocation,
+    allocation_penalty,
+    best_factorization,
+    coalesced_share,
+    nested_share,
+)
+from repro.scheduling.analytic import (
+    coalesced_static_time,
+    nested_barrier_time,
+    outer_only_static_time,
+    scheduling_operation_counts,
+    self_scheduled_time,
+)
+
+__all__ = [
+    "Allocation",
+    "ChunkSelfScheduled",
+    "GuidedSelfScheduled",
+    "NestCosts",
+    "SchedulingPolicy",
+    "SelfScheduled",
+    "StaticBalanced",
+    "StaticBlock",
+    "StaticCyclic",
+    "allocation_penalty",
+    "best_factorization",
+    "coalesced_share",
+    "coalesced_static_time",
+    "nested_barrier_time",
+    "nested_share",
+    "outer_only_static_time",
+    "policy_by_name",
+    "recovery_cost_per_iteration",
+    "recovery_op_counts",
+    "scheduling_operation_counts",
+    "self_scheduled_time",
+    "simulate_coalesced",
+    "simulate_coalesced_blocked",
+    "simulate_inner_barriers",
+    "simulate_outer_only",
+    "simulate_sequential",
+]

@@ -1,0 +1,93 @@
+"""Processor allocation: coalescing dissolves a discrete optimization problem.
+
+To run an *uncoalesced* m-deep DOALL nest on p processors, a runtime must
+pick per-level processor counts (q1, …, qm) with q1·q2·…·qm ≤ p — and the
+completion time is ``Π ⌈Nk/qk⌉ · B``.  Because the qk are integers, the best
+factorization usually cannot use all p processors (try p = 7 on any 2-D
+nest), and finding it is a search.  The *coalesced* loop needs no such
+choice: all p processors attack the single flat index, giving ``⌈N/p⌉ · B``
+— provably minimal among all factorizations and achieved without searching.
+
+This module implements both sides: exhaustive best-factorization search for
+the nest, the coalesced share, and the efficiency loss of the best
+factorization relative to coalescing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One way of assigning processors to nest levels."""
+
+    per_level: tuple[int, ...]
+    iterations_per_processor: int  # Π ⌈Nk/qk⌉
+
+    @property
+    def processors_used(self) -> int:
+        return math.prod(self.per_level)
+
+
+def nested_share(shape: tuple[int, ...], per_level: tuple[int, ...]) -> int:
+    """Iterations executed by the busiest processor under (q1, …, qm)."""
+    if len(per_level) != len(shape):
+        raise ValueError("per_level must match the nest depth")
+    for q, n in zip(per_level, shape):
+        if q < 1:
+            raise ValueError("processor counts must be ≥ 1")
+    return math.prod(_ceil_div(n, q) for n, q in zip(shape, per_level))
+
+
+def best_factorization(shape: tuple[int, ...], p: int) -> Allocation:
+    """Exhaustive search for the best per-level processor assignment.
+
+    Minimizes the busiest processor's iteration count subject to
+    ``Π qk ≤ p`` and ``qk ≤ Nk`` (more processors than iterations on a level
+    is pure waste).  Exponential in the nest depth but each level is capped
+    at min(Nk, p), which is fine for the shapes the paper discusses.
+    """
+    if p < 1:
+        raise ValueError("p must be ≥ 1")
+    best: Allocation | None = None
+    ranges = [range(1, min(n, p) + 1) for n in shape]
+    for combo in itertools.product(*ranges):
+        if math.prod(combo) > p:
+            continue
+        share = nested_share(shape, combo)
+        if (
+            best is None
+            or share < best.iterations_per_processor
+            or (
+                share == best.iterations_per_processor
+                and math.prod(combo) < best.processors_used
+            )
+        ):
+            best = Allocation(combo, share)
+    assert best is not None
+    return best
+
+
+def coalesced_share(shape: tuple[int, ...], p: int) -> int:
+    """Busiest processor's iteration count for the coalesced loop: ⌈N/p⌉."""
+    if p < 1:
+        raise ValueError("p must be ≥ 1")
+    return _ceil_div(math.prod(shape), p)
+
+
+def allocation_penalty(shape: tuple[int, ...], p: int) -> float:
+    """How much slower the best nested allocation is than coalescing.
+
+    ≥ 1 always: the coalesced share ⌈N/p⌉ lower-bounds every factorization
+    (each factorization is a particular way of tiling the flat space).
+    """
+    return best_factorization(shape, p).iterations_per_processor / coalesced_share(
+        shape, p
+    )

@@ -1,0 +1,164 @@
+"""Closed-form completion times and operation counts.
+
+These are the formulas a paper-style analysis writes down; the test suite
+checks each of them against the event-driven simulator, so the benchmarks may
+quote either interchangeably.  All assume a uniform body cost ``B`` (the
+simulator handles non-uniform bodies; the closed forms exist for the
+uniform case the paper analyses).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.machine.params import MachineParams
+from repro.scheduling.nested import recovery_cost_per_iteration
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def coalesced_static_time(
+    shape: tuple[int, ...],
+    body: float,
+    params: MachineParams,
+    style: str = "ceiling",
+    blocked_recovery: bool = False,
+) -> float:
+    """Completion time of the coalesced loop under static block scheduling.
+
+    ``T = β + σ + ⌈N/p⌉ · (B + ℓ + r)`` where r is the per-iteration recovery
+    cost (naive) or the odometer cost plus one head recovery per processor
+    (blocked).
+    """
+    n = math.prod(shape)
+    p = params.processors
+    per_proc = _ceil_div(n, p)
+    if blocked_recovery:
+        recovery = 2.0 * params.arith_cost
+        head = recovery_cost_per_iteration(len(shape), params, style)
+    else:
+        recovery = recovery_cost_per_iteration(len(shape), params, style)
+        head = 0.0
+    return (
+        params.barrier_cost
+        + params.dispatch_cost
+        + head
+        + per_proc * (body + params.loop_overhead + recovery)
+    )
+
+
+def outer_only_static_time(
+    shape: tuple[int, ...], body: float, params: MachineParams
+) -> float:
+    """Completion time parallelizing only the outer loop, static block.
+
+    Processor k executes ⌈N1/p⌉ whole rows of N/N1 iterations each (plus the
+    outer loop's own increment-and-test per row):
+    ``T = β + σ + ⌈N1/p⌉ · ((N/N1) · (B + ℓ) + ℓ)``.
+    """
+    n = math.prod(shape)
+    n1 = shape[0]
+    inner = n // n1
+    p = params.processors
+    rows_per_proc = _ceil_div(n1, p)
+    return (
+        params.barrier_cost
+        + params.dispatch_cost
+        + rows_per_proc * (inner * (body + params.loop_overhead) + params.loop_overhead)
+    )
+
+
+def nested_barrier_time(
+    shape: tuple[int, ...], body: float, params: MachineParams
+) -> float:
+    """Completion time with a fork/join per outer iteration (serial outer).
+
+    Each of the N1 inner instances costs
+    ``β + σ + ⌈(N/N1)/p⌉ · (B + ℓ)``, plus outer bookkeeping.
+    """
+    n = math.prod(shape)
+    n1 = shape[0]
+    inner = n // n1
+    p = params.processors
+    per_instance = (
+        params.barrier_cost
+        + params.dispatch_cost
+        + _ceil_div(inner, p) * (body + params.loop_overhead)
+    )
+    return n1 * per_instance + params.loop_overhead * n1
+
+
+def self_scheduled_time(
+    n: int,
+    body: float,
+    params: MachineParams,
+    chunk: int = 1,
+    recovery: float = 0.0,
+) -> float:
+    """Completion time of chunked self-scheduling with uniform bodies.
+
+    With combining fetch&add and equal-rate processors, the chunks interleave
+    perfectly: the busiest processor executes ⌈C/p⌉ of the C = ⌈N/k⌉ chunks.
+    The last chunk may be short; with uniform bodies the bound below is what
+    the simulator realizes exactly when k | N, and within one chunk of it
+    otherwise.
+    """
+    p = params.processors
+    chunks = _ceil_div(n, chunk)
+    chunks_per_proc = _ceil_div(chunks, p)
+    per_chunk = params.dispatch_cost + chunk * (
+        body + params.loop_overhead + recovery
+    )
+    return params.barrier_cost + chunks_per_proc * per_chunk
+
+
+@dataclass(frozen=True)
+class OperationCounts:
+    """Scheduling operations required to run a nest to completion."""
+
+    barriers: int
+    dispatches: int
+    divmod_recovery_ops: int
+
+
+def scheduling_operation_counts(
+    shape: tuple[int, ...],
+    params: MachineParams,
+    scheme: str,
+    chunk: int = 1,
+    style: str = "ceiling",
+) -> OperationCounts:
+    """Barrier / dispatch / recovery-op counts per scheme.
+
+    Schemes: ``sequential``, ``outer-only`` (static), ``inner-barriers``
+    (self-scheduled inner), ``coalesced`` (self-scheduled flat loop),
+    ``coalesced-blocked`` (chunked flat loop, recovery per chunk).
+    """
+    import math as _math
+
+    from repro.scheduling.nested import recovery_op_counts
+
+    n = _math.prod(shape)
+    n1 = shape[0]
+    inner = n // n1
+    p = params.processors
+    per_iter_divmod = recovery_op_counts(len(shape), style)["divmod"]
+
+    if scheme == "sequential":
+        return OperationCounts(0, 0, 0)
+    if scheme == "outer-only":
+        return OperationCounts(1, min(p, n1), 0)
+    if scheme == "inner-barriers":
+        per_instance = _ceil_div(inner, chunk)
+        return OperationCounts(n1, n1 * per_instance, 0)
+    if scheme == "coalesced":
+        # Naive recovery pays div/mods on every iteration however work is
+        # chunked; only the dispatch count depends on the chunk size.
+        return OperationCounts(1, _ceil_div(n, chunk), per_iter_divmod * n)
+    if scheme == "coalesced-blocked":
+        chunks = _ceil_div(n, chunk)
+        return OperationCounts(1, chunks, per_iter_divmod * chunks)
+    raise ValueError(f"unknown scheme {scheme!r}")

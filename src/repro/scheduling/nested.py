@@ -1,0 +1,211 @@
+"""Nest-level scheduling strategies: the paper's central comparison.
+
+Given a rectangular DOALL nest with shape ``(N1, …, Nm)``, the machine can:
+
+* ``simulate_outer_only`` — parallelize only the outermost loop: at most N1
+  units of parallelism, whole inner instances as tasks (coarse, imbalanced
+  when p ∤ N1, idle processors when p > N1);
+* ``simulate_inner_barriers`` — run the outer loop serially and fork/join
+  the inner (flattened) loops each outer iteration: N1 barriers;
+* ``simulate_coalesced`` — the paper's transformation: one flat loop of
+  N = ΠNj iterations, one barrier, paying index recovery per iteration;
+* ``simulate_coalesced_blocked`` — coalesced + strength-reduced block
+  recovery: div/mod once per chunk, odometer updates per iteration.
+
+All return :class:`~repro.machine.trace.SimResult`, so completion time,
+dispatch counts, barrier counts and imbalance fall out of one simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.space import IterationSpace
+from repro.ir.expr import BinOp, Const, Var
+from repro.ir.visitor import walk_exprs
+from repro.machine.params import MachineParams
+from repro.machine.simulator import simulate_loop
+from repro.machine.trace import ProcessorTrace, SimResult
+from repro.scheduling.policies import SchedulingPolicy, StaticBlock
+from repro.transforms.coalesce import recovery_expressions
+
+_DIVMOD = ("floordiv", "ceildiv", "mod")
+_ARITH = ("+", "-", "*")
+
+
+@dataclass(frozen=True)
+class NestCosts:
+    """Per-iteration body costs of a rectangular nest.
+
+    ``cost_fn`` maps a 1-based index tuple to the body's cost; the default is
+    a uniform cost, matching the paper's constant-body analysis.  Variable
+    bodies (triangular work, conditionals) are expressed by passing a
+    callable — E9 does this for GSS.
+    """
+
+    shape: tuple[int, ...]
+    body_cost: float = 10.0
+    cost_fn: Callable[[tuple[int, ...]], float] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.shape or any(n < 1 for n in self.shape):
+            raise ValueError(f"shape must be positive, got {self.shape}")
+        if self.body_cost < 0:
+            raise ValueError("body_cost must be non-negative")
+
+    @property
+    def space(self) -> IterationSpace:
+        return IterationSpace(self.shape)
+
+    @property
+    def total_iterations(self) -> int:
+        return self.space.size
+
+    def cost_of(self, index: tuple[int, ...]) -> float:
+        if self.cost_fn is not None:
+            return self.cost_fn(index)
+        return self.body_cost
+
+    def flat_costs(self) -> list[float]:
+        """Body costs in lexicographic (coalesced) order."""
+        return [self.cost_of(idx) for idx in self.space]
+
+    def row_costs(self) -> list[list[float]]:
+        """Costs grouped by outermost index: one list per outer iteration."""
+        inner = self.total_iterations // self.shape[0]
+        flat = self.flat_costs()
+        return [flat[r * inner : (r + 1) * inner] for r in range(self.shape[0])]
+
+
+# ---------------------------------------------------------------------------
+# Index-recovery cost model (derived from the actual generated expressions)
+# ---------------------------------------------------------------------------
+
+
+def recovery_op_counts(depth: int, style: str = "ceiling") -> dict[str, int]:
+    """Operation counts of naive per-iteration recovery for an m-deep nest.
+
+    Counted from the expressions :func:`recovery_expressions` actually emits
+    (with symbolic bounds, i.e. nothing folds away), so the simulator charges
+    exactly what the transformed code contains.
+    """
+    bounds = [Var(f"N{k}") for k in range(depth)]
+    exprs = recovery_expressions(Var("I"), bounds, style)
+    counts = {"divmod": 0, "arith": 0}
+    for e in exprs:
+        for sub in walk_exprs(e):
+            if isinstance(sub, BinOp):
+                if sub.op in _DIVMOD:
+                    counts["divmod"] += 1
+                elif sub.op in _ARITH:
+                    counts["arith"] += 1
+    return counts
+
+
+def recovery_cost_per_iteration(
+    depth: int, params: MachineParams, style: str = "ceiling"
+) -> float:
+    """Simulated-time cost of naive index recovery, per iteration."""
+    ops = recovery_op_counts(depth, style)
+    return ops["divmod"] * params.divmod_cost + ops["arith"] * params.arith_cost
+
+
+def odometer_cost_per_iteration(params: MachineParams) -> float:
+    """Amortized strength-reduced recovery: one increment + one compare."""
+    return 2.0 * params.arith_cost
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+def simulate_sequential(nest: NestCosts, params: MachineParams) -> float:
+    """Single-processor execution time (the speedup baseline)."""
+    total = sum(nest.flat_costs())
+    bookkeeping = params.loop_overhead * nest.total_iterations
+    # Outer levels also pay their own increment-and-test per trip.
+    trips = 0
+    running = 1
+    for n in nest.shape[:-1]:
+        running *= n
+        trips += running
+    return total + bookkeeping + params.loop_overhead * trips
+
+
+def simulate_outer_only(
+    nest: NestCosts,
+    params: MachineParams,
+    policy: SchedulingPolicy | None = None,
+) -> SimResult:
+    """Parallelize the outermost loop only; inner levels run serially.
+
+    Each task's cost includes the serial inner bookkeeping, so comparisons
+    against coalesced execution are apples-to-apples.
+    """
+    policy = policy or StaticBlock()
+    inner = nest.total_iterations // nest.shape[0]
+    tasks = [
+        sum(row) + params.loop_overhead * inner for row in nest.row_costs()
+    ]
+    return simulate_loop(tasks, params, policy)
+
+
+def simulate_inner_barriers(
+    nest: NestCosts,
+    params: MachineParams,
+    policy: SchedulingPolicy | None = None,
+) -> SimResult:
+    """Serial outer loop; fork/join the inner loops every outer iteration.
+
+    This is how a runtime executes a nest whose outer level stays serial (or
+    a naive nested-DOALL implementation): N1 barriers instead of one.
+    """
+    policy = policy or StaticBlock()
+    rows = nest.row_costs()
+    result: SimResult | None = None
+    for row in rows:
+        instance = simulate_loop(row, params, policy)
+        result = instance if result is None else result.merge_serial(instance)
+    assert result is not None
+    # Outer-loop bookkeeping for the serial driver.
+    result.finish_time += params.loop_overhead * len(rows)
+    return result
+
+
+def simulate_coalesced(
+    nest: NestCosts,
+    params: MachineParams,
+    policy: SchedulingPolicy | None = None,
+    style: str = "ceiling",
+) -> SimResult:
+    """The paper's scheme: one flat loop, naive per-iteration recovery."""
+    policy = policy or StaticBlock()
+    overhead = recovery_cost_per_iteration(len(nest.shape), params, style)
+    return simulate_loop(
+        nest.flat_costs(), params, policy, iteration_overhead=overhead
+    )
+
+
+def simulate_coalesced_blocked(
+    nest: NestCosts,
+    params: MachineParams,
+    policy: SchedulingPolicy | None = None,
+    style: str = "ceiling",
+) -> SimResult:
+    """Coalesced + strength-reduced block recovery.
+
+    Recovery div/mods are paid once per claimed chunk (head-of-block); each
+    iteration then pays only the odometer update.  Requires a policy that
+    hands out contiguous chunks (all provided policies do).
+    """
+    policy = policy or StaticBlock()
+    head = recovery_cost_per_iteration(len(nest.shape), params, style)
+    return simulate_loop(
+        nest.flat_costs(),
+        params,
+        policy,
+        iteration_overhead=odometer_cost_per_iteration(params),
+        chunk_overhead=head,
+    )

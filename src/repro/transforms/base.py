@@ -1,0 +1,46 @@
+"""Shared infrastructure for transformation passes."""
+
+from __future__ import annotations
+
+from repro.ir.expr import Var
+from repro.ir.stmt import Loop, Procedure, Stmt
+from repro.ir.visitor import walk_exprs, walk_stmts
+
+
+class TransformError(ValueError):
+    """A transformation's legality preconditions are not met."""
+
+
+def used_names(node: Stmt) -> set[str]:
+    """Every identifier appearing in ``node``: scalars, loop vars, arrays.
+
+    Used to pick collision-free fresh names.  For a Procedure, declared
+    parameter names are included even if currently unused.
+    """
+    names: set[str] = set()
+    if isinstance(node, Procedure):
+        names |= set(node.arrays)
+        names |= set(node.scalars)
+    for s in walk_stmts(node):
+        if isinstance(s, Loop):
+            names.add(s.var)
+    for e in walk_exprs(node):
+        if isinstance(e, Var):
+            names.add(e.name)
+        elif hasattr(e, "name"):
+            names.add(e.name)  # ArrayRef
+    return names
+
+
+def fresh_name(base: str, used: set[str]) -> str:
+    """Pick ``base`` or ``base_2``, ``base_3``, … avoiding ``used``.
+
+    The chosen name is added to ``used`` so successive calls stay distinct.
+    """
+    candidate = base
+    suffix = 1
+    while candidate in used:
+        suffix += 1
+        candidate = f"{base}_{suffix}"
+    used.add(candidate)
+    return candidate

@@ -1,0 +1,359 @@
+"""Loop coalescing — the paper's transformation.
+
+A perfect nest of normalized DOALL loops
+
+.. code-block:: none
+
+    DOALL i1 = 1, N1
+      DOALL i2 = 1, N2
+        ...
+          DOALL im = 1, Nm
+            B(i1, ..., im)
+
+becomes a single DOALL over the flat index ``I = 1 .. N1·N2·…·Nm`` with the
+original indices *recovered* from ``I``.  Two equivalent recovery styles are
+provided:
+
+``"ceiling"`` — the paper's formulas (Polychronopoulos 1987)::
+
+    i_k = ⌈I / P_k⌉ − N_k · ⌊(⌈I / P_k⌉ − 1) / N_k⌋ ,  P_k = Π_{j>k} N_j
+
+  with the two boundary cases the paper also exploits: the outermost index
+  needs no wrap-around correction (``i_1 = ⌈I / P_1⌉``) and the innermost
+  reduces to a single mod (``i_m = I − N_m · ⌊(I−1)/N_m⌋``).
+
+``"divmod"`` — the equivalent 0-based form used by modern OpenMP
+  ``collapse`` runtimes::
+
+    i_k = ((I − 1) div P_k) mod N_k + 1
+
+Recovered indices can be materialized as explicit assignments at the top of
+the coalesced body (``materialize="assign"``, default — what a compiler
+emits) or substituted directly into subscripts (``materialize="substitute"``,
+how the paper presents transformed code).
+
+Legality: the nest must be perfect (each outer body is exactly the next
+loop), every coalesced loop normalized (run :mod:`repro.transforms.normalize`
+first, or pass ``auto_normalize=True``), the bounds rectangular (no inner
+bound may reference an outer index), and — unless ``require_doall=False`` —
+every loop tagged DOALL.  Coalescing *serial* nests is also order-preserving
+(the flat index enumerates iterations in lexicographic order), so an
+all-SERIAL nest may be coalesced into one SERIAL loop when
+``require_doall=False``; mixed nests are rejected because collapsing a
+serial/parallel boundary changes which iterations may run concurrently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.expr import Const, Expr, Var, ceil_div, floor_div, mod, mul, sub
+from repro.ir.simplify import simplify
+from repro.ir.stmt import Assign, Block, If, Loop, LoopKind, Procedure, Stmt
+from repro.ir.visitor import free_vars
+from repro.transforms.base import TransformError, fresh_name, used_names
+from repro.transforms.normalize import normalize_loop
+
+RECOVERY_STYLES = ("ceiling", "divmod")
+MATERIALIZE_MODES = ("assign", "substitute")
+
+
+@dataclass(frozen=True)
+class CoalesceResult:
+    """Outcome of coalescing one nest.
+
+    Attributes:
+        loop: the single coalesced loop.
+        flat_var: name of the flat index variable.
+        index_vars: original induction variables, outermost first.
+        bounds: upper-bound expressions (N1..Nm) of the coalesced loops.
+        recovery: mapping original index → recovery expression in ``flat_var``.
+        depth: number of loops coalesced.
+    """
+
+    loop: Loop
+    flat_var: str
+    index_vars: tuple[str, ...]
+    bounds: tuple[Expr, ...]
+    recovery: dict[str, Expr]
+    depth: int
+
+
+def extract_perfect_nest(loop: Loop, max_depth: int | None = None) -> list[Loop]:
+    """Longest perfect nest rooted at ``loop`` (outermost first).
+
+    A nest is perfect when each loop's body consists of exactly one
+    statement, the next loop.  The innermost loop's body is arbitrary.
+    """
+    nest = [loop]
+    while max_depth is None or len(nest) < max_depth:
+        body = nest[-1].body
+        if len(body) == 1 and isinstance(body.stmts[0], Loop):
+            nest.append(body.stmts[0])
+        else:
+            break
+    return nest
+
+
+def products_from_inside(bounds: list[Expr]) -> list[Expr]:
+    """``P_k = Π_{j>k} N_j`` for each level k (``P_m = 1``)."""
+    m = len(bounds)
+    products: list[Expr] = [Const(1)] * m
+    for k in range(m - 2, -1, -1):
+        products[k] = simplify(mul(bounds[k + 1], products[k + 1]))
+    return products
+
+
+def recovery_expressions(
+    flat: Expr,
+    bounds: list[Expr],
+    style: str = "ceiling",
+) -> list[Expr]:
+    """Index-recovery expressions ``[i_1, …, i_m]`` in terms of ``flat``.
+
+    All results are 1-based, matching normalized loops.
+    """
+    if style not in RECOVERY_STYLES:
+        raise ValueError(f"style must be one of {RECOVERY_STYLES}, got {style!r}")
+    m = len(bounds)
+    if m == 0:
+        raise ValueError("need at least one bound")
+    products = products_from_inside(bounds)
+    exprs: list[Expr] = []
+    for k in range(m):
+        n_k, p_k = bounds[k], products[k]
+        if style == "ceiling":
+            q = ceil_div(flat, p_k)  # ⌈I / P_k⌉
+            if k == 0:
+                # Outermost: q is already in 1..N1, no wrap-around needed.
+                e: Expr = q
+            else:
+                e = sub(q, mul(n_k, floor_div(sub(q, Const(1)), n_k)))
+        else:  # divmod
+            zero_based = floor_div(sub(flat, Const(1)), p_k)
+            if k == 0:
+                e = zero_based + Const(1)
+            else:
+                e = mod(zero_based, n_k) + Const(1)
+        exprs.append(simplify(e))
+    return exprs
+
+
+def coalesce(
+    loop: Loop,
+    depth: int | None = None,
+    flat_var: str | None = None,
+    style: str = "ceiling",
+    materialize: str = "assign",
+    require_doall: bool = True,
+    auto_normalize: bool = False,
+    used: set[str] | None = None,
+) -> CoalesceResult:
+    """Coalesce the perfect nest rooted at ``loop`` into a single loop.
+
+    Args:
+        loop: outermost loop of the nest.
+        depth: number of levels to coalesce (None = maximal perfect nest).
+        flat_var: name for the flat index (default: fresh name based on the
+            outermost index, e.g. ``i_flat``).
+        style: recovery style, ``"ceiling"`` (paper) or ``"divmod"``.
+        materialize: ``"assign"`` emits ``i_k := recovery`` statements;
+            ``"substitute"`` rewrites the body's uses of each index.
+        require_doall: demand every coalesced loop be DOALL (paper setting).
+        auto_normalize: normalize non-normalized loops on the fly.
+        used: identifier pool for fresh-name generation (supply
+            ``used_names(procedure)`` when coalescing inside a procedure).
+
+    Raises:
+        TransformError: if the nest is imperfect at the requested depth, a
+            loop is not normalized, bounds are non-rectangular, or loop kinds
+            violate ``require_doall``.
+    """
+    if materialize not in MATERIALIZE_MODES:
+        raise ValueError(
+            f"materialize must be one of {MATERIALIZE_MODES}, got {materialize!r}"
+        )
+    nest = extract_perfect_nest(loop, depth)
+    if depth is not None:
+        if depth < 1:
+            raise ValueError("depth must be ≥ 1")
+        if len(nest) < depth:
+            raise TransformError(
+                f"nest rooted at {loop.var!r} is perfect only to depth "
+                f"{len(nest)}, requested {depth}"
+            )
+    else:
+        # Maximal depth requested: trim to the longest prefix of uniform
+        # kind, so a perfect DOALL pair over a serial reduction coalesces
+        # the pair instead of tripping over the serial level.
+        keep = 1
+        while keep < len(nest) and nest[keep].kind is nest[0].kind:
+            keep += 1
+        nest = nest[:keep]
+    if auto_normalize:
+        nest = _renormalize(nest)
+    for lp in nest:
+        if not lp.is_normalized:
+            raise TransformError(
+                f"loop {lp.var!r} is not normalized (run normalize first or "
+                f"pass auto_normalize=True)"
+            )
+    kinds = {lp.kind for lp in nest}
+    if require_doall and kinds != {LoopKind.DOALL}:
+        bad = [lp.var for lp in nest if lp.kind is not LoopKind.DOALL]
+        raise TransformError(
+            f"coalescing requires DOALL loops; serial: {bad} "
+            f"(pass require_doall=False to coalesce an all-serial nest)"
+        )
+    if len(kinds) > 1:
+        raise TransformError(
+            "cannot coalesce a mixed serial/DOALL nest: the flat loop would "
+            "change which iterations may run concurrently"
+        )
+
+    index_vars = [lp.var for lp in nest]
+    bounds = [lp.upper for lp in nest]
+    for level, lp in enumerate(nest):
+        outer = set(index_vars[:level])
+        deps = free_vars(lp.upper) & outer
+        if deps:
+            raise TransformError(
+                f"non-rectangular nest: bound of {lp.var!r} references outer "
+                f"index(es) {sorted(deps)}; coalescing requires rectangular "
+                f"bounds (strip the triangular level or guard it instead)"
+            )
+
+    pool = used if used is not None else used_names(loop)
+    flat = flat_var or fresh_name(f"{index_vars[0]}_flat", pool)
+    if flat_var is not None and flat_var in index_vars:
+        raise TransformError(f"flat_var {flat_var!r} collides with a nest index")
+
+    total = Const(1)
+    for b in bounds:
+        total = simplify(mul(total, b))
+
+    recov = recovery_expressions(Var(flat), bounds, style)
+    recovery_map = dict(zip(index_vars, recov))
+    inner_body = nest[-1].body
+
+    if materialize == "assign":
+        stmts: list[Stmt] = [
+            Assign(Var(iv), recovery_map[iv]) for iv in index_vars
+        ]
+        body = Block(tuple(stmts) + inner_body.stmts)
+    else:
+        from repro.ir.visitor import substitute
+
+        body = substitute(inner_body, recovery_map)
+        assert isinstance(body, Block)
+
+    coalesced = Loop(flat, Const(1), total, body, Const(1), nest[0].kind)
+    return CoalesceResult(
+        loop=coalesced,
+        flat_var=flat,
+        index_vars=tuple(index_vars),
+        bounds=tuple(bounds),
+        recovery=recovery_map,
+        depth=len(nest),
+    )
+
+
+def _renormalize(nest: list[Loop]) -> list[Loop]:
+    """Normalize each level of a perfect nest, re-linking bodies.
+
+    Normalization substitutes the rewritten induction variable into the
+    loop's body — which contains the inner levels — so the chain must be
+    re-extracted after each step, outermost first.
+    """
+    chain: list[Loop] = []
+    current = nest[0]
+    for level in range(len(nest)):
+        current = normalize_loop(current)
+        chain.append(current)
+        if level + 1 < len(nest):
+            body = current.body
+            assert len(body) == 1 and isinstance(body.stmts[0], Loop)
+            current = body.stmts[0]
+    for i in range(len(chain) - 2, -1, -1):
+        chain[i] = chain[i].with_body(Block((chain[i + 1],)))
+    return chain
+
+
+def coalesce_procedure(
+    proc: Procedure,
+    depth: int | None = None,
+    style: str = "ceiling",
+    materialize: str = "assign",
+    auto_normalize: bool = True,
+    min_depth: int = 2,
+    triangular: bool = False,
+) -> tuple[Procedure, list]:
+    """Coalesce every maximal DOALL nest in a procedure.
+
+    Walks the procedure top-down; whenever a DOALL loop roots a perfect
+    all-DOALL rectangular nest of depth ≥ ``min_depth``, it is coalesced
+    (up to ``depth`` levels).  Nests that fail a legality check are left
+    untouched — coalescing is an optimization, not a requirement.  This
+    covers the paper's *hybrid* case automatically: a serial outer loop is
+    descended through and its inner DOALL subnest coalesced.
+
+    With ``triangular=True``, 2-deep DOALL nests whose inner bound depends
+    on the outer index are additionally coalesced via
+    :func:`repro.transforms.triangular.coalesce_triangular` (exact isqrt
+    form for canonical triangles, guarded bounding box otherwise).
+
+    Returns the rewritten procedure and the per-nest results in source
+    order (:class:`CoalesceResult` for rectangular nests,
+    :class:`repro.transforms.triangular.TriangularResult` for triangular
+    ones).
+    """
+    pool = used_names(proc)
+    results: list = []
+
+    def try_triangular(s: Loop):
+        if not triangular:
+            return None
+        from repro.transforms.triangular import coalesce_triangular
+
+        try:
+            return coalesce_triangular(s, used=pool)
+        except TransformError:
+            return None
+
+    def go(s: Stmt) -> Stmt:
+        if isinstance(s, Block):
+            return Block(tuple(go(x) for x in s.stmts))
+        if isinstance(s, If):
+            t, o = go(s.then), go(s.orelse)
+            assert isinstance(t, Block) and isinstance(o, Block)
+            return If(s.cond, t, o)
+        if isinstance(s, Loop):
+            if s.is_doall:
+                try:
+                    result = coalesce(
+                        s,
+                        depth=depth,
+                        style=style,
+                        materialize=materialize,
+                        auto_normalize=auto_normalize,
+                        used=pool,
+                    )
+                except TransformError:
+                    result = None
+                if result is not None and result.depth >= min_depth:
+                    results.append(result)
+                    inner = go(result.loop.body)
+                    assert isinstance(inner, Block)
+                    return result.loop.with_body(inner)
+                tri = try_triangular(s)
+                if tri is not None:
+                    results.append(tri)
+                    return tri.loop
+            body = go(s.body)
+            assert isinstance(body, Block)
+            return s.with_body(body)
+        return s
+
+    body = go(proc.body)
+    assert isinstance(body, Block)
+    return proc.with_body(body), results

@@ -1,0 +1,182 @@
+"""Loop collapsing — the recovery-free special case of coalescing.
+
+When every reference to an array inside a perfect nest subscripts it with
+*exactly* the nest's indices in nest order (``A(i1, …, im)``), the nest can
+be collapsed: the array is viewed as one-dimensional and the single flat
+index used directly, with **no** div/mod index recovery at all.  The paper
+presents collapsing as the cheap sibling of coalescing, applicable only in
+this restricted pattern; coalescing is the general mechanism.
+
+Transformed code refers to linearized views named ``<array>__lin``; use
+:func:`pack_linear` / :func:`unpack_linear` to convert the 1-based padded
+arrays used throughout this library to and from those views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ir.expr import ArrayRef, Const, Expr, Var, mul
+from repro.ir.simplify import simplify
+from repro.ir.stmt import Block, Loop, Procedure
+from repro.ir.visitor import collect_array_refs, free_vars, transform_exprs, walk_exprs
+from repro.transforms.base import TransformError, fresh_name, used_names
+from repro.transforms.coalesce import extract_perfect_nest
+
+LIN_SUFFIX = "__lin"
+
+
+@dataclass(frozen=True)
+class CollapseResult:
+    """Outcome of collapsing one nest.
+
+    Attributes:
+        loop: the collapsed single loop.
+        flat_var: flat index variable name.
+        index_vars: original induction variables, outermost first.
+        bounds: upper bounds (N1..Nm).
+        arrays: original array names that were linearized.
+    """
+
+    loop: Loop
+    flat_var: str
+    index_vars: tuple[str, ...]
+    bounds: tuple[Expr, ...]
+    arrays: tuple[str, ...]
+
+
+def collapse(
+    loop: Loop,
+    depth: int | None = None,
+    flat_var: str | None = None,
+    used: set[str] | None = None,
+) -> CollapseResult:
+    """Collapse the perfect nest rooted at ``loop``.
+
+    Legality (stricter than coalescing):
+
+    * perfect, normalized, rectangular, all-DOALL nest — as for coalescing;
+    * every array reference in the body subscripts with exactly
+      ``(i1, …, im)`` in nest order;
+    * the nest indices are used *nowhere else* in the body (not in scalar
+      arithmetic, not permuted, not offset) — otherwise recovery would be
+      needed and :func:`repro.transforms.coalesce.coalesce` is the right
+      tool.
+    """
+    nest = extract_perfect_nest(loop, depth)
+    if depth is not None and len(nest) < depth:
+        raise TransformError(
+            f"nest rooted at {loop.var!r} is perfect only to depth {len(nest)}"
+        )
+    for lp in nest:
+        if not lp.is_normalized:
+            raise TransformError(f"loop {lp.var!r} is not normalized")
+        if not lp.is_doall:
+            raise TransformError(f"collapse requires DOALL loops; {lp.var!r} is serial")
+    index_vars = tuple(lp.var for lp in nest)
+    bounds = tuple(lp.upper for lp in nest)
+    for level, lp in enumerate(nest):
+        deps = free_vars(lp.upper) & set(index_vars[:level])
+        if deps:
+            raise TransformError(
+                f"non-rectangular nest: bound of {lp.var!r} uses {sorted(deps)}"
+            )
+
+    body = nest[-1].body
+    expected = tuple(Var(iv) for iv in index_vars)
+    arrays: set[str] = set()
+    for aref in collect_array_refs(body):
+        if aref.indices != expected:
+            raise TransformError(
+                f"array {aref.name!r} subscripted {tuple(map(str, aref.indices))!r}, "
+                f"not the exact nest indices — use coalesce instead"
+            )
+        arrays.add(aref.name)
+
+    # Indices must not appear outside those (already-matched) subscripts.
+    # Every ArrayRef was verified to subscript with exactly the nest indices,
+    # so legitimate uses number refs × m; any extra Var occurrence is a use in
+    # scalar arithmetic or a bound, which collapse cannot linearize away.
+    index_set = set(index_vars)
+    refs = collect_array_refs(body)
+    allowed = len(refs) * len(index_vars)
+    total_uses = sum(
+        1 for e in walk_exprs(body) if isinstance(e, Var) and e.name in index_set
+    )
+    if total_uses != allowed:
+        raise TransformError(
+            "nest indices are used outside plain A(i1,…,im) subscripts — "
+            "collapse is not applicable, use coalesce"
+        )
+
+    pool = used if used is not None else used_names(loop)
+    flat = flat_var or fresh_name(f"{index_vars[0]}_flat", pool)
+
+    total = Const(1)
+    for b in bounds:
+        total = simplify(mul(total, b))
+
+    def rewrite(e: Expr) -> Expr:
+        if isinstance(e, ArrayRef) and e.indices == expected:
+            return ArrayRef(e.name + LIN_SUFFIX, (Var(flat),))
+        return e
+
+    new_body = transform_exprs(body, rewrite)
+    assert isinstance(new_body, Block)
+    collapsed = Loop(flat, Const(1), total, new_body, Const(1), nest[0].kind)
+    return CollapseResult(
+        loop=collapsed,
+        flat_var=flat,
+        index_vars=index_vars,
+        bounds=bounds,
+        arrays=tuple(sorted(arrays)),
+    )
+
+
+def collapse_procedure_arrays(
+    proc: Procedure, result: CollapseResult
+) -> Procedure:
+    """Declarations for a procedure whose body is ``result.loop``.
+
+    Collapsed arrays are re-declared rank 1 under their ``__lin`` names;
+    everything else is kept.
+    """
+    arrays = {
+        (name + LIN_SUFFIX if name in result.arrays else name): (
+            1 if name in result.arrays else rank
+        )
+        for name, rank in proc.arrays.items()
+    }
+    return Procedure(proc.name, Block((result.loop,)), arrays, proc.scalars)
+
+
+def pack_linear(arr: np.ndarray, bounds: tuple[int, ...]) -> np.ndarray:
+    """1-based padded m-D array → 1-based padded linear view.
+
+    ``arr`` has shape ``(N1+1, …, Nm+1)`` with index 0 unused on every axis;
+    the result has shape ``(N1·…·Nm + 1,)`` with element ``I`` holding
+    ``arr[i1, …, im]`` for the flat index ``I`` in lexicographic order.
+    """
+    if arr.ndim != len(bounds):
+        raise ValueError(f"array rank {arr.ndim} != len(bounds) {len(bounds)}")
+    core = arr[tuple(slice(1, n + 1) for n in bounds)]
+    flat = np.empty(core.size + 1, dtype=arr.dtype)
+    flat[0] = 0
+    flat[1:] = core.reshape(-1)
+    return flat
+
+
+def unpack_linear(
+    flat: np.ndarray, bounds: tuple[int, ...], out: np.ndarray | None = None
+) -> np.ndarray:
+    """Inverse of :func:`pack_linear`; writes into ``out`` if given."""
+    shape = tuple(n + 1 for n in bounds)
+    if out is None:
+        out = np.zeros(shape, dtype=flat.dtype)
+    if out.shape != shape:
+        raise ValueError(f"out shape {out.shape} != expected {shape}")
+    core = flat[1:].reshape(bounds)
+    out[tuple(slice(1, n + 1) for n in bounds)] = core
+    return out

@@ -1,0 +1,209 @@
+"""Loop distribution (fission): split a loop over its body statements.
+
+Coalescing needs *perfect* nests; real bodies often carry a prologue
+statement next to an inner loop (`C(i,j) := 0` before the k-reduction, say).
+Distribution rewrites::
+
+    for i: { S1; S2 }   ⇒   for i: { S1 } ; for i: { S2 }
+
+whenever the statement-level dependence structure allows, turning imperfect
+nests into sequences of perfect ones that coalescing can then attack.
+
+Legality (classic): build the dependence graph over the body's top-level
+statements — an edge A→B when a value can flow from A's execution to a
+(textually or iteration-wise) later execution of B.  Statements in a cycle
+(an SCC) must remain in one loop; the condensation is emitted in topological
+order.  Conservative rules applied here:
+
+* array accesses use the full direction-vector tester
+  (:mod:`repro.analysis.dependence`);
+* any two statements sharing a scalar with at least one write are fused
+  (scalars are one memory cell: cross-iteration flow is always possible);
+* non-affine subscripts fall back to "assume dependence" inside the tester.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+
+from repro.analysis.dependence import DependenceTester, LoopInfo
+from repro.analysis.doall import collect_accesses
+from repro.ir.expr import Var
+from repro.ir.stmt import Assign, Block, If, Loop, Procedure, Stmt
+from repro.ir.visitor import walk_exprs, walk_stmts
+from repro.transforms.base import TransformError
+
+
+def _stmt_scalar_reads(s: Stmt) -> set[str]:
+    """Scalar names read anywhere in a statement (bounds included),
+    excluding induction variables of loops inside it."""
+    bound = {lp.var for lp in walk_stmts(s) if isinstance(lp, Loop)}
+    reads: set[str] = set()
+    for e in walk_exprs(s):
+        if isinstance(e, Var):
+            reads.add(e.name)
+    # Exclude pure write targets (handled separately) is unnecessary: a
+    # scalar Assign target is not an Expr reached by walk_exprs on Assign?
+    # walk_exprs(Assign) includes the target only for ArrayRefs' indices.
+    return reads - bound
+
+
+def _stmt_scalar_writes(s: Stmt) -> set[str]:
+    writes: set[str] = set()
+    for sub in walk_stmts(s):
+        if isinstance(sub, Assign) and isinstance(sub.target, Var):
+            writes.add(sub.target.name)
+    return writes
+
+
+def statement_dependence_graph(
+    loop: Loop, outer: Sequence[Loop] = ()
+) -> nx.DiGraph:
+    """Directed dependence graph over the top-level statements of ``loop``.
+
+    Node k is the k-th statement of the loop body.  Edge a→b means some
+    execution of statement a must precede some execution of statement b.
+    """
+    stmts = list(loop.body.stmts)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(len(stmts)))
+    level = len(outer)
+
+    accesses = [collect_accesses(Block((s,))) for s in stmts]
+    scalar_reads = [_stmt_scalar_reads(s) for s in stmts]
+    scalar_writes = [_stmt_scalar_writes(s) for s in stmts]
+
+    for a in range(len(stmts)):
+        for b in range(len(stmts)):
+            if a == b:
+                continue
+            if graph.has_edge(a, b):
+                continue
+            if _depends(
+                accesses[a],
+                accesses[b],
+                scalar_reads,
+                scalar_writes,
+                a,
+                b,
+                loop,
+                outer,
+                level,
+            ):
+                graph.add_edge(a, b)
+    # Self-dependences (a statement depending on itself across iterations)
+    # never prevent distribution: the statement stays in one loop anyway.
+    return graph
+
+
+def _depends(
+    acc_a,
+    acc_b,
+    scalar_reads,
+    scalar_writes,
+    a: int,
+    b: int,
+    loop: Loop,
+    outer: Sequence[Loop],
+    level: int,
+) -> bool:
+    # Scalars: one write anywhere + any other touch => ordered both ways.
+    shared = (scalar_writes[a] & (scalar_reads[b] | scalar_writes[b])) | (
+        scalar_writes[b] & scalar_reads[a]
+    )
+    if shared:
+        return True
+
+    textual_forward = a < b
+    for src in acc_a:
+        for sink in acc_b:
+            if src.ref.name != sink.ref.name:
+                continue
+            if not (src.is_write or sink.is_write):
+                continue
+            k = 0
+            while (
+                k < len(src.inner_chain)
+                and k < len(sink.inner_chain)
+                and src.inner_chain[k] is sink.inner_chain[k]
+            ):
+                k += 1
+            common = list(outer) + [loop] + list(src.inner_chain[:k])
+            tester = DependenceTester(
+                [LoopInfo.of(lp) for lp in common],
+                [LoopInfo.of(lp) for lp in src.inner_chain[k:]],
+                [LoopInfo.of(lp) for lp in sink.inner_chain[k:]],
+            )
+            for directions in tester.feasible_directions(src.ref, sink.ref):
+                if any(d != "=" for d in directions[:level]):
+                    continue  # outer iterations pinned equal
+                d = directions[level]
+                if d == "<":
+                    return True  # a in an earlier iteration reaches b
+                if d == "=" and textual_forward:
+                    return True  # same iteration, a textually first
+    return False
+
+
+def distribute(loop: Loop, outer: Sequence[Loop] = ()) -> list[Loop]:
+    """Split ``loop`` into a sequence of loops, one per dependence SCC.
+
+    Returns the replacement loops in a legal execution order.  A body that
+    cannot be split (single statement, or one big SCC) comes back as
+    ``[loop]`` unchanged.
+    """
+    stmts = list(loop.body.stmts)
+    if len(stmts) < 2:
+        return [loop]
+    graph = statement_dependence_graph(loop, outer)
+    condensation = nx.condensation(graph)
+    order = list(nx.topological_sort(condensation))
+    if len(order) == 1:
+        return [loop]
+
+    out: list[Loop] = []
+    for comp in order:
+        members = sorted(condensation.nodes[comp]["members"])
+        body = Block(tuple(stmts[k] for k in members))
+        out.append(loop.with_body(body))
+    return out
+
+
+def distribute_procedure(proc: Procedure, max_rounds: int = 4) -> Procedure:
+    """Apply distribution everywhere, repeatedly, until a fixed point.
+
+    Distribution exposes perfect nests for :func:`repro.transforms.coalesce.
+    coalesce_procedure`; run it first in a pipeline.  ``max_rounds`` bounds
+    the (already-terminating) iteration as a safety net.
+    """
+
+    def go(s: Stmt, outer: tuple[Loop, ...]) -> list[Stmt]:
+        if isinstance(s, Loop):
+            pieces = distribute(s, outer)
+            result: list[Stmt] = []
+            for piece in pieces:
+                inner_stmts: list[Stmt] = []
+                for child in piece.body.stmts:
+                    inner_stmts.extend(go(child, outer + (piece,)))
+                result.append(piece.with_body(Block(tuple(inner_stmts))))
+            return result
+        if isinstance(s, If):
+            then = Block(tuple(x for c in s.then.stmts for x in go(c, outer)))
+            orelse = Block(
+                tuple(x for c in s.orelse.stmts for x in go(c, outer))
+            )
+            return [If(s.cond, then, orelse)]
+        return [s]
+
+    current = proc
+    for _ in range(max_rounds):
+        new_body = Block(
+            tuple(x for s in current.body.stmts for x in go(s, ()))
+        )
+        nxt = current.with_body(new_body)
+        if nxt == current:
+            return nxt
+        current = nxt
+    return current

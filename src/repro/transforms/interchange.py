@@ -1,0 +1,57 @@
+"""Loop interchange: swap two adjacent, perfectly nested loops.
+
+Used in this library to move the DOALL dimension of a hybrid nest outward
+before (partially) coalescing, and as a baseline restructuring in the
+benchmarks.  Interchange of two DOALL loops, or of a rectangular nest with no
+loop-carried dependences across the pair, is always legal; for serial loops
+the caller must either supply the dependence analyser's verdict or pass
+``force=True``.
+"""
+
+from __future__ import annotations
+
+from repro.ir.stmt import Block, Loop
+from repro.ir.visitor import free_vars
+from repro.transforms.base import TransformError
+
+
+def interchange(outer: Loop, force: bool = False) -> Loop:
+    """Swap ``outer`` with the single loop forming its body.
+
+    Legality enforced here:
+
+    * the pair must be perfectly nested,
+    * neither bound of the inner loop may depend on the outer index (and
+      vice versa after the swap — trivially true for the outer's bounds),
+    * unless ``force=True``, both loops must be DOALL (the always-legal
+      case).  For serial loops, run the dependence analyser
+      (:func:`repro.analysis.doall.interchange_legal`) and pass ``force=True``
+      on a positive verdict.
+    """
+    body = outer.body
+    if len(body) != 1 or not isinstance(body.stmts[0], Loop):
+        raise TransformError(
+            f"loop {outer.var!r} is not perfectly nested over a single loop"
+        )
+    inner = body.stmts[0]
+    inner_bound_deps = (free_vars(inner.lower) | free_vars(inner.upper)) & {outer.var}
+    if inner_bound_deps:
+        raise TransformError(
+            f"cannot interchange: bounds of {inner.var!r} depend on {outer.var!r}"
+        )
+    if not force and not (outer.is_doall and inner.is_doall):
+        raise TransformError(
+            "interchange of serial loops requires a dependence check; "
+            "pass force=True after verifying legality"
+        )
+    new_inner = Loop(
+        outer.var, outer.lower, outer.upper, inner.body, outer.step, outer.kind
+    )
+    return Loop(
+        inner.var,
+        inner.lower,
+        inner.upper,
+        Block((new_inner,)),
+        inner.step,
+        inner.kind,
+    )

@@ -1,0 +1,92 @@
+"""Loop normalization: rewrite any counted loop to run ``1 .. N step 1``.
+
+Coalescing's index-recovery formulas assume normalized loops, as does most of
+the scheduling analysis, so normalization is the canonical first pass — the
+paper likewise assumes nests have been normalized by the restructurer.
+
+For ``for i = L, U step S`` with positive constant step ``S``::
+
+    N  = (U - L) div S + 1          -- trip count
+    i  = L + (i' - 1) * S           -- replaces i in the body
+
+A loop whose bounds make ``U < L`` executes zero times both before and after
+(N ≤ 0 and the normalized loop ``1..N`` is empty), so the rewrite is exact.
+"""
+
+from __future__ import annotations
+
+from repro.ir.expr import Const, Expr, Var, add, floor_div, mul, sub
+from repro.ir.simplify import simplify
+from repro.ir.stmt import Block, If, Loop, Procedure, Stmt
+from repro.ir.visitor import substitute
+from repro.transforms.base import TransformError
+
+
+def trip_count_expr(loop: Loop) -> Expr:
+    """Symbolic trip count ``(U - L) div S + 1`` of a loop (may be ≤ 0)."""
+    span = sub(loop.upper, loop.lower)
+    return simplify(add(floor_div(span, loop.step), Const(1)))
+
+
+def normalize_loop(loop: Loop) -> Loop:
+    """Return an equivalent loop running ``1 .. N step 1``.
+
+    The induction variable keeps its name; occurrences in the body are
+    replaced by ``L + (i - 1) * S``.  Already-normalized loops are returned
+    unchanged (same object).
+    """
+    if loop.is_normalized:
+        return loop
+    if not isinstance(loop.step, Const):
+        raise TransformError(
+            f"loop {loop.var!r}: cannot normalize symbolic step "
+            f"(step must be a positive integer constant)"
+        )
+    n = trip_count_expr(loop)
+    replacement = simplify(
+        add(loop.lower, mul(sub(Var(loop.var), Const(1)), loop.step))
+    )
+    body = substitute_induction(loop.body, loop.var, replacement)
+    return Loop(loop.var, Const(1), n, body, Const(1), loop.kind)
+
+
+def substitute_induction(body: Block, var: str, replacement: Expr) -> Block:
+    """Replace uses of ``var`` in ``body`` even under inner loops.
+
+    :func:`repro.ir.visitor.substitute` refuses to rebind names bound by
+    loops in scope; here ``var`` is bound by the loop *being rewritten* (an
+    enclosing scope), which is exactly the legal case, so we bypass that
+    guard.  Inner loops shadowing ``var`` would be a validation error anyway.
+    """
+    from repro.ir.visitor import transform_exprs
+
+    def fn(e: Expr) -> Expr:
+        if isinstance(e, Var) and e.name == var:
+            return replacement
+        return e
+
+    out = transform_exprs(body, fn)
+    assert isinstance(out, Block)
+    return out
+
+
+def normalize_procedure(proc: Procedure) -> Procedure:
+    """Normalize every loop in a procedure (outer loops first)."""
+
+    def go(s: Stmt) -> Stmt:
+        if isinstance(s, Block):
+            return Block(tuple(go(x) for x in s.stmts))
+        if isinstance(s, If):
+            t, o = go(s.then), go(s.orelse)
+            assert isinstance(t, Block) and isinstance(o, Block)
+            return If(s.cond, t, o)
+        if isinstance(s, Loop):
+            norm = normalize_loop(s)
+            body = go(norm.body)
+            assert isinstance(body, Block)
+            return norm.with_body(body)
+        return s
+
+    body = go(proc.body)
+    assert isinstance(body, Block)
+    return proc.with_body(body)

@@ -1,0 +1,52 @@
+"""Composable pass pipelines over procedures.
+
+A tiny pass manager: each pass is a callable ``Procedure -> Procedure``;
+pipelines validate after every pass (catching a transformation that produced
+structurally invalid IR immediately, with the offending pass named).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.ir.stmt import Procedure
+from repro.ir.validate import ValidationError, validate
+
+Pass = Callable[[Procedure], Procedure]
+
+
+@dataclass
+class Pipeline:
+    """Ordered sequence of named passes.
+
+    Example::
+
+        pipe = (
+            Pipeline()
+            .add("normalize", normalize_procedure)
+            .add("coalesce", lambda p: coalesce_procedure(p)[0])
+        )
+        out = pipe.run(proc)
+    """
+
+    passes: list[tuple[str, Pass]] = field(default_factory=list)
+    validate_between: bool = True
+
+    def add(self, name: str, fn: Pass) -> "Pipeline":
+        self.passes.append((name, fn))
+        return self
+
+    def run(self, proc: Procedure) -> Procedure:
+        if self.validate_between:
+            validate(proc)
+        for name, fn in self.passes:
+            proc = fn(proc)
+            if self.validate_between:
+                try:
+                    validate(proc)
+                except ValidationError as exc:
+                    raise ValidationError(
+                        f"pass {name!r} produced invalid IR: {exc}"
+                    ) from exc
+        return proc

@@ -1,0 +1,116 @@
+"""Strength-reduced index recovery for block execution.
+
+The naive coalesced loop pays O(m) div/mod per iteration to recover the nest
+indices (E2).  When a processor executes a *contiguous block* of flat
+iterations — which is exactly what static block scheduling and chunked
+self-scheduling hand out — recovery can be strength-reduced: compute the
+indices once with div/mod at the head of the block, then advance them like an
+odometer (one increment plus one compare per iteration, amortized) for the
+rest of the block.  The paper points to this as the reason coalescing's
+recovery cost is negligible under block scheduling.
+
+:func:`block_recovered_loop` rewrites a coalesced loop into this form::
+
+    DOALL I_strip = 1, ⌈N / B⌉
+      I_lo := (I_strip − 1)·B + 1
+      i1 := recover_1(I_lo) ; … ; im := recover_m(I_lo)   -- div/mod once
+      FOR I = I_lo, min(I_strip·B, N)
+        <original body>
+        im := im + 1                                       -- odometer
+        if im > Nm then im := 1 ; i(m−1) := i(m−1) + 1 ; … end
+"""
+
+from __future__ import annotations
+
+from repro.ir.expr import BinOp, Const, Expr, Var, ceil_div, min_, mul, sub
+from repro.ir.simplify import simplify
+from repro.ir.stmt import Assign, Block, If, Loop, LoopKind, Stmt
+from repro.ir.visitor import substitute
+from repro.transforms.base import TransformError, fresh_name, used_names
+from repro.transforms.coalesce import CoalesceResult
+
+
+def odometer_advance(index_vars: tuple[str, ...], bounds: tuple[Expr, ...]) -> list[Stmt]:
+    """Statements advancing (i1..im) to the lexicographically next point.
+
+    After the final iteration the odometer overshoots (e.g. ``i1 = N1 + 1``);
+    callers recompute indices at each block head, so the overshoot is dead.
+    """
+    m = len(index_vars)
+
+    def advance(k: int) -> list[Stmt]:
+        var = Var(index_vars[k])
+        bump = Assign(var, var + Const(1))
+        if k == 0:
+            return [bump]
+        wrap = If(
+            BinOp(">", var, bounds[k]),
+            Block((Assign(var, Const(1)), *advance(k - 1))),
+        )
+        return [bump, wrap]
+
+    return advance(m - 1)
+
+
+def block_recovered_loop(
+    result: CoalesceResult,
+    block: int | Expr,
+    used: set[str] | None = None,
+) -> Loop:
+    """Strength-reduced block-execution form of a coalesced loop.
+
+    ``result`` must come from :func:`repro.transforms.coalesce.coalesce`
+    with ``materialize="assign"`` (the default), whose body starts with the
+    m recovery assignments followed by the original nest body.
+    """
+    m = result.depth
+    loop = result.loop
+    body_stmts = loop.body.stmts
+    heads = body_stmts[:m]
+    if len(heads) != m or not all(
+        isinstance(s, Assign)
+        and isinstance(s.target, Var)
+        and s.target.name == iv
+        for s, iv in zip(heads, result.index_vars)
+    ):
+        raise TransformError(
+            "block_recovered_loop requires a coalesce result materialized "
+            "with recovery assignments (materialize='assign')"
+        )
+    original_body = body_stmts[m:]
+
+    b: Expr = Const(block) if isinstance(block, int) else block
+    if isinstance(b, Const) and (not isinstance(b.value, int) or b.value < 1):
+        raise TransformError(f"block size must be a positive integer, got {b.value!r}")
+
+    pool = used if used is not None else used_names(loop)
+    strip = fresh_name(f"{result.flat_var}_strip", pool)
+    lo_var = fresh_name(f"{result.flat_var}_lo", pool)
+
+    n = loop.upper
+    strips = simplify(ceil_div(n, b))
+    lo_expr = simplify(mul(sub(Var(strip), Const(1)), b) + Const(1))
+    hi_expr = simplify(min_(mul(Var(strip), b), n))
+
+    # Head-of-block recovery: the original recovery expressions, evaluated at
+    # the block's first flat iteration instead of the running index.
+    head_recovery = [
+        Assign(
+            Var(iv),
+            simplify(substitute(result.recovery[iv], {result.flat_var: Var(lo_var)})),
+        )
+        for iv in result.index_vars
+    ]
+
+    inner = Loop(
+        result.flat_var,
+        Var(lo_var),
+        hi_expr,
+        Block(tuple(original_body) + tuple(odometer_advance(result.index_vars, result.bounds))),
+        Const(1),
+        LoopKind.SERIAL,
+    )
+    strip_body = Block(
+        (Assign(Var(lo_var), lo_expr), *head_recovery, inner)
+    )
+    return Loop(strip, Const(1), strips, strip_body, Const(1), loop.kind)

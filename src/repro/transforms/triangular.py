@@ -1,0 +1,230 @@
+"""Coalescing non-rectangular (triangular) nests.
+
+The paper's transformation targets rectangular nests; triangular iteration
+spaces — ``DOALL i = 1..N / DOALL j = 1..i`` and friends — are the obvious
+next case and this module provides the two standard answers:
+
+**Guarded (bounding box)** — coalesce the rectangular bounding box and wrap
+the body in the nest's own bound predicate::
+
+    DOALL I = 1, N·M⁺          -- M⁺ = max over i of the inner extent
+      i, j := box recovery
+      if j <= f(i) then body
+
+  Always applicable when the inner bound is any expression of the outer
+  index; the price is the wasted (guard-false) box iterations — ≈ 50% for a
+  triangle.
+
+**Exact (closed form)** — for the canonical lower-triangular nest
+(``j = 1..i``) the flat space has exactly N(N+1)/2 points and the indices
+recover with one integer square root::
+
+    i = (isqrt(8·I − 7) + 1) div 2
+    j = I − i·(i − 1) div 2
+
+  No wasted iterations, perfect static balance over the *true* space, at
+  the cost of an ``isqrt`` per iteration (or per block under the same
+  strength-reduction as the rectangular case: within a block, j increments
+  and wraps into i+1 like an odometer).
+
+Upper-triangular nests (``j = i..N``) are handled by reflecting ``j`` into
+canonical form first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.expr import (
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    Var,
+    ceil_div,
+    floor_div,
+    max_,
+    mul,
+    sub,
+)
+from repro.ir.simplify import simplify
+from repro.ir.stmt import Assign, Block, If, Loop, LoopKind, Stmt
+from repro.ir.visitor import free_vars, substitute
+from repro.transforms.base import TransformError, fresh_name, used_names
+from repro.transforms.coalesce import recovery_expressions
+
+
+@dataclass(frozen=True)
+class TriangularResult:
+    """Outcome of coalescing a triangular nest.
+
+    Attributes:
+        loop: the coalesced loop (guard included for the guarded strategy).
+        flat_var: flat index name.
+        index_vars: (outer, inner) original induction variables.
+        strategy: "guarded" or "exact".
+        total_iterations: flat trip count expression (box or true size).
+        wasted_fraction_expr: for guarded, symbolic ratio is not materialized;
+            use :func:`guarded_waste` for concrete shapes.
+    """
+
+    loop: Loop
+    flat_var: str
+    index_vars: tuple[str, str]
+    strategy: str
+    total_iterations: Expr
+
+
+def _extract_pair(loop: Loop) -> tuple[Loop, Loop]:
+    body = loop.body
+    if len(body) != 1 or not isinstance(body.stmts[0], Loop):
+        raise TransformError(
+            f"triangular coalescing needs a perfect 2-deep nest at {loop.var!r}"
+        )
+    inner = body.stmts[0]
+    for lp in (loop, inner):
+        if not lp.is_doall:
+            raise TransformError(
+                f"triangular coalescing requires DOALL loops; {lp.var!r} is serial"
+            )
+    if not loop.is_normalized:
+        raise TransformError(f"outer loop {loop.var!r} must be normalized")
+    if not (
+        isinstance(inner.lower, Const)
+        and inner.lower.value == 1
+        and isinstance(inner.step, Const)
+        and inner.step.value == 1
+    ):
+        raise TransformError(
+            f"inner loop {inner.var!r} must run 1..bound step 1 "
+            "(reflect or normalize first)"
+        )
+    if loop.var not in free_vars(inner.upper):
+        raise TransformError(
+            "inner bound does not depend on the outer index — the nest is "
+            "rectangular; use the ordinary coalesce"
+        )
+    return loop, inner
+
+
+def coalesce_triangular_guarded(
+    loop: Loop,
+    flat_var: str | None = None,
+    used: set[str] | None = None,
+) -> TriangularResult:
+    """Bounding-box coalescing with an inner-bound guard.
+
+    Applicable to any 2-deep DOALL nest whose inner bound is an expression
+    of the outer index; the box height is the bound's maximum over the outer
+    range, which for the affine bounds this IR can analyse is attained at an
+    endpoint (``max(f(1), f(N))``).
+    """
+    outer, inner = _extract_pair(loop)
+    n = outer.upper
+    f_at_1 = simplify(substitute(inner.upper, {outer.var: Const(1)}))
+    f_at_n = simplify(substitute(inner.upper, {outer.var: n}))
+    box_height = simplify(max_(f_at_1, f_at_n))
+
+    pool = used if used is not None else used_names(loop)
+    flat = flat_var or fresh_name(f"{outer.var}_flat", pool)
+
+    recov = recovery_expressions(Var(flat), [n, box_height], "ceiling")
+    guard = BinOp("<=", Var(inner.var), inner.upper)
+    body = Block(
+        (
+            Assign(Var(outer.var), recov[0]),
+            Assign(Var(inner.var), recov[1]),
+            If(guard, inner.body),
+        )
+    )
+    total = simplify(mul(n, box_height))
+    coalesced = Loop(flat, Const(1), total, body, Const(1), LoopKind.DOALL)
+    return TriangularResult(
+        coalesced, flat, (outer.var, inner.var), "guarded", total
+    )
+
+
+def _is_lower_triangular(outer: Loop, inner: Loop) -> bool:
+    return inner.upper == Var(outer.var)
+
+
+def coalesce_triangular_exact(
+    loop: Loop,
+    flat_var: str | None = None,
+    used: set[str] | None = None,
+) -> TriangularResult:
+    """Closed-form coalescing of the canonical triangle ``j = 1..i``.
+
+    Flat size N(N+1)/2; recovery::
+
+        i = (isqrt(8I − 7) + 1) div 2
+        j = I − i(i−1) div 2
+    """
+    outer, inner = _extract_pair(loop)
+    if not _is_lower_triangular(outer, inner):
+        raise TransformError(
+            "exact triangular coalescing requires the canonical inner bound "
+            f"j = 1..{outer.var} (got 1..{inner.upper}); reflect the nest "
+            "or use the guarded strategy"
+        )
+    n = outer.upper
+    pool = used if used is not None else used_names(loop)
+    flat = flat_var or fresh_name(f"{outer.var}_flat", pool)
+    flat_v = Var(flat)
+
+    total = simplify(floor_div(mul(n, n + Const(1)), Const(2)))
+    i_expr = floor_div(
+        Call("isqrt", (sub(mul(Const(8), flat_v), Const(7)),)) + Const(1),
+        Const(2),
+    )
+    i_v = Var(outer.var)
+    j_expr = sub(flat_v, floor_div(mul(i_v, sub(i_v, Const(1))), Const(2)))
+
+    body = Block(
+        (
+            Assign(i_v, simplify(i_expr)),
+            Assign(Var(inner.var), simplify(j_expr)),
+        )
+        + inner.body.stmts
+    )
+    coalesced = Loop(flat, Const(1), total, body, Const(1), LoopKind.DOALL)
+    return TriangularResult(
+        coalesced, flat, (outer.var, inner.var), "exact", total
+    )
+
+
+def coalesce_triangular(
+    loop: Loop,
+    strategy: str = "auto",
+    flat_var: str | None = None,
+    used: set[str] | None = None,
+) -> TriangularResult:
+    """Coalesce a triangular 2-deep DOALL nest.
+
+    ``strategy``: ``"exact"`` (canonical triangles only), ``"guarded"``
+    (any outer-dependent affine bound), or ``"auto"`` (exact when the nest
+    is canonical, guarded otherwise).
+    """
+    if strategy not in ("auto", "exact", "guarded"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    if strategy == "exact":
+        return coalesce_triangular_exact(loop, flat_var, used)
+    if strategy == "guarded":
+        return coalesce_triangular_guarded(loop, flat_var, used)
+    outer, inner = _extract_pair(loop)
+    if _is_lower_triangular(outer, inner):
+        return coalesce_triangular_exact(loop, flat_var, used)
+    return coalesce_triangular_guarded(loop, flat_var, used)
+
+
+def guarded_waste(n: int, inner_extent_fn) -> float:
+    """Fraction of box iterations the guard discards, for a concrete shape.
+
+    ``inner_extent_fn(i)`` gives the true inner extent at outer index i.
+    """
+    extents = [max(0, inner_extent_fn(i)) for i in range(1, n + 1)]
+    true_size = sum(extents)
+    box = n * max(extents) if extents else 0
+    if box == 0:
+        return 0.0
+    return 1.0 - true_size / box

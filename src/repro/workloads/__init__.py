@@ -1,0 +1,31 @@
+"""Canonical loop-nest workloads used by examples, experiments and benches."""
+
+from repro.workloads.kernels import (
+    Workload,
+    floyd_warshall,
+    jacobi2d,
+    make_env,
+    mark_nest,
+    matmul,
+    pi_partial_sums,
+    saxpy2d,
+    stencil3d,
+)
+from repro.workloads.gauss import gauss_jordan, gauss_reference
+from repro.workloads.shapes import WORKLOADS, get_workload
+
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "floyd_warshall",
+    "gauss_jordan",
+    "gauss_reference",
+    "get_workload",
+    "jacobi2d",
+    "make_env",
+    "mark_nest",
+    "matmul",
+    "pi_partial_sums",
+    "saxpy2d",
+    "stencil3d",
+]

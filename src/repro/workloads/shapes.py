@@ -1,0 +1,37 @@
+"""Workload registry keyed by name (used by benches and the examples)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.gauss import gauss_jordan
+from repro.workloads.kernels import (
+    Workload,
+    floyd_warshall,
+    jacobi2d,
+    matmul,
+    pi_partial_sums,
+    saxpy2d,
+    stencil3d,
+)
+
+WORKLOADS: dict[str, Callable[[], Workload]] = {
+    "matmul": matmul,
+    "saxpy2d": saxpy2d,
+    "jacobi2d": jacobi2d,
+    "calc_pi": pi_partial_sums,
+    "gauss_jordan": gauss_jordan,
+    "stencil3d": stencil3d,
+    "floyd": floyd_warshall,
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate a registered workload by name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+        ) from None
+    return factory()

@@ -1,0 +1,180 @@
+"""Unit tests for the dependence tester, checked against brute force."""
+
+import itertools
+
+import pytest
+
+from repro.analysis.dependence import (
+    DependenceTester,
+    LoopInfo,
+    direction_vectors,
+    has_dependence,
+)
+from repro.frontend.dsl import parse_expr
+from repro.ir.builder import assign, c, ref, serial, v
+from repro.ir.expr import ArrayRef
+
+
+def aref(src: str) -> ArrayRef:
+    e = parse_expr(src)
+    assert isinstance(e, ArrayRef)
+    return e
+
+
+def brute_force_directions(src, sink, loops):
+    """Enumerate (i, i′) pairs exhaustively; ground truth for small bounds."""
+    names = [info.var for info in loops]
+    ranges = [range(info.lower, info.upper + 1) for info in loops]
+    feasible = set()
+    for i_vals in itertools.product(*ranges):
+        for j_vals in itertools.product(*ranges):
+            env_i = dict(zip(names, i_vals))
+            env_j = dict(zip(names, j_vals))
+            from repro.runtime.interp import Interpreter
+
+            interp = Interpreter()
+            a = tuple(interp._eval(e, env_i, {}) for e in src.indices)
+            b = tuple(interp._eval(e, env_j, {}) for e in sink.indices)
+            if a == b:
+                dirs = tuple(
+                    "<" if x < y else ("=" if x == y else ">")
+                    for x, y in zip(i_vals, j_vals)
+                )
+                feasible.add(dirs)
+    return feasible
+
+
+class TestZIV:
+    def test_equal_constants_depend(self):
+        loops = [LoopInfo("i", 1, 10)]
+        t = DependenceTester(loops)
+        assert t.feasible_directions(aref("A(3)"), aref("A(3)"))
+
+    def test_unequal_constants_independent(self):
+        loops = [LoopInfo("i", 1, 10)]
+        t = DependenceTester(loops)
+        assert t.feasible_directions(aref("A(3)"), aref("A(4)")) == []
+
+
+class TestSIV:
+    def test_same_subscript_only_equal_direction(self):
+        loops = [LoopInfo("i", 1, 10)]
+        t = DependenceTester(loops)
+        assert t.feasible_directions(aref("A(i)"), aref("A(i)")) == [("=",)]
+
+    def test_shift_by_one_gives_cross_iteration(self):
+        loops = [LoopInfo("i", 1, 10)]
+        t = DependenceTester(loops)
+        dirs = t.feasible_directions(aref("A(i)"), aref("A(i - 1)"))
+        # A(i) == A(i'-1) iff i' = i+1, i.e. direction '<'.
+        assert dirs == [("<",)]
+
+    def test_shift_exceeding_range_is_independent(self):
+        loops = [LoopInfo("i", 1, 5)]
+        t = DependenceTester(loops)
+        assert t.feasible_directions(aref("A(i)"), aref("A(i + 100)")) == []
+
+    def test_gcd_infeasible(self):
+        # 2i and 2i'+1: even vs odd, never equal.
+        loops = [LoopInfo("i", 1, 100)]
+        t = DependenceTester(loops)
+        assert t.feasible_directions(aref("A(2 * i)"), aref("A(2 * i + 1)")) == []
+
+    def test_strided_overlap(self):
+        # 2i vs i+4 meets at (i=4,i'=4), (i=3,i'=2)... brute force agrees.
+        loops = [LoopInfo("i", 1, 8)]
+        t = DependenceTester(loops)
+        got = set(t.feasible_directions(aref("A(2 * i)"), aref("A(i + 4)")))
+        expected = brute_force_directions(aref("A(2 * i)"), aref("A(i + 4)"), loops)
+        assert expected <= got  # tester may over-approximate, never under
+
+
+class TestMultiDimensional:
+    def test_exact_match_two_dims(self):
+        loops = [LoopInfo("i", 1, 6), LoopInfo("j", 1, 6)]
+        t = DependenceTester(loops)
+        dirs = t.feasible_directions(aref("A(i, j)"), aref("A(i, j)"))
+        assert dirs == [("=", "=")]
+
+    def test_row_shift(self):
+        loops = [LoopInfo("i", 1, 6), LoopInfo("j", 1, 6)]
+        t = DependenceTester(loops)
+        dirs = set(t.feasible_directions(aref("A(i, j)"), aref("A(i - 1, j)")))
+        assert dirs == {("<", "=")}
+
+    def test_diagonal_shift(self):
+        loops = [LoopInfo("i", 1, 6), LoopInfo("j", 1, 6)]
+        t = DependenceTester(loops)
+        dirs = set(
+            t.feasible_directions(aref("A(i, j)"), aref("A(i - 1, j + 1)"))
+        )
+        assert dirs == {("<", ">")}
+
+    def test_independent_dimensions_prune(self):
+        loops = [LoopInfo("i", 1, 6), LoopInfo("j", 1, 6)]
+        t = DependenceTester(loops)
+        # First dim forces i' = i + 1 ('<'), second forces j' = j ('=').
+        dirs = set(t.feasible_directions(aref("A(i, j)"), aref("A(i - 1, j)")))
+        assert ("=", "=") not in dirs
+
+
+class TestConservatism:
+    def test_nonaffine_assumed_dependent(self):
+        loops = [LoopInfo("i", 1, 10)]
+        t = DependenceTester(loops)
+        dirs = t.feasible_directions(aref("A(i * i)"), aref("A(i)"))
+        assert len(dirs) == 3  # all directions assumed
+
+    def test_symbolic_scalar_assumed_dependent(self):
+        loops = [LoopInfo("i", 1, 10)]
+        t = DependenceTester(loops)
+        assert t.feasible_directions(aref("A(i + off)"), aref("A(i)"))
+
+    def test_unknown_bounds_still_uses_gcd(self):
+        loops = [LoopInfo("i", None, None)]
+        t = DependenceTester(loops)
+        assert t.feasible_directions(aref("A(2 * i)"), aref("A(2 * i + 1)")) == []
+
+    def test_unknown_bounds_allow_shift(self):
+        loops = [LoopInfo("i", 1, None)]
+        t = DependenceTester(loops)
+        assert ("<",) in t.feasible_directions(aref("A(i)"), aref("A(i - 1)"))
+
+
+class TestHelpers:
+    def test_direction_vectors_from_loops(self):
+        lp = serial("i", 1, 10)(assign(ref("A", v("i")), c(0.0)))
+        dirs = direction_vectors(aref("A(i)"), aref("A(i - 2)"), [lp])
+        assert dirs == [("<",)]
+
+    def test_has_dependence_false_for_distinct_arrays(self):
+        lp = serial("i", 1, 10)(assign(ref("A", v("i")), c(0.0)))
+        assert not has_dependence(aref("A(i)"), aref("B(i)"), [lp])
+
+    def test_single_iteration_loop_no_cross(self):
+        loops = [LoopInfo("i", 3, 3)]
+        t = DependenceTester(loops)
+        dirs = t.feasible_directions(aref("A(i)"), aref("A(i)"))
+        assert dirs == [("=",)]
+
+
+class TestAgainstBruteForce:
+    PAIRS = [
+        ("A(i)", "A(i)"),
+        ("A(i + 1)", "A(i)"),
+        ("A(i)", "A(10 - i)"),
+        ("A(2 * i)", "A(i + 3)"),
+        ("A(3 * i + 1)", "A(2 * i)"),
+        ("A(i, j)", "A(j, i)"),
+        ("A(i, j)", "A(i + 1, j - 1)"),
+        ("A(i + j, j)", "A(i, j)"),
+    ]
+
+    @pytest.mark.parametrize("src,sink", PAIRS)
+    def test_never_misses_a_real_dependence(self, src, sink):
+        loops = [LoopInfo("i", 1, 6), LoopInfo("j", 1, 6)]
+        t = DependenceTester(loops)
+        got = set(t.feasible_directions(aref(src), aref(sink)))
+        truth = brute_force_directions(aref(src), aref(sink), loops)
+        missing = truth - got
+        assert not missing, f"tester missed real dependences: {missing}"

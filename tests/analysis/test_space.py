@@ -1,0 +1,94 @@
+"""Unit and property tests for iteration-space arithmetic."""
+
+import itertools
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.space import IterationSpace
+
+
+class TestBasics:
+    def test_size(self):
+        assert IterationSpace((2, 3, 4)).size == 24
+
+    def test_products(self):
+        assert IterationSpace((2, 3, 4)).products() == (12, 4, 1)
+
+    def test_depth(self):
+        assert IterationSpace((5,)).depth == 1
+
+    def test_empty_dimension_gives_zero_size(self):
+        assert IterationSpace((3, 0, 2)).size == 0
+
+    def test_rejects_no_dimensions(self):
+        with pytest.raises(ValueError):
+            IterationSpace(())
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            IterationSpace((3, -1))
+
+
+class TestRankUnrank:
+    def test_unrank_first(self):
+        assert IterationSpace((2, 3)).unrank(1) == (1, 1)
+
+    def test_unrank_last(self):
+        assert IterationSpace((2, 3)).unrank(6) == (2, 3)
+
+    def test_unrank_middle(self):
+        assert IterationSpace((2, 3)).unrank(4) == (2, 1)
+
+    def test_rank_inverse(self):
+        space = IterationSpace((3, 4, 2))
+        for flat in range(1, space.size + 1):
+            assert space.rank(space.unrank(flat)) == flat
+
+    def test_unrank_out_of_range(self):
+        with pytest.raises(ValueError):
+            IterationSpace((2, 3)).unrank(7)
+
+    def test_unrank_zero(self):
+        with pytest.raises(ValueError):
+            IterationSpace((2, 3)).unrank(0)
+
+    def test_rank_coordinate_out_of_range(self):
+        with pytest.raises(ValueError):
+            IterationSpace((2, 3)).rank((3, 1))
+
+    def test_rank_wrong_arity(self):
+        with pytest.raises(ValueError):
+            IterationSpace((2, 3)).rank((1, 1, 1))
+
+    def test_iteration_order_lexicographic(self):
+        space = IterationSpace((2, 3))
+        assert list(space) == [
+            (1, 1), (1, 2), (1, 3), (2, 1), (2, 2), (2, 3)
+        ]
+
+    def test_block(self):
+        space = IterationSpace((2, 3))
+        assert space.block(2, 4) == [(1, 2), (1, 3), (2, 1)]
+
+
+@given(
+    bounds=st.lists(st.integers(1, 6), min_size=1, max_size=4).map(tuple),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_unrank_matches_itertools(bounds):
+    space = IterationSpace(bounds)
+    expected = list(itertools.product(*[range(1, n + 1) for n in bounds]))
+    assert [space.unrank(i) for i in range(1, space.size + 1)] == expected
+
+
+@given(
+    bounds=st.lists(st.integers(1, 6), min_size=1, max_size=4).map(tuple),
+    data=st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_rank_unrank_roundtrip(bounds, data):
+    space = IterationSpace(bounds)
+    flat = data.draw(st.integers(1, space.size))
+    assert space.rank(space.unrank(flat)) == flat

@@ -1,0 +1,86 @@
+"""Unit tests for affine subscript extraction."""
+
+from repro.analysis.subscripts import AffineForm, affine_of
+from repro.frontend.dsl import parse_expr
+from repro.ir.expr import Unary, Var
+
+
+def aff(src: str, *vars_: str) -> AffineForm | None:
+    return affine_of(parse_expr(src), vars_)
+
+
+class TestExtraction:
+    def test_constant(self):
+        assert aff("7") == AffineForm((), 7)
+
+    def test_plain_index(self):
+        assert aff("i", "i") == AffineForm((("i", 1),), 0)
+
+    def test_linear_combination(self):
+        form = aff("2 * i + 3 * j - 5", "i", "j")
+        assert form.coeff("i") == 2
+        assert form.coeff("j") == 3
+        assert form.const == -5
+
+    def test_coefficient_on_right(self):
+        assert aff("i * 4", "i").coeff("i") == 4
+
+    def test_nested_arithmetic(self):
+        form = aff("2 * (i + 1) - (j - 3)", "i", "j")
+        assert form.coeff("i") == 2
+        assert form.coeff("j") == -1
+        assert form.const == 5
+
+    def test_unary_minus(self):
+        form = affine_of(Unary("-", Var("i")), ["i"])
+        assert form.coeff("i") == -1
+
+    def test_repeated_variable_merges(self):
+        form = aff("i + i + i", "i")
+        assert form.coeff("i") == 3
+
+    def test_cancelling_terms(self):
+        form = aff("i - i + 4", "i")
+        assert form == AffineForm((), 4)
+
+
+class TestRejections:
+    def test_index_times_index(self):
+        assert aff("i * j", "i", "j") is None
+
+    def test_symbolic_scalar(self):
+        assert aff("i + n", "i") is None
+
+    def test_division(self):
+        assert aff("i div 2", "i") is None
+
+    def test_mod(self):
+        assert aff("i mod 4", "i") is None
+
+    def test_float_constant(self):
+        assert aff("1.5") is None
+
+    def test_intrinsic(self):
+        assert aff("sqrt(i)", "i") is None
+
+
+class TestAlgebra:
+    def test_add(self):
+        a = AffineForm((("i", 2),), 1)
+        b = AffineForm((("i", 3), ("j", 1)), 4)
+        assert (a + b) == AffineForm((("i", 5), ("j", 1)), 5)
+
+    def test_sub_cancels(self):
+        a = AffineForm((("i", 2),), 1)
+        assert (a - a) == AffineForm((), 0)
+
+    def test_scale(self):
+        a = AffineForm((("i", 2),), 3)
+        assert a.scale(-2) == AffineForm((("i", -4),), -6)
+
+    def test_evaluate(self):
+        a = AffineForm((("i", 2), ("j", -1)), 7)
+        assert a.evaluate({"i": 3, "j": 4}) == 9
+
+    def test_zero_coefficients_dropped(self):
+        assert AffineForm.from_dict({"i": 0, "j": 1}, 0).variables == ("j",)

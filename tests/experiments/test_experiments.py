@@ -1,0 +1,128 @@
+"""Integration smoke tests: every experiment runs at reduced scale and
+produces a table whose headline claim holds.
+
+The full-scale claims are asserted by the benchmark harness; here each
+experiment is exercised with small parameters so the whole evaluation
+pipeline stays under test in the fast suite.
+"""
+
+import pytest
+
+from repro.experiments import e01_index_recovery
+from repro.experiments import e02_recovery_cost
+from repro.experiments import e03_sched_ops
+from repro.experiments import e04_static_completion
+from repro.experiments import e05_speedup
+from repro.experiments import e06_imbalance
+from repro.experiments import e07_overhead
+from repro.experiments import e08_hybrid
+from repro.experiments import e09_gss
+from repro.experiments import e10_end_to_end
+
+
+class TestE01:
+    def test_no_mismatches(self):
+        table = e01_index_recovery.run(trials=5, max_depth=3, max_extent=6)
+        assert all(m == 0 for m in table.column("mismatches"))
+
+    def test_check_shape_counts_points(self):
+        points, mismatches = e01_index_recovery.check_shape((3, 4), "divmod")
+        assert points == 12 and mismatches == 0
+
+
+class TestE02:
+    def test_depth_scaling(self):
+        table = e02_recovery_cost.run(extent=4, block=4)
+        naive = [
+            row[3]
+            for row in table.rows
+            if row[1] == "ceiling" and row[2] == "naive"
+        ]
+        assert naive == sorted(naive)
+        assert naive[0] == 0  # depth 1 free
+
+
+class TestE03:
+    def test_cross_check_passes(self):
+        table = e03_sched_ops.run(shapes=((4, 6), (8, 5)), p=4, chunk=3)
+        assert len(table.rows) == 8
+
+
+class TestE04:
+    def test_winner_column_present(self):
+        table = e04_static_completion.run(
+            shape=(4, 10), body=20.0, processors=(2, 4, 8, 16)
+        )
+        winners = table.column("winner")
+        assert "coalesced" in winners
+
+
+class TestE05:
+    def test_plateau(self):
+        table = e05_speedup.run(shape=(4, 16), body=30.0, processors=(2, 4, 8, 32))
+        outer = table.column("outer-only")
+        assert outer[-1] <= 4.0
+        blocked = table.column("coalesced(blocked)")
+        assert blocked[-1] > outer[-1]
+
+
+class TestE06:
+    def test_coalesced_spread_bounded(self):
+        table = e06_imbalance.run(shapes=((5, 9), (7, 4)), p=4, body=8.0)
+        spreads = [r[2] for r in table.rows if r[1] == "coalesced"]
+        assert all(s <= 8.0 for s in spreads)
+
+
+class TestE07:
+    def test_coalesced_wins_with_overheads(self):
+        table = e07_overhead.run(
+            shape=(6, 8),
+            body=15.0,
+            p=4,
+            dispatch_costs=(10.0,),
+            barrier_costs=(50.0,),
+        )
+        assert table.rows[0][5].startswith("coalesced")
+
+
+class TestE08:
+    def test_functional_error_tiny(self):
+        assert e08_hybrid.functional_check(n=8, m=2) < 1e-10
+
+    def test_barrier_reduction(self):
+        table = e08_hybrid.run(sizes=(6,), m=2, p=4)
+        per_row = next(r for r in table.rows if r[1] == "per-row barriers")
+        per_pivot = next(r for r in table.rows if r[1] == "coalesced per pivot")
+        assert per_pivot[2] < per_row[2]
+
+
+class TestE09:
+    def test_gss_beats_static_on_gradient(self):
+        table = e09_gss.run(shape=(12, 10), p=4, dispatch_cost=10.0)
+        rows = {r[0]: r for r in table.rows}
+        assert rows["gss"][1] < rows["static-balanced"][1]
+
+
+class TestE10:
+    def test_all_ok(self):
+        table = e10_end_to_end.run()
+        assert all(row[2] == "ok" for row in table.rows)
+
+
+class TestMains:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            e01_index_recovery,
+            e03_sched_ops,
+            e04_static_completion,
+            e05_speedup,
+            e06_imbalance,
+            e07_overhead,
+            e09_gss,
+        ],
+    )
+    def test_main_prints(self, module, capsys):
+        module.main()
+        out = capsys.readouterr().out
+        assert "E" in out and "-" in out

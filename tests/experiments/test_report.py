@@ -1,0 +1,58 @@
+"""Unit tests for the table/report infrastructure."""
+
+import pytest
+
+from repro.experiments.report import Table, format_tables
+
+
+class TestTable:
+    def test_add_and_column(self):
+        t = Table("t", ["a", "b"])
+        t.add(1, 2)
+        t.add(3, 4)
+        assert t.column("b") == [2, 4]
+
+    def test_add_arity_check(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            t.add(1)
+
+    def test_unknown_column(self):
+        t = Table("t", ["a"])
+        with pytest.raises(ValueError):
+            t.column("zz")
+
+    def test_format_alignment(self):
+        t = Table("title", ["name", "value"])
+        t.add("x", 1)
+        t.add("longer", 123.5)
+        text = t.format()
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert all(len(line) == len(lines[2]) for line in lines[2:5])
+
+    def test_float_formatting(self):
+        t = Table("t", ["v"])
+        t.add(2.0)
+        t.add(2.25)
+        text = t.format()
+        assert "2.250" in text
+        assert "\n  2\n" in "\n" + text + "\n" or text.endswith("2.250")
+
+    def test_notes_rendered(self):
+        t = Table("t", ["v"], notes="hello note")
+        t.add(1)
+        assert "hello note" in t.format()
+
+    def test_to_csv(self):
+        t = Table("t", ["a", "b"])
+        t.add(1, 2.5)
+        assert t.to_csv() == "a,b\n1,2.500"
+
+    def test_format_tables_joins(self):
+        t1 = Table("one", ["a"])
+        t1.add(1)
+        t2 = Table("two", ["a"])
+        t2.add(2)
+        out = format_tables([t1, t2])
+        assert "one" in out and "two" in out

@@ -1,0 +1,165 @@
+"""Unit and property tests for the mini-language parser."""
+
+import pytest
+
+from repro.frontend.dsl import ParseError, parse, parse_expr, tokenize
+from repro.ir import to_source
+from repro.ir.builder import assign, c, doall, if_, proc, ref, serial, v
+from repro.ir.expr import ArrayRef, BinOp, Call, Const, Unary, Var
+from repro.ir.stmt import LoopKind
+
+
+class TestTokenizer:
+    def test_comment_skipped(self):
+        toks = tokenize("x := 1 -- a comment\n")
+        assert [t.text for t in toks[:-1]] == ["x", ":=", "1"]
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\nc")
+        assert [t.line for t in toks[:-1]] == [1, 2, 3]
+
+    def test_stray_character(self):
+        with pytest.raises(ParseError):
+            tokenize("x := $")
+
+    def test_float_token(self):
+        toks = tokenize("2.5 1e3 3.0e-2")
+        assert [t.kind for t in toks[:-1]] == ["FLOAT", "FLOAT", "FLOAT"]
+
+
+class TestExpressions:
+    def test_precedence(self):
+        e = parse_expr("a + b * c")
+        assert e == BinOp("+", Var("a"), BinOp("*", Var("b"), Var("c")))
+
+    def test_parens(self):
+        e = parse_expr("(a + b) * c")
+        assert e == BinOp("*", BinOp("+", Var("a"), Var("b")), Var("c"))
+
+    def test_div_mod_ceildiv(self):
+        assert parse_expr("a div b").op == "floordiv"
+        assert parse_expr("a mod b").op == "mod"
+        assert parse_expr("a ceildiv b").op == "ceildiv"
+
+    def test_left_associativity(self):
+        e = parse_expr("a - b - c")
+        assert e == BinOp("-", BinOp("-", Var("a"), Var("b")), Var("c"))
+
+    def test_unary_minus_constant_folds(self):
+        assert parse_expr("-3") == Const(-3)
+
+    def test_unary_minus_variable(self):
+        assert parse_expr("-x") == Unary("-", Var("x"))
+
+    def test_min_max(self):
+        assert parse_expr("min(a, b)") == BinOp("min", Var("a"), Var("b"))
+        assert parse_expr("max(1, n)") == BinOp("max", Const(1), Var("n"))
+
+    def test_intrinsic_call(self):
+        assert parse_expr("sqrt(x)") == Call("sqrt", (Var("x"),))
+
+    def test_array_reference(self):
+        assert parse_expr("A(i, j + 1)") == ArrayRef(
+            "A", (Var("i"), BinOp("+", Var("j"), Const(1)))
+        )
+
+    def test_comparison(self):
+        assert parse_expr("i <= n").op == "<="
+
+    def test_and_or(self):
+        e = parse_expr("a < b and b < c or x == 1")
+        assert e.op == "or"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("a + b )")
+
+
+class TestStatements:
+    def test_minimal_procedure(self):
+        p = parse("procedure f\nx := 1\nend")
+        assert p.name == "f"
+        assert len(p.body) == 1
+
+    def test_declarations(self):
+        p = parse("procedure f(A[2], B[1]; n, m)\nA(1, 1) := 0\nend")
+        assert p.arrays == {"A": 2, "B": 1}
+        assert p.scalars == ("n", "m")
+
+    def test_scalars_only_declaration(self):
+        p = parse("procedure f(n)\nx := n\nend")
+        assert p.scalars == ("n",)
+        assert p.arrays == {}
+
+    def test_doall_loop(self):
+        p = parse("procedure f(n)\ndoall i = 1, n\nx := i\nend\nend")
+        assert p.body.stmts[0].kind is LoopKind.DOALL
+
+    def test_serial_loop_with_step(self):
+        p = parse("procedure f\nfor i = 1, 10, 2\nx := i\nend\nend")
+        loop = p.body.stmts[0]
+        assert loop.step == Const(2)
+
+    def test_if_else(self):
+        p = parse(
+            "procedure f(n)\nif n > 0 then\nx := 1\nelse\nx := 2\nend\nend"
+        )
+        cond = p.body.stmts[0]
+        assert len(cond.then) == 1 and len(cond.orelse) == 1
+
+    def test_missing_end(self):
+        with pytest.raises(ParseError, match="unexpected end of input"):
+            parse("procedure f\nfor i = 1, 10\nx := i\nend")
+
+    def test_error_reports_line(self):
+        with pytest.raises(ParseError, match="line 3"):
+            parse("procedure f\nx := 1\ny := := 2\nend")
+
+
+class TestRoundTrip:
+    CASES = [
+        proc("p1", assign(v("x"), c(1))),
+        proc(
+            "p2",
+            doall("i", 1, v("n"))(
+                serial("j", 1, v("i"))(
+                    assign(ref("A", v("i"), v("j")), v("i") * v("j"))
+                )
+            ),
+            arrays={"A": 2},
+            scalars=("n",),
+        ),
+        proc(
+            "p3",
+            if_(
+                v("n") > c(0),
+                assign(v("x"), BinOp("min", v("n"), c(10))),
+                assign(v("x"), c(0)),
+            ),
+            scalars=("n",),
+        ),
+        proc(
+            "p4",
+            serial("i", 1, 100, 3)(
+                assign(
+                    ref("B", BinOp("ceildiv", v("i"), c(4))),
+                    BinOp("mod", v("i"), c(7)),
+                )
+            ),
+            arrays={"B": 1},
+        ),
+    ]
+
+    @pytest.mark.parametrize("p", CASES, ids=[x.name for x in CASES])
+    def test_print_parse_identity(self, p):
+        assert parse(to_source(p)) == p
+
+    def test_coalesced_output_roundtrips(self):
+        from repro.transforms import coalesce
+
+        nest = doall("i", 1, v("n"))(
+            doall("j", 1, v("m"))(assign(ref("A", v("i"), v("j")), c(0.0)))
+        )
+        result = coalesce(nest)
+        p = proc("q", result.loop, arrays={"A": 2}, scalars=("n", "m"))
+        assert parse(to_source(p)) == p

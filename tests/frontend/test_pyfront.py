@@ -1,0 +1,172 @@
+"""Unit tests for the Python-AST frontend."""
+
+import pytest
+
+from repro.frontend.pyfront import FrontendError, from_python
+from repro.ir import validate
+from repro.ir.expr import BinOp, Const
+from repro.ir.stmt import LoopKind
+
+
+class TestLoops:
+    def test_range_one_arg(self):
+        p = from_python("def f(x, n):\n    for i in range(n):\n        x[i] = i\n")
+        loop = p.body.stmts[0]
+        assert loop.lower == Const(0)
+        assert loop.kind is LoopKind.SERIAL
+
+    def test_range_two_args_inclusive_upper(self):
+        p = from_python("def f(x, n):\n    for i in range(1, n + 1):\n        x[i] = i\n")
+        loop = p.body.stmts[0]
+        assert loop.lower == Const(1)
+        # n + 1 (exclusive) becomes n (inclusive)
+        assert str(loop.upper) == "Var('n')"
+
+    def test_prange_is_doall(self):
+        p = from_python("def f(x, n):\n    for i in prange(n):\n        x[i] = i\n")
+        assert p.body.stmts[0].kind is LoopKind.DOALL
+
+    def test_step(self):
+        p = from_python("def f(x):\n    for i in range(0, 10, 2):\n        x[i] = i\n")
+        assert p.body.stmts[0].step == Const(2)
+
+    def test_non_constant_step_rejected(self):
+        with pytest.raises(FrontendError, match="step"):
+            from_python("def f(x, s):\n    for i in range(0, 10, s):\n        x[i] = i\n")
+
+    def test_unknown_iterable_rejected(self):
+        with pytest.raises(FrontendError, match="range/prange"):
+            from_python("def f(x, xs):\n    for i in enumerate(xs):\n        x[0] = 1\n")
+
+    def test_for_else_rejected(self):
+        src = (
+            "def f(x):\n"
+            "    for i in range(3):\n"
+            "        x[i] = i\n"
+            "    else:\n"
+            "        x[0] = 0\n"
+        )
+        with pytest.raises(FrontendError, match="for-else"):
+            from_python(src)
+
+
+class TestDeclarations:
+    def test_arrays_vs_scalars_inferred(self):
+        p = from_python(
+            "def f(A, B, n, alpha):\n"
+            "    for i in range(n):\n"
+            "        B[i] = A[i] * alpha\n"
+        )
+        assert p.arrays == {"A": 1, "B": 1}
+        assert p.scalars == ("n", "alpha")
+
+    def test_array_order_follows_parameter_list(self):
+        # The write target B appears first in the body; declaration order
+        # must still follow the parameter list (A before B).
+        p = from_python(
+            "def f(A, B, n):\n"
+            "    for i in range(n):\n"
+            "        B[i] = A[i]\n"
+        )
+        assert list(p.arrays) == ["A", "B"]
+
+    def test_subscripted_non_parameter_rejected(self):
+        with pytest.raises(FrontendError, match="must be parameters"):
+            from_python(
+                "def f(n):\n"
+                "    for i in range(n):\n"
+                "        G[i] = i\n"
+            )
+
+    def test_rank_from_tuple_subscript(self):
+        p = from_python(
+            "def f(A, n):\n"
+            "    for i in range(n):\n"
+            "        for j in range(n):\n"
+            "            A[i, j] = 0\n"
+        )
+        assert p.arrays == {"A": 2}
+
+    def test_inconsistent_rank_rejected(self):
+        src = (
+            "def f(A, n):\n"
+            "    for i in range(n):\n"
+            "        A[i] = A[i, 0]\n"
+        )
+        with pytest.raises(FrontendError, match="subscripts"):
+            from_python(src)
+
+    def test_result_validates(self):
+        p = from_python(
+            "def f(A, B, n):\n"
+            "    for i in prange(1, n + 1):\n"
+            "        B[i] = A[i] + 1\n"
+        )
+        validate(p)
+
+
+class TestExpressions:
+    def test_augmented_assignment_expands(self):
+        p = from_python("def f(x, n):\n    for i in range(n):\n        x[i] += 2\n")
+        stmt = p.body.stmts[0].body.stmts[0]
+        assert isinstance(stmt.value, BinOp) and stmt.value.op == "+"
+
+    def test_floordiv_and_mod(self):
+        p = from_python("def f(x, n):\n    for i in range(n):\n        x[i] = i // 3 + i % 5\n")
+        text = str(p)
+        assert "floordiv" in text and "mod" in text
+
+    def test_math_intrinsics(self):
+        p = from_python(
+            "def f(x, n):\n    for i in range(n):\n        x[i] = math.sin(i) + sqrt(i)\n"
+        )
+        validate(p)
+
+    def test_min_max_two_args(self):
+        p = from_python("def f(x, n):\n    for i in range(n):\n        x[i] = min(i, n)\n")
+        stmt = p.body.stmts[0].body.stmts[0]
+        assert stmt.value.op == "min"
+
+    def test_if_condition(self):
+        p = from_python(
+            "def f(x, n):\n"
+            "    for i in range(n):\n"
+            "        if i % 2 == 0:\n"
+            "            x[i] = 1\n"
+            "        else:\n"
+            "            x[i] = 0\n"
+        )
+        validate(p)
+
+    def test_unsupported_call_rejected(self):
+        with pytest.raises(FrontendError, match="unsupported call"):
+            from_python("def f(x):\n    x[0] = open('f')\n")
+
+    def test_unsupported_statement_rejected(self):
+        with pytest.raises(FrontendError, match="unsupported statement"):
+            from_python("def f(x):\n    while True:\n        x[0] = 1\n")
+
+    def test_return_value_rejected(self):
+        with pytest.raises(FrontendError, match="return"):
+            from_python("def f(x):\n    return x\n")
+
+    def test_docstring_and_pass_skipped(self):
+        p = from_python('def f(x):\n    """doc"""\n    pass\n    x[0] = 1\n')
+        assert len(p.body) == 1
+
+
+class TestCallableInput:
+    def test_from_live_function(self):
+        def kernel(A, B, n):
+            for i in prange(1, n + 1):  # noqa: F821
+                for j in prange(1, n + 1):  # noqa: F821
+                    B[i, j] = A[i, j] * 2
+
+        p = from_python(kernel)
+        assert p.name == "kernel"
+        assert p.body.stmts[0].kind is LoopKind.DOALL
+        validate(p)
+
+    def test_two_functions_rejected(self):
+        with pytest.raises(FrontendError, match="exactly one"):
+            from_python("def f(x):\n    x[0]=1\n\ndef g(x):\n    x[0]=2\n")

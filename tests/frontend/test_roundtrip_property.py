@@ -1,0 +1,118 @@
+"""Property: the printer and parser are exact inverses on random programs.
+
+A hypothesis strategy generates procedures exercising every statement form
+(serial/DOALL loops with steps and offsets, conditionals with and without
+else, scalar and array assignments) and every expression form the dialect
+can print; ``parse(to_source(p)) == p`` must hold structurally.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.frontend.dsl import parse
+from repro.ir.expr import ArrayRef, BinOp, Call, Const, Expr, Unary, Var
+from repro.ir.printer import to_source
+from repro.ir.stmt import Assign, Block, If, Loop, LoopKind, Procedure
+
+_VARS = ("x", "y", "z", "n", "m")
+_ARRAYS = {"A": 1, "B": 2}
+_ARITH = ("+", "-", "*", "/", "floordiv", "ceildiv", "mod", "min", "max")
+_CMP = ("==", "!=", "<", "<=", ">", ">=")
+
+
+def _exprs(index_vars: tuple[str, ...]) -> st.SearchStrategy[Expr]:
+    names = _VARS + index_vars
+    leaves = st.one_of(
+        st.integers(-9, 99).map(Const),
+        st.floats(
+            min_value=-8, max_value=8, allow_nan=False, allow_infinity=False
+        ).map(lambda f: Const(round(f, 3))),
+        st.sampled_from(names).map(Var),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.builds(
+                lambda op, a, b: BinOp(op, a, b),
+                st.sampled_from(_ARITH),
+                children,
+                children,
+            ),
+            children.map(lambda e: Unary("-", e)),
+            st.builds(lambda a: Call("sqrt", (a,)), children),
+            st.builds(lambda a: ArrayRef("A", (a,)), children),
+            st.builds(lambda a, b: ArrayRef("B", (a, b)), children, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+@st.composite
+def _stmts(draw, index_vars: tuple[str, ...], depth: int) -> object:
+    exprs = _exprs(index_vars)
+    kind = draw(st.integers(0, 3 if depth < 2 else 1))
+    if kind == 0:  # scalar assignment
+        return Assign(Var(draw(st.sampled_from(("x", "y", "z")))), draw(exprs))
+    if kind == 1:  # array assignment
+        if draw(st.booleans()):
+            target = ArrayRef("A", (draw(exprs),))
+        else:
+            target = ArrayRef("B", (draw(exprs), draw(exprs)))
+        return Assign(target, draw(exprs))
+    if kind == 2:  # conditional
+        cond = BinOp(draw(st.sampled_from(_CMP)), draw(exprs), draw(exprs))
+        then = Block(tuple(draw(_blocks(index_vars, depth + 1))))
+        orelse = Block(
+            tuple(draw(_blocks(index_vars, depth + 1)))
+            if draw(st.booleans())
+            else ()
+        )
+        return If(cond, then, orelse)
+    # loop
+    var = draw(st.sampled_from(("i", "j", "k")))
+    while var in index_vars:
+        var += "q"
+    body = Block(tuple(draw(_blocks(index_vars + (var,), depth + 1))))
+    step = Const(draw(st.integers(1, 3)))
+    return Loop(
+        var,
+        draw(exprs),
+        draw(exprs),
+        body,
+        step,
+        draw(st.sampled_from([LoopKind.SERIAL, LoopKind.DOALL])),
+    )
+
+
+def _blocks(index_vars: tuple[str, ...], depth: int):
+    return st.lists(_stmts(index_vars, depth), min_size=1, max_size=3)
+
+
+@st.composite
+def procedures(draw) -> Procedure:
+    body = Block(tuple(draw(_blocks((), 0))))
+    return Procedure("randp", body, dict(_ARRAYS), tuple(_VARS))
+
+
+def _canonical(node):
+    """Fold unary minus of constants, as the parser canonically does."""
+    from repro.ir.visitor import transform_exprs
+
+    def fold(e: Expr) -> Expr:
+        if isinstance(e, Unary) and e.op == "-" and isinstance(e.operand, Const):
+            return Const(-e.operand.value)
+        return e
+
+    return transform_exprs(node, fold)
+
+
+@given(p=procedures())
+@settings(max_examples=60, deadline=None)
+def test_print_parse_roundtrip(p):
+    assert parse(to_source(p)) == _canonical(p)
+
+
+@given(p=procedures())
+@settings(max_examples=30, deadline=None)
+def test_print_is_deterministic(p):
+    assert to_source(p) == to_source(p)

@@ -1,0 +1,141 @@
+"""Tests for the command-line compiler driver."""
+
+import pytest
+
+from repro.cli import main, run_pipeline
+
+MATMUL = """
+procedure matmul(A[2], B[2], C[2]; n)
+  for i = 1, n
+    for j = 1, n
+      C(i, j) := 0.0
+      for k = 1, n
+        C(i, j) := C(i, j) + A(i, k) * B(k, j)
+      end
+    end
+  end
+end
+"""
+
+
+@pytest.fixture
+def mm_file(tmp_path):
+    f = tmp_path / "mm.loop"
+    f.write_text(MATMUL)
+    return str(f)
+
+
+class TestRunPipeline:
+    def test_default_pipeline_coalesces_matmul(self):
+        proc, results = run_pipeline(MATMUL)
+        assert len(results) == 2  # init nest + reduction nest
+        assert all(r.depth == 2 for r in results)
+
+    def test_pipeline_equivalence(self):
+        from repro.frontend.dsl import parse
+        from repro.runtime.equivalence import assert_equivalent
+
+        original = parse(MATMUL)
+        transformed, _ = run_pipeline(MATMUL)
+        assert_equivalent(
+            original, transformed, {k: (7, 7) for k in "ABC"}, {"n": 6}
+        )
+
+    def test_pass_subset(self):
+        proc, results = run_pipeline(MATMUL, passes="normalize,analyze")
+        assert results == []
+        from repro.ir.visitor import collect_loops
+        from repro.ir.stmt import LoopKind
+
+        kinds = {lp.var: lp.kind for lp in collect_loops(proc)}
+        assert kinds["i"] is LoopKind.DOALL
+
+    def test_divmod_style(self):
+        proc, results = run_pipeline(MATMUL, style="divmod")
+        from repro.ir import to_source
+
+        assert "ceildiv" not in to_source(proc)
+
+    def test_depth_limit(self):
+        proc, results = run_pipeline(MATMUL, depth=1)
+        # depth=1 coalesces single loops; min_depth in coalesce_procedure
+        # filters them out, so nothing happens.
+        assert results == []
+
+    def test_unknown_pass(self):
+        with pytest.raises(ValueError, match="unknown pass"):
+            run_pipeline(MATMUL, passes="vectorize")
+
+
+class TestMain:
+    def test_emit_loop(self, mm_file, capsys):
+        assert main([mm_file]) == 0
+        out = capsys.readouterr().out
+        assert "doall i_flat" in out
+
+    def test_emit_python(self, mm_file, capsys):
+        assert main([mm_file, "--emit", "python"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("def matmul(")
+
+    def test_emit_both(self, mm_file, capsys):
+        assert main([mm_file, "--emit", "both"]) == 0
+        out = capsys.readouterr().out
+        assert "procedure matmul" in out and "def matmul(" in out
+
+    def test_report(self, mm_file, capsys):
+        assert main([mm_file, "--report"]) == 0
+        err = capsys.readouterr().err
+        assert "coalesced nest (i, j)" in err
+
+    def test_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(MATMUL))
+        assert main(["-"]) == 0
+        assert "doall" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent/x.loop"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error_exit_code(self, tmp_path, capsys):
+        f = tmp_path / "bad.loop"
+        f.write_text("procedure broken\nx := := 2\nend")
+        assert main([str(f)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_triangular_flag(self, tmp_path, capsys):
+        f = tmp_path / "tri.loop"
+        f.write_text(
+            "procedure tri(T[2]; n)\n"
+            "for i = 1, n\n"
+            "for j = 1, i\n"
+            "T(i, j) := T(i, j) + 1.0\n"
+            "end\nend\nend"
+        )
+        assert main([str(f), "--triangular", "--report"]) == 0
+        captured = capsys.readouterr()
+        assert "isqrt" in captured.out
+        assert "coalesced triangular nest (i, j)" in captured.err
+        assert "strategy=exact" in captured.err
+
+    def test_triangular_off_by_default(self, tmp_path, capsys):
+        f = tmp_path / "tri.loop"
+        f.write_text(
+            "procedure tri(T[2]; n)\n"
+            "for i = 1, n\n"
+            "for j = 1, i\n"
+            "T(i, j) := T(i, j) + 1.0\n"
+            "end\nend\nend"
+        )
+        assert main([str(f), "--report"]) == 0
+        captured = capsys.readouterr()
+        assert "isqrt" not in captured.out
+        assert "no nests coalesced" in captured.err
+
+    def test_report_no_nests(self, tmp_path, capsys):
+        f = tmp_path / "flat.loop"
+        f.write_text("procedure f(A[1]; n)\nfor i = 1, n\nA(i) := 1.0\nend\nend")
+        assert main([str(f), "--report"]) == 0
+        assert "no nests coalesced" in capsys.readouterr().err

@@ -1,0 +1,161 @@
+"""Property tests over randomly generated loop nests.
+
+A hypothesis strategy builds arbitrary rectangular DOALL nests — varying
+depth, extents, lower bounds, steps, body statements, and affine subscript
+offsets — and every transformation in the library must preserve program
+results on them.  This is the widest net the suite casts.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.ir.builder import assign, block, proc, ref, v
+from repro.ir.expr import BinOp, Const, Expr, Var
+from repro.ir.stmt import Block, Loop, LoopKind, Procedure
+from repro.ir.validate import validate
+from repro.runtime.equivalence import assert_equivalent
+from repro.transforms import (
+    TransformError,
+    block_recovered_loop,
+    coalesce,
+    coalesce_procedure,
+    distribute_procedure,
+    strip_mine,
+)
+from repro.transforms.normalize import normalize_procedure
+
+MAX_DEPTH = 3
+MAX_EXTENT = 4
+PAD = 8  # array slack so offset subscripts stay in bounds
+
+
+@st.composite
+def random_nests(draw) -> tuple[Procedure, dict[str, tuple[int, ...]]]:
+    """A procedure holding one rectangular DOALL nest with affine bodies."""
+    depth = draw(st.integers(1, MAX_DEPTH))
+    extents = [draw(st.integers(1, MAX_EXTENT)) for _ in range(depth)]
+    lowers = [draw(st.integers(0, 2)) for _ in range(depth)]
+    steps = [draw(st.integers(1, 2)) for _ in range(depth)]
+    index_names = [f"i{k}" for k in range(depth)]
+
+    def subscript(k: int) -> Expr:
+        off = draw(st.integers(0, 2))
+        e: Expr = Var(index_names[k])
+        if off:
+            e = BinOp("+", e, Const(off))
+        return e
+
+    def value_expr() -> Expr:
+        # linear marker over the indices, optionally plus a load of U
+        e: Expr = Const(draw(st.integers(1, 5)))
+        for k in range(depth):
+            e = BinOp(
+                "+",
+                e,
+                BinOp("*", Const(draw(st.integers(1, 7))), Var(index_names[k])),
+            )
+        if draw(st.booleans()):
+            e = BinOp(
+                "+", e, ref("U", *[subscript(k) for k in range(depth)])
+            )
+        return e
+
+    n_stmts = draw(st.integers(1, 3))
+    stmts = [
+        assign(ref("T", *[subscript(k) for k in range(depth)]), value_expr())
+        for _ in range(n_stmts)
+    ]
+
+    body: Block = Block(tuple(stmts))
+    for k in range(depth - 1, -1, -1):
+        lo = lowers[k]
+        hi = lo + (extents[k] - 1) * steps[k]
+        body = Block(
+            (
+                Loop(
+                    index_names[k],
+                    Const(lo),
+                    Const(hi),
+                    body,
+                    Const(steps[k]),
+                    LoopKind.DOALL,
+                ),
+            )
+        )
+
+    p = Procedure("rand", body, {"T": depth, "U": depth}, ())
+    # Max index per axis: lo + (extent-1)*step + offset(≤2); PAD covers it.
+    sizes = {
+        "T": tuple(lo + (n - 1) * s + PAD for lo, n, s in zip(lowers, extents, steps)),
+        "U": tuple(lo + (n - 1) * s + PAD for lo, n, s in zip(lowers, extents, steps)),
+    }
+    validate(p)
+    return p, sizes
+
+
+@given(data=random_nests(), style=st.sampled_from(["ceiling", "divmod"]),
+       seed=st.integers(0, 10**6))
+@settings(max_examples=40, deadline=None)
+def test_property_coalesce_any_nest(data, style, seed):
+    p, sizes = data
+    loop = p.body.stmts[0]
+    result = coalesce(loop, style=style, auto_normalize=True)
+    p2 = p.with_body(block(result.loop))
+    validate(p2)
+    assert_equivalent(p, p2, sizes, seed=seed)
+
+
+@given(data=random_nests(), block_size=st.integers(1, 9),
+       seed=st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_property_block_recovery_any_nest(data, block_size, seed):
+    p, sizes = data
+    loop = p.body.stmts[0]
+    result = coalesce(loop, auto_normalize=True)
+    sr = block_recovered_loop(result, block_size)
+    p2 = p.with_body(block(sr))
+    validate(p2)
+    assert_equivalent(p, p2, sizes, seed=seed)
+
+
+@given(data=random_nests(), block_size=st.integers(1, 9),
+       seed=st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_property_coalesce_then_stripmine(data, block_size, seed):
+    p, sizes = data
+    loop = p.body.stmts[0]
+    result = coalesce(loop, auto_normalize=True)
+    sm = strip_mine(result.loop, block_size)
+    p2 = p.with_body(block(sm))
+    validate(p2)
+    assert_equivalent(p, p2, sizes, seed=seed)
+
+
+@given(data=random_nests(), seed=st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_property_distribute_then_coalesce(data, seed):
+    p, sizes = data
+    p_norm = normalize_procedure(p)
+    distributed = distribute_procedure(p_norm)
+    validate(distributed)
+    assert_equivalent(p, distributed, sizes, seed=seed)
+    coalesced, _ = coalesce_procedure(distributed)
+    validate(coalesced)
+    assert_equivalent(p, coalesced, sizes, seed=seed)
+
+
+@given(data=random_nests(), seed=st.integers(0, 10**6))
+@settings(max_examples=25, deadline=None)
+def test_property_codegen_matches_interpreter(data, seed):
+    from repro.codegen import compile_procedure
+    from repro.runtime.equivalence import copy_env, random_env
+    from repro.runtime.interp import run
+
+    p, sizes = data
+    env = random_env(p, sizes, seed=seed)
+    e1, e2 = copy_env(env), copy_env(env)
+    run(p, e1)
+    compile_procedure(p).run(e2)
+    for name in p.arrays:
+        assert np.array_equal(e1[name], e2[name])

@@ -1,0 +1,201 @@
+"""Unit tests for IR expression nodes and folding constructors."""
+
+import pytest
+
+from repro.ir.expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Const,
+    Unary,
+    Var,
+    add,
+    apply_binop,
+    ceil_div,
+    floor_div,
+    max_,
+    min_,
+    mod,
+    mul,
+    sub,
+)
+
+
+class TestNodeConstruction:
+    def test_const_int(self):
+        assert Const(3).value == 3
+
+    def test_const_float(self):
+        assert Const(2.5).value == 2.5
+
+    def test_const_rejects_bool(self):
+        with pytest.raises(TypeError):
+            Const(True)
+
+    def test_const_rejects_string(self):
+        with pytest.raises(TypeError):
+            Const("x")
+
+    def test_var_valid(self):
+        assert Var("i").name == "i"
+
+    def test_var_rejects_bad_identifier(self):
+        with pytest.raises(ValueError):
+            Var("2x")
+
+    def test_var_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_binop_unknown_operator(self):
+        with pytest.raises(ValueError):
+            BinOp("**", Const(1), Const(2))
+
+    def test_binop_rejects_raw_int(self):
+        with pytest.raises(TypeError):
+            BinOp("+", 1, Const(2))
+
+    def test_unary_unknown(self):
+        with pytest.raises(ValueError):
+            Unary("+", Const(1))
+
+    def test_arrayref_rank(self):
+        r = ArrayRef("A", (Var("i"), Var("j")))
+        assert r.rank == 2
+
+    def test_arrayref_rejects_bad_name(self):
+        with pytest.raises(ValueError):
+            ArrayRef("A-1", (Var("i"),))
+
+    def test_call_unknown_intrinsic(self):
+        with pytest.raises(ValueError):
+            Call("frobnicate", (Const(1),))
+
+    def test_call_known_intrinsic(self):
+        assert Call("sqrt", (Const(4),)).func == "sqrt"
+
+
+class TestEqualityHashing:
+    def test_structural_equality(self):
+        assert BinOp("+", Var("i"), Const(1)) == BinOp("+", Var("i"), Const(1))
+
+    def test_inequality_on_op(self):
+        assert BinOp("+", Var("i"), Const(1)) != BinOp("-", Var("i"), Const(1))
+
+    def test_hashable(self):
+        s = {Var("i"), Var("i"), Var("j")}
+        assert len(s) == 2
+
+
+class TestFoldingConstructors:
+    def test_add_consts(self):
+        assert add(Const(2), Const(3)) == Const(5)
+
+    def test_add_zero_left(self):
+        assert add(Const(0), Var("i")) == Var("i")
+
+    def test_add_zero_right(self):
+        assert add(Var("i"), Const(0)) == Var("i")
+
+    def test_sub_zero(self):
+        assert sub(Var("i"), Const(0)) == Var("i")
+
+    def test_sub_self(self):
+        assert sub(Var("i"), Var("i")) == Const(0)
+
+    def test_mul_consts(self):
+        assert mul(Const(4), Const(5)) == Const(20)
+
+    def test_mul_zero(self):
+        assert mul(Var("i"), Const(0)) == Const(0)
+
+    def test_mul_one(self):
+        assert mul(Const(1), Var("i")) == Var("i")
+
+    def test_floordiv_by_one(self):
+        assert floor_div(Var("i"), Const(1)) == Var("i")
+
+    def test_floordiv_consts(self):
+        assert floor_div(Const(7), Const(2)) == Const(3)
+
+    def test_ceildiv_by_one(self):
+        assert ceil_div(Var("i"), Const(1)) == Var("i")
+
+    def test_ceildiv_consts_exact(self):
+        assert ceil_div(Const(6), Const(3)) == Const(2)
+
+    def test_ceildiv_consts_round_up(self):
+        assert ceil_div(Const(7), Const(3)) == Const(3)
+
+    def test_mod_by_one(self):
+        assert mod(Var("i"), Const(1)) == Const(0)
+
+    def test_mod_consts(self):
+        assert mod(Const(7), Const(3)) == Const(1)
+
+    def test_min_consts(self):
+        assert min_(Const(2), Const(9)) == Const(2)
+
+    def test_max_same(self):
+        assert max_(Var("i"), Var("i")) == Var("i")
+
+    def test_coerce_python_ints(self):
+        assert add(1, 2) == Const(3)
+
+    def test_coerce_rejects_junk(self):
+        with pytest.raises(TypeError):
+            add(Var("i"), "x")
+
+
+class TestOperatorSugar:
+    def test_dunder_add(self):
+        assert (Var("i") + 1) == BinOp("+", Var("i"), Const(1))
+
+    def test_dunder_radd_folds(self):
+        assert (0 + Var("i")) == Var("i")
+
+    def test_dunder_sub(self):
+        assert (Var("i") - Var("j")) == BinOp("-", Var("i"), Var("j"))
+
+    def test_dunder_mul(self):
+        assert (2 * Var("n")) == BinOp("*", Const(2), Var("n"))
+
+
+class TestApplyBinop:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("+", 2, 3, 5),
+            ("-", 2, 3, -1),
+            ("*", 4, 5, 20),
+            ("floordiv", 7, 2, 3),
+            ("floordiv", -7, 2, -4),
+            ("ceildiv", 7, 2, 4),
+            ("ceildiv", 6, 2, 3),
+            ("ceildiv", -7, 2, -3),
+            ("mod", 7, 3, 1),
+            ("min", 2, 9, 2),
+            ("max", 2, 9, 9),
+            ("==", 3, 3, 1),
+            ("!=", 3, 3, 0),
+            ("<", 2, 3, 1),
+            ("<=", 3, 3, 1),
+            (">", 2, 3, 0),
+            (">=", 3, 3, 1),
+            ("and", 1, 0, 0),
+            ("or", 1, 0, 1),
+        ],
+    )
+    def test_cases(self, op, a, b, expected):
+        assert apply_binop(op, a, b) == expected
+
+    def test_ceildiv_matches_math(self):
+        import math
+
+        for a in range(-20, 21):
+            for b in (1, 2, 3, 7):
+                assert apply_binop("ceildiv", a, b) == math.ceil(a / b)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            apply_binop("xor", 1, 2)

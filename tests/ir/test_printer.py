@@ -1,0 +1,121 @@
+"""Unit tests for the pretty-printer."""
+
+from repro.ir.builder import assign, block, c, doall, if_, proc, ref, serial, v
+from repro.ir.expr import BinOp, Const, Unary, Var, ceil_div, floor_div, mod
+from repro.ir.printer import expr_to_source, to_source
+
+
+class TestExprPrinting:
+    def test_const(self):
+        assert expr_to_source(Const(3)) == "3"
+
+    def test_float_const(self):
+        assert expr_to_source(Const(2.5)) == "2.5"
+
+    def test_var(self):
+        assert expr_to_source(Var("i")) == "i"
+
+    def test_precedence_no_spurious_parens(self):
+        e = Var("a") + Var("b") * Var("c")
+        assert expr_to_source(e) == "a + b * c"
+
+    def test_precedence_required_parens(self):
+        e = BinOp("*", BinOp("+", Var("a"), Var("b")), Var("c"))
+        assert expr_to_source(e) == "(a + b) * c"
+
+    def test_right_assoc_subtraction_parens(self):
+        e = BinOp("-", Var("a"), BinOp("-", Var("b"), Var("c")))
+        assert expr_to_source(e) == "a - (b - c)"
+
+    def test_floordiv_keyword(self):
+        assert expr_to_source(floor_div(Var("i"), Var("n"))) == "i div n"
+
+    def test_mod_keyword(self):
+        assert expr_to_source(mod(Var("i"), Var("n"))) == "i mod n"
+
+    def test_ceildiv_keyword(self):
+        assert expr_to_source(ceil_div(Var("i"), Var("n"))) == "i ceildiv n"
+
+    def test_min_function_style(self):
+        assert expr_to_source(BinOp("min", Var("a"), Var("b"))) == "min(a, b)"
+
+    def test_unary_minus(self):
+        assert expr_to_source(Unary("-", Var("x"))) == "-x"
+
+    def test_array_ref_loop_dialect(self):
+        assert expr_to_source(ref("A", v("i"), v("j"))) == "A(i, j)"
+
+    def test_array_ref_python_dialect(self):
+        assert expr_to_source(ref("A", v("i"), v("j")), dialect="python") == "A[i, j]"
+
+    def test_python_floordiv(self):
+        out = expr_to_source(floor_div(Var("i"), Var("n")), dialect="python")
+        assert out == "i // n"
+
+    def test_python_ceildiv_is_negated_floordiv(self):
+        out = expr_to_source(ceil_div(Var("i"), Var("n")), dialect="python")
+        assert out == "(-(-(i) // (n)))"
+
+    def test_python_floordiv_parenthesized_under_mul(self):
+        # Regression: m * ((i - 1) // m) must keep the parens around //.
+        e = BinOp("*", Var("m"), floor_div(Var("i") - 1, Var("m")))
+        assert expr_to_source(e, dialect="python") == "m * ((i - 1) // m)"
+
+    def test_python_mod_parenthesized_under_mul(self):
+        e = BinOp("*", Var("m"), mod(Var("i"), Var("m")))
+        assert expr_to_source(e, dialect="python") == "m * (i % m)"
+
+
+class TestStmtPrinting:
+    def test_loop_header_keywords(self):
+        p = doall("i", 1, v("n"))(assign(ref("A", v("i")), c(0.0)))
+        text = to_source(p)
+        assert text.splitlines()[0] == "doall i = 1, n"
+        assert text.splitlines()[-1] == "end"
+
+    def test_serial_loop_keyword(self):
+        p = serial("i", 1, v("n"))(assign(v("x"), v("i")))
+        assert to_source(p).startswith("for i = 1, n")
+
+    def test_step_printed_when_not_one(self):
+        p = serial("i", 1, 10, 2)(assign(v("x"), v("i")))
+        assert "for i = 1, 10, 2" in to_source(p)
+
+    def test_step_omitted_when_one(self):
+        p = serial("i", 1, 10)(assign(v("x"), v("i")))
+        assert to_source(p).splitlines()[0] == "for i = 1, 10"
+
+    def test_if_else(self):
+        s = if_(v("x") > c(0), assign(v("y"), 1), assign(v("y"), 2))
+        lines = to_source(s).splitlines()
+        assert lines[0] == "if x > 0 then"
+        assert "else" in lines
+        assert lines[-1] == "end"
+
+    def test_if_without_else_has_no_else_line(self):
+        s = if_(v("x") > c(0), assign(v("y"), 1))
+        assert "else" not in to_source(s)
+
+    def test_procedure_header(self):
+        p = proc("f", arrays={"A": 2}, scalars=("n",))
+        assert to_source(p).splitlines()[0] == "procedure f(A[2]; n)"
+
+    def test_procedure_no_decls(self):
+        p = proc("f")
+        assert to_source(p).splitlines()[0] == "procedure f"
+
+    def test_indentation(self):
+        p = proc(
+            "f",
+            serial("i", 1, 3)(serial("j", 1, 3)(assign(v("x"), v("i")))),
+            scalars=(),
+        )
+        lines = to_source(p).splitlines()
+        assert lines[1].startswith("  for i")
+        assert lines[2].startswith("    for j")
+        assert lines[3].startswith("      x :=")
+
+    def test_python_dialect_loop(self):
+        p = serial("i", 1, v("n"))(assign(v("x"), v("i")))
+        text = to_source(p, dialect="python")
+        assert "for i in range(1, n + 1, 1):" in text

@@ -1,0 +1,131 @@
+"""Unit and property tests for the algebraic simplifier."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.ir.builder import assign, ref, v
+from repro.ir.expr import (
+    BinOp,
+    Const,
+    Expr,
+    Unary,
+    Var,
+    apply_binop,
+    ceil_div,
+    floor_div,
+    mod,
+)
+from repro.ir.simplify import simplify
+
+
+class TestRules:
+    def test_constant_fold(self):
+        assert simplify(BinOp("+", Const(2), Const(3))) == Const(5)
+
+    def test_add_then_add_consts(self):
+        e = BinOp("+", BinOp("+", Var("x"), Const(2)), Const(3))
+        assert simplify(e) == BinOp("+", Var("x"), Const(5))
+
+    def test_add_then_sub_cancels(self):
+        e = BinOp("-", BinOp("+", Var("x"), Const(2)), Const(2))
+        assert simplify(e) == Var("x")
+
+    def test_sub_then_add_to_negative(self):
+        e = BinOp("+", BinOp("-", Var("x"), Const(5)), Const(2))
+        assert simplify(e) == BinOp("-", Var("x"), Const(3))
+
+    def test_mul_chain(self):
+        e = BinOp("*", BinOp("*", Var("x"), Const(3)), Const(4))
+        assert simplify(e) == BinOp("*", Var("x"), Const(12))
+
+    def test_div_of_multiple(self):
+        e = floor_div(BinOp("*", Var("x"), Const(6)), Const(3))
+        assert simplify(e) == BinOp("*", Var("x"), Const(2))
+
+    def test_mod_idempotent(self):
+        e = mod(mod(Var("x"), Const(5)), Const(5))
+        assert simplify(e) == BinOp("mod", Var("x"), Const(5))
+
+    def test_unary_minus_const(self):
+        assert simplify(Unary("-", Const(3))) == Const(-3)
+
+    def test_statement_simplification(self):
+        s = assign(ref("A", v("i") + 0), v("x") * 1)
+        out = simplify(s)
+        assert out == assign(ref("A", v("i")), v("x"))
+
+    def test_div_by_one_vanishes(self):
+        assert simplify(floor_div(Var("x"), Const(1))) == Var("x")
+
+    def test_ceildiv_by_one_vanishes(self):
+        assert simplify(ceil_div(Var("x"), Const(1))) == Var("x")
+
+
+# ---------------------------------------------------------------------------
+# Property: simplification never changes the value of an expression.
+# ---------------------------------------------------------------------------
+
+_VAR_NAMES = ("x", "y", "z")
+
+# Integer-safe operators only: '/' would produce floats whose folding rules
+# differ; the simplifier targets index arithmetic.
+_SAFE_OPS = ("+", "-", "*", "floordiv", "ceildiv", "mod", "min", "max")
+
+
+def _exprs() -> st.SearchStrategy[Expr]:
+    leaves = st.one_of(
+        st.integers(min_value=-20, max_value=20).map(Const),
+        st.sampled_from(_VAR_NAMES).map(Var),
+    )
+
+    def extend(children: st.SearchStrategy[Expr]) -> st.SearchStrategy[Expr]:
+        return st.builds(
+            lambda op, a, b: BinOp(op, a, b),
+            st.sampled_from(_SAFE_OPS),
+            children,
+            children,
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+def _eval(e: Expr, env: dict[str, int]) -> int:
+    if isinstance(e, Const):
+        return e.value
+    if isinstance(e, Var):
+        return env[e.name]
+    if isinstance(e, BinOp):
+        return apply_binop(e.op, _eval(e.lhs, env), _eval(e.rhs, env))
+    if isinstance(e, Unary):
+        return -_eval(e.operand, env)
+    raise TypeError(e)
+
+
+@given(
+    e=_exprs(),
+    vals=st.tuples(
+        st.integers(-50, 50), st.integers(-50, 50), st.integers(-50, 50)
+    ),
+)
+@settings(max_examples=200, deadline=None)
+def test_simplify_preserves_value(e, vals):
+    env = dict(zip(_VAR_NAMES, vals))
+    simplified = simplify(e)
+    try:
+        expected = _eval(e, env)
+    except ZeroDivisionError:
+        return  # division by zero: original is undefined, nothing to compare
+    try:
+        actual = _eval(simplified, env)
+    except ZeroDivisionError:
+        raise AssertionError(
+            f"simplified form divides by zero where original did not: {simplified}"
+        )
+    assert actual == expected
+
+
+@given(e=_exprs())
+@settings(max_examples=100, deadline=None)
+def test_simplify_idempotent(e):
+    once = simplify(e)
+    assert simplify(once) == once

@@ -1,0 +1,141 @@
+"""Unit tests for IR statement nodes."""
+
+import pytest
+
+from repro.ir.builder import assign, block, c, doall, proc, ref, serial, v
+from repro.ir.expr import Const, Var
+from repro.ir.stmt import Assign, Block, If, Loop, LoopKind, Procedure
+
+
+class TestAssign:
+    def test_scalar_target(self):
+        a = assign(v("x"), 1)
+        assert isinstance(a.target, Var)
+
+    def test_array_target(self):
+        a = assign(ref("A", v("i")), 0.0)
+        assert a.target.name == "A"
+
+    def test_rejects_const_target(self):
+        with pytest.raises(TypeError):
+            Assign(Const(1), Const(2))
+
+    def test_rejects_non_expr_value(self):
+        with pytest.raises(TypeError):
+            Assign(Var("x"), "oops")
+
+
+class TestBlock:
+    def test_iteration_and_len(self):
+        b = block(assign(v("x"), 1), assign(v("y"), 2))
+        assert len(b) == 2
+        assert [s.target.name for s in b] == ["x", "y"]
+
+    def test_nested_blocks_flatten(self):
+        b = block(block(assign(v("x"), 1)), assign(v("y"), 2))
+        assert len(b) == 2
+
+    def test_rejects_non_stmt(self):
+        with pytest.raises(TypeError):
+            Block((Const(1),))
+
+
+class TestLoop:
+    def test_kind_default_serial(self):
+        lp = serial("i", 1, 10)(assign(v("x"), v("i")))
+        assert lp.kind is LoopKind.SERIAL
+        assert not lp.is_doall
+
+    def test_doall_builder(self):
+        lp = doall("i", 1, 10)(assign(v("x"), v("i")))
+        assert lp.is_doall
+
+    def test_is_normalized_true(self):
+        lp = serial("i", 1, v("n"))(assign(v("x"), v("i")))
+        assert lp.is_normalized
+
+    def test_is_normalized_false_lower(self):
+        lp = serial("i", 0, v("n"))(assign(v("x"), v("i")))
+        assert not lp.is_normalized
+
+    def test_is_normalized_false_step(self):
+        lp = serial("i", 1, v("n"), 2)(assign(v("x"), v("i")))
+        assert not lp.is_normalized
+
+    def test_trip_count_constant(self):
+        lp = serial("i", 1, 10)(assign(v("x"), v("i")))
+        assert lp.trip_count() == Const(10)
+
+    def test_trip_count_with_step(self):
+        lp = serial("i", 1, 10, 3)(assign(v("x"), v("i")))
+        assert lp.trip_count() == Const(4)  # 1,4,7,10
+
+    def test_trip_count_empty(self):
+        lp = serial("i", 5, 3)(assign(v("x"), v("i")))
+        assert lp.trip_count() == Const(0)
+
+    def test_trip_count_symbolic_is_none(self):
+        lp = serial("i", 1, v("n"))(assign(v("x"), v("i")))
+        assert lp.trip_count() is None
+
+    def test_rejects_zero_step(self):
+        with pytest.raises(ValueError):
+            serial("i", 1, 10, 0)(assign(v("x"), v("i")))
+
+    def test_rejects_negative_step(self):
+        with pytest.raises(ValueError):
+            serial("i", 10, 1, -1)(assign(v("x"), v("i")))
+
+    def test_rejects_bad_var(self):
+        with pytest.raises(ValueError):
+            Loop("bad name", Const(1), Const(2), Block())
+
+    def test_with_body(self):
+        lp = serial("i", 1, 10)(assign(v("x"), v("i")))
+        lp2 = lp.with_body(Block())
+        assert len(lp2.body) == 0
+        assert lp2.var == lp.var and lp2.kind == lp.kind
+
+    def test_with_kind(self):
+        lp = serial("i", 1, 10)(assign(v("x"), v("i")))
+        assert lp.with_kind(LoopKind.DOALL).is_doall
+
+
+class TestIf:
+    def test_default_empty_else(self):
+        node = If(Const(1), Block((assign(v("x"), 1),)))
+        assert len(node.orelse) == 0
+
+    def test_rejects_non_expr_cond(self):
+        with pytest.raises(TypeError):
+            If("cond", Block())
+
+
+class TestProcedure:
+    def test_declarations(self):
+        p = proc(
+            "p",
+            assign(ref("A", v("n")), 0.0),
+            arrays={"A": 1},
+            scalars=("n",),
+        )
+        assert p.arrays == {"A": 1}
+        assert p.scalars == ("n",)
+
+    def test_rejects_zero_rank(self):
+        with pytest.raises(ValueError):
+            Procedure("p", Block(), {"A": 0}, ())
+
+    def test_rejects_name_in_both(self):
+        with pytest.raises(ValueError):
+            Procedure("p", Block(), {"A": 1}, ("A",))
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ValueError):
+            Procedure("bad name", Block(), {}, ())
+
+    def test_with_body(self):
+        p = proc("p", arrays={"A": 1})
+        p2 = p.with_body(Block((assign(ref("A", c(1)), 0.0),)))
+        assert len(p2.body) == 1
+        assert p2.arrays == p.arrays

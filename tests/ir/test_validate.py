@@ -1,0 +1,117 @@
+"""Unit tests for the structural validator."""
+
+import pytest
+
+from repro.ir.builder import assign, block, c, doall, if_, proc, ref, serial, v
+from repro.ir.validate import ValidationError, validate
+
+
+class TestArrayChecks:
+    def test_undeclared_array(self):
+        p = proc("p", assign(ref("A", c(1)), c(0.0)))
+        with pytest.raises(ValidationError, match="not declared"):
+            validate(p)
+
+    def test_rank_mismatch(self):
+        p = proc("p", assign(ref("A", c(1)), c(0.0)), arrays={"A": 2})
+        with pytest.raises(ValidationError, match="rank"):
+            validate(p)
+
+    def test_ok(self):
+        p = proc("p", assign(ref("A", c(1), c(2)), c(0.0)), arrays={"A": 2})
+        validate(p)
+
+
+class TestInductionVariables:
+    def test_shadowed_loop_var(self):
+        p = proc(
+            "p",
+            serial("i", 1, 3)(serial("i", 1, 3)(assign(v("x"), v("i")))),
+        )
+        with pytest.raises(ValidationError, match="shadows"):
+            validate(p)
+
+    def test_loop_var_collides_with_scalar(self):
+        p = proc("p", serial("n", 1, 3)(assign(v("x"), v("n"))), scalars=("n",))
+        with pytest.raises(ValidationError, match="collides"):
+            validate(p)
+
+    def test_assignment_to_induction_variable(self):
+        p = proc("p", serial("i", 1, 3)(assign(v("i"), c(0))))
+        with pytest.raises(ValidationError, match="induction"):
+            validate(p)
+
+    def test_sibling_loops_may_reuse_name(self):
+        p = proc(
+            "p",
+            serial("i", 1, 3)(assign(v("x"), v("i"))),
+            serial("i", 1, 3)(assign(v("y"), v("i"))),
+        )
+        validate(p)
+
+
+class TestScalarDefinitions:
+    def test_read_before_definition(self):
+        p = proc("p", assign(v("x"), v("y")))
+        with pytest.raises(ValidationError, match="read before"):
+            validate(p)
+
+    def test_declared_scalar_ok(self):
+        p = proc("p", assign(v("x"), v("n")), scalars=("n",))
+        validate(p)
+
+    def test_definition_then_use(self):
+        p = proc("p", assign(v("x"), c(1)), assign(v("y"), v("x")))
+        validate(p)
+
+    def test_definition_inside_loop_does_not_escape(self):
+        p = proc(
+            "p",
+            serial("i", 1, 3)(assign(v("x"), v("i"))),
+            assign(v("y"), v("x")),
+        )
+        with pytest.raises(ValidationError, match="read before"):
+            validate(p)
+
+    def test_if_requires_definition_on_both_paths(self):
+        p = proc(
+            "p",
+            if_(v("n") > c(0), assign(v("x"), c(1))),
+            assign(v("y"), v("x")),
+            scalars=("n",),
+        )
+        with pytest.raises(ValidationError, match="read before"):
+            validate(p)
+
+    def test_if_defined_on_both_paths_ok(self):
+        p = proc(
+            "p",
+            if_(v("n") > c(0), assign(v("x"), c(1)), assign(v("x"), c(2))),
+            assign(v("y"), v("x")),
+            scalars=("n",),
+        )
+        validate(p)
+
+    def test_loop_bound_reads_checked(self):
+        p = proc("p", serial("i", 1, v("q"))(assign(v("x"), v("i"))))
+        with pytest.raises(ValidationError, match="read before"):
+            validate(p)
+
+
+class TestMisc:
+    def test_non_procedure_rejected(self):
+        with pytest.raises(ValidationError):
+            validate(block(assign(v("x"), c(1))))
+
+    def test_doall_nest_valid(self):
+        p = proc(
+            "p",
+            doall("i", 1, v("n"))(
+                doall("j", 1, v("m"))(
+                    assign(ref("A", v("i"), v("j")), v("i") + v("j"))
+                )
+            ),
+            arrays={"A": 2},
+            scalars=("n", "m"),
+        )
+        validate(p)

@@ -1,0 +1,124 @@
+"""Unit tests for IR walkers and rewriters."""
+
+import pytest
+
+from repro.ir.builder import assign, block, c, doall, if_, proc, ref, serial, v
+from repro.ir.expr import ArrayRef, BinOp, Const, Var
+from repro.ir.stmt import Block
+from repro.ir.visitor import (
+    collect_array_refs,
+    collect_loops,
+    free_vars,
+    substitute,
+    transform_exprs,
+    walk_exprs,
+    walk_stmts,
+)
+
+
+@pytest.fixture
+def nest():
+    return proc(
+        "p",
+        serial("i", 1, v("n"))(
+            doall("j", 1, v("m"))(
+                assign(ref("A", v("i"), v("j")), ref("B", v("j"), v("i")) + v("alpha"))
+            )
+        ),
+        arrays={"A": 2, "B": 2},
+        scalars=("n", "m", "alpha"),
+    )
+
+
+class TestWalkers:
+    def test_walk_stmts_counts(self, nest):
+        kinds = [type(s).__name__ for s in walk_stmts(nest)]
+        assert kinds.count("Loop") == 2
+        assert kinds.count("Assign") == 1
+
+    def test_collect_loops_order_outermost_first(self, nest):
+        loops = collect_loops(nest)
+        assert [lp.var for lp in loops] == ["i", "j"]
+
+    def test_collect_array_refs(self, nest):
+        refs = collect_array_refs(nest)
+        assert sorted(r.name for r in refs) == ["A", "B"]
+
+    def test_walk_exprs_includes_bounds(self, nest):
+        names = {e.name for e in walk_exprs(nest) if isinstance(e, Var)}
+        assert {"n", "m"} <= names
+
+    def test_walk_exprs_on_expr(self):
+        e = BinOp("+", Var("i"), Const(1))
+        assert len(list(walk_exprs(e))) == 3
+
+
+class TestFreeVars:
+    def test_inner_loop_vars_excluded(self, nest):
+        assert free_vars(nest) == {"n", "m", "alpha"}
+
+    def test_outer_binding_kept_for_fragment(self, nest):
+        inner = collect_loops(nest)[1]  # the j loop; i is free inside it
+        assert "i" in free_vars(inner)
+        assert "j" not in free_vars(inner)
+
+    def test_on_expression(self):
+        assert free_vars(BinOp("+", Var("a"), Var("b"))) == {"a", "b"}
+
+
+class TestTransformExprs:
+    def test_rename_variable(self, nest):
+        out = transform_exprs(
+            nest, lambda e: Var("beta") if e == Var("alpha") else e
+        )
+        assert "alpha" not in free_vars(out)
+        assert "beta" in free_vars(out)
+
+    def test_identity_shares_tree(self, nest):
+        out = transform_exprs(nest, lambda e: e)
+        assert out is nest
+
+    def test_rewrite_array_name(self, nest):
+        def fn(e):
+            if isinstance(e, ArrayRef) and e.name == "B":
+                return ArrayRef("B2", e.indices)
+            return e
+
+        out = transform_exprs(nest, fn)
+        assert {r.name for r in collect_array_refs(out)} == {"A", "B2"}
+
+    def test_target_must_stay_lvalue(self):
+        s = assign(v("x"), c(1))
+        with pytest.raises(TypeError):
+            transform_exprs(s, lambda e: Const(0) if e == Var("x") else e)
+
+
+class TestSubstitute:
+    def test_scalar_substitution(self):
+        s = assign(ref("A", v("i")), v("i") + v("off"))
+        out = substitute(s, {"off": Const(5)})
+        assert out == assign(ref("A", v("i")), v("i") + c(5))
+
+    def test_substitute_expression(self):
+        e = BinOp("*", Var("n"), Var("n"))
+        out = substitute(e, {"n": Const(3)})
+        assert out == BinOp("*", Const(3), Const(3))
+
+    def test_refuses_bound_induction_variable(self, nest):
+        with pytest.raises(ValueError):
+            substitute(nest, {"i": Const(1)})
+
+    def test_substitution_into_bounds(self):
+        lp = serial("i", 1, v("n"))(assign(v("x"), v("i")))
+        out = substitute(lp, {"n": Const(7)})
+        assert out.upper == Const(7)
+
+    def test_if_branches_rewritten(self):
+        s = if_(
+            BinOp("==", v("flag"), c(1)),
+            assign(v("x"), v("a")),
+            assign(v("x"), v("b")),
+        )
+        out = substitute(s, {"a": Const(1), "b": Const(2)})
+        assert out.then.stmts[0].value == Const(1)
+        assert out.orelse.stmts[0].value == Const(2)

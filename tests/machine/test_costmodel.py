@@ -1,0 +1,133 @@
+"""Unit tests for the static cost model."""
+
+import pytest
+
+from repro.frontend.dsl import parse, parse_expr
+from repro.ir.builder import assign, block, c, doall, if_, proc, ref, serial, v
+from repro.machine.costmodel import (
+    CostModelError,
+    CostWeights,
+    doall_iteration_costs,
+    expr_cost,
+    stmt_cost,
+)
+
+W = CostWeights(arith=1, divmod=4, true_div=4, memory=2, intrinsic=8, assign=1)
+
+
+class TestExprCost:
+    def test_leaf_free(self):
+        assert expr_cost(parse_expr("x"), W) == 0.0
+        assert expr_cost(parse_expr("3"), W) == 0.0
+
+    def test_arith(self):
+        assert expr_cost(parse_expr("a + b * c"), W) == 2.0
+
+    def test_divmod_weighted(self):
+        assert expr_cost(parse_expr("a div b"), W) == 4.0
+        assert expr_cost(parse_expr("a ceildiv b + a mod b"), W) == 9.0
+
+    def test_memory(self):
+        assert expr_cost(parse_expr("A(i, j)"), W) == 2.0
+        assert expr_cost(parse_expr("A(i + 1, j)"), W) == 3.0
+
+    def test_intrinsic(self):
+        assert expr_cost(parse_expr("sqrt(x)"), W) == 8.0
+
+    def test_comparison_counts_as_arith(self):
+        assert expr_cost(parse_expr("i <= n"), W) == 1.0
+
+
+class TestStmtCost:
+    def test_scalar_assign(self):
+        s = assign(v("x"), parse_expr("a + b"))
+        assert stmt_cost(s, {}, W) == 2.0  # assign + one add
+
+    def test_array_store(self):
+        s = assign(ref("A", v("i")), parse_expr("B(i) * 2"))
+        # store (2) + load (2) + mul (1)
+        assert stmt_cost(s, {}, W) == 5.0
+
+    def test_if_average(self):
+        s = if_(parse_expr("x > 0"), assign(v("y"), parse_expr("a + b")),
+                block())
+        # cond 1 + avg(2, 0) = 2
+        assert stmt_cost(s, {}, W) == 2.0
+
+    def test_if_max(self):
+        s = if_(parse_expr("x > 0"), assign(v("y"), parse_expr("a + b")),
+                block())
+        assert stmt_cost(s, {}, W, branch="max") == 3.0
+
+    def test_uniform_loop_shortcut_matches_iteration(self):
+        body = assign(ref("A", v("i")), parse_expr("B(i) + 1"))
+        lp = serial("i", 1, 1000)(body)
+        per_iter = 2 + 2 + 1  # store + load + add
+        assert stmt_cost(lp, {}, W) == 1000 * (per_iter + 1)  # + bookkeeping
+
+    def test_symbolic_bound_needs_binding(self):
+        lp = serial("i", 1, v("n"))(assign(v("x"), v("i")))
+        with pytest.raises(CostModelError, match="bound"):
+            stmt_cost(lp, {}, W)
+        assert stmt_cost(lp, {"n": 10}, W) > 0
+
+    def test_triangular_inner_loop_exact(self):
+        # Σ_{i=1..4} i inner iterations, each costing store+const = 2... plus
+        # bookkeeping 1 → 3 per inner iteration; total inner iters = 10.
+        inner = serial("j", 1, v("i"))(assign(ref("A", v("i"), v("j")), c(0.0)))
+        outer = serial("i", 1, 4)(inner)
+        cost = stmt_cost(outer, {}, W)
+        inner_iters = 10
+        expected = inner_iters * (2 + 1) + 4 * 1  # inner bodies + outer bookkeeping
+        assert cost == expected
+
+    def test_zero_trip_loop(self):
+        lp = serial("i", 5, 2)(assign(v("x"), v("i")))
+        assert stmt_cost(lp, {}, W) == 0.0
+
+
+class TestDoallIterationCosts:
+    def test_uniform(self):
+        lp = doall("i", 1, 5)(assign(ref("A", v("i")), parse_expr("B(i) * 2")))
+        costs = doall_iteration_costs(lp, {}, W)
+        assert costs == [5.0] * 5
+
+    def test_triangular_profile(self):
+        lp = doall("i", 1, 4)(
+            serial("j", 1, v("i"))(assign(ref("A", v("i"), v("j")), c(0.0)))
+        )
+        costs = doall_iteration_costs(lp, {}, W)
+        assert costs == [3.0 * i for i in range(1, 5)]
+
+    def test_feeds_simulator(self):
+        from repro.machine import MachineParams, simulate_loop
+        from repro.scheduling.policies import StaticBalanced
+
+        lp = doall("i", 1, 12)(
+            serial("j", 1, v("i"))(assign(ref("A", v("i"), v("j")), c(0.0)))
+        )
+        costs = doall_iteration_costs(lp, {}, W)
+        r = simulate_loop(costs, MachineParams(processors=4), StaticBalanced())
+        assert r.busy_total == pytest.approx(sum(costs))
+
+    def test_coalesced_loop_costs_include_recovery(self):
+        from repro.transforms import coalesce
+
+        nest = doall("i", 1, 6)(
+            doall("j", 1, 5)(assign(ref("A", v("i"), v("j")), c(1.0)))
+        )
+        flat = coalesce(nest).loop
+        plain_costs = doall_iteration_costs(nest, {}, W)
+        flat_costs = doall_iteration_costs(flat, {}, W)
+        assert len(flat_costs) == 30
+        # Every flat iteration pays recovery arithmetic on top of the store.
+        assert min(flat_costs) > 2.0
+
+    def test_matmul_from_registry(self):
+        from repro.workloads import get_workload
+
+        w = get_workload("matmul")
+        loop = w.proc.body.stmts[0]
+        costs = doall_iteration_costs(loop, {"n": 8}, W)
+        assert len(costs) == 8
+        assert len(set(costs)) == 1  # uniform rows

@@ -1,0 +1,122 @@
+"""Unit tests for the text Gantt renderer."""
+
+import pytest
+
+from repro.machine.gantt import FULL, LIGHT, compare_gantt, render_gantt
+from repro.machine.params import MachineParams
+from repro.machine.simulator import simulate_loop
+from repro.machine.trace import SimResult
+from repro.scheduling.policies import SelfScheduled, StaticBalanced, StaticBlock
+
+P4 = MachineParams(processors=4, dispatch_cost=10, barrier_cost=50)
+
+
+class TestRenderGantt:
+    def test_row_per_processor(self):
+        r = simulate_loop([10.0] * 16, P4, StaticBlock())
+        text = render_gantt(r)
+        rows = [line for line in text.splitlines() if line.startswith("P")]
+        assert len(rows) == 4
+
+    def test_bars_have_requested_width(self):
+        r = simulate_loop([10.0] * 16, P4, StaticBlock())
+        for line in render_gantt(r, width=30).splitlines():
+            if line.startswith("P"):
+                bar = line.split("|")[1]
+                assert len(bar) == 30
+
+    def test_balanced_schedule_fills_all_rows(self):
+        r = simulate_loop([10.0] * 16, P4, StaticBalanced())
+        text = render_gantt(r, width=20)
+        for line in text.splitlines():
+            if line.startswith("P"):
+                bar = line.split("|")[1]
+                assert " " not in bar  # perfectly balanced: no idle cells
+
+    def test_imbalanced_schedule_shows_idle(self):
+        # 5 uniform iterations on 4 processors: one does double work.
+        r = simulate_loop([100.0] * 5, P4, StaticBalanced())
+        text = render_gantt(r, width=20)
+        idle_rows = [
+            line
+            for line in text.splitlines()
+            if line.startswith("P") and " " in line.split("|")[1]
+        ]
+        assert len(idle_rows) == 3
+
+    def test_summary_line(self):
+        r = simulate_loop([10.0] * 16, P4, SelfScheduled())
+        text = render_gantt(r)
+        assert "finish" in text and "dispatches" in text
+
+    def test_overhead_cells_rendered(self):
+        heavy = MachineParams(processors=2, dispatch_cost=100, barrier_cost=0)
+        r = simulate_loop([10.0] * 4, heavy, SelfScheduled())
+        text = render_gantt(r, width=40)
+        assert LIGHT in text and FULL in text
+
+    def test_zero_width_rejected(self):
+        r = simulate_loop([10.0] * 4, P4, StaticBlock())
+        with pytest.raises(ValueError):
+            render_gantt(r, width=0)
+
+    def test_empty_result(self):
+        assert "no processors" in render_gantt(SimResult(finish_time=0.0))
+
+    def test_zero_work(self):
+        r = simulate_loop([], P4, StaticBlock())
+        text = render_gantt(r)
+        assert "finish" in text
+
+
+class TestCompareGantt:
+    def test_labels_present(self):
+        r1 = simulate_loop([10.0] * 16, P4, StaticBlock())
+        r2 = simulate_loop([10.0] * 16, P4, SelfScheduled())
+        text = compare_gantt({"static": r1, "self": r2})
+        assert "== static ==" in text and "== self ==" in text
+
+
+class TestRenderTimeline:
+    def test_rows_and_axis(self):
+        from repro.machine.gantt import render_timeline
+
+        r = simulate_loop([10.0] * 16, P4, StaticBlock())
+        text = render_timeline(r, width=32)
+        rows = [line for line in text.splitlines() if line.startswith("P")]
+        assert len(rows) == 4
+        assert all(len(line.split("|")[1]) == 32 for line in rows)
+        assert "time 0 .." in text
+
+    def test_overhead_prefix_per_chunk(self):
+        from repro.machine.gantt import FULL, LIGHT, render_timeline
+
+        r = simulate_loop([50.0] * 8, P4, SelfScheduled())
+        text = render_timeline(r, width=60)
+        assert LIGHT in text and FULL in text
+
+    def test_events_cover_busy_time(self):
+        r = simulate_loop([10.0] * 16, P4, SelfScheduled())
+        total_work = sum(e.end - e.work_start for e in r.events)
+        assert total_work == 160.0
+
+    def test_events_shifted_by_merge(self):
+        r1 = simulate_loop([10.0] * 8, P4, StaticBlock())
+        r2 = simulate_loop([10.0] * 8, P4, StaticBlock())
+        merged = r1.merge_serial(r2)
+        assert len(merged.events) == len(r1.events) + len(r2.events)
+        later = merged.events[len(r1.events)]
+        assert later.start >= r1.finish_time
+
+    def test_no_events(self):
+        from repro.machine.gantt import render_timeline
+        from repro.machine.trace import SimResult
+
+        assert "no events" in render_timeline(SimResult(finish_time=0.0))
+
+    def test_width_validation(self):
+        from repro.machine.gantt import render_timeline
+
+        r = simulate_loop([10.0] * 4, P4, StaticBlock())
+        with pytest.raises(ValueError):
+            render_timeline(r, width=0)

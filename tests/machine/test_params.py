@@ -1,0 +1,31 @@
+"""Unit tests for machine parameters."""
+
+import pytest
+
+from repro.machine.params import MachineParams
+
+
+class TestMachineParams:
+    def test_defaults_valid(self):
+        p = MachineParams()
+        assert p.processors >= 1
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValueError):
+            MachineParams(processors=0)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            MachineParams(dispatch_cost=-1)
+
+    def test_with_processors(self):
+        p = MachineParams(processors=4, dispatch_cost=7.0)
+        q = p.with_processors(16)
+        assert q.processors == 16
+        assert q.dispatch_cost == 7.0
+        assert p.processors == 4  # original untouched
+
+    def test_frozen(self):
+        p = MachineParams()
+        with pytest.raises(Exception):
+            p.processors = 2

@@ -1,0 +1,177 @@
+"""Unit and property tests for the parallel-loop simulator."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.machine.params import MachineParams
+from repro.machine.simulator import simulate_loop
+from repro.scheduling.policies import (
+    ChunkSelfScheduled,
+    GuidedSelfScheduled,
+    SelfScheduled,
+    StaticBlock,
+    StaticCyclic,
+)
+
+P4 = MachineParams(processors=4, dispatch_cost=10, barrier_cost=50, loop_overhead=1)
+
+
+class TestStaticBlock:
+    def test_uniform_work_balances(self):
+        r = simulate_loop([10.0] * 16, P4, StaticBlock())
+        assert r.imbalance == 0.0
+        assert all(t.iterations == 4 for t in r.processors)
+
+    def test_remainder_imbalance_at_most_one_chunk(self):
+        r = simulate_loop([10.0] * 10, P4, StaticBlock())
+        # ⌈10/4⌉ = 3 → loads 3,3,3,1.
+        assert [t.iterations for t in r.processors] == [3, 3, 3, 1]
+
+    def test_finish_time_formula(self):
+        r = simulate_loop([10.0] * 16, P4, StaticBlock())
+        # β + σ + 4·(B + ℓ) = 50 + 10 + 4·11 = 104
+        assert r.finish_time == pytest.approx(104.0)
+
+    def test_one_dispatch_per_active_processor(self):
+        r = simulate_loop([10.0] * 3, P4, StaticBlock())
+        assert r.total_dispatches == 3  # one processor has no work
+
+    def test_empty_loop(self):
+        r = simulate_loop([], P4, StaticBlock())
+        assert r.total_dispatches == 0
+        assert r.finish_time == pytest.approx(P4.barrier_cost)
+
+    def test_iteration_overhead_charged(self):
+        base = simulate_loop([10.0] * 16, P4, StaticBlock())
+        extra = simulate_loop([10.0] * 16, P4, StaticBlock(), iteration_overhead=5.0)
+        assert extra.finish_time == pytest.approx(base.finish_time + 4 * 5.0)
+
+    def test_chunk_overhead_charged_once_per_chunk(self):
+        base = simulate_loop([10.0] * 16, P4, StaticBlock())
+        extra = simulate_loop([10.0] * 16, P4, StaticBlock(), chunk_overhead=7.0)
+        assert extra.finish_time == pytest.approx(base.finish_time + 7.0)
+
+
+class TestStaticCyclic:
+    def test_round_robin_assignment(self):
+        r = simulate_loop([10.0] * 10, P4, StaticCyclic())
+        assert [t.iterations for t in r.processors] == [3, 3, 2, 2]
+
+    def test_balances_linearly_increasing_work(self):
+        # Costs 1..16: cyclic spreads the heavy tail, block does not.
+        costs = [float(i) for i in range(1, 17)]
+        cyc = simulate_loop(costs, P4, StaticCyclic())
+        blk = simulate_loop(costs, P4, StaticBlock())
+        assert cyc.imbalance < blk.imbalance
+
+
+class TestSelfScheduling:
+    def test_all_iterations_executed_exactly_once(self):
+        r = simulate_loop([10.0] * 13, P4, SelfScheduled())
+        assert sum(t.iterations for t in r.processors) == 13
+
+    def test_dispatch_per_iteration(self):
+        r = simulate_loop([10.0] * 13, P4, SelfScheduled())
+        assert r.total_dispatches == 13
+
+    def test_chunked_dispatch_count(self):
+        r = simulate_loop([10.0] * 13, P4, ChunkSelfScheduled(chunk=4))
+        assert r.total_dispatches == 4  # 4+4+4+1
+
+    def test_self_scheduling_balances_variable_work(self):
+        costs = [1.0] * 12 + [50.0] * 4
+        dyn = simulate_loop(costs, P4, SelfScheduled())
+        blk = simulate_loop(costs, P4, StaticBlock())
+        # Static block lands all four heavy iterations on one processor.
+        assert dyn.finish_time < blk.finish_time
+
+    def test_gss_fewer_dispatches_than_pure(self):
+        pure = simulate_loop([10.0] * 64, P4, SelfScheduled())
+        gss = simulate_loop([10.0] * 64, P4, GuidedSelfScheduled())
+        assert gss.total_dispatches < pure.total_dispatches
+        assert sum(t.iterations for t in gss.processors) == 64
+
+    def test_gss_first_chunk_is_n_over_p(self):
+        claimer = GuidedSelfScheduled().claimer(64, 4)
+        start, size = claimer.next_chunk()
+        assert (start, size) == (0, 16)
+
+    def test_serialized_dispatch_slower_without_combining(self):
+        fast = MachineParams(
+            processors=8, dispatch_cost=10, barrier_cost=0, combining_network=True
+        )
+        slow = MachineParams(
+            processors=8, dispatch_cost=10, barrier_cost=0, combining_network=False
+        )
+        costs = [1.0] * 64
+        r_fast = simulate_loop(costs, fast, SelfScheduled())
+        r_slow = simulate_loop(costs, slow, SelfScheduled())
+        assert r_slow.finish_time > r_fast.finish_time
+
+
+class TestResultMetrics:
+    def test_speedup_and_efficiency(self):
+        r = simulate_loop([10.0] * 16, P4, StaticBlock())
+        assert r.speedup(416.0) == pytest.approx(4.0)
+        assert r.efficiency(416.0) == pytest.approx(1.0)
+
+    def test_busy_total_is_total_work(self):
+        r = simulate_loop([3.0] * 10, P4, SelfScheduled())
+        assert r.busy_total == pytest.approx(30.0)
+
+    def test_merge_serial_accumulates(self):
+        r1 = simulate_loop([10.0] * 8, P4, StaticBlock())
+        r2 = simulate_loop([10.0] * 8, P4, StaticBlock())
+        merged = r1.merge_serial(r2)
+        assert merged.finish_time == pytest.approx(r1.finish_time + r2.finish_time)
+        assert merged.barriers == 2
+        assert sum(t.iterations for t in merged.processors) == 16
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+_policies = st.sampled_from(
+    [StaticBlock(), StaticCyclic(), SelfScheduled(), ChunkSelfScheduled(chunk=3),
+     GuidedSelfScheduled()]
+)
+
+
+@given(
+    n=st.integers(0, 60),
+    p=st.integers(1, 9),
+    policy=_policies,
+    seedcosts=st.integers(0, 1000),
+)
+@settings(max_examples=120, deadline=None)
+def test_property_work_conservation(n, p, policy, seedcosts):
+    """Every iteration is executed exactly once, under every policy."""
+    import random
+
+    rng = random.Random(seedcosts)
+    costs = [rng.uniform(0.5, 20.0) for _ in range(n)]
+    params = MachineParams(processors=p, dispatch_cost=5, barrier_cost=10)
+    r = simulate_loop(costs, params, policy)
+    assert sum(t.iterations for t in r.processors) == n
+    assert r.busy_total == pytest.approx(sum(costs))
+
+
+@given(n=st.integers(1, 60), p=st.integers(1, 9), policy=_policies)
+@settings(max_examples=100, deadline=None)
+def test_property_finish_bounds(n, p, policy):
+    """Finish time is at least the critical path and at most serial time."""
+    body = 10.0
+    params = MachineParams(
+        processors=p, dispatch_cost=2, barrier_cost=5, loop_overhead=1
+    )
+    r = simulate_loop([body] * n, params, policy)
+    # Lower bound: one barrier + the busiest processor's share of pure work.
+    per_proc = -(-n // p)
+    assert r.finish_time >= params.barrier_cost + per_proc * body - 1e-9
+    # Upper bound: everything serialized on one processor with max overhead.
+    worst = params.barrier_cost + n * (
+        body + params.loop_overhead + params.dispatch_cost
+    ) + params.dispatch_cost
+    assert r.finish_time <= worst + 1e-9

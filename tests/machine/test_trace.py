@@ -1,0 +1,87 @@
+"""Unit tests for trace metrics and result composition."""
+
+import pytest
+
+from repro.machine.params import MachineParams
+from repro.machine.simulator import simulate_loop
+from repro.machine.trace import ChunkEvent, ProcessorTrace, SimResult
+from repro.scheduling.policies import StaticBalanced, StaticBlock
+
+P4 = MachineParams(processors=4, dispatch_cost=10, barrier_cost=50, loop_overhead=1)
+
+
+class TestProcessorTrace:
+    def test_total(self):
+        t = ProcessorTrace(busy=100.0, overhead=20.0)
+        assert t.total == 120.0
+
+    def test_defaults(self):
+        t = ProcessorTrace()
+        assert t.busy == 0.0 and t.dispatches == 0
+
+
+class TestSimResultMetrics:
+    def test_speedup_zero_finish(self):
+        r = SimResult(finish_time=0.0)
+        assert r.speedup(100.0) == float("inf")
+        assert r.speedup(0.0) == 1.0
+
+    def test_efficiency_uses_processor_count(self):
+        r = simulate_loop([10.0] * 16, P4, StaticBlock())
+        assert r.efficiency(4 * r.finish_time) == pytest.approx(1.0)
+
+    def test_min_max_busy(self):
+        r = simulate_loop([10.0] * 6, P4, StaticBalanced())
+        assert r.max_busy == 20.0
+        assert r.min_busy == 10.0
+        assert r.imbalance == 10.0
+
+    def test_empty_result_metrics(self):
+        r = SimResult(finish_time=5.0)
+        assert r.max_busy == 0.0
+        assert r.imbalance == 0.0
+        assert r.busy_total == 0.0
+
+
+class TestMergeSerial:
+    def test_mismatched_processor_counts_rejected(self):
+        a = simulate_loop([1.0] * 4, P4, StaticBlock())
+        b = simulate_loop([1.0] * 4, P4.with_processors(2), StaticBlock())
+        with pytest.raises(ValueError, match="different processor counts"):
+            a.merge_serial(b)
+
+    def test_overheads_accumulate(self):
+        a = simulate_loop([10.0] * 8, P4, StaticBlock())
+        merged = a.merge_serial(a)
+        assert merged.overhead_total == pytest.approx(2 * a.overhead_total)
+
+    def test_finish_set_on_all_traces(self):
+        a = simulate_loop([10.0] * 8, P4, StaticBlock())
+        merged = a.merge_serial(a)
+        assert all(t.finish == merged.finish_time for t in merged.processors)
+
+
+class TestChunkEvents:
+    def test_event_fields_consistent(self):
+        r = simulate_loop([10.0] * 12, P4, StaticBalanced())
+        for e in r.events:
+            assert e.start <= e.work_start <= e.end
+            assert e.size >= 1
+            assert 0 <= e.processor < 4
+
+    def test_events_disjoint_per_processor(self):
+        r = simulate_loop([7.0] * 30, P4, StaticBalanced())
+        by_proc: dict[int, list[ChunkEvent]] = {}
+        for e in r.events:
+            by_proc.setdefault(e.processor, []).append(e)
+        for events in by_proc.values():
+            events.sort(key=lambda e: e.start)
+            for a, b in zip(events, events[1:]):
+                assert a.end <= b.start + 1e-9
+
+    def test_events_cover_all_iterations(self):
+        r = simulate_loop([7.0] * 30, P4, StaticBalanced())
+        covered = sorted(
+            i for e in r.events for i in range(e.first_iteration, e.first_iteration + e.size)
+        )
+        assert covered == list(range(30))

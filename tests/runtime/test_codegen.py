@@ -1,0 +1,148 @@
+"""Unit tests for Python code generation."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import compile_procedure, generate_source
+from repro.frontend import parse
+from repro.ir.builder import assign, block, c, doall, if_, proc, ref, serial, v
+from repro.ir.expr import Call
+from repro.ir.validate import ValidationError
+from repro.runtime.equivalence import copy_env, random_env
+from repro.runtime.interp import run
+from repro.transforms import coalesce, coalesce_procedure, block_recovered_loop
+
+
+def both_backends_agree(p, sizes, scalars=None, seed=0):
+    env = random_env(p, sizes, seed=seed)
+    e1, e2 = copy_env(env), copy_env(env)
+    run(p, e1, scalars)
+    compile_procedure(p).run(e2, scalars)
+    for name in p.arrays:
+        assert np.array_equal(e1[name], e2[name]), name
+
+
+class TestSourceGeneration:
+    def test_signature_order(self):
+        p = proc("f", assign(ref("A", v("n")), c(0.0)), arrays={"A": 1}, scalars=("n",))
+        src = generate_source(p)
+        assert src.startswith("def f(A, n):")
+
+    def test_doall_comment(self):
+        p = proc("f", doall("i", 1, 3)(assign(ref("A", v("i")), c(0.0))), arrays={"A": 1})
+        assert "# DOALL" in generate_source(p)
+
+    def test_empty_body_emits_pass(self):
+        p = proc("f")
+        assert "pass" in generate_source(p)
+
+    def test_custom_name(self):
+        p = proc("f", assign(ref("A", c(0)), c(1.0)), arrays={"A": 1})
+        assert generate_source(p, name="g").startswith("def g(")
+
+    def test_step_loop(self):
+        p = proc("f", serial("i", 1, 9, 2)(assign(ref("A", v("i")), c(1.0))), arrays={"A": 1})
+        assert "range(1, (9) + 1, 2)" in generate_source(p)
+
+    def test_invalid_procedure_rejected(self):
+        p = proc("f", assign(ref("Ghost", c(0)), c(1.0)))
+        with pytest.raises(ValidationError):
+            compile_procedure(p)
+
+    def test_validation_skippable(self):
+        p = proc("f", assign(ref("Ghost", c(0)), c(1.0)))
+        cp = compile_procedure(p, check=False)  # compiles; fails only if run
+        assert "Ghost" in cp.source
+
+
+class TestBackendAgreement:
+    def test_simple_fill(self):
+        p = proc(
+            "fill",
+            serial("i", 1, v("n"))(assign(ref("A", v("i")), v("i") * v("i"))),
+            arrays={"A": 1},
+            scalars=("n",),
+        )
+        both_backends_agree(p, {"A": (12,)}, {"n": 11})
+
+    def test_conditionals(self):
+        p = proc(
+            "cond",
+            serial("i", 1, 10)(
+                if_(
+                    ref("A", v("i")) > c(0.0),
+                    assign(ref("B", v("i")), c(1.0)),
+                    assign(ref("B", v("i")), c(-1.0)),
+                )
+            ),
+            arrays={"A": 1, "B": 1},
+        )
+        both_backends_agree(p, {"A": (11,), "B": (11,)})
+
+    def test_intrinsics(self):
+        p = proc(
+            "trig",
+            serial("i", 1, 8)(
+                assign(ref("B", v("i")), Call("sin", (ref("A", v("i")),)))
+            ),
+            arrays={"A": 1, "B": 1},
+        )
+        both_backends_agree(p, {"A": (9,), "B": (9,)})
+
+    def test_matmul(self):
+        mm = parse(
+            """
+            procedure matmul(A[2], B[2], C[2]; n)
+              doall i = 1, n
+                doall j = 1, n
+                  C(i, j) := 0.0
+                  for k = 1, n
+                    C(i, j) := C(i, j) + A(i, k) * B(k, j)
+                  end
+                end
+              end
+            end
+            """
+        )
+        both_backends_agree(mm, {k: (7, 7) for k in "ABC"}, {"n": 6})
+
+    def test_coalesced_matmul(self):
+        mm = parse(
+            """
+            procedure matmul(A[2], B[2], C[2]; n)
+              doall i = 1, n
+                doall j = 1, n
+                  C(i, j) := 0.0
+                  for k = 1, n
+                    C(i, j) := C(i, j) + A(i, k) * B(k, j)
+                  end
+                end
+              end
+            end
+            """
+        )
+        coalesced, results = coalesce_procedure(mm)
+        assert len(results) == 1
+        both_backends_agree(coalesced, {k: (7, 7) for k in "ABC"}, {"n": 6})
+
+    def test_strength_reduced_block_form(self):
+        body = assign(ref("T", v("i"), v("j")), v("i") * 100 + v("j"))
+        p = proc("m", doall("i", 1, 9)(doall("j", 1, 7)(body)), arrays={"T": 2})
+        result = coalesce(p.body.stmts[0])
+        sr = p.with_body(block(block_recovered_loop(result, 5)))
+        both_backends_agree(sr, {"T": (10, 8)})
+
+    def test_divmod_expressions(self):
+        from repro.ir.expr import BinOp
+
+        value = BinOp(
+            "+",
+            BinOp("*", BinOp("floordiv", v("i"), c(3)), c(10)),
+            BinOp("+", BinOp("mod", v("i"), c(3)), BinOp("ceildiv", v("i"), c(4))),
+        )
+        p = proc(
+            "dm",
+            serial("i", 1, 30)(assign(ref("A", v("i")), value)),
+            arrays={"A": 1},
+        )
+        both_backends_agree(p, {"A": (31,)})

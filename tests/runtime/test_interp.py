@@ -1,0 +1,184 @@
+"""Unit tests for the reference interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.ir.builder import assign, block, c, doall, if_, proc, ref, serial, v
+from repro.ir.expr import BinOp, Call, Unary
+from repro.runtime.interp import Interpreter, InterpreterError, run
+
+
+class TestBasics:
+    def test_scalar_assignment_and_array_store(self):
+        p = proc("p", assign(ref("A", c(2)), c(7.0)), arrays={"A": 1})
+        a = np.zeros(5)
+        run(p, {"A": a})
+        assert a[2] == 7.0
+
+    def test_loop_fills_array(self):
+        p = proc(
+            "p",
+            serial("i", 1, v("n"))(assign(ref("A", v("i")), v("i") * v("i"))),
+            arrays={"A": 1},
+            scalars=("n",),
+        )
+        a = np.zeros(6)
+        run(p, {"A": a}, {"n": 5})
+        assert list(a) == [0, 1, 4, 9, 16, 25]
+
+    def test_loop_with_step(self):
+        p = proc(
+            "p",
+            serial("i", 1, 9, 3)(assign(ref("A", v("i")), c(1.0))),
+            arrays={"A": 1},
+        )
+        a = np.zeros(10)
+        run(p, {"A": a})
+        assert [int(x) for x in a] == [0, 1, 0, 0, 1, 0, 0, 1, 0, 0]
+
+    def test_zero_trip_loop(self):
+        p = proc("p", serial("i", 5, 3)(assign(ref("A", v("i")), c(1.0))), arrays={"A": 1})
+        a = np.zeros(10)
+        run(p, {"A": a})
+        assert not a.any()
+
+    def test_if_branches(self):
+        p = proc(
+            "p",
+            serial("i", 1, 4)(
+                if_(
+                    BinOp("==", BinOp("mod", v("i"), c(2)), c(0)),
+                    assign(ref("A", v("i")), c(1.0)),
+                    assign(ref("A", v("i")), c(-1.0)),
+                )
+            ),
+            arrays={"A": 1},
+        )
+        a = np.zeros(5)
+        run(p, {"A": a})
+        assert list(a[1:]) == [-1, 1, -1, 1]
+
+    def test_intrinsic_call(self):
+        p = proc("p", assign(ref("A", c(0)), Call("sqrt", (c(16.0),))), arrays={"A": 1})
+        a = np.zeros(1)
+        run(p, {"A": a})
+        assert a[0] == 4.0
+
+    def test_unary_not(self):
+        p = proc("p", assign(v("x"), Unary("not", c(0))), assign(ref("A", c(0)), v("x")), arrays={"A": 1})
+        a = np.zeros(1)
+        run(p, {"A": a})
+        assert a[0] == 1
+
+    def test_scalar_env_not_leaked_across_iterations(self):
+        # Loop var is restored after the loop (shadowing semantics).
+        p = proc(
+            "p",
+            assign(v("i"), c(99)),
+            serial("i2", 1, 3)(assign(ref("A", v("i2")), v("i"))),
+            assign(ref("A", c(0)), v("i")),
+            arrays={"A": 1},
+        )
+        a = np.zeros(4)
+        run(p, {"A": a})
+        assert a[0] == 99
+
+
+class TestErrors:
+    def test_missing_array(self):
+        p = proc("p", assign(ref("A", c(0)), c(1.0)), arrays={"A": 1})
+        with pytest.raises(InterpreterError, match="not supplied"):
+            run(p, {})
+
+    def test_missing_scalar(self):
+        p = proc("p", assign(ref("A", c(0)), v("n")), arrays={"A": 1}, scalars=("n",))
+        with pytest.raises(InterpreterError, match="scalars not supplied"):
+            run(p, {"A": np.zeros(1)})
+
+    def test_rank_mismatch(self):
+        p = proc("p", assign(ref("A", c(0)), c(1.0)), arrays={"A": 1})
+        with pytest.raises(InterpreterError, match="rank"):
+            run(p, {"A": np.zeros((2, 2))})
+
+    def test_out_of_bounds_raises(self):
+        p = proc("p", assign(ref("A", c(9)), c(1.0)), arrays={"A": 1})
+        with pytest.raises(InterpreterError, match="out of bounds"):
+            run(p, {"A": np.zeros(3)})
+
+    def test_negative_index_raises(self):
+        p = proc("p", assign(ref("A", c(-1)), c(1.0)), arrays={"A": 1})
+        with pytest.raises(InterpreterError, match="out of bounds"):
+            run(p, {"A": np.zeros(3)})
+
+    def test_bounds_check_can_be_disabled(self):
+        p = proc("p", assign(ref("A", c(-1)), c(7.0)), arrays={"A": 1})
+        a = np.zeros(3)
+        run(p, {"A": a}, check_bounds=False)
+        assert a[-1] == 7.0  # numpy wraparound, explicitly opted into
+
+    def test_undefined_scalar(self):
+        p = proc("p", assign(ref("A", c(0)), v("ghost")), arrays={"A": 1})
+        with pytest.raises(InterpreterError, match="undefined scalar"):
+            run(p, {"A": np.zeros(1)})
+
+    def test_division_by_zero(self):
+        p = proc("p", assign(ref("A", c(0)), BinOp("floordiv", c(1), c(0))), arrays={"A": 1})
+        with pytest.raises(InterpreterError, match="division by zero"):
+            run(p, {"A": np.zeros(1)})
+
+    def test_non_integer_bound(self):
+        p = proc("p", serial("i", 1, c(2.5))(assign(ref("A", c(0)), c(1.0))), arrays={"A": 1})
+        with pytest.raises(InterpreterError, match="non-integer"):
+            run(p, {"A": np.zeros(1)})
+
+
+class TestOpCounting:
+    def test_counts_disabled_by_default(self):
+        p = proc("p", assign(ref("A", c(0)), c(1) + c(1)), arrays={"A": 1})
+        counts = run(p, {"A": np.zeros(1)})
+        assert counts.total == 0
+
+    def test_binop_counts(self):
+        # Build without folding so the adds survive to runtime.
+        p = proc(
+            "p",
+            serial("i", 1, 10)(
+                assign(ref("A", v("i")), BinOp("+", v("i"), BinOp("mod", v("i"), c(3))))
+            ),
+            arrays={"A": 1},
+        )
+        counts = run(p, {"A": np.zeros(11)}, count_ops=True)
+        assert counts.ops["+"] == 10
+        assert counts.ops["mod"] == 10
+        assert counts.loop_iterations == 10
+        assert counts.assignments == 10
+
+    def test_divmod_ops_aggregate(self):
+        p = proc(
+            "p",
+            serial("i", 1, 4)(
+                assign(
+                    ref("A", v("i")),
+                    BinOp("floordiv", v("i"), c(2))
+                    + BinOp("ceildiv", v("i"), c(2))
+                    + BinOp("mod", v("i"), c(2)),
+                )
+            ),
+            arrays={"A": 1},
+        )
+        counts = run(p, {"A": np.zeros(5)}, count_ops=True)
+        assert counts.divmod_ops == 12
+
+    def test_per_iteration(self):
+        p = proc(
+            "p",
+            serial("i", 1, 8)(assign(ref("A", v("i")), BinOp("mod", v("i"), c(3)))),
+            arrays={"A": 1},
+        )
+        counts = run(p, {"A": np.zeros(9)}, count_ops=True)
+        assert counts.per_iteration("mod") == 1.0
+
+    def test_per_iteration_zero_iterations(self):
+        from repro.runtime.interp import OpCounts
+
+        assert OpCounts().per_iteration("mod") == 0.0

@@ -1,0 +1,170 @@
+"""Tests for the fetch&add self-scheduled runtime."""
+
+import numpy as np
+import pytest
+
+from repro.ir.builder import assign, block, c, doall, proc, ref, serial, v
+from repro.runtime.equivalence import copy_env, random_env
+from repro.runtime.interp import InterpreterError, run
+from repro.runtime.selfsched import (
+    FetchAddCounter,
+    SelfSchedStats,
+    fixed_chunks,
+    guided_chunks,
+    run_self_scheduled,
+    unit_chunks,
+)
+from repro.transforms import coalesce_procedure
+from repro.workloads import get_workload, make_env
+
+
+class TestFetchAddCounter:
+    def test_claims_cover_range_exactly(self):
+        counter = FetchAddCounter(1, 10)
+        seen = []
+        while True:
+            chunk = counter.claim(3)
+            if chunk is None:
+                break
+            seen.extend(range(chunk[0], chunk[1] + 1))
+        assert seen == list(range(1, 11))
+
+    def test_tail_chunk_short(self):
+        counter = FetchAddCounter(1, 10)
+        counter.claim(8)
+        assert counter.claim(8) == (9, 10)
+
+    def test_exhausted_returns_none(self):
+        counter = FetchAddCounter(1, 2)
+        counter.claim(5)
+        assert counter.claim(1) is None
+
+    def test_remaining(self):
+        counter = FetchAddCounter(1, 10)
+        counter.claim(4)
+        assert counter.remaining == 6
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            FetchAddCounter(1, 5).claim(0)
+
+    def test_thread_safety(self):
+        import threading
+
+        counter = FetchAddCounter(1, 2000)
+        claimed: list[int] = []
+        lock = threading.Lock()
+
+        def grab():
+            while True:
+                chunk = counter.claim(7)
+                if chunk is None:
+                    return
+                with lock:
+                    claimed.extend(range(chunk[0], chunk[1] + 1))
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(claimed) == list(range(1, 2001))
+
+
+class TestChunkPolicies:
+    def test_unit(self):
+        assert unit_chunks(100, 4) == 1
+
+    def test_fixed(self):
+        assert fixed_chunks(6)(100, 4) == 6
+
+    def test_fixed_validation(self):
+        with pytest.raises(ValueError):
+            fixed_chunks(0)
+
+    def test_guided(self):
+        assert guided_chunks(100, 4) == 25
+        assert guided_chunks(3, 4) == 1
+        assert guided_chunks(0, 4) == 1
+
+
+class TestRunSelfScheduled:
+    @pytest.fixture
+    def scale(self):
+        return proc(
+            "scale",
+            doall("i", 1, v("n"))(
+                assign(ref("B", v("i")), ref("A", v("i")) * c(3.0))
+            ),
+            arrays={"A": 1, "B": 1},
+            scalars=("n",),
+        )
+
+    @pytest.mark.parametrize(
+        "policy", [unit_chunks, fixed_chunks(5), guided_chunks]
+    )
+    def test_matches_sequential(self, scale, policy):
+        env_ref = random_env(scale, {"A": (33,), "B": (33,)})
+        env_par = copy_env(env_ref)
+        run(scale, env_ref, {"n": 32})
+        stats = run_self_scheduled(
+            scale, env_par, {"n": 32}, workers=4, policy=policy
+        )
+        assert np.array_equal(env_ref["B"], env_par["B"])
+        assert stats.total_iterations == 32
+
+    def test_coalesced_workload_through_selfsched(self):
+        w = get_workload("saxpy2d")
+        arrays, sc = make_env(w, seed=4)
+        baseline = copy_env(arrays)
+        run(w.proc, baseline, sc)
+        coalesced, _ = coalesce_procedure(w.proc)
+        stats = run_self_scheduled(
+            coalesced, arrays, sc, workers=6, policy=guided_chunks
+        )
+        assert np.array_equal(baseline["Y"], arrays["Y"])
+        assert stats.total_iterations == sc["n"] * sc["m"]
+
+    def test_gss_fewer_claims_than_unit(self, scale):
+        env1 = random_env(scale, {"A": (65,), "B": (65,)})
+        env2 = copy_env(env1)
+        s_unit = run_self_scheduled(scale, env1, {"n": 64}, workers=4)
+        s_gss = run_self_scheduled(
+            scale, env2, {"n": 64}, workers=4, policy=guided_chunks
+        )
+        assert s_gss.claims < s_unit.claims
+        # unit policy: exactly one successful claim per iteration (failed
+        # probes return None and are not counted).
+        assert s_unit.claims == 64
+
+    def test_rejects_serial_loop(self):
+        p = proc(
+            "s",
+            serial("i", 1, 4)(assign(ref("A", v("i")), c(1.0))),
+            arrays={"A": 1},
+        )
+        with pytest.raises(InterpreterError, match="not a DOALL"):
+            run_self_scheduled(p, {"A": np.zeros(5)})
+
+    def test_rejects_stepped_loop(self):
+        p = proc(
+            "s",
+            doall("i", 1, 9, 2)(assign(ref("A", v("i")), c(1.0))),
+            arrays={"A": 1},
+        )
+        with pytest.raises(InterpreterError, match="unit-step"):
+            run_self_scheduled(p, {"A": np.zeros(10)})
+
+    def test_worker_error_propagates(self):
+        p = proc(
+            "oob",
+            doall("i", 1, 10)(assign(ref("A", v("i") * 100), c(1.0))),
+            arrays={"A": 1},
+        )
+        with pytest.raises(InterpreterError, match="out of bounds"):
+            run_self_scheduled(p, {"A": np.zeros(11)}, workers=3)
+
+    def test_zero_trip_loop(self, scale):
+        env = random_env(scale, {"A": (5,), "B": (5,)})
+        stats = run_self_scheduled(scale, env, {"n": 0}, workers=4)
+        assert stats.total_iterations == 0

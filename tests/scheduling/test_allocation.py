@@ -1,0 +1,90 @@
+"""Unit and property tests for processor allocation."""
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.scheduling.allocation import (
+    allocation_penalty,
+    best_factorization,
+    coalesced_share,
+    nested_share,
+)
+
+
+class TestNestedShare:
+    def test_exact_split(self):
+        assert nested_share((10, 10), (2, 5)) == 5 * 2
+
+    def test_ceil_rounding(self):
+        assert nested_share((10, 10), (3, 4)) == 4 * 3
+
+    def test_arity_check(self):
+        with pytest.raises(ValueError):
+            nested_share((10, 10), (2,))
+
+    def test_positive_counts(self):
+        with pytest.raises(ValueError):
+            nested_share((10,), (0,))
+
+
+class TestBestFactorization:
+    def test_uses_at_most_p(self):
+        alloc = best_factorization((10, 10), 7)
+        assert alloc.processors_used <= 7
+
+    def test_respects_level_caps(self):
+        alloc = best_factorization((3, 50), 30)
+        assert alloc.per_level[0] <= 3
+
+    def test_perfect_square_case(self):
+        alloc = best_factorization((8, 8), 16)
+        assert alloc.iterations_per_processor == 4  # e.g. 4x4 → 2·2
+
+    def test_prime_p_struggles_on_square(self):
+        alloc = best_factorization((10, 10), 7)
+        assert alloc.iterations_per_processor > coalesced_share((10, 10), 7)
+
+    def test_p_one(self):
+        alloc = best_factorization((4, 5), 1)
+        assert alloc.per_level == (1, 1)
+        assert alloc.iterations_per_processor == 20
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            best_factorization((4, 4), 0)
+
+
+class TestCoalescedShare:
+    def test_value(self):
+        assert coalesced_share((10, 10), 7) == 15  # ⌈100/7⌉
+
+    def test_more_processors_than_iterations(self):
+        assert coalesced_share((2, 2), 100) == 1
+
+
+@given(
+    shape=st.lists(st.integers(1, 12), min_size=1, max_size=3).map(tuple),
+    p=st.integers(1, 40),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_coalesced_lower_bounds_every_factorization(shape, p):
+    """The paper's optimality claim: no factorization beats ⌈N/p⌉."""
+    alloc = best_factorization(shape, p)
+    assert alloc.iterations_per_processor >= coalesced_share(shape, p)
+    assert allocation_penalty(shape, p) >= 1.0
+
+
+@given(
+    shape=st.lists(st.integers(1, 10), min_size=2, max_size=2).map(tuple),
+    p=st.integers(1, 25),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_best_beats_naive_outer_assignment(shape, p):
+    """Best factorization is at least as good as putting all p on the
+    outer level."""
+    alloc = best_factorization(shape, p)
+    naive = nested_share(shape, (min(p, shape[0]), 1))
+    assert alloc.iterations_per_processor <= naive

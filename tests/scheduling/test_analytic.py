@@ -1,0 +1,125 @@
+"""Cross-checks: closed-form completion times vs the event-driven simulator."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.machine.params import MachineParams
+from repro.scheduling.analytic import (
+    coalesced_static_time,
+    nested_barrier_time,
+    outer_only_static_time,
+    scheduling_operation_counts,
+    self_scheduled_time,
+)
+from repro.scheduling.nested import (
+    NestCosts,
+    simulate_coalesced,
+    simulate_coalesced_blocked,
+    simulate_inner_barriers,
+    simulate_outer_only,
+)
+from repro.scheduling.policies import ChunkSelfScheduled, SelfScheduled
+from repro.machine.simulator import simulate_loop
+
+_params = st.builds(
+    MachineParams,
+    processors=st.integers(1, 16),
+    dispatch_cost=st.sampled_from([0.0, 5.0, 20.0, 100.0]),
+    barrier_cost=st.sampled_from([0.0, 50.0, 200.0]),
+    loop_overhead=st.sampled_from([0.0, 1.0, 2.0]),
+)
+
+_shapes = st.tuples(st.integers(1, 12), st.integers(1, 12))
+
+
+class TestClosedFormsMatchSimulator:
+    @given(shape=_shapes, params=_params, body=st.sampled_from([1.0, 10.0, 57.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_coalesced_static(self, shape, params, body):
+        nest = NestCosts(shape, body_cost=body)
+        sim = simulate_coalesced(nest, params)
+        assert sim.finish_time == pytest.approx(
+            coalesced_static_time(shape, body, params)
+        )
+
+    @given(shape=_shapes, params=_params, body=st.sampled_from([1.0, 10.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_coalesced_blocked_static(self, shape, params, body):
+        nest = NestCosts(shape, body_cost=body)
+        sim = simulate_coalesced_blocked(nest, params)
+        assert sim.finish_time == pytest.approx(
+            coalesced_static_time(shape, body, params, blocked_recovery=True)
+        )
+
+    @given(shape=_shapes, params=_params, body=st.sampled_from([1.0, 10.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_outer_only_static(self, shape, params, body):
+        nest = NestCosts(shape, body_cost=body)
+        sim = simulate_outer_only(nest, params)
+        assert sim.finish_time == pytest.approx(
+            outer_only_static_time(shape, body, params)
+        )
+
+    @given(shape=_shapes, params=_params, body=st.sampled_from([1.0, 10.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_inner_barriers(self, shape, params, body):
+        nest = NestCosts(shape, body_cost=body)
+        sim = simulate_inner_barriers(nest, params)
+        assert sim.finish_time == pytest.approx(
+            nested_barrier_time(shape, body, params)
+        )
+
+    @given(
+        n=st.integers(1, 150),
+        p=st.integers(1, 16),
+        chunk=st.integers(1, 8),
+        body=st.sampled_from([1.0, 10.0]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_self_scheduled_within_one_chunk(self, n, p, chunk, body):
+        params = MachineParams(
+            processors=p, dispatch_cost=5.0, barrier_cost=20.0, loop_overhead=1.0
+        )
+        policy = ChunkSelfScheduled(chunk=chunk) if chunk > 1 else SelfScheduled()
+        sim = simulate_loop([body] * n, params, policy)
+        predicted = self_scheduled_time(n, body, params, chunk=chunk)
+        per_chunk = params.dispatch_cost + chunk * (body + params.loop_overhead)
+        assert sim.finish_time <= predicted + 1e-9
+        assert sim.finish_time >= predicted - per_chunk - 1e-9
+
+
+class TestOperationCounts:
+    P8 = MachineParams(processors=8)
+
+    def test_sequential_free(self):
+        c = scheduling_operation_counts((10, 10), self.P8, "sequential")
+        assert (c.barriers, c.dispatches, c.divmod_recovery_ops) == (0, 0, 0)
+
+    def test_outer_only(self):
+        c = scheduling_operation_counts((10, 10), self.P8, "outer-only")
+        assert c.barriers == 1
+        assert c.dispatches == 8  # min(p, N1)
+
+    def test_inner_barriers_scales_with_n1(self):
+        c = scheduling_operation_counts((32, 10), self.P8, "inner-barriers")
+        assert c.barriers == 32
+        assert c.dispatches == 32 * 10
+
+    def test_coalesced_single_barrier(self):
+        c = scheduling_operation_counts((32, 10), self.P8, "coalesced")
+        assert c.barriers == 1
+        assert c.dispatches == 320
+        assert c.divmod_recovery_ops == 2 * 320  # m=2 → 2 divmod/iter
+
+    def test_coalesced_blocked_recovery_per_chunk(self):
+        c = scheduling_operation_counts(
+            (32, 10), self.P8, "coalesced-blocked", chunk=40
+        )
+        assert c.barriers == 1
+        assert c.dispatches == 8
+        assert c.divmod_recovery_ops == 2 * 8
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            scheduling_operation_counts((4, 4), self.P8, "wat")

@@ -1,0 +1,92 @@
+"""Unit tests for the granularity analysis."""
+
+import math
+
+import pytest
+
+from repro.machine.params import MachineParams
+from repro.scheduling.granularity import (
+    efficiency,
+    granularity_report,
+    lower_bound_granularity,
+    sequential_time,
+)
+
+P8 = MachineParams(processors=8)
+SHAPE = (16, 64)
+
+
+class TestParallelTimes:
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            lower_bound_granularity("warp-speed", SHAPE, P8)
+
+    def test_sequential_time(self):
+        assert sequential_time((4, 5), 10.0, P8) == 20 * 12.0
+
+
+class TestLowerBoundGranularity:
+    def test_single_processor_never_wins(self):
+        p1 = MachineParams(processors=1)
+        assert lower_bound_granularity("coalesced-static", SHAPE, p1) == math.inf
+
+    def test_break_even_is_actually_break_even(self):
+        from repro.scheduling.granularity import _parallel_time
+
+        for scheme in ("coalesced-static", "coalesced-blocked",
+                       "coalesced-self", "inner-barriers"):
+            lbg = lower_bound_granularity(scheme, SHAPE, P8)
+            if lbg == math.inf or lbg == 0.0:
+                continue
+            just_below = _parallel_time(scheme, SHAPE, lbg * 0.9, P8)
+            just_above = _parallel_time(scheme, SHAPE, lbg * 1.1, P8)
+            assert just_below >= sequential_time(SHAPE, lbg * 0.9, P8)
+            assert just_above < sequential_time(SHAPE, lbg * 1.1, P8)
+
+    def test_blocked_threshold_lowest_of_coalesced(self):
+        blocked = lower_bound_granularity("coalesced-blocked", SHAPE, P8)
+        static = lower_bound_granularity("coalesced-static", SHAPE, P8)
+        self_s = lower_bound_granularity("coalesced-self", SHAPE, P8)
+        assert blocked <= static <= self_s
+
+    def test_threshold_shrinks_with_processors(self):
+        small = lower_bound_granularity(
+            "coalesced-self", SHAPE, MachineParams(processors=2)
+        )
+        big = lower_bound_granularity(
+            "coalesced-self", SHAPE, MachineParams(processors=32)
+        )
+        assert big < small
+
+
+class TestEfficiency:
+    def test_bounded_by_one(self):
+        for body in (1.0, 10.0, 1000.0):
+            assert efficiency("coalesced-blocked", SHAPE, body, P8) <= 1.0
+
+    def test_monotone_in_body_size(self):
+        effs = [
+            efficiency("coalesced-static", SHAPE, b, P8)
+            for b in (1.0, 10.0, 100.0, 1000.0)
+        ]
+        assert effs == sorted(effs)
+
+    def test_blocked_beats_naive_everywhere(self):
+        for body in (1.0, 10.0, 100.0):
+            assert efficiency("coalesced-blocked", SHAPE, body, P8) > efficiency(
+                "coalesced-static", SHAPE, body, P8
+            )
+
+    def test_coalesced_beats_barriers_at_scale(self):
+        p64 = MachineParams(processors=64)
+        assert efficiency("coalesced-blocked", SHAPE, 10.0, p64) > 3 * efficiency(
+            "inner-barriers", SHAPE, 10.0, p64
+        )
+
+
+class TestReport:
+    def test_report_structure(self):
+        rep = granularity_report("coalesced-blocked", SHAPE, P8)
+        assert rep.scheme == "coalesced-blocked"
+        assert set(rep.efficiency_at) == {1.0, 10.0, 100.0, 1000.0}
+        assert rep.lbg >= 0.0

@@ -1,0 +1,142 @@
+"""Unit tests for nest-level scheduling strategies (the paper's comparison)."""
+
+import pytest
+
+from repro.machine.params import MachineParams
+from repro.scheduling.nested import (
+    NestCosts,
+    odometer_cost_per_iteration,
+    recovery_cost_per_iteration,
+    recovery_op_counts,
+    simulate_coalesced,
+    simulate_coalesced_blocked,
+    simulate_inner_barriers,
+    simulate_outer_only,
+    simulate_sequential,
+)
+from repro.scheduling.policies import SelfScheduled, StaticBlock
+
+P8 = MachineParams(processors=8, dispatch_cost=20, barrier_cost=100, loop_overhead=2)
+
+
+class TestNestCosts:
+    def test_flat_costs_uniform(self):
+        nest = NestCosts((2, 3), body_cost=5.0)
+        assert nest.flat_costs() == [5.0] * 6
+
+    def test_cost_fn(self):
+        nest = NestCosts((2, 2), cost_fn=lambda idx: float(idx[0] * 10 + idx[1]))
+        assert nest.flat_costs() == [11.0, 12.0, 21.0, 22.0]
+
+    def test_row_costs(self):
+        nest = NestCosts((2, 3), body_cost=1.0)
+        assert nest.row_costs() == [[1.0] * 3, [1.0] * 3]
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            NestCosts((0, 3))
+
+
+class TestRecoveryModel:
+    def test_op_counts_grow_with_depth(self):
+        d2 = recovery_op_counts(2)["divmod"]
+        d4 = recovery_op_counts(4)["divmod"]
+        assert d4 > d2
+
+    def test_depth_one_is_free(self):
+        # Coalescing a single loop is the identity: recovery is i = I.
+        assert recovery_op_counts(1) == {"divmod": 0, "arith": 0}
+
+    def test_styles_comparable(self):
+        ceil = recovery_op_counts(3, "ceiling")
+        dm = recovery_op_counts(3, "divmod")
+        # Both pay O(m) divmods; neither more than ~2 per level.
+        assert 2 <= ceil["divmod"] <= 6
+        assert 2 <= dm["divmod"] <= 6
+
+    def test_cost_uses_machine_rates(self):
+        lo = MachineParams(divmod_cost=1.0, arith_cost=1.0)
+        hi = MachineParams(divmod_cost=10.0, arith_cost=1.0)
+        assert recovery_cost_per_iteration(3, hi) > recovery_cost_per_iteration(3, lo)
+
+    def test_odometer_is_two_ariths(self):
+        assert odometer_cost_per_iteration(P8) == 2 * P8.arith_cost
+
+
+class TestStrategies:
+    def test_sequential_time(self):
+        nest = NestCosts((4, 5), body_cost=10.0)
+        t = simulate_sequential(nest, P8)
+        # 20 bodies ×10 + 20×ℓ + 4 outer trips ×ℓ = 200 + 40 + 8
+        assert t == pytest.approx(248.0)
+
+    def test_work_conservation_across_strategies(self):
+        nest = NestCosts((6, 7), body_cost=9.0)
+        total = 42 * 9.0
+        for sim in (simulate_inner_barriers, simulate_coalesced,
+                    simulate_coalesced_blocked):
+            r = sim(nest, P8)
+            assert r.busy_total == pytest.approx(total), sim.__name__
+        # Outer-only tasks carry the serial inner bookkeeping inside them.
+        r = simulate_outer_only(nest, P8)
+        assert r.busy_total == pytest.approx(total + 42 * P8.loop_overhead)
+
+    def test_barrier_counts(self):
+        nest = NestCosts((10, 12), body_cost=10.0)
+        assert simulate_outer_only(nest, P8).barriers == 1
+        assert simulate_inner_barriers(nest, P8).barriers == 10
+        assert simulate_coalesced(nest, P8).barriers == 1
+
+    def test_coalesced_beats_outer_only_when_p_exceeds_n1(self):
+        """The headline claim: outer-only cannot use more than N1
+        processors; the coalesced loop can."""
+        nest = NestCosts((4, 100), body_cost=10.0)
+        params = MachineParams(processors=32, dispatch_cost=20, barrier_cost=100)
+        outer = simulate_outer_only(nest, params)
+        coal = simulate_coalesced_blocked(nest, params)
+        assert coal.finish_time < outer.finish_time
+        seq = simulate_sequential(nest, params)
+        assert outer.speedup(seq) <= 4.5  # hard ceiling at N1=4
+        assert coal.speedup(seq) > 10
+
+    def test_coalesced_balanced_imbalance_at_most_one_body(self):
+        from repro.scheduling.policies import StaticBalanced
+
+        nest = NestCosts((10, 13), body_cost=10.0)  # 130 iterations, p=8
+        r = simulate_coalesced(nest, P8, policy=StaticBalanced())
+        assert r.imbalance <= 10.0 + 1e-9
+
+    def test_coalesced_max_load_within_one_body_of_ideal(self):
+        # The paper's ⌈N/p⌉ blocks: the *maximum* load (which sets the
+        # completion time) is at most one body above the ideal N/p share.
+        nest = NestCosts((10, 13), body_cost=10.0)
+        r = simulate_coalesced(nest, P8)
+        ideal = 130 * 10.0 / 8
+        assert r.max_busy <= ideal + 10.0 + 1e-9
+
+    def test_outer_only_imbalance_up_to_a_row(self):
+        from repro.scheduling.policies import StaticBalanced
+
+        nest = NestCosts((9, 50), body_cost=10.0)  # 9 rows over 8 procs
+        r = simulate_outer_only(nest, P8, policy=StaticBalanced())
+        # Best possible static balance still strands one processor with a
+        # whole extra row: imbalance = one row of work (+ its bookkeeping).
+        assert r.imbalance >= 500.0
+
+    def test_blocked_recovery_cheaper_than_naive(self):
+        nest = NestCosts((20, 20), body_cost=5.0)
+        naive = simulate_coalesced(nest, P8)
+        blocked = simulate_coalesced_blocked(nest, P8)
+        assert blocked.finish_time < naive.finish_time
+
+    def test_inner_barriers_pays_n1_barriers(self):
+        nest = NestCosts((16, 8), body_cost=10.0)
+        bar = simulate_inner_barriers(nest, P8)
+        coal = simulate_coalesced_blocked(nest, P8)
+        # 16 barriers vs 1: the barrier bill alone separates them.
+        assert bar.finish_time - coal.finish_time > 10 * P8.barrier_cost
+
+    def test_policies_pluggable(self):
+        nest = NestCosts((8, 8), body_cost=10.0)
+        r = simulate_coalesced(nest, P8, policy=SelfScheduled())
+        assert r.total_dispatches == 64

@@ -1,0 +1,166 @@
+"""Unit tests for loop collapsing (the recovery-free special case)."""
+
+import numpy as np
+import pytest
+
+from repro.ir.builder import assign, block, c, doall, proc, ref, serial, v
+from repro.ir.expr import Const
+from repro.ir.validate import validate
+from repro.runtime.equivalence import random_env
+from repro.runtime.interp import run
+from repro.transforms.base import TransformError
+from repro.transforms.collapse import (
+    collapse,
+    collapse_procedure_arrays,
+    pack_linear,
+    unpack_linear,
+)
+from repro.ir.visitor import walk_exprs
+from repro.ir.expr import BinOp
+
+
+@pytest.fixture
+def saxpy2d():
+    return proc(
+        "saxpy2d",
+        doall("i", 1, v("n"))(
+            doall("j", 1, v("m"))(
+                assign(
+                    ref("Y", v("i"), v("j")),
+                    ref("Y", v("i"), v("j")) + c(2.0) * ref("X", v("i"), v("j")),
+                )
+            )
+        ),
+        arrays={"X": 2, "Y": 2},
+        scalars=("n", "m"),
+    )
+
+
+class TestLegality:
+    def test_applicable(self, saxpy2d):
+        result = collapse(saxpy2d.body.stmts[0])
+        assert result.arrays == ("X", "Y")
+        assert result.index_vars == ("i", "j")
+
+    def test_offset_subscript_rejected(self):
+        lp = doall("i", 1, 5)(
+            doall("j", 1, 5)(
+                assign(ref("B", v("i"), v("j")), ref("A", v("i"), v("j") + 1))
+            )
+        )
+        with pytest.raises(TransformError, match="not the exact nest indices"):
+            collapse(lp)
+
+    def test_permuted_subscript_rejected(self):
+        lp = doall("i", 1, 5)(
+            doall("j", 1, 5)(assign(ref("B", v("i"), v("j")), ref("A", v("j"), v("i"))))
+        )
+        with pytest.raises(TransformError):
+            collapse(lp)
+
+    def test_index_in_scalar_arithmetic_rejected(self):
+        lp = doall("i", 1, 5)(
+            doall("j", 1, 5)(assign(ref("B", v("i"), v("j")), v("i") + v("j")))
+        )
+        with pytest.raises(TransformError, match="outside plain"):
+            collapse(lp)
+
+    def test_serial_loop_rejected(self):
+        lp = serial("i", 1, 5)(
+            doall("j", 1, 5)(assign(ref("B", v("i"), v("j")), c(0.0)))
+        )
+        with pytest.raises(TransformError, match="DOALL"):
+            collapse(lp)
+
+    def test_triangular_rejected(self):
+        lp = doall("i", 1, 5)(
+            doall("j", 1, v("i"))(assign(ref("B", v("i"), v("j")), c(0.0)))
+        )
+        with pytest.raises(TransformError, match="non-rectangular"):
+            collapse(lp)
+
+    def test_non_normalized_rejected(self):
+        lp = doall("i", 0, 4)(
+            doall("j", 1, 5)(assign(ref("B", v("i") + 1, v("j")), c(0.0)))
+        )
+        with pytest.raises(TransformError, match="not normalized"):
+            collapse(lp)
+
+
+class TestSemantics:
+    def test_no_divmod_in_collapsed_body(self, saxpy2d):
+        result = collapse(saxpy2d.body.stmts[0])
+        divmods = [
+            e
+            for e in walk_exprs(result.loop)
+            if isinstance(e, BinOp) and e.op in ("floordiv", "ceildiv", "mod")
+        ]
+        assert divmods == []
+
+    def test_equivalence_via_pack_unpack(self, saxpy2d):
+        n, m = 4, 6
+        result = collapse(saxpy2d.body.stmts[0])
+        flat_proc = collapse_procedure_arrays(saxpy2d, result)
+        validate(flat_proc)
+
+        env = random_env(saxpy2d, {"X": (n + 1, m + 1), "Y": (n + 1, m + 1)})
+        env_flat = {
+            "X__lin": pack_linear(env["X"], (n, m)),
+            "Y__lin": pack_linear(env["Y"], (n, m)),
+        }
+        run(saxpy2d, env, {"n": n, "m": m})
+        run(flat_proc, env_flat, {"n": n, "m": m})
+        back = unpack_linear(env_flat["Y__lin"], (n, m))
+        assert np.array_equal(back[1:, 1:], env["Y"][1:, 1:])
+
+    def test_three_deep_collapse(self):
+        p = proc(
+            "cube",
+            doall("i", 1, 2)(
+                doall("j", 1, 3)(
+                    doall("k", 1, 4)(
+                        assign(
+                            ref("B", v("i"), v("j"), v("k")),
+                            ref("A", v("i"), v("j"), v("k")) * c(5.0),
+                        )
+                    )
+                )
+            ),
+            arrays={"A": 3, "B": 3},
+        )
+        result = collapse(p.body.stmts[0])
+        assert result.loop.upper == Const(24)
+        flat_proc = collapse_procedure_arrays(p, result)
+        env = random_env(p, {"A": (3, 4, 5), "B": (3, 4, 5)})
+        env_flat = {
+            "A__lin": pack_linear(env["A"], (2, 3, 4)),
+            "B__lin": pack_linear(env["B"], (2, 3, 4)),
+        }
+        run(p, env)
+        run(flat_proc, env_flat)
+        back = unpack_linear(env_flat["B__lin"], (2, 3, 4))
+        assert np.array_equal(back[1:, 1:, 1:], env["B"][1:, 1:, 1:])
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        arr = rng.standard_normal((4, 6))
+        flat = pack_linear(arr, (3, 5))
+        back = unpack_linear(flat, (3, 5))
+        assert np.array_equal(back[1:, 1:], arr[1:, 1:])
+
+    def test_lexicographic_layout(self):
+        # pack element (i, j) lands at flat index (i-1)*m + j.
+        arr = np.zeros((3, 4))
+        arr[2, 3] = 42.0
+        flat = pack_linear(arr, (2, 3))
+        assert flat[(2 - 1) * 3 + 3] == 42.0
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError, match="rank"):
+            pack_linear(np.zeros((3, 3)), (2, 2, 2))
+
+    def test_unpack_shape_check(self):
+        with pytest.raises(ValueError, match="shape"):
+            unpack_linear(np.zeros(7), (2, 3), out=np.zeros((9, 9)))

@@ -1,0 +1,179 @@
+"""Unit tests for loop fusion."""
+
+import pytest
+
+from repro.frontend.dsl import parse
+from repro.ir import validate
+from repro.ir.builder import assign, block, c, doall, proc, ref, serial, v
+from repro.ir.visitor import collect_loops
+from repro.runtime.equivalence import assert_equivalent
+from repro.transforms.base import TransformError
+from repro.transforms.distribute import distribute_procedure
+from repro.transforms.fuse import fuse, fuse_procedure, fusion_preventing
+
+
+def two_loops(body1, body2, kind=doall, var2="i2", upper2=None):
+    l1 = kind("i", 1, v("n"))(body1)
+    l2 = kind(var2, 1, upper2 or v("n"))(body2)
+    return l1, l2
+
+
+class TestLegality:
+    def test_conformable_independent_loops_fuse(self):
+        l1, l2 = two_loops(
+            assign(ref("A", v("i")), c(1.0)),
+            assign(ref("B", v("i2")), c(2.0)),
+        )
+        fused = fuse(l1, l2)
+        assert len(fused.body) == 2
+        assert fused.var == "i"
+
+    def test_different_bounds_rejected(self):
+        l1, l2 = two_loops(
+            assign(ref("A", v("i")), c(1.0)),
+            assign(ref("B", v("i2")), c(2.0)),
+            upper2=v("m"),
+        )
+        with pytest.raises(TransformError, match="headers differ"):
+            fuse(l1, l2)
+
+    def test_different_kinds_rejected(self):
+        l1 = doall("i", 1, v("n"))(assign(ref("A", v("i")), c(1.0)))
+        l2 = serial("i2", 1, v("n"))(assign(ref("B", v("i2")), c(2.0)))
+        with pytest.raises(TransformError, match="headers differ"):
+            fuse(l1, l2)
+
+    def test_aligned_flow_dependence_allows(self):
+        # loop2 reads exactly what loop1 wrote at the same index: '=' only.
+        l1, l2 = two_loops(
+            assign(ref("A", v("i")), c(1.0)),
+            assign(ref("B", v("i2")), ref("A", v("i2"))),
+        )
+        assert not fusion_preventing(l1, l2)
+
+    def test_backward_dependence_prevents(self):
+        # loop2 at iteration i reads A(i+1), written by loop1 at i+1:
+        # needs direction '>' — fusion would read the unwritten value.
+        l1, l2 = two_loops(
+            assign(ref("A", v("i")), c(1.0)),
+            assign(ref("B", v("i2")), ref("A", v("i2") + 1)),
+        )
+        assert fusion_preventing(l1, l2)
+        with pytest.raises(TransformError, match="reversed"):
+            fuse(l1, l2)
+
+    def test_forward_shift_allows(self):
+        # loop2 reads A(i-1): direction '<' — satisfied after fusion.
+        l1, l2 = two_loops(
+            assign(ref("A", v("i")), c(1.0)),
+            assign(ref("B", v("i2")), ref("A", v("i2") - 1)),
+        )
+        assert not fusion_preventing(l1, l2)
+
+    def test_exposed_scalar_prevents(self):
+        # loop1 computes s per iteration; loop2 reads s (upward exposed
+        # there): the surviving value is loop1's last — fusion changes it.
+        l1 = doall("i", 1, v("n"))(assign(v("s"), ref("A", v("i"))))
+        l2 = doall("i2", 1, v("n"))(assign(ref("B", v("i2")), v("s")))
+        assert fusion_preventing(l1, l2)
+
+    def test_private_scalars_allowed(self):
+        # Both loops define t before use: private, no veto.
+        l1 = doall("i", 1, v("n"))(
+            assign(v("t"), ref("A", v("i"))),
+            assign(ref("B", v("i")), v("t")),
+        )
+        l2 = doall("i2", 1, v("n"))(
+            assign(v("t"), ref("B", v("i2"))),
+            assign(ref("C", v("i2")), v("t") * c(2.0)),
+        )
+        assert not fusion_preventing(l1, l2)
+
+    def test_capture_rejected(self):
+        # Second body uses a scalar named like the first loop's index.
+        l1 = doall("i", 1, v("n"))(assign(ref("A", v("i")), c(1.0)))
+        l2 = doall("k", 1, v("n"))(
+            assign(v("i"), v("k") + 1),
+            assign(ref("B", v("k")), v("i")),
+        )
+        with pytest.raises(TransformError, match="capture"):
+            fuse(l1, l2)
+
+
+class TestSemantics:
+    def test_fused_equivalent(self):
+        p = proc(
+            "p",
+            doall("i", 1, v("n"))(assign(ref("B", v("i")), ref("A", v("i")) * c(2.0))),
+            doall("i2", 1, v("n"))(assign(ref("C", v("i2")), ref("B", v("i2")) + c(1.0))),
+            arrays={"A": 1, "B": 1, "C": 1},
+            scalars=("n",),
+        )
+        out = fuse_procedure(p)
+        validate(out)
+        assert len(collect_loops(out)) == 1
+        assert_equivalent(p, out, {"A": (9,), "B": (9,), "C": (9,)}, {"n": 8})
+
+    def test_nested_pair_fuses_both_levels(self):
+        src = """
+        procedure two(A[2], B[2], C[2]; n, m)
+          doall i = 1, n
+            doall j = 1, m
+              B(i, j) := A(i, j) * 2.0
+            end
+          end
+          doall i2 = 1, n
+            doall j2 = 1, m
+              C(i2, j2) := B(i2, j2) + 1.0
+            end
+          end
+        end
+        """
+        p = parse(src)
+        out = fuse_procedure(p)
+        validate(out)
+        loops = collect_loops(out)
+        assert len(loops) == 2  # one (i, j) nest
+        assert_equivalent(p, out, {k: (6, 8) for k in "ABC"}, {"n": 5, "m": 7})
+
+    def test_unfusable_pair_left_alone(self):
+        p = proc(
+            "p",
+            doall("i", 1, v("n"))(assign(ref("A", v("i")), c(1.0))),
+            doall("i2", 1, v("n"))(assign(ref("B", v("i2")), ref("A", v("i2") + 1))),
+            arrays={"A": 1, "B": 1},
+            scalars=("n",),
+        )
+        out = fuse_procedure(p)
+        assert len(out.body) == 2
+        assert_equivalent(p, out, {"A": (12,), "B": (12,)}, {"n": 10})
+
+    def test_distribute_then_fuse_roundtrip(self):
+        mm = parse(
+            """
+            procedure matmul(A[2], B[2], C[2]; n)
+              doall i = 1, n
+                doall j = 1, n
+                  C(i, j) := 0.0
+                  for k = 1, n
+                    C(i, j) := C(i, j) + A(i, k) * B(k, j)
+                  end
+                end
+              end
+            end
+            """
+        )
+        assert fuse_procedure(distribute_procedure(mm)) == mm
+
+    def test_three_way_chain_fuses(self):
+        p = proc(
+            "p",
+            doall("a", 1, v("n"))(assign(ref("X", v("a")), c(1.0))),
+            doall("b", 1, v("n"))(assign(ref("Y", v("b")), ref("X", v("b")))),
+            doall("d", 1, v("n"))(assign(ref("Z", v("d")), ref("Y", v("d")))),
+            arrays={"X": 1, "Y": 1, "Z": 1},
+            scalars=("n",),
+        )
+        out = fuse_procedure(p)
+        assert len(collect_loops(out)) == 1
+        assert_equivalent(p, out, {"X": (7,), "Y": (7,), "Z": (7,)}, {"n": 6})

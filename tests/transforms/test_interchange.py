@@ -1,0 +1,88 @@
+"""Unit tests for loop interchange."""
+
+import pytest
+
+from repro.ir.builder import assign, block, c, doall, proc, ref, serial, v
+from repro.ir.stmt import LoopKind
+from repro.ir.validate import validate
+from repro.runtime.equivalence import assert_equivalent
+from repro.transforms.base import TransformError
+from repro.transforms.interchange import interchange
+
+
+@pytest.fixture
+def doall_pair():
+    return proc(
+        "p",
+        doall("i", 1, v("n"))(
+            doall("j", 1, v("m"))(
+                assign(ref("A", v("i"), v("j")), v("i") * 100 + v("j"))
+            )
+        ),
+        arrays={"A": 2},
+        scalars=("n", "m"),
+    )
+
+
+class TestStructure:
+    def test_variables_swapped(self, doall_pair):
+        out = interchange(doall_pair.body.stmts[0])
+        assert out.var == "j"
+        assert out.body.stmts[0].var == "i"
+
+    def test_kinds_travel_with_loops(self):
+        lp = doall("i", 1, 4)(
+            serial("j", 1, 4)(assign(ref("A", v("i"), v("j")), c(1.0)))
+        )
+        out = interchange(lp, force=True)
+        assert out.kind is LoopKind.SERIAL  # j's loop is now outer
+        assert out.body.stmts[0].kind is LoopKind.DOALL
+
+
+class TestLegality:
+    def test_imperfect_nest_rejected(self):
+        lp = doall("i", 1, 4)(
+            assign(ref("A", v("i"), c(1)), c(0.0)),
+            doall("j", 1, 4)(assign(ref("A", v("i"), v("j")), c(1.0))),
+        )
+        with pytest.raises(TransformError, match="perfectly nested"):
+            interchange(lp)
+
+    def test_triangular_rejected(self):
+        lp = doall("i", 1, 4)(
+            doall("j", 1, v("i"))(assign(ref("A", v("i"), v("j")), c(1.0)))
+        )
+        with pytest.raises(TransformError, match="depend"):
+            interchange(lp)
+
+    def test_serial_requires_force(self):
+        lp = serial("i", 1, 4)(
+            serial("j", 1, 4)(assign(ref("A", v("i"), v("j")), c(1.0)))
+        )
+        with pytest.raises(TransformError, match="force"):
+            interchange(lp)
+
+
+class TestSemantics:
+    def test_doall_interchange_equivalent(self, doall_pair):
+        out = interchange(doall_pair.body.stmts[0])
+        p2 = doall_pair.with_body(block(out))
+        validate(p2)
+        assert_equivalent(doall_pair, p2, {"A": (5, 7)}, {"n": 4, "m": 6})
+
+    def test_serial_interchange_of_independent_body(self):
+        p = proc(
+            "p",
+            serial("i", 1, 4)(
+                serial("j", 1, 5)(assign(ref("A", v("i"), v("j")), v("i") + v("j")))
+            ),
+            arrays={"A": 2},
+        )
+        out = interchange(p.body.stmts[0], force=True)
+        p2 = p.with_body(block(out))
+        assert_equivalent(p, p2, {"A": (5, 6)})
+
+    def test_double_interchange_restores_original(self, doall_pair):
+        once = interchange(doall_pair.body.stmts[0])
+        twice = interchange(once)
+        assert twice == doall_pair.body.stmts[0]

@@ -1,0 +1,66 @@
+"""Unit tests for the pass pipeline."""
+
+import pytest
+
+from repro.ir.builder import assign, block, c, doall, proc, ref, v
+from repro.ir.stmt import Block, Procedure
+from repro.ir.validate import ValidationError
+from repro.runtime.equivalence import assert_equivalent
+from repro.transforms.coalesce import coalesce_procedure
+from repro.transforms.normalize import normalize_procedure
+from repro.transforms.pipeline import Pipeline
+
+
+@pytest.fixture
+def nest():
+    return proc(
+        "p",
+        doall("i", 0, v("n") - 1)(
+            doall("j", 0, v("m") - 1)(
+                assign(ref("A", v("i") + 1, v("j") + 1), v("i") * 10 + v("j"))
+            )
+        ),
+        arrays={"A": 2},
+        scalars=("n", "m"),
+    )
+
+
+class TestPipeline:
+    def test_normalize_then_coalesce(self, nest):
+        pipe = (
+            Pipeline()
+            .add("normalize", normalize_procedure)
+            .add("coalesce", lambda p: coalesce_procedure(p, auto_normalize=False)[0])
+        )
+        out = pipe.run(nest)
+        assert_equivalent(nest, out, {"A": (8, 9)}, {"n": 7, "m": 8})
+
+    def test_empty_pipeline_is_identity(self, nest):
+        assert Pipeline().run(nest) == nest
+
+    def test_invalid_pass_output_reported_with_pass_name(self, nest):
+        def bad_pass(p: Procedure) -> Procedure:
+            # Drops the array declaration: the body now references an
+            # undeclared array.
+            return Procedure(p.name, p.body, {}, p.scalars)
+
+        pipe = Pipeline().add("drop-decls", bad_pass)
+        with pytest.raises(ValidationError, match="drop-decls"):
+            pipe.run(nest)
+
+    def test_invalid_input_rejected_before_passes(self):
+        bad = Procedure("p", Block((assign(ref("Ghost", c(1)), c(0.0)),)), {}, ())
+        with pytest.raises(ValidationError):
+            Pipeline().run(bad)
+
+    def test_validation_can_be_disabled(self, nest):
+        def bad_pass(p: Procedure) -> Procedure:
+            return Procedure(p.name, p.body, {}, p.scalars)
+
+        pipe = Pipeline(validate_between=False).add("drop-decls", bad_pass)
+        out = pipe.run(nest)  # no error: caller opted out
+        assert out.arrays == {}
+
+    def test_add_returns_self_for_chaining(self):
+        pipe = Pipeline()
+        assert pipe.add("noop", lambda p: p) is pipe

@@ -1,0 +1,102 @@
+"""Unit tests for strip-mining (chunking)."""
+
+import pytest
+
+from repro.ir.builder import assign, block, c, doall, proc, ref, serial, v
+from repro.ir.expr import Const
+from repro.ir.stmt import LoopKind
+from repro.ir.validate import validate
+from repro.runtime.equivalence import assert_equivalent
+from repro.transforms.base import TransformError
+from repro.transforms.stripmine import strip_mine
+
+
+@pytest.fixture
+def fill():
+    return proc(
+        "fill",
+        doall("i", 1, v("n"))(assign(ref("A", v("i")), v("i") * c(2))),
+        arrays={"A": 1},
+        scalars=("n",),
+    )
+
+
+class TestStructure:
+    def test_outer_inherits_kind(self, fill):
+        sm = strip_mine(fill.body.stmts[0], 4)
+        assert sm.kind is LoopKind.DOALL
+        inner = sm.body.stmts[0]
+        assert inner.kind is LoopKind.SERIAL
+
+    def test_strip_count(self, fill):
+        lp = doall("i", 1, 10)(assign(ref("A", v("i")), c(1.0)))
+        sm = strip_mine(lp, 4)
+        assert sm.upper == Const(3)  # ceil(10/4)
+
+    def test_exact_division_strip_count(self):
+        lp = doall("i", 1, 12)(assign(ref("A", v("i")), c(1.0)))
+        sm = strip_mine(lp, 4)
+        assert sm.upper == Const(3)
+
+    def test_serial_loop_strip_mines(self):
+        lp = serial("i", 1, 9)(assign(ref("A", v("i")), c(1.0)))
+        sm = strip_mine(lp, 2)
+        assert sm.kind is LoopKind.SERIAL
+
+    def test_original_var_kept_in_inner_loop(self, fill):
+        sm = strip_mine(fill.body.stmts[0], 4)
+        assert sm.body.stmts[0].var == "i"
+
+
+class TestLegality:
+    def test_non_normalized_rejected(self):
+        lp = serial("i", 0, 9)(assign(ref("A", v("i")), c(1.0)))
+        with pytest.raises(TransformError, match="normalized"):
+            strip_mine(lp, 4)
+
+    def test_zero_block_rejected(self, fill):
+        with pytest.raises(TransformError, match="positive"):
+            strip_mine(fill.body.stmts[0], 0)
+
+    def test_negative_block_rejected(self, fill):
+        with pytest.raises(TransformError, match="positive"):
+            strip_mine(fill.body.stmts[0], -3)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("n,block_size", [(10, 1), (10, 3), (10, 10), (10, 64), (1, 2), (7, 7)])
+    def test_equivalence(self, n, block_size):
+        p = proc(
+            "fill",
+            doall("i", 1, n)(assign(ref("A", v("i")), v("i") * v("i"))),
+            arrays={"A": 1},
+        )
+        sm = strip_mine(p.body.stmts[0], block_size)
+        p2 = p.with_body(block(sm))
+        validate(p2)
+        assert_equivalent(p, p2, {"A": (n + 1,)})
+
+    def test_symbolic_bound_equivalence(self, fill):
+        sm = strip_mine(fill.body.stmts[0], 4)
+        p2 = fill.with_body(block(sm))
+        validate(p2)
+        assert_equivalent(fill, p2, {"A": (14,)}, {"n": 13})
+
+    def test_symbolic_block_size(self, fill):
+        sm = strip_mine(fill.body.stmts[0], v("b"))
+        p2 = proc("fill", sm, arrays={"A": 1}, scalars=("n", "b"))
+        orig = proc("fill", fill.body.stmts[0], arrays={"A": 1}, scalars=("n", "b"))
+        validate(p2)
+        assert_equivalent(orig, p2, {"A": (14,)}, {"n": 13, "b": 5})
+
+    def test_strip_mined_coalesced_loop(self):
+        """The paper's chunking enhancement: strip-mine the flat loop."""
+        from repro.transforms.coalesce import coalesce
+
+        body = assign(ref("T", v("i"), v("j")), v("i") * 10 + v("j"))
+        p = proc("m", doall("i", 1, 5)(doall("j", 1, 7)(body)), arrays={"T": 2})
+        result = coalesce(p.body.stmts[0])
+        sm = strip_mine(result.loop, 6)
+        p2 = p.with_body(block(sm))
+        validate(p2)
+        assert_equivalent(p, p2, {"T": (6, 8)})

@@ -1,0 +1,135 @@
+"""Unit tests for the canonical workloads (against numpy oracles)."""
+
+import numpy as np
+import pytest
+
+from repro.ir.validate import validate
+from repro.runtime.equivalence import copy_env
+from repro.runtime.interp import run
+from repro.transforms import coalesce_procedure
+from repro.codegen import compile_procedure
+from repro.workloads import (
+    WORKLOADS,
+    gauss_reference,
+    get_workload,
+    make_env,
+    mark_nest,
+)
+
+
+@pytest.fixture(params=sorted(WORKLOADS))
+def workload(request):
+    return get_workload(request.param)
+
+
+class TestRegistry:
+    def test_all_workloads_validate(self, workload):
+        validate(workload.proc)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            get_workload("fibonacci")
+
+    def test_make_env_shapes(self, workload):
+        arrays, sc = make_env(workload)
+        for name, rank in workload.proc.arrays.items():
+            assert arrays[name].ndim == rank
+
+    def test_scalar_override(self):
+        w = get_workload("matmul")
+        arrays, sc = make_env(w, scalars={"n": 5})
+        assert sc["n"] == 5
+        assert arrays["A"].shape == (6, 6)
+
+
+class TestOracles:
+    def test_reference_agreement(self, workload):
+        if workload.reference is None:
+            pytest.skip("no closed-form oracle")
+        arrays, sc = make_env(workload, seed=7)
+        expected = copy_env(arrays)
+        run(workload.proc, arrays, sc)
+        workload.reference(expected, sc)
+        for name in workload.proc.arrays:
+            np.testing.assert_allclose(arrays[name], expected[name], err_msg=name)
+
+    def test_codegen_agreement(self, workload):
+        arrays, sc = make_env(workload, seed=11)
+        via_interp = copy_env(arrays)
+        via_codegen = copy_env(arrays)
+        run(workload.proc, via_interp, sc)
+        compile_procedure(workload.proc).run(via_codegen, sc)
+        for name in workload.proc.arrays:
+            np.testing.assert_array_equal(
+                via_interp[name], via_codegen[name], err_msg=name
+            )
+
+    def test_coalesced_agreement(self, workload):
+        arrays, sc = make_env(workload, seed=13)
+        baseline = copy_env(arrays)
+        run(workload.proc, baseline, sc)
+        coalesced, _ = coalesce_procedure(workload.proc)
+        validate(coalesced)
+        run(coalesced, arrays, sc)
+        for name in workload.proc.arrays:
+            np.testing.assert_array_equal(baseline[name], arrays[name], err_msg=name)
+
+
+class TestGaussJordan:
+    def test_solves_linear_system(self):
+        w = get_workload("gauss_jordan")
+        arrays, sc = make_env(w, seed=5)
+        before = copy_env(arrays)
+        run(w.proc, arrays, sc)
+        x_ref = gauss_reference(before, sc)
+        np.testing.assert_allclose(
+            arrays["X"][1:, 1:], x_ref, rtol=1e-8, atol=1e-8
+        )
+
+    def test_solution_nest_is_coalesced(self):
+        w = get_workload("gauss_jordan")
+        _, results = coalesce_procedure(w.proc)
+        assert len(results) == 1
+        assert results[0].index_vars == ("i", "jj")
+
+    def test_larger_system(self):
+        w = get_workload("gauss_jordan")
+        arrays, sc = make_env(w, scalars={"n": 24, "m": 2}, seed=9)
+        before = copy_env(arrays)
+        run(w.proc, arrays, sc)
+        x_ref = gauss_reference(before, sc)
+        np.testing.assert_allclose(arrays["X"][1:, 1:], x_ref, rtol=1e-7, atol=1e-7)
+
+
+class TestPi:
+    def test_converges_to_pi(self):
+        w = get_workload("calc_pi")
+        arrays, sc = make_env(w, scalars={"tasks": 5, "intervals": 50000})
+        run(w.proc, arrays, sc)
+        assert abs(arrays["S"][1:].sum() - np.pi) < 1e-8
+
+    def test_task_count_does_not_change_answer(self):
+        w = get_workload("calc_pi")
+        answers = []
+        for tasks in (1, 3, 8):
+            arrays, sc = make_env(w, scalars={"tasks": tasks, "intervals": 4000})
+            run(w.proc, arrays, sc)
+            answers.append(arrays["S"][1 : tasks + 1].sum())
+        assert max(answers) - min(answers) < 1e-10
+
+
+class TestMarkNest:
+    def test_values_unique_per_point(self):
+        w = mark_nest((3, 4))
+        arrays, sc = make_env(w)
+        run(w.proc, arrays, sc)
+        interior = arrays["T"][1:, 1:]
+        assert len(np.unique(interior)) == interior.size
+
+    def test_oracle(self):
+        w = mark_nest((2, 3, 2))
+        arrays, sc = make_env(w, seed=2)
+        expected = copy_env(arrays)
+        run(w.proc, arrays, sc)
+        w.reference(expected, sc)
+        np.testing.assert_array_equal(arrays["T"], expected["T"])

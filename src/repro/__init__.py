@@ -8,6 +8,8 @@ high-level entry points live here; the subpackages are the system:
 * :mod:`repro.analysis` — dependence tests and DOALL classification
 * :mod:`repro.transforms` — coalescing and the supporting transformations
 * :mod:`repro.codegen` / :mod:`repro.runtime` — execution backends
+* :mod:`repro.parallel` — process-parallel DOALL runtime (shared-memory
+  arrays, fetch&add self-scheduling, real wall-clock speedup)
 * :mod:`repro.machine` / :mod:`repro.scheduling` — the simulated
   multiprocessor and its scheduling policies
 * :mod:`repro.workloads` / :mod:`repro.experiments` — the evaluation suite

@@ -18,7 +18,13 @@ The decorator lowers the function through the ``ast`` frontend, proves
 parallelism with the dependence analyser (``range`` loops may be upgraded to
 DOALL; ``prange`` is taken as an assertion and *demoted* if disproven),
 distributes imperfect nests, coalesces, and compiles back to Python — or to
-C/OpenMP with ``backend="c"`` when a compiler is available.
+C/OpenMP with ``backend="c"`` when a compiler is available, or to the
+process-parallel runtime with ``backend="mp"`` (worker processes
+self-scheduling the coalesced loop from a shared fetch&add counter over
+shared-memory arrays — real wall-clock speedup, see :mod:`repro.parallel`)::
+
+    @coalesce_jit(backend="mp", workers=4, policy="gss")
+    def sweep(A, B, n, m): ...
 """
 
 from __future__ import annotations
@@ -79,8 +85,18 @@ class TransformedFunction:
 
     @property
     def generated_source(self) -> str:
-        """The backend's generated source (Python or C)."""
+        """The backend's generated source (Python, C, or mp chunk function)."""
         return self._backend.source
+
+    @property
+    def last_parallel(self):
+        """Measured result of the last ``backend="mp"`` run (or None).
+
+        A :class:`repro.parallel.runtime.ParallelProcedureResult` with
+        per-worker claim logs; ``None`` for serial backends, after a
+        fallback run, or before the first call.
+        """
+        return getattr(self._backend, "last", None)
 
     def report(self) -> str:
         """Human-readable summary of what the pipeline did."""
@@ -101,6 +117,7 @@ def transform_function(
     distribute: bool = True,
     analyze: bool = True,
     backend: str = "python",
+    **backend_options,
 ) -> TransformedFunction:
     """Run the full pipeline on a restricted Python function.
 
@@ -111,7 +128,13 @@ def transform_function(
         distribute: run loop distribution before coalescing.
         analyze: re-derive DOALL tags with the dependence analyser
             (disproven ``prange`` claims are demoted — the safe default).
-        backend: ``"python"`` (generated Python) or ``"c"`` (gcc + OpenMP).
+        backend: ``"python"`` (generated Python), ``"c"`` (gcc + OpenMP),
+            or ``"mp"`` (worker processes + shared memory + fetch&add
+            self-scheduling — see :mod:`repro.parallel`).
+        **backend_options: forwarded to the ``"mp"`` backend — ``workers``,
+            ``policy`` (``"unit"``/``"fixed"``/``"gss"``/``"static"`` or a
+            :class:`repro.scheduling.policies.SchedulingPolicy`), ``chunk``,
+            ``timeout``, ``fallback``, ``method``.
     """
     original = from_python(fn)
     validate(original)
@@ -122,12 +145,21 @@ def transform_function(
         proc = distribute_procedure(proc)
     proc, results = coalesce_procedure(proc, depth=depth, style=style)
     validate(proc)
+    if backend != "mp" and backend_options:
+        raise TypeError(
+            f"backend {backend!r} takes no options, got "
+            f"{sorted(backend_options)}"
+        )
     if backend == "python":
         compiled: object = compile_procedure(proc)
     elif backend == "c":
         from repro.codegen.cload import compile_c_procedure
 
         compiled = compile_c_procedure(proc)
+    elif backend == "mp":
+        from repro.parallel.backend import compile_mp_procedure
+
+        compiled = compile_mp_procedure(proc, **backend_options)
     else:
         raise ValueError(f"unknown backend {backend!r}")
     return TransformedFunction(

@@ -15,7 +15,14 @@ Options:
     --style S       index-recovery style: ceiling (paper) or divmod
     --depth N       coalesce at most N levels per nest
     --emit FORM     loop (default) | python | both
+    --backend B     python (serial codegen) | mp (process-parallel runtime;
+                    --emit python then shows the worker chunk function)
     --report        print per-nest coalescing metadata to stderr
+
+Instead of an input file, ``--workload NAME`` compiles a registered
+workload, and ``--run`` executes it with the chosen backend —
+``--backend mp --workers 4 --policy gss`` runs the coalesced program on
+real worker processes and prints the measured schedule (``--gantt``).
 """
 
 from __future__ import annotations
@@ -40,11 +47,47 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Loop coalescing compiler (ICPP'87 reproduction)",
     )
-    parser.add_argument("input", help="mini-language source file, or '-' for stdin")
+    parser.add_argument(
+        "input",
+        nargs="?",
+        help="mini-language source file, or '-' for stdin "
+        "(omit when using --workload)",
+    )
     parser.add_argument("--passes", default=DEFAULT_PASSES)
     parser.add_argument("--style", choices=("ceiling", "divmod"), default="ceiling")
     parser.add_argument("--depth", type=int, default=None)
     parser.add_argument("--emit", choices=("loop", "python", "both"), default="loop")
+    parser.add_argument(
+        "--backend",
+        choices=("python", "mp"),
+        default="python",
+        help="execution/codegen backend: serial Python or the "
+        "process-parallel runtime (repro.parallel)",
+    )
+    parser.add_argument(
+        "--workload",
+        metavar="NAME",
+        help="compile a registered workload instead of an input file",
+    )
+    parser.add_argument(
+        "--run",
+        action="store_true",
+        help="execute the transformed program (requires --workload for the "
+        "array environment) and report timing + a serial cross-check",
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--policy",
+        default="gss",
+        help="mp scheduling policy: unit | fixed | gss | static "
+        "(or any repro.scheduling.policies name)",
+    )
+    parser.add_argument("--chunk", type=int, default=None)
+    parser.add_argument(
+        "--gantt",
+        action="store_true",
+        help="with --run --backend mp: print the measured schedule",
+    )
     parser.add_argument(
         "--triangular",
         action="store_true",
@@ -88,9 +131,82 @@ def run_pipeline(
     return proc, results
 
 
+def _run_transformed(args, workload, proc) -> int:
+    """Execute a transformed workload with the chosen backend (--run)."""
+    import time
+
+    import numpy as np
+
+    from repro.codegen.pygen import compile_procedure
+    from repro.workloads import make_env
+
+    arrays, sc = make_env(workload)
+    baseline = {k: v.copy() for k, v in arrays.items()}
+    t0 = time.perf_counter()
+    compile_procedure(workload.proc).run(baseline, sc)
+    serial_t = time.perf_counter() - t0
+
+    if args.backend == "mp":
+        from repro.parallel import ParallelError, run_parallel_procedure
+
+        try:
+            result = run_parallel_procedure(
+                proc,
+                arrays,
+                sc,
+                workers=args.workers,
+                policy=args.policy,
+                chunk=args.chunk,
+            )
+        except (ParallelError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2 if isinstance(exc, ValueError) else 1
+        elapsed = result.wall_time
+        label = (
+            f"mp[{args.policy}, {args.workers} workers, "
+            f"{result.claims} claims]"
+        )
+        if args.gantt:
+            for d in result.dispatches:
+                print(f"-- measured schedule of DOALL {d.loop_var} (µs) --")
+                print(d.gantt())
+    else:
+        t0 = time.perf_counter()
+        compile_procedure(proc).run(arrays, sc)
+        elapsed = time.perf_counter() - t0
+        label = "python"
+
+    match = all(np.array_equal(baseline[k], arrays[k]) for k in arrays)
+    speedup = serial_t / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"serial {serial_t:.4f}s | {label} {elapsed:.4f}s | "
+        f"speedup {speedup:.2f}x | results match serial: {match}"
+    )
+    return 0 if match else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.input == "-":
+    workload = None
+    if args.workload:
+        if args.input:
+            print(
+                "error: give either an input file or --workload, not both",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.workloads import get_workload
+
+        try:
+            workload = get_workload(args.workload)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        source = to_source(workload.proc)
+    elif args.input is None:
+        print("error: provide an input file or --workload", file=sys.stderr)
+        return 2
+    elif args.input == "-":
         source = sys.stdin.read()
     else:
         try:
@@ -99,6 +215,13 @@ def main(argv: list[str] | None = None) -> int:
         except OSError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    if args.run and workload is None:
+        print(
+            "error: --run needs --workload (it supplies the array "
+            "environment)",
+            file=sys.stderr,
+        )
+        return 2
     if args.analyze:
         from repro.analysis.summary import analyze_procedure
 
@@ -138,12 +261,20 @@ def main(argv: list[str] | None = None) -> int:
         if not results:
             print("no nests coalesced", file=sys.stderr)
 
+    if args.run:
+        return _run_transformed(args, workload, proc)
+
     if args.emit in ("loop", "both"):
         print(to_source(proc))
     if args.emit in ("python", "both"):
         if args.emit == "both":
             print()
-        print(generate_source(proc), end="")
+        if args.backend == "mp":
+            from repro.parallel.backend import compile_mp_procedure
+
+            print(compile_mp_procedure(proc).source, end="")
+        else:
+            print(generate_source(proc), end="")
     return 0
 
 

@@ -100,6 +100,54 @@ def _emit_stmt(s: Stmt, lines: list[str], depth: int) -> None:
     raise TypeError(f"cannot generate code for {type(s).__name__}")
 
 
+def generate_chunk_source(
+    proc: Procedure, loop: Loop | None = None, name: str | None = None
+) -> str:
+    """Generate a *chunk function* for one DOALL loop of ``proc``.
+
+    The function runs the loop body over an inclusive sub-range of the
+    loop's iteration space::
+
+        def <proc>__chunk(__lo, __hi, <arrays...>, <scalars...>):
+            for <var> in range(__lo, __hi + 1):
+                <body>
+
+    This is the unit of work the process-parallel runtime
+    (:mod:`repro.parallel`) ships to workers: each fetch&add claim maps to
+    one call.  ``loop`` defaults to the procedure's single top-level loop
+    (the shape coalescing produces).
+    """
+    if loop is None:
+        if len(proc.body) != 1 or not isinstance(proc.body.stmts[0], Loop):
+            raise ValueError(
+                "procedure body must be a single loop (or pass loop= explicitly)"
+            )
+        loop = proc.body.stmts[0]
+    if not isinstance(loop.step, Const) or loop.step.value != 1:
+        raise ValueError("chunk functions require a unit-step loop")
+    fname = name or f"{proc.name}__chunk"
+    params = ["__lo", "__hi"] + list(proc.arrays) + list(proc.scalars)
+    lines = [
+        f"def {fname}({', '.join(params)}):",
+        f"    for {loop.var} in range(__lo, __hi + 1):",
+    ]
+    body_lines: list[str] = []
+    _emit_block(loop.body, body_lines, 2)
+    return "\n".join(lines + body_lines) + "\n"
+
+
+def compile_chunk_source(source: str, fname: str) -> Callable:
+    """Compile a chunk function's source text into a callable.
+
+    Used on the worker side of :mod:`repro.parallel` (the source string is
+    what crosses the process boundary — always picklable, spawn-safe).
+    """
+    namespace = dict(_NAMESPACE)
+    code = compile(source, filename=f"<chunk:{fname}>", mode="exec")
+    exec(code, namespace)
+    return namespace[fname]
+
+
 @dataclass
 class CompiledProcedure:
     """A procedure compiled to a live Python function.

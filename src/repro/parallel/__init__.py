@@ -1,0 +1,57 @@
+"""True process-parallel execution of coalesced DOALLs.
+
+This is the hardware end of the reproduction: where :mod:`repro.machine`
+*simulates* the paper's shared-memory multiprocessor, this package
+*executes* coalesced loops on one — worker **processes** (no GIL) claiming
+flat iterations from a shared fetch&add counter over numpy arrays backed by
+``multiprocessing.shared_memory`` (zero-copy views in every worker).
+
+* :mod:`repro.parallel.shm` — shared-memory array pool with guaranteed
+  unlink (no leaked ``/dev/shm`` segments, even on crashes).
+* :mod:`repro.parallel.counter` — the shared claim counter (a lock-guarded
+  ``multiprocessing.Value``: the real fetch&add of the paper's protocol)
+  plus the bridge that reuses :mod:`repro.scheduling.policies` chunk rules.
+* :mod:`repro.parallel.worker` — the per-process claim/execute loop.
+* :mod:`repro.parallel.runtime` — drivers: :func:`run_parallel_doall` for a
+  single coalesced loop, :func:`run_parallel_procedure` for whole programs
+  (serial segments run in the parent, top-level DOALLs are dispatched).
+* :mod:`repro.parallel.observe` — measured claim logs rendered as
+  :class:`repro.machine.trace.SimResult` / Gantt charts, so real schedules
+  can be plotted against simulator predictions.
+* :mod:`repro.parallel.backend` — the ``backend="mp"`` adapter used by
+  :func:`repro.api.coalesce_jit`, with graceful serial fallback.
+"""
+
+from repro.parallel.counter import SharedClaimCounter, policy_plan
+from repro.parallel.backend import MPCompiledProcedure, compile_mp_procedure
+from repro.parallel.observe import to_sim_result
+from repro.parallel.runtime import (
+    ClaimEvent,
+    ParallelDispatchError,
+    ParallelError,
+    ParallelProcedureResult,
+    ParallelRunResult,
+    ParallelTimeoutError,
+    WorkerCrashError,
+    run_parallel_doall,
+    run_parallel_procedure,
+)
+from repro.parallel.shm import SharedArrayPool
+
+__all__ = [
+    "ClaimEvent",
+    "MPCompiledProcedure",
+    "ParallelDispatchError",
+    "ParallelError",
+    "ParallelProcedureResult",
+    "ParallelRunResult",
+    "ParallelTimeoutError",
+    "SharedArrayPool",
+    "SharedClaimCounter",
+    "WorkerCrashError",
+    "compile_mp_procedure",
+    "policy_plan",
+    "run_parallel_doall",
+    "run_parallel_procedure",
+    "to_sim_result",
+]

@@ -1,0 +1,114 @@
+"""The ``backend="mp"`` execution adapter for :mod:`repro.api`.
+
+Wraps the process-parallel runtime behind the same ``(arrays, scalars)``
+calling convention as :class:`repro.codegen.pygen.CompiledProcedure`, so
+``coalesce_jit(backend="mp")`` is a drop-in swap for the serial backend.
+
+Degradation policy (all observable via :attr:`MPCompiledProcedure.last`):
+
+* nothing dispatchable (no top-level DOALL) → serial pygen, recorded;
+* timeout → workers killed, shared memory unlinked, serial pygen rerun on
+  the untouched caller arrays — the graceful-fallback path;
+* worker crash → :class:`repro.parallel.runtime.WorkerCrashError` is
+  re-raised: a crash means the program itself is broken, and silently
+  rerunning it serially would just reproduce the bug slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.codegen.pygen import (
+    CompiledProcedure,
+    compile_procedure,
+    generate_chunk_source,
+)
+from repro.ir.stmt import Loop, Procedure
+from repro.parallel.runtime import (
+    ParallelDispatchError,
+    ParallelProcedureResult,
+    ParallelTimeoutError,
+    _dispatchable,
+    run_parallel_procedure,
+)
+
+
+@dataclass
+class MPCompiledProcedure:
+    """A procedure bound to the process-parallel runtime.
+
+    ``run`` mirrors the serial backends; ``source`` shows what workers
+    execute (the chunk function per dispatchable DOALL).  ``last`` holds
+    the most recent run's measured result, or the fallback reason when the
+    serial path was taken.
+    """
+
+    proc: Procedure
+    workers: int = 4
+    policy: str | object = "gss"
+    chunk: int | None = None
+    timeout: float | None = None
+    fallback: bool = True
+    method: str | None = None
+    log_events: bool = True
+    _serial: CompiledProcedure = field(init=False, repr=False)
+    last: ParallelProcedureResult | None = field(init=False, default=None)
+    fallback_reason: str | None = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        self._serial = compile_procedure(self.proc)
+
+    @property
+    def source(self) -> str:
+        """Chunk-function source for every dispatchable top-level DOALL."""
+        loops = [
+            s
+            for s in self.proc.body.stmts
+            if isinstance(s, Loop) and _dispatchable(s)
+        ]
+        chunks = [
+            generate_chunk_source(
+                self.proc,
+                loop=s,
+                name=f"{self.proc.name}__chunk_{i}" if len(loops) > 1 else None,
+            )
+            for i, s in enumerate(loops)
+        ]
+        if not chunks:
+            return self._serial.source
+        return "\n".join(chunks)
+
+    def run(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        scalars: Mapping[str, int | float] | None = None,
+    ) -> None:
+        self.last = None
+        self.fallback_reason = None
+        try:
+            self.last = run_parallel_procedure(
+                self.proc,
+                arrays,
+                scalars,
+                workers=self.workers,
+                policy=self.policy,
+                chunk=self.chunk,
+                timeout=self.timeout,
+                log_events=self.log_events,
+                method=self.method,
+            )
+        except (ParallelDispatchError, ParallelTimeoutError) as exc:
+            if not self.fallback:
+                raise
+            # Caller arrays are untouched on these paths (workers only ever
+            # mutate the shared copies), so the serial rerun is clean.
+            self.fallback_reason = f"{type(exc).__name__}: {exc}"
+            self._serial.run(arrays, scalars)
+
+
+def compile_mp_procedure(proc: Procedure, **options) -> MPCompiledProcedure:
+    """Factory matching the other backends' ``compile_*_procedure`` shape."""
+    return MPCompiledProcedure(proc, **options)

@@ -1,0 +1,139 @@
+"""The shared fetch&add claim counter and the scheduling-policy bridge.
+
+On the paper's machines every worker processor performs an atomic fetch&add
+on one shared iteration index to claim work.  Here the counter is a
+``multiprocessing.Value`` whose built-in lock guards the read-modify-write —
+a faithful (if slower) fetch&add visible to every worker process.
+
+Chunk sizes come from :mod:`repro.scheduling.policies`: the same policy
+objects that drive the simulator drive the real runtime.  Dynamic policies
+(self-scheduling, chunked, GSS) are compiled to a picklable *chunk rule*
+evaluated inside the counter's critical section (GSS must read ``remaining``
+atomically with the add, exactly as in Polychronopoulos & Kuck's scheme);
+static policies are compiled to per-worker chunk lists so no shared counter
+is needed at all.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+
+from repro.scheduling.policies import (
+    ChunkSelfScheduled,
+    GuidedSelfScheduled,
+    SchedulingPolicy,
+    SelfScheduled,
+    policy_by_name,
+)
+
+#: Picklable chunk rule: ("unit",) | ("fixed", k) | ("gss", p).
+ChunkRule = tuple
+
+#: Friendly aliases accepted anywhere a policy name is (api, cli, bench).
+POLICY_ALIASES = {
+    "unit": "self-sched",
+    "fixed": "chunk-self-sched",
+    "static": "static-block",
+}
+
+
+def resolve_policy(
+    policy: SchedulingPolicy | str, chunk: int | None = None
+) -> SchedulingPolicy:
+    """Accept a policy object or a name (with aliases) and return the object."""
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    name = POLICY_ALIASES.get(policy, policy)
+    kwargs = {}
+    if name == "chunk-self-sched" and chunk is not None:
+        kwargs["chunk"] = chunk
+    return policy_by_name(name, **kwargs)
+
+
+@dataclass(frozen=True)
+class PolicyPlan:
+    """How one parallel loop will be scheduled across ``workers`` processes.
+
+    Exactly one of ``rule`` (dynamic: evaluated against the shared counter)
+    and ``static`` (per-worker lists of flat 0-based ``(start, size)``
+    chunks) is set.
+    """
+
+    name: str
+    workers: int
+    rule: ChunkRule | None = None
+    static: tuple[tuple[tuple[int, int], ...], ...] | None = None
+
+
+def policy_plan(
+    policy: SchedulingPolicy | str,
+    n: int,
+    workers: int,
+    chunk: int | None = None,
+) -> PolicyPlan:
+    """Compile a scheduling policy into a picklable execution plan."""
+    policy = resolve_policy(policy, chunk)
+    if policy.is_static:
+        assignment = policy.static_assignment(n, workers)
+        return PolicyPlan(
+            policy.name,
+            workers,
+            static=tuple(tuple(chunks) for chunks in assignment),
+        )
+    if isinstance(policy, SelfScheduled):
+        rule: ChunkRule = ("unit",)
+    elif isinstance(policy, ChunkSelfScheduled):
+        rule = ("fixed", policy.chunk)
+    elif isinstance(policy, GuidedSelfScheduled):
+        rule = ("gss", workers)
+    else:
+        raise ValueError(
+            f"policy {policy.name!r} has no process-parallel chunk rule"
+        )
+    return PolicyPlan(policy.name, workers, rule=rule)
+
+
+def chunk_size(rule: ChunkRule, remaining: int) -> int:
+    """Evaluate a chunk rule; called under the counter lock."""
+    kind = rule[0]
+    if kind == "unit":
+        return 1
+    if kind == "fixed":
+        return rule[1]
+    if kind == "gss":
+        return max(1, -(-remaining // rule[1]))
+    raise ValueError(f"unknown chunk rule {rule!r}")
+
+
+class SharedClaimCounter:
+    """Shared iteration counter over the inclusive loop range [start, stop].
+
+    ``claim(rule)`` atomically computes the chunk size from the rule and the
+    live remaining count, advances the index (the fetch&add), and returns
+    the claimed inclusive ``(lo, hi)`` — or None once the range is drained.
+    Picklable into worker processes via the normal ``multiprocessing``
+    inheritance machinery (fork and spawn both work).
+    """
+
+    def __init__(
+        self, start: int, stop: int, ctx: multiprocessing.context.BaseContext
+    ) -> None:
+        self.start = start
+        self.stop = stop
+        self._next = ctx.Value("q", start)  # holds its own lock
+
+    def claim(self, rule: ChunkRule) -> tuple[int, int] | None:
+        with self._next.get_lock():
+            lo = self._next.value
+            if lo > self.stop:
+                return None
+            size = chunk_size(rule, self.stop - lo + 1)
+            hi = min(lo + size - 1, self.stop)
+            self._next.value = hi + 1
+            return lo, hi
+
+    @property
+    def drained(self) -> bool:
+        with self._next.get_lock():
+            return self._next.value > self.stop

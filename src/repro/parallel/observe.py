@@ -1,0 +1,56 @@
+"""Measured schedules in the simulator's vocabulary.
+
+The simulator (:mod:`repro.machine`) produces :class:`SimResult` objects;
+the real runtime produces :class:`~repro.parallel.runtime.ParallelRunResult`
+claim logs.  This module converts the latter into the former so one set of
+renderers and metrics (``render_gantt``, ``speedup``, ``imbalance``) serves
+both — measured schedules can be eyeballed and plotted directly against
+simulator predictions, which is how the true-parallel benchmark closes the
+loop on the paper's claims.
+
+Times are seconds (optionally rescaled); chunk first-iterations are
+converted to the simulator's 0-based flat convention.
+"""
+
+from __future__ import annotations
+
+from repro.machine.trace import ChunkEvent, ProcessorTrace, SimResult
+
+
+def to_sim_result(run, time_scale: float = 1.0) -> SimResult:
+    """Convert a measured parallel run into a :class:`SimResult`.
+
+    Claim latency (issue → grant) counts as overhead, body execution as
+    busy time — the same split the simulator draws between dispatch cost
+    and body cost.  ``time_scale`` multiplies every timestamp (e.g. pass
+    ``1e6`` to read the Gantt in microseconds).
+    """
+    traces = [ProcessorTrace() for _ in range(run.workers)]
+    events: list[ChunkEvent] = []
+    for e in run.events:
+        t = traces[e.worker]
+        start = e.t_claim * time_scale
+        work_start = e.t_work * time_scale
+        end = e.t_end * time_scale
+        t.overhead += work_start - start
+        t.busy += end - work_start
+        t.dispatches += 1
+        t.iterations += e.size
+        t.finish = max(t.finish, end)
+        events.append(
+            ChunkEvent(e.worker, start, work_start, end, e.lo - run.lo, e.size)
+        )
+    if run.events:
+        finish = max(t.finish for t in traces)
+    else:  # event logging disabled: fall back to aggregate accounting
+        finish = run.wall_time * time_scale
+        for wid, iters in enumerate(run.iterations_per_worker):
+            traces[wid].iterations = iters
+            traces[wid].finish = finish
+    return SimResult(
+        finish_time=finish,
+        processors=traces,
+        barriers=1,
+        total_dispatches=run.claims,
+        events=sorted(events, key=lambda e: (e.start, e.processor)),
+    )

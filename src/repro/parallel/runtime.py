@@ -1,0 +1,406 @@
+"""Process-parallel drivers for coalesced DOALL procedures.
+
+:func:`run_parallel_doall` executes a procedure whose body is one flat DOALL
+(the shape coalescing produces) across worker processes: arrays move into
+shared memory once, workers claim chunks through the shared fetch&add
+counter, and the parent copies results back on success.
+
+:func:`run_parallel_procedure` generalizes to whole programs (the paper's
+*hybrid* case, e.g. Gauss–Jordan): top-level DOALL loops are dispatched to
+workers, everything between them runs serially in the parent over the same
+shared-memory views, so one pool serves the whole execution.
+
+Robustness contract:
+
+* the outer loop is validated DOALL (and unit-step) *before* any process or
+  segment is created — :class:`ParallelDispatchError` otherwise;
+* a worker that raises (or dies) triggers termination of its peers and a
+  :class:`WorkerCrashError` carrying the worker traceback;
+* a per-run ``timeout`` kills the fleet and raises
+  :class:`ParallelTimeoutError` (the ``backend="mp"`` adapter turns this
+  into a graceful serial fallback);
+* shared-memory segments are unlinked on **every** exit path — success,
+  crash, or timeout — so ``/dev/shm`` never accumulates garbage.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.codegen.pygen import generate_chunk_source
+from repro.ir.expr import Const
+from repro.ir.stmt import Loop, Procedure
+from repro.ir.validate import validate
+from repro.parallel.counter import SharedClaimCounter, policy_plan
+from repro.parallel.shm import SharedArrayPool
+from repro.parallel.worker import worker_main
+from repro.runtime.interp import Interpreter
+from repro.scheduling.policies import SchedulingPolicy
+
+
+class ParallelError(Exception):
+    """Base class for process-parallel runtime failures."""
+
+
+class ParallelDispatchError(ParallelError):
+    """The procedure cannot be dispatched (e.g. outer loop is not DOALL)."""
+
+
+class WorkerCrashError(ParallelError):
+    """A worker process raised or died; peers were terminated cleanly."""
+
+
+class ParallelTimeoutError(ParallelError):
+    """The run exceeded its deadline; workers were killed."""
+
+
+@dataclass(frozen=True)
+class ClaimEvent:
+    """One executed chunk: who claimed it, what range, when (run-relative)."""
+
+    worker: int
+    lo: int
+    hi: int  # inclusive loop values
+    t_claim: float  # claim issued (seconds from run start)
+    t_work: float  # claim granted, body work begins
+    t_end: float  # chunk finished
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo + 1
+
+
+@dataclass
+class ParallelRunResult:
+    """Measured outcome of one parallel DOALL dispatch."""
+
+    loop_var: str
+    lo: int
+    hi: int
+    workers: int
+    policy: str
+    wall_time: float
+    iterations_per_worker: list[int]
+    claims: int
+    events: list[ClaimEvent] = field(default_factory=list)
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(self.iterations_per_worker)
+
+    def to_sim_result(self):
+        """Measured schedule as a :class:`repro.machine.trace.SimResult`."""
+        from repro.parallel.observe import to_sim_result
+
+        return to_sim_result(self)
+
+    def gantt(self, width: int = 50, time_scale: float = 1e6) -> str:
+        """Text Gantt chart of the *measured* schedule (default: µs)."""
+        from repro.machine.gantt import render_gantt
+        from repro.parallel.observe import to_sim_result
+
+        return render_gantt(to_sim_result(self, time_scale), width=width)
+
+
+@dataclass
+class ParallelProcedureResult:
+    """Outcome of a whole-procedure run: one entry per dispatched DOALL."""
+
+    wall_time: float
+    dispatches: list[ParallelRunResult] = field(default_factory=list)
+    serial_stmts: int = 0
+
+    @property
+    def claims(self) -> int:
+        return sum(d.claims for d in self.dispatches)
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(d.total_iterations for d in self.dispatches)
+
+
+def _context(method: str | None) -> multiprocessing.context.BaseContext:
+    if method is not None:
+        return multiprocessing.get_context(method)
+    try:  # fork is fastest and fine for these self-contained workers
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def _dispatchable(loop: Loop) -> bool:
+    """A top-level loop we can hand to workers: DOALL with unit step."""
+    return loop.is_doall and isinstance(loop.step, Const) and loop.step.value == 1
+
+
+def _check_dispatchable(proc: Procedure) -> None:
+    """Raise :class:`ParallelDispatchError` unless something can go parallel."""
+    if not any(
+        isinstance(s, Loop) and _dispatchable(s) for s in proc.body.stmts
+    ):
+        raise ParallelDispatchError(
+            f"procedure {proc.name!r} has no top-level unit-step DOALL to "
+            "dispatch (coalesce it first, or run the serial backend)"
+        )
+
+
+def _terminate(procs: list) -> None:
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+    for p in procs:
+        p.join(timeout=1.0)
+    for p in procs:
+        if p.is_alive():  # pragma: no cover - terminate() refused
+            p.kill()
+            p.join(timeout=1.0)
+
+
+def _gather(procs: list, q, deadline: float | None) -> dict:
+    """Collect one result message per worker, watching for crashes/timeouts."""
+    results: dict[int, tuple] = {}
+    pending = set(range(len(procs)))
+    grace_until: float | None = None
+    while pending:
+        now = time.monotonic()
+        if deadline is not None and now > deadline:
+            raise ParallelTimeoutError(
+                f"parallel run exceeded its deadline with {len(pending)} "
+                "worker(s) still running"
+            )
+        try:
+            msg = q.get(timeout=0.05)
+        except queue_mod.Empty:
+            dead = [w for w in pending if not procs[w].is_alive()]
+            if len(dead) == len(pending):
+                # Every remaining worker has exited without a message yet;
+                # allow a short grace period for queue feeders to flush,
+                # then declare them crashed.
+                if grace_until is None:
+                    grace_until = now + 1.0
+                elif now > grace_until:
+                    for w in dead:
+                        results[w] = ("dead", w, procs[w].exitcode)
+                    pending.clear()
+            continue
+        results[msg[1]] = msg
+        pending.discard(msg[1])
+    return results
+
+
+def _dispatch_loop(
+    proc: Procedure,
+    loop: Loop,
+    pool: SharedArrayPool,
+    env: Mapping[str, int | float],
+    workers: int,
+    policy: SchedulingPolicy | str,
+    chunk: int | None,
+    deadline: float | None,
+    log_events: bool,
+    ctx: multiprocessing.context.BaseContext,
+) -> ParallelRunResult:
+    """Run one top-level DOALL across worker processes (pool already live)."""
+    interp = Interpreter()
+    env = dict(env)
+    lo = interp._eval_int(loop.lower, env, pool.views, "loop lower bound")
+    hi = interp._eval_int(loop.upper, env, pool.views, "loop upper bound")
+    n = max(0, hi - lo + 1)
+    if n == 0:
+        name = policy if isinstance(policy, str) else policy.name
+        return ParallelRunResult(
+            loop.var, lo, hi, workers, name, 0.0, [0] * workers, 0
+        )
+    workers = max(1, min(workers, n))
+    plan = policy_plan(policy, n, workers, chunk)
+
+    extra = tuple(
+        sorted(k for k in env if k not in proc.scalars and k != loop.var)
+    )
+    scalar_order = list(proc.scalars) + list(extra)
+    source = (
+        _chunk_source_with_extras(proc, loop, extra)
+        if extra
+        else generate_chunk_source(proc, loop=loop)
+    )
+    fname = f"{proc.name}__chunk"
+    scalars = {name: env[name] for name in scalar_order}
+
+    job = {
+        "source": source,
+        "fname": fname,
+        "specs": pool.specs(),
+        "array_order": list(proc.arrays),
+        "scalar_order": scalar_order,
+        "scalars": scalars,
+        "plan": plan,
+        "lo": lo,
+        "log_events": log_events,
+    }
+    counter = (
+        None if plan.static is not None else SharedClaimCounter(lo, hi, ctx)
+    )
+    q = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=worker_main,
+            args=(wid, job, counter, q),
+            name=f"repro-par-{wid}",
+            daemon=True,
+        )
+        for wid in range(workers)
+    ]
+    t_base = time.monotonic()
+    for p in procs:
+        p.start()
+    try:
+        results = _gather(procs, q, deadline)
+    except BaseException:
+        _terminate(procs)
+        raise
+    for p in procs:
+        p.join(timeout=5.0)
+
+    crashes = []
+    for wid in range(workers):
+        msg = results.get(wid)
+        if msg is None or msg[0] == "dead":
+            crashes.append(f"worker {wid}: died (exitcode {procs[wid].exitcode})")
+        elif msg[0] == "err":
+            crashes.append(f"worker {wid}:\n{msg[2]}")
+    if crashes:
+        _terminate(procs)
+        raise WorkerCrashError(
+            "parallel DOALL failed in {} worker(s):\n{}".format(
+                len(crashes), "\n".join(crashes)
+            )
+        )
+
+    wall = time.monotonic() - t_base
+    per_worker = [0] * workers
+    claims = 0
+    events: list[ClaimEvent] = []
+    for wid in range(workers):
+        _, _, iters, wclaims, wevents = results[wid]
+        per_worker[wid] = iters
+        claims += wclaims
+        for (clo, chi, t0, t1, t2) in wevents:
+            events.append(
+                ClaimEvent(wid, clo, chi, t0 - t_base, t1 - t_base, t2 - t_base)
+            )
+    if sum(per_worker) != n:
+        raise ParallelError(
+            f"claim accounting violated: {sum(per_worker)} iterations "
+            f"executed for a range of {n}"
+        )
+    events.sort(key=lambda e: (e.worker, e.t_claim))
+    return ParallelRunResult(
+        loop.var, lo, hi, workers, plan.name, wall, per_worker, claims, events
+    )
+
+
+def _chunk_source_with_extras(
+    proc: Procedure, loop: Loop, extra: tuple[str, ...]
+) -> str:
+    """Chunk source whose parameter list also carries env-local scalars."""
+    widened = Procedure(
+        proc.name, proc.body, proc.arrays, tuple(proc.scalars) + extra
+    )
+    return generate_chunk_source(widened, loop=loop)
+
+
+def run_parallel_doall(
+    proc: Procedure,
+    arrays: Mapping[str, np.ndarray],
+    scalars: Mapping[str, int | float] | None = None,
+    workers: int = 4,
+    policy: SchedulingPolicy | str = "gss",
+    chunk: int | None = None,
+    timeout: float | None = None,
+    log_events: bool = True,
+    method: str | None = None,
+) -> ParallelRunResult:
+    """Execute a single-DOALL procedure across worker processes.
+
+    The procedure body must be exactly one top-level unit-step DOALL (what
+    :func:`repro.transforms.coalesce.coalesce_procedure` produces).  On
+    success the caller's ``arrays`` hold the results; on any failure they
+    are untouched (workers mutate only the shared copies).
+    """
+    validate(proc)
+    body = proc.body
+    if len(body) != 1 or not isinstance(body.stmts[0], Loop):
+        raise ParallelDispatchError(
+            "procedure body must be a single loop (use run_parallel_procedure "
+            "for mixed serial/parallel programs)"
+        )
+    loop = body.stmts[0]
+    if not _dispatchable(loop):
+        raise ParallelDispatchError(
+            f"outer loop {loop.var!r} is not a unit-step DOALL"
+        )
+    ctx = _context(method)
+    env: dict[str, int | float] = dict(scalars or {})
+    deadline = None if timeout is None else time.monotonic() + timeout
+    with SharedArrayPool(arrays) as pool:
+        result = _dispatch_loop(
+            proc, loop, pool, env, workers, policy, chunk, deadline,
+            log_events, ctx,
+        )
+        pool.copy_back(arrays)
+    return result
+
+
+def run_parallel_procedure(
+    proc: Procedure,
+    arrays: Mapping[str, np.ndarray],
+    scalars: Mapping[str, int | float] | None = None,
+    workers: int = 4,
+    policy: SchedulingPolicy | str = "gss",
+    chunk: int | None = None,
+    timeout: float | None = None,
+    log_events: bool = True,
+    method: str | None = None,
+) -> ParallelProcedureResult:
+    """Execute a whole procedure, dispatching its top-level DOALL loops.
+
+    Statements between top-level DOALLs (the serial pivot loop of a hybrid
+    program, scalar setup, non-unit-step loops) run in the parent over the
+    same shared-memory views, so array state flows through the whole
+    program without extra copies.  Raises :class:`ParallelDispatchError` if
+    there is nothing to dispatch — a purely serial program should use the
+    serial backends instead of paying for a pool.
+    """
+    validate(proc)
+    _check_dispatchable(proc)
+    ctx = _context(method)
+    env: dict[str, int | float] = dict(scalars or {})
+    deadline = None if timeout is None else time.monotonic() + timeout
+    t_start = time.monotonic()
+    out = ParallelProcedureResult(0.0)
+    interp = Interpreter()
+    with SharedArrayPool(arrays) as pool:
+        for stmt in proc.body.stmts:
+            if isinstance(stmt, Loop) and _dispatchable(stmt):
+                out.dispatches.append(
+                    _dispatch_loop(
+                        proc, stmt, pool, env, workers, policy, chunk,
+                        deadline, log_events, ctx,
+                    )
+                )
+            else:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise ParallelTimeoutError(
+                        "parallel run exceeded its deadline in a serial segment"
+                    )
+                interp._exec(stmt, env, pool.views)
+                out.serial_stmts += 1
+        pool.copy_back(arrays)
+    out.wall_time = time.monotonic() - t_start
+    return out

@@ -1,0 +1,95 @@
+"""Worker-process entry point: attach, claim, execute, report.
+
+Each worker attaches the shared arrays by segment name (zero-copy), compiles
+the chunk function *from source text* (strings cross process boundaries
+under both fork and spawn), and then runs the paper's protocol: fetch&add a
+chunk from the shared counter, execute the claimed flat iterations, repeat
+until the counter is drained.  Static plans skip the counter and walk a
+precomputed chunk list.
+
+Every claim is logged as ``(lo, hi, t_claim, t_work, t_end)`` on the shared
+monotonic clock so the parent can reconstruct the measured schedule
+(:mod:`repro.parallel.observe`).  Failures are reported over the result
+queue *and* via a nonzero exit code, so the parent detects crashes even if
+the message is lost.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Any
+
+from repro.codegen.pygen import compile_chunk_source
+from repro.parallel.shm import attach_array
+
+
+def worker_main(wid: int, job: dict[str, Any], counter, queue) -> None:
+    """Run one worker's share of a parallel DOALL (see module docstring).
+
+    ``job`` keys: ``source``/``fname`` (chunk function), ``specs`` (shared
+    array attachments), ``array_order``/``scalar_order``/``scalars`` (call
+    convention), ``plan`` (:class:`repro.parallel.counter.PolicyPlan`),
+    ``lo`` (loop lower bound, for static chunk lists), ``log_events``.
+    """
+    segments = []
+    failed = False
+    try:
+        arrays = {}
+        for spec in job["specs"]:
+            view, shm = attach_array(spec)
+            arrays[spec.name] = view
+            segments.append(shm)
+        func = compile_chunk_source(job["source"], job["fname"])
+        call_args = [arrays[n] for n in job["array_order"]]
+        call_args += [job["scalars"][n] for n in job["scalar_order"]]
+        plan = job["plan"]
+        log_events = job["log_events"]
+        events: list[tuple[int, int, float, float, float]] = []
+        iterations = 0
+        claims = 0
+
+        if plan.static is not None:
+            lo0 = job["lo"]
+            t0 = time.monotonic()
+            for start, size in plan.static[wid]:
+                lo, hi = lo0 + start, lo0 + start + size - 1
+                t1 = time.monotonic()
+                func(lo, hi, *call_args)
+                t2 = time.monotonic()
+                if log_events:
+                    events.append((lo, hi, t0, t1, t2))
+                iterations += size
+                claims += 1
+                t0 = t2
+        else:
+            rule = plan.rule
+            while True:
+                t0 = time.monotonic()
+                claimed = counter.claim(rule)
+                t1 = time.monotonic()
+                if claimed is None:
+                    break
+                lo, hi = claimed
+                func(lo, hi, *call_args)
+                t2 = time.monotonic()
+                if log_events:
+                    events.append((lo, hi, t0, t1, t2))
+                iterations += hi - lo + 1
+                claims += 1
+
+        queue.put(("ok", wid, iterations, claims, events))
+    except BaseException:
+        failed = True
+        try:
+            queue.put(("err", wid, traceback.format_exc()))
+        except Exception:  # pragma: no cover - queue already broken
+            pass
+    finally:
+        for shm in segments:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+    if failed:
+        raise SystemExit(1)

@@ -7,10 +7,11 @@ thread pool.  If a transformed program is equivalent to the original under
 both, the DOALL semantics survived the transformation.
 
 Note on performance: CPython's GIL serializes the interpreter, so the thread
-executor demonstrates *correctness under concurrency*, not speedup — the
-paper's performance claims are reproduced on the simulated machine
-(:mod:`repro.machine`) instead, mirroring the paper's own instruction-count
-methodology.
+executor demonstrates *correctness under concurrency*, not speedup.  For
+measured wall-clock speedup on real hardware use the process-parallel
+runtime (:mod:`repro.parallel` — worker processes over shared-memory
+arrays); the simulated machine (:mod:`repro.machine`) additionally
+reproduces the paper's own instruction-count methodology.
 """
 
 from __future__ import annotations

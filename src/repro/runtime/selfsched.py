@@ -10,7 +10,10 @@ threads: a shared claim counter (mutex-protected — the moral equivalent of
 fetch&add), per-worker scalar environments, shared numpy arrays, and
 pluggable chunk policies (unit, fixed chunk, GSS).  Because of the GIL this
 demonstrates the *protocol and its correctness*, not wall-clock speedup —
-performance claims live in :mod:`repro.machine`.
+for the hardware path see :mod:`repro.parallel`, which runs the same
+protocol across worker *processes* (shared-memory arrays, a real shared
+fetch&add counter) and delivers measured speedup; :mod:`repro.machine`
+holds the simulated (instruction-count) results.
 """
 
 from __future__ import annotations

@@ -139,3 +139,62 @@ class TestMain:
         f.write_text("procedure f(A[1]; n)\nfor i = 1, n\nA(i) := 1.0\nend\nend")
         assert main([str(f), "--report"]) == 0
         assert "no nests coalesced" in capsys.readouterr().err
+
+
+class TestMPBackendCLI:
+    def test_emit_python_mp_prints_chunk_functions(self, mm_file, capsys):
+        assert main([mm_file, "--emit", "python", "--backend", "mp"]) == 0
+        out = capsys.readouterr().out
+        assert "__chunk" in out and "__lo, __hi" in out
+
+    def test_run_workload_mp(self, capsys):
+        assert (
+            main(
+                [
+                    "--workload", "saxpy2d", "--run", "--backend", "mp",
+                    "--workers", "2", "--policy", "gss",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "results match serial: True" in out
+        assert "mp[gss" in out
+
+    def test_run_workload_serial_backend(self, capsys):
+        assert main(["--workload", "saxpy2d", "--run"]) == 0
+        out = capsys.readouterr().out
+        assert "results match serial: True" in out
+
+    def test_run_with_gantt(self, capsys):
+        assert (
+            main(
+                [
+                    "--workload", "saxpy2d", "--run", "--backend", "mp",
+                    "--workers", "2", "--gantt",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "measured schedule" in out and "P0" in out
+
+    def test_workload_without_run_emits_transform(self, capsys):
+        assert main(["--workload", "saxpy2d"]) == 0
+        assert "doall i_flat" in capsys.readouterr().out
+
+    def test_workload_and_input_conflict(self, mm_file, capsys):
+        assert main([mm_file, "--workload", "matmul"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_run_requires_workload(self, mm_file, capsys):
+        assert main([mm_file, "--run"]) == 2
+        assert "--workload" in capsys.readouterr().err
+
+    def test_unknown_workload(self, capsys):
+        assert main(["--workload", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_no_input_at_all(self, capsys):
+        assert main([]) == 2
+        assert "error" in capsys.readouterr().err

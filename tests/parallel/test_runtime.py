@@ -1,0 +1,251 @@
+"""End-to-end tests for the process-parallel runtime.
+
+Covers the satellite checklist: bit-for-bit equivalence against serial
+pygen on matmul / Gauss–Jordan / a triangular nest, crash injection with
+clean shutdown and no orphaned shared memory, and chunk accounting (every
+iteration claimed exactly once) under unit / fixed / GSS policies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.doall import mark_doall
+from repro.codegen.pygen import compile_procedure
+from repro.frontend.dsl import parse
+from repro.parallel import (
+    ParallelDispatchError,
+    ParallelTimeoutError,
+    WorkerCrashError,
+    run_parallel_doall,
+    run_parallel_procedure,
+)
+from repro.parallel.shm import leaked_segments
+from repro.transforms import coalesce_procedure
+from repro.workloads import get_workload, make_env
+
+POLICIES = ("unit", "fixed", "gss", "static")
+
+
+def _serial_baseline(workload, seed=0, scalars=None):
+    arrays, sc = make_env(workload, scalars=scalars, seed=seed)
+    baseline = {k: v.copy() for k, v in arrays.items()}
+    compile_procedure(workload.proc).run(baseline, sc)
+    return arrays, sc, baseline
+
+
+def _assert_bit_for_bit(baseline, arrays):
+    for name in baseline:
+        assert np.array_equal(baseline[name], arrays[name]), name
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_matmul_matches_serial_pygen(self, policy):
+        w = get_workload("matmul")
+        proc, results = coalesce_procedure(w.proc)
+        assert results, "matmul must coalesce"
+        arrays, sc, baseline = _serial_baseline(w, seed=3)
+        stats = run_parallel_doall(
+            proc, arrays, sc, workers=3, policy=policy, chunk=5
+        )
+        _assert_bit_for_bit(baseline, arrays)
+        assert stats.total_iterations == sc["n"] ** 2
+
+    @pytest.mark.parametrize("policy", ("unit", "gss"))
+    def test_gauss_jordan_hybrid_matches_serial_pygen(self, policy):
+        w = get_workload("gauss_jordan")
+        proc, _ = coalesce_procedure(w.proc)
+        arrays, sc, baseline = _serial_baseline(w, seed=4)
+        result = run_parallel_procedure(
+            proc, arrays, sc, workers=2, policy=policy
+        )
+        _assert_bit_for_bit(baseline, arrays)
+        # the serial pivot loop ran in the parent, the extraction nest in
+        # workers
+        assert result.serial_stmts >= 1
+        assert len(result.dispatches) >= 1
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_triangular_nest_matches_serial_pygen(self, policy):
+        proc = mark_doall(
+            parse(
+                """
+                procedure tri(A[2]; n)
+                  doall i = 1, n
+                    doall j = 1, i
+                      A(i, j) := float(i * 1000 + j)
+                    end
+                  end
+                end
+                """
+            )
+        )
+        coalesced, results = coalesce_procedure(proc, triangular=True)
+        assert results, "triangular nest must coalesce"
+        n = 13
+        arrays = {"A": np.zeros((n + 1, n + 1))}
+        baseline = {"A": np.zeros((n + 1, n + 1))}
+        compile_procedure(proc).run(baseline, {"n": n})
+        run_parallel_doall(
+            coalesced, arrays, {"n": n}, workers=3, policy=policy, chunk=4
+        )
+        _assert_bit_for_bit(baseline, arrays)
+
+    def test_saxpy2d_across_worker_counts(self):
+        w = get_workload("saxpy2d")
+        proc, _ = coalesce_procedure(w.proc)
+        for workers in (1, 2, 5):
+            arrays, sc, baseline = _serial_baseline(w, seed=workers)
+            run_parallel_doall(proc, arrays, sc, workers=workers)
+            _assert_bit_for_bit(baseline, arrays)
+
+
+class TestChunkAccounting:
+    @pytest.mark.parametrize("policy", ("unit", "fixed", "gss"))
+    def test_every_iteration_claimed_exactly_once(self, policy):
+        w = get_workload("saxpy2d")
+        proc, _ = coalesce_procedure(w.proc)
+        arrays, sc = make_env(w, seed=1)
+        stats = run_parallel_doall(
+            proc, arrays, sc, workers=3, policy=policy, chunk=6
+        )
+        n = sc["n"] * sc["m"]
+        assert stats.lo == 1 and stats.hi == n
+        claimed = sorted(
+            value
+            for e in stats.events
+            for value in range(e.lo, e.hi + 1)
+        )
+        assert claimed == list(range(1, n + 1))  # exactly once, no gaps
+        assert stats.claims == len(stats.events)
+        assert stats.total_iterations == n
+
+    def test_fixed_chunk_claim_count(self):
+        w = get_workload("saxpy2d")
+        proc, _ = coalesce_procedure(w.proc)
+        arrays, sc = make_env(w, seed=1)
+        stats = run_parallel_doall(
+            proc, arrays, sc, workers=2, policy="fixed", chunk=10
+        )
+        n = sc["n"] * sc["m"]
+        assert stats.claims == -(-n // 10)
+        assert all(e.size <= 10 for e in stats.events)
+
+    def test_static_plan_needs_no_counter_claims(self):
+        w = get_workload("saxpy2d")
+        proc, _ = coalesce_procedure(w.proc)
+        arrays, sc = make_env(w, seed=1)
+        stats = run_parallel_doall(
+            proc, arrays, sc, workers=3, policy="static"
+        )
+        # one contiguous block per (non-empty) worker
+        assert stats.claims <= 3
+        claimed = sorted(
+            v for e in stats.events for v in range(e.lo, e.hi + 1)
+        )
+        assert claimed == list(range(stats.lo, stats.hi + 1))
+
+
+class TestRobustness:
+    def test_worker_crash_is_clean(self):
+        proc = mark_doall(
+            parse(
+                """
+                procedure boom(A[1]; n)
+                  doall i = 1, n
+                    A(i) := float(i div (n - n))
+                  end
+                end
+                """
+            )
+        )
+        arrays = {"A": np.zeros(40)}
+        snapshot = arrays["A"].copy()
+        before = leaked_segments()
+        with pytest.raises(WorkerCrashError, match="worker"):
+            run_parallel_doall(proc, arrays, {"n": 39}, workers=3)
+        # clean shutdown: caller arrays untouched, no orphaned shared memory
+        assert np.array_equal(arrays["A"], snapshot)
+        assert leaked_segments() == before
+
+    def test_timeout_kills_workers_and_preserves_arrays(self):
+        w = get_workload("matmul")
+        proc, _ = coalesce_procedure(w.proc)
+        arrays, sc = make_env(w, scalars={"n": 96}, seed=0)
+        snapshot = arrays["C"].copy()
+        with pytest.raises(ParallelTimeoutError):
+            run_parallel_doall(
+                proc, arrays, sc, workers=2, policy="gss", timeout=0.1
+            )
+        assert np.array_equal(arrays["C"], snapshot)
+        assert leaked_segments() == []
+
+    def test_serial_outer_loop_is_rejected_before_dispatch(self):
+        proc = parse(
+            """
+            procedure s(A[1]; n)
+              for i = 1, n
+                A(i) := 1.0
+              end
+            end
+            """
+        )
+        before = leaked_segments()
+        with pytest.raises(ParallelDispatchError, match="not a unit-step DOALL"):
+            run_parallel_doall(proc, {"A": np.zeros(5)}, {"n": 4})
+        assert leaked_segments() == before
+
+    def test_procedure_without_doall_is_rejected(self):
+        proc = parse(
+            """
+            procedure s(A[1]; n)
+              for i = 1, n
+                A(i) := float(i)
+              end
+            end
+            """
+        )
+        with pytest.raises(ParallelDispatchError, match="no top-level"):
+            run_parallel_procedure(proc, {"A": np.zeros(5)}, {"n": 4})
+
+    def test_empty_iteration_space(self):
+        proc = mark_doall(
+            parse(
+                """
+                procedure empty(A[1]; n)
+                  doall i = 1, n
+                    A(i) := 1.0
+                  end
+                end
+                """
+            )
+        )
+        arrays = {"A": np.zeros(4)}
+        stats = run_parallel_doall(proc, arrays, {"n": 0}, workers=2)
+        assert stats.total_iterations == 0
+        assert np.all(arrays["A"] == 0.0)
+
+
+class TestObservability:
+    def test_measured_schedule_as_sim_result(self):
+        w = get_workload("saxpy2d")
+        proc, _ = coalesce_procedure(w.proc)
+        arrays, sc = make_env(w, seed=2)
+        stats = run_parallel_doall(
+            proc, arrays, sc, workers=2, policy="fixed", chunk=8
+        )
+        sim = stats.to_sim_result()
+        assert sim.p == 2
+        assert sim.total_dispatches == stats.claims
+        assert sum(t.iterations for t in sim.processors) == stats.total_iterations
+        assert sim.finish_time >= max(e.end for e in sim.events)
+        # events carry the simulator's 0-based flat first-iteration convention
+        assert min(e.first_iteration for e in sim.events) == 0
+
+    def test_gantt_renders(self):
+        w = get_workload("saxpy2d")
+        proc, _ = coalesce_procedure(w.proc)
+        arrays, sc = make_env(w, seed=2)
+        stats = run_parallel_doall(proc, arrays, sc, workers=2)
+        chart = stats.gantt(width=30)
+        assert "P0" in chart and "P1" in chart and "dispatches" in chart

@@ -99,9 +99,18 @@ def run(seed: int = 0) -> Table:
     return table, measured_at
 
 
-def test_p01_true_parallel(benchmark, save_table):
+def test_p01_true_parallel(benchmark, save_table, save_json):
     table, measured_at = benchmark.pedantic(run, rounds=1, iterations=1)
     save_table("p01_true_parallel", table)
+    save_json(
+        "BENCH_p01",
+        {
+            "title": table.title,
+            "headers": list(table.headers),
+            "rows": [list(r) for r in table.rows],
+            "cpus": os.cpu_count() or 1,
+        },
+    )
 
     ps = table.column("p")
     predicted = table.column("predicted_x")

@@ -1,0 +1,186 @@
+"""P2 bench — dispatch overhead: spawn-per-dispatch vs the persistent pool.
+
+The paper's argument for coalescing is that per-dispatch scheduling
+overhead is what kills nested parallel loops; the hybrid Gauss–Jordan
+workload is its worst case, paying one barrier-synchronized DOALL dispatch
+per pivot row.  PR 1's runtime made each of those dispatches a fresh fleet
+of forked processes; the :class:`repro.parallel.pool.WorkerPool` turns
+them into one job message per resident worker.  This bench measures the
+gap on the same program:
+
+* per-dispatch overhead = (sum of dispatch wall times − in-chunk work)
+  / dispatch count, where in-chunk work is the claim-log time spent inside
+  chunk bodies (``t_end − t_work``).  On multi-core hosts workers overlap,
+  so the pool side is clamped to a small floor rather than allowed to go
+  negative — which only makes the reported ratio conservative.
+* acceptance: the pool cuts per-dispatch overhead by >= 5x on a
+  Gauss–Jordan run with >= 64 dispatches, with results bit-for-bit equal
+  to serial pygen on both engines.
+* a claim-batch sweep on the element-wise workload shows lock traffic
+  (counter critical sections) falling as ``claim_batch`` grows while the
+  chunk count stays fixed.
+
+``REPRO_BENCH_SMOKE=1`` shrinks every size so CI can exercise the whole
+path in seconds; the 5x assertion is skipped there (a 13-dispatch run on
+shared CI hardware is noise, not signal).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.codegen.pygen import compile_procedure
+from repro.experiments.report import Table
+from repro.parallel import run_parallel_doall, run_parallel_procedure
+from repro.transforms import coalesce_procedure
+from repro.workloads import get_workload, make_env
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+GAUSS_SIZES = (12,) if SMOKE else (64, 128, 256)
+SWEEP_SCALARS = {"n": 30, "m": 30} if SMOKE else {"n": 120, "m": 120}
+CLAIM_BATCHES = (1, 8, 32)
+WORKERS = 2
+#: Per-dispatch overhead floor (seconds): below this, timer granularity and
+#: multi-core overlap dominate; clamping keeps the spawn/pool ratio honest.
+OVERHEAD_FLOOR = 5e-5
+
+
+def _gauss_case(n: int) -> dict:
+    """Run one Gauss–Jordan size on both engines; return measured overheads."""
+    w = get_workload("gauss_jordan")
+    proc, _ = coalesce_procedure(w.proc)
+    arrays, sc = make_env(w, scalars={"n": n, "m": 1}, seed=0)
+    baseline = {k: v.copy() for k, v in arrays.items()}
+    t0 = time.perf_counter()
+    compile_procedure(w.proc).run(baseline, sc)
+    serial_s = time.perf_counter() - t0
+
+    case = {"n": n, "serial_s": round(serial_s, 4), "engines": {}}
+    raw = {}
+    for engine, reuse in (("spawn", False), ("pool", True)):
+        env = {k: v.copy() for k, v in arrays.items()}
+        result = run_parallel_procedure(
+            proc, env, sc, workers=WORKERS, policy="gss", reuse_pool=reuse
+        )
+        for k in env:  # bit-for-bit on both engines, every size
+            assert np.array_equal(env[k], baseline[k]), (engine, n, k)
+        dispatches = len(result.dispatches)
+        disp_wall = sum(d.wall_time for d in result.dispatches)
+        work = sum(
+            e.t_end - e.t_work for d in result.dispatches for e in d.events
+        )
+        raw[engine] = (disp_wall - work) / dispatches
+        per_dispatch = max(raw[engine], OVERHEAD_FLOOR)
+        case["dispatches"] = dispatches
+        case["engines"][engine] = {
+            "wall_s": round(result.wall_time, 4),
+            "dispatch_wall_s": round(disp_wall, 4),
+            "in_chunk_work_s": round(work, 4),
+            "overhead_per_dispatch_ms": round(per_dispatch * 1e3, 4),
+        }
+    if max(raw.values()) <= OVERHEAD_FLOOR:
+        # Both engines are below the measurement floor: the run is
+        # work-dominated (on a time-shared single CPU, interleaved workers
+        # make summed in-chunk time exceed wall), so a ratio would be
+        # timer noise divided by timer noise.  Report it as unmeasurable.
+        case["overhead_ratio"] = None
+    else:
+        spawn = case["engines"]["spawn"]["overhead_per_dispatch_ms"]
+        pool = case["engines"]["pool"]["overhead_per_dispatch_ms"]
+        case["overhead_ratio"] = round(spawn / pool, 2)
+    return case
+
+
+def _claim_batch_sweep() -> list[dict]:
+    """Lock traffic vs ``claim_batch`` on the element-wise workload."""
+    w = get_workload("saxpy2d")
+    proc, _ = coalesce_procedure(w.proc)
+    arrays, sc = make_env(w, scalars=SWEEP_SCALARS, seed=1)
+    baseline = {k: v.copy() for k, v in arrays.items()}
+    compile_procedure(w.proc).run(baseline, sc)
+    rows = []
+    for batch in CLAIM_BATCHES:
+        env = {k: v.copy() for k, v in arrays.items()}
+        stats = run_parallel_doall(
+            proc, env, sc, workers=WORKERS, policy="unit",
+            reuse_pool=True, claim_batch=batch, log_events=False,
+        )
+        for k in env:
+            assert np.array_equal(env[k], baseline[k]), ("sweep", batch, k)
+        rows.append(
+            {
+                "batch": batch,
+                "claims": stats.claims,
+                "lock_ops": stats.lock_ops,
+                "wall_s": round(stats.wall_time, 4),
+            }
+        )
+    return rows
+
+
+def run() -> tuple[Table, dict]:
+    cpus = os.cpu_count() or 1
+    table = Table(
+        "P2: per-dispatch overhead — spawn-per-dispatch vs persistent pool",
+        ["n", "dispatches", "engine", "dispatch_wall_s", "work_s",
+         "overhead_ms/dispatch"],
+        notes=(
+            f"host has {cpus} CPU(s); gauss_jordan (m=1), policy=gss, "
+            f"{WORKERS} workers; one DOALL dispatch per pivot row. "
+            "overhead = dispatch wall minus in-chunk work, clamped at "
+            f"{OVERHEAD_FLOOR * 1e3:.2f} ms."
+        ),
+    )
+    cases = [_gauss_case(n) for n in GAUSS_SIZES]
+    for case in cases:
+        for engine in ("spawn", "pool"):
+            e = case["engines"][engine]
+            table.add(
+                case["n"],
+                case["dispatches"],
+                engine,
+                e["dispatch_wall_s"],
+                e["in_chunk_work_s"],
+                e["overhead_per_dispatch_ms"],
+            )
+    payload = {
+        "smoke": SMOKE,
+        "cpus": cpus,
+        "workers": WORKERS,
+        "gauss_jordan": cases,
+        "claim_batch_sweep": _claim_batch_sweep(),
+    }
+    return table, payload
+
+
+def test_p02_dispatch_overhead(benchmark, save_table, save_json):
+    table, payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("p02_dispatch_overhead", table)
+    save_json("BENCH_p02_dispatch", payload)
+
+    # Batching monotonically cuts counter critical sections at fixed work.
+    sweep = payload["claim_batch_sweep"]
+    locks = [row["lock_ops"] for row in sweep]
+    assert all(row["claims"] == sweep[0]["claims"] for row in sweep), sweep
+    assert locks == sorted(locks, reverse=True), locks
+    assert locks[-1] < locks[0], locks
+
+    # Acceptance: the pool amortizes >= 5x of the per-dispatch overhead on
+    # a many-dispatch (>= 64) hybrid run.  Timing claims need real sizes,
+    # so smoke mode only checks that the whole path runs and stays correct.
+    if not SMOKE:
+        big = [
+            c
+            for c in payload["gauss_jordan"]
+            if c["dispatches"] >= 64 and c["overhead_ratio"] is not None
+        ]
+        assert big, "no measurable >=64-dispatch case"
+        for case in big:
+            assert case["overhead_ratio"] >= 5.0, case
+
+
+if __name__ == "__main__":
+    t, p = run()
+    print(t.format())
+    print(f"\nclaim-batch sweep: {p['claim_batch_sweep']}")

@@ -10,6 +10,7 @@ can be re-produced with one command::
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -30,5 +31,17 @@ def save_table(results_dir):
     def save(name: str, *tables) -> None:
         text = "\n\n".join(t.format() for t in tables)
         (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return save
+
+
+@pytest.fixture
+def save_json(results_dir):
+    """Write a machine-readable payload to results/<name>.json."""
+
+    def save(name: str, payload) -> None:
+        (results_dir / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
 
     return save

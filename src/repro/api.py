@@ -134,7 +134,10 @@ def transform_function(
         **backend_options: forwarded to the ``"mp"`` backend — ``workers``,
             ``policy`` (``"unit"``/``"fixed"``/``"gss"``/``"static"`` or a
             :class:`repro.scheduling.policies.SchedulingPolicy`), ``chunk``,
-            ``timeout``, ``fallback``, ``method``.
+            ``timeout``, ``fallback``, ``method``, ``reuse_pool`` (default
+            True: one persistent worker fleet serves every dispatch of a
+            run), ``claim_batch`` (chunks handed out per fetch&add critical
+            section for unit/fixed policies; GSS always claims singly).
     """
     original = from_python(fn)
     validate(original)

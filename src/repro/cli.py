@@ -84,6 +84,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--chunk", type=int, default=None)
     parser.add_argument(
+        "--reuse-pool",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="with --backend mp: serve every DOALL dispatch from one "
+        "persistent worker pool (default) instead of spawning a fresh "
+        "fleet per dispatch (--no-reuse-pool)",
+    )
+    parser.add_argument(
+        "--claim-batch",
+        type=int,
+        default=1,
+        metavar="K",
+        help="chunks handed out per fetch&add critical section for the "
+        "unit/fixed policies (GSS always claims singly)",
+    )
+    parser.add_argument(
         "--gantt",
         action="store_true",
         help="with --run --backend mp: print the measured schedule",
@@ -157,14 +173,18 @@ def _run_transformed(args, workload, proc) -> int:
                 workers=args.workers,
                 policy=args.policy,
                 chunk=args.chunk,
+                reuse_pool=args.reuse_pool,
+                claim_batch=args.claim_batch,
             )
         except (ParallelError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2 if isinstance(exc, ValueError) else 1
         elapsed = result.wall_time
+        engine = "pool" if result.reused_pool else "spawn"
         label = (
-            f"mp[{args.policy}, {args.workers} workers, "
-            f"{result.claims} claims]"
+            f"mp[{args.policy}, {args.workers} workers, {engine}, "
+            f"{len(result.dispatches)} dispatches, {result.claims} claims, "
+            f"{result.lock_ops} lock ops]"
         )
         if args.gantt:
             for d in result.dispatches:

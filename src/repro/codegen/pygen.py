@@ -15,6 +15,7 @@ starting point a parallel runtime would carve tasks from.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 from typing import Callable, Mapping
@@ -136,11 +137,15 @@ def generate_chunk_source(
     return "\n".join(lines + body_lines) + "\n"
 
 
+@functools.lru_cache(maxsize=256)
 def compile_chunk_source(source: str, fname: str) -> Callable:
     """Compile a chunk function's source text into a callable.
 
     Used on the worker side of :mod:`repro.parallel` (the source string is
     what crosses the process boundary — always picklable, spawn-safe).
+    Memoized on the source text: a persistent pool worker receiving the
+    same loop shape across many dispatches (one per pivot row in a hybrid
+    program) compiles it exactly once.
     """
     namespace = dict(_NAMESPACE)
     code = compile(source, filename=f"<chunk:{fname}>", mode="exec")

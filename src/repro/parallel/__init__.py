@@ -9,12 +9,18 @@ flat iterations from a shared fetch&add counter over numpy arrays backed by
 * :mod:`repro.parallel.shm` — shared-memory array pool with guaranteed
   unlink (no leaked ``/dev/shm`` segments, even on crashes).
 * :mod:`repro.parallel.counter` — the shared claim counter (a lock-guarded
-  ``multiprocessing.Value``: the real fetch&add of the paper's protocol)
-  plus the bridge that reuses :mod:`repro.scheduling.policies` chunk rules.
-* :mod:`repro.parallel.worker` — the per-process claim/execute loop.
+  ``multiprocessing.Array``: the real fetch&add of the paper's protocol,
+  resettable between dispatches, with batched claiming) plus the bridge
+  that reuses :mod:`repro.scheduling.policies` chunk rules.
+* :mod:`repro.parallel.worker` — the per-process claim/execute loop, in
+  spawn-per-dispatch and persistent-pool flavors.
+* :mod:`repro.parallel.pool` — the persistent :class:`WorkerPool`: spawn
+  once, dispatch many times; amortizes fork, compile, and claim overhead
+  across every DOALL of a run.
 * :mod:`repro.parallel.runtime` — drivers: :func:`run_parallel_doall` for a
   single coalesced loop, :func:`run_parallel_procedure` for whole programs
-  (serial segments run in the parent, top-level DOALLs are dispatched).
+  (serial segments run in the parent, DOALLs — top-level or nested under
+  serial control — are dispatched).
 * :mod:`repro.parallel.observe` — measured claim logs rendered as
   :class:`repro.machine.trace.SimResult` / Gantt charts, so real schedules
   can be plotted against simulator predictions.
@@ -24,15 +30,18 @@ flat iterations from a shared fetch&add counter over numpy arrays backed by
 
 from repro.parallel.counter import SharedClaimCounter, policy_plan
 from repro.parallel.backend import MPCompiledProcedure, compile_mp_procedure
-from repro.parallel.observe import to_sim_result
-from repro.parallel.runtime import (
-    ClaimEvent,
+from repro.parallel.errors import (
     ParallelDispatchError,
     ParallelError,
-    ParallelProcedureResult,
-    ParallelRunResult,
     ParallelTimeoutError,
     WorkerCrashError,
+)
+from repro.parallel.observe import to_sim_result
+from repro.parallel.pool import WorkerPool
+from repro.parallel.runtime import (
+    ClaimEvent,
+    ParallelProcedureResult,
+    ParallelRunResult,
     run_parallel_doall,
     run_parallel_procedure,
 )
@@ -49,6 +58,7 @@ __all__ = [
     "SharedArrayPool",
     "SharedClaimCounter",
     "WorkerCrashError",
+    "WorkerPool",
     "compile_mp_procedure",
     "policy_plan",
     "run_parallel_doall",

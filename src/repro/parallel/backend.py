@@ -26,7 +26,7 @@ from repro.codegen.pygen import (
     compile_procedure,
     generate_chunk_source,
 )
-from repro.ir.stmt import Loop, Procedure
+from repro.ir.stmt import Block, If, Loop, Procedure, Stmt
 from repro.parallel.runtime import (
     ParallelDispatchError,
     ParallelProcedureResult,
@@ -36,6 +36,19 @@ from repro.parallel.runtime import (
 )
 
 
+def _dispatchable_loops(stmt: Stmt) -> list[Loop]:
+    """Every DOALL the runtime would dispatch, in program order."""
+    if isinstance(stmt, Loop):
+        if _dispatchable(stmt):
+            return [stmt]
+        return _dispatchable_loops(stmt.body)
+    if isinstance(stmt, Block):
+        return [l for s in stmt.stmts for l in _dispatchable_loops(s)]
+    if isinstance(stmt, If):
+        return _dispatchable_loops(stmt.then) + _dispatchable_loops(stmt.orelse)
+    return []
+
+
 @dataclass
 class MPCompiledProcedure:
     """A procedure bound to the process-parallel runtime.
@@ -43,7 +56,10 @@ class MPCompiledProcedure:
     ``run`` mirrors the serial backends; ``source`` shows what workers
     execute (the chunk function per dispatchable DOALL).  ``last`` holds
     the most recent run's measured result, or the fallback reason when the
-    serial path was taken.
+    serial path was taken.  ``reuse_pool`` (default True) serves every
+    dispatch of a run from one persistent worker fleet; ``claim_batch``
+    hands workers that many chunks per counter critical section (unit and
+    fixed policies — GSS always claims singly).
     """
 
     proc: Procedure
@@ -54,6 +70,8 @@ class MPCompiledProcedure:
     fallback: bool = True
     method: str | None = None
     log_events: bool = True
+    reuse_pool: bool = True
+    claim_batch: int = 1
     _serial: CompiledProcedure = field(init=False, repr=False)
     last: ParallelProcedureResult | None = field(init=False, default=None)
     fallback_reason: str | None = field(init=False, default=None)
@@ -63,12 +81,8 @@ class MPCompiledProcedure:
 
     @property
     def source(self) -> str:
-        """Chunk-function source for every dispatchable top-level DOALL."""
-        loops = [
-            s
-            for s in self.proc.body.stmts
-            if isinstance(s, Loop) and _dispatchable(s)
-        ]
+        """Chunk-function source for every dispatchable DOALL."""
+        loops = _dispatchable_loops(self.proc.body)
         chunks = [
             generate_chunk_source(
                 self.proc,
@@ -99,6 +113,8 @@ class MPCompiledProcedure:
                 timeout=self.timeout,
                 log_events=self.log_events,
                 method=self.method,
+                reuse_pool=self.reuse_pool,
+                claim_batch=self.claim_batch,
             )
         except (ParallelDispatchError, ParallelTimeoutError) as exc:
             if not self.fallback:

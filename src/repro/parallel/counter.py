@@ -114,26 +114,72 @@ class SharedClaimCounter:
     the claimed inclusive ``(lo, hi)`` — or None once the range is drained.
     Picklable into worker processes via the normal ``multiprocessing``
     inheritance machinery (fork and spawn both work).
+
+    The range itself lives in shared memory too, so a persistent worker
+    pool (:mod:`repro.parallel.pool`) can ``reset`` one counter between
+    dispatches instead of creating a fresh ``Value`` per DOALL —
+    synchronized objects can only cross the process boundary at spawn
+    time, never through a queue.
+
+    ``claim_batch(rule, batch)`` hands out up to ``batch`` chunks per
+    critical section for the unit/fixed rules, cutting lock round-trips
+    for fine-grained loops.  GSS always claims exactly one chunk per lock
+    acquisition: its chunk size must be computed from the remaining count
+    *at claim time* (Polychronopoulos & Kuck's atomic read-of-remaining),
+    and pre-claiming future chunks would distort that schedule.
     """
 
     def __init__(
         self, start: int, stop: int, ctx: multiprocessing.context.BaseContext
     ) -> None:
+        # state[0] = next unclaimed value, state[1] = inclusive stop
+        self._state = ctx.Array("q", [start, stop])
         self.start = start
-        self.stop = stop
-        self._next = ctx.Value("q", start)  # holds its own lock
+
+    @property
+    def stop(self) -> int:
+        return self._state[1]
+
+    def reset(self, start: int, stop: int) -> None:
+        """Re-arm the counter for a new loop range.
+
+        Only safe while no worker is claiming — the pool calls this at the
+        dispatch barrier, when every worker is idle awaiting its next job.
+        """
+        with self._state.get_lock():
+            self.start = start
+            self._state[0] = start
+            self._state[1] = stop
 
     def claim(self, rule: ChunkRule) -> tuple[int, int] | None:
-        with self._next.get_lock():
-            lo = self._next.value
-            if lo > self.stop:
-                return None
-            size = chunk_size(rule, self.stop - lo + 1)
-            hi = min(lo + size - 1, self.stop)
-            self._next.value = hi + 1
-            return lo, hi
+        batch = self.claim_batch(rule, 1)
+        return batch[0] if batch else None
+
+    def claim_batch(
+        self, rule: ChunkRule, batch: int = 1
+    ) -> list[tuple[int, int]]:
+        """Claim up to ``batch`` chunks in one critical section.
+
+        Returns the claimed inclusive ``(lo, hi)`` ranges in ascending
+        order — an empty list once the range is drained.  GSS claims a
+        single chunk regardless of ``batch`` (see class docstring).
+        """
+        if rule[0] == "gss":
+            batch = 1
+        out: list[tuple[int, int]] = []
+        with self._state.get_lock():
+            stop = self._state[1]
+            for _ in range(max(1, batch)):
+                lo = self._state[0]
+                if lo > stop:
+                    break
+                size = chunk_size(rule, stop - lo + 1)
+                hi = min(lo + size - 1, stop)
+                self._state[0] = hi + 1
+                out.append((lo, hi))
+        return out
 
     @property
     def drained(self) -> bool:
-        with self._next.get_lock():
-            return self._next.value > self.stop
+        with self._state.get_lock():
+            return self._state[0] > self._state[1]

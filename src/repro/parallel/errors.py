@@ -1,0 +1,26 @@
+"""Exception hierarchy of the process-parallel runtime.
+
+Lives in its own module so both layers of the runtime — the dispatch
+drivers (:mod:`repro.parallel.runtime`) and the persistent worker pool
+(:mod:`repro.parallel.pool`) — can raise the same types without importing
+each other.  The public import path is unchanged: every class is
+re-exported from :mod:`repro.parallel` and :mod:`repro.parallel.runtime`.
+"""
+
+from __future__ import annotations
+
+
+class ParallelError(Exception):
+    """Base class for process-parallel runtime failures."""
+
+
+class ParallelDispatchError(ParallelError):
+    """The procedure cannot be dispatched (e.g. outer loop is not DOALL)."""
+
+
+class WorkerCrashError(ParallelError):
+    """A worker process raised or died; peers were terminated cleanly."""
+
+
+class ParallelTimeoutError(ParallelError):
+    """The run exceeded its deadline; workers were killed."""

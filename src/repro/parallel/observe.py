@@ -22,8 +22,12 @@ def to_sim_result(run, time_scale: float = 1.0) -> SimResult:
 
     Claim latency (issue → grant) counts as overhead, body execution as
     busy time — the same split the simulator draws between dispatch cost
-    and body cost.  ``time_scale`` multiplies every timestamp (e.g. pass
-    ``1e6`` to read the Gantt in microseconds).
+    and body cost.  Batched claims stay honest under this accounting: only
+    the first chunk of a batch carries the counter round-trip, the rest
+    are logged with zero claim latency, so the overhead column reflects
+    actual lock traffic (``run.lock_ops``), not chunk count.
+    ``time_scale`` multiplies every timestamp (e.g. pass ``1e6`` to read
+    the Gantt in microseconds).
     """
     traces = [ProcessorTrace() for _ in range(run.workers)]
     events: list[ChunkEvent] = []

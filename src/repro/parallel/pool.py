@@ -1,0 +1,318 @@
+"""The persistent worker pool: spawn once, dispatch many times.
+
+The PR-1 runtime paid one fleet of ``fork``/``spawn`` calls, one fresh
+queue, and one chunk-source compile *per dispatched DOALL* — so a hybrid
+program like Gauss–Jordan (one dispatch per pivot row) was dominated by
+process-creation cost, exactly the per-dispatch scheduling overhead the
+paper's coalescing transformation exists to amortize.  A
+:class:`WorkerPool` moves all of that to setup time:
+
+* worker processes are spawned **once**, with the shared-memory array
+  views and the (resettable) shared claim counter already attached;
+* each dispatch is then one lightweight job descriptor per worker over a
+  private queue, plus the implicit barrier of gathering one result
+  message per worker — no fork, no re-attach, no new segments;
+* chunk functions are cached by source text on both sides
+  (:func:`repro.codegen.pygen.compile_chunk_source` is memoized), so a
+  loop shape dispatched N times is generated and compiled once.
+
+The robustness contract matches the spawn-per-dispatch path: a worker
+that raises or dies marks the pool *broken*, terminates the fleet, and
+raises :class:`WorkerCrashError`; a deadline overrun kills the fleet and
+raises :class:`ParallelTimeoutError`; and the shared-memory segments the
+pool owns are unlinked on ``close()``/``__exit__`` no matter how the run
+ended.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.parallel.counter import SharedClaimCounter
+from repro.parallel.errors import (
+    ParallelError,
+    ParallelTimeoutError,
+    WorkerCrashError,
+)
+from repro.parallel.shm import SharedArrayPool
+from repro.parallel.worker import pool_worker_main
+
+#: Seconds allowed for result-queue feeders to flush after every pending
+#: worker has exited, before the survivors are declared crashed.
+GATHER_GRACE = 1.0
+
+
+def mp_context(method: str | None = None) -> multiprocessing.context.BaseContext:
+    """The multiprocessing context the runtime uses (fork where possible)."""
+    if method is not None:
+        return multiprocessing.get_context(method)
+    try:  # fork is fastest and fine for these self-contained workers
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def terminate_procs(procs: list) -> None:
+    """Terminate (then kill) every still-alive process, reaping them all."""
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+    for p in procs:
+        p.join(timeout=1.0)
+    for p in procs:
+        if p.is_alive():  # pragma: no cover - terminate() refused
+            p.kill()
+            p.join(timeout=1.0)
+
+
+def gather_results(
+    procs: list,
+    q,
+    deadline: float | None,
+    want: set[int],
+    key: Callable = lambda msg: msg[1],
+) -> dict:
+    """Collect one result message per worker id in ``want``.
+
+    ``key`` maps a queue message to the worker id it accounts for (return
+    None to discard stale traffic).  Watches for crashes: once every
+    still-pending worker has exited, a short grace period lets the queue
+    feeders flush, the queue is drained one final time — a worker that
+    exited cleanly right after posting its result is counted from the
+    message log, never misclassified by its exit code — and only then are
+    the messageless workers marked ``("dead", wid, exitcode)``.
+    """
+    results: dict[int, tuple] = {}
+    pending = set(want)
+    grace_until: float | None = None
+
+    def take(msg) -> None:
+        wid = key(msg)
+        if wid in pending:
+            results[wid] = msg
+            pending.discard(wid)
+
+    while pending:
+        now = time.monotonic()
+        if deadline is not None and now > deadline:
+            raise ParallelTimeoutError(
+                f"parallel run exceeded its deadline with {len(pending)} "
+                "worker(s) still running"
+            )
+        try:
+            msg = q.get(timeout=0.05)
+        except queue_mod.Empty:
+            if all(not procs[w].is_alive() for w in pending):
+                if grace_until is None:
+                    grace_until = now + GATHER_GRACE
+                elif now > grace_until:
+                    # Message log first: drain anything the feeders
+                    # flushed between our last get() and now.
+                    while pending:
+                        try:
+                            take(q.get_nowait())
+                        except queue_mod.Empty:
+                            break
+                    for w in pending:
+                        results[w] = ("dead", w, procs[w].exitcode)
+                    pending.clear()
+            continue
+        take(msg)
+    return results
+
+
+def raise_worker_crashes(results: Mapping[int, tuple], procs: list) -> None:
+    """Raise :class:`WorkerCrashError` if any worker errored or died.
+
+    ``results`` holds one normalized message per worker: ``("ok", wid,
+    ...)``, ``("err", wid, traceback)``, or ``("dead", wid, exitcode)``.
+    """
+    crashes = []
+    for wid in range(len(procs)):
+        msg = results.get(wid)
+        if msg is None or msg[0] == "dead":
+            code = msg[2] if msg is not None else procs[wid].exitcode
+            crashes.append(f"worker {wid}: died (exitcode {code})")
+        elif msg[0] == "err":
+            crashes.append(f"worker {wid}:\n{msg[2]}")
+    if crashes:
+        raise WorkerCrashError(
+            "parallel DOALL failed in {} worker(s):\n{}".format(
+                len(crashes), "\n".join(crashes)
+            )
+        )
+
+
+class WorkerPool:
+    """A resident fleet of worker processes over one shared array pool.
+
+    Usage::
+
+        with WorkerPool(arrays, workers=4) as pool:
+            t_base, results = pool.dispatch(job, lo, hi, deadline)
+            ...more dispatches, same processes...
+            pool.copy_back(arrays)      # only on success
+        # workers stopped, segments unlinked here — success or not
+
+    ``dispatch`` is a barrier: it returns only once every worker has
+    reported on the current job, so the shared counter can be safely
+    reset for the next loop range and the parent may run serial program
+    segments over ``views`` between dispatches.
+    """
+
+    def __init__(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        workers: int = 4,
+        method: str | None = None,
+        ctx: multiprocessing.context.BaseContext | None = None,
+        name: str = "repro-pool",
+    ) -> None:
+        self.ctx = ctx or mp_context(method)
+        self.workers = max(1, workers)
+        self._closed = False
+        self._broken = False
+        self._seq = 0
+        self.shared = SharedArrayPool(arrays)
+        try:
+            # Created drained; dispatch() re-arms it per loop range.
+            # (Synchronized objects only cross the process boundary at
+            # spawn time, which is why one resettable counter serves
+            # every dispatch.)
+            self.counter = SharedClaimCounter(0, -1, self.ctx)
+            self._jobs = [self.ctx.SimpleQueue() for _ in range(self.workers)]
+            self._results = self.ctx.Queue()
+            specs = self.shared.specs()
+            self._procs = [
+                self.ctx.Process(
+                    target=pool_worker_main,
+                    args=(wid, specs, self.counter, self._jobs[wid], self._results),
+                    name=f"{name}-{wid}",
+                    daemon=True,
+                )
+                for wid in range(self.workers)
+            ]
+            for p in self._procs:
+                p.start()
+        except BaseException:
+            self.shared.close()
+            raise
+
+    # -- array plumbing (delegated to the owned SharedArrayPool) ----------
+    @property
+    def views(self) -> dict[str, np.ndarray]:
+        """Parent-side shm-backed ndarrays (shared with every worker)."""
+        return self.shared.views
+
+    def copy_back(self, arrays: Mapping[str, np.ndarray]) -> None:
+        """Copy shared results back into the caller's arrays."""
+        self.shared.copy_back(arrays)
+
+    # -- dispatch ---------------------------------------------------------
+    def dispatch(
+        self,
+        job: dict,
+        lo: int,
+        hi: int,
+        deadline: float | None = None,
+    ) -> tuple[float, dict[int, tuple]]:
+        """Run one DOALL dispatch on the resident fleet.
+
+        Re-arms the shared counter for ``[lo, hi]`` (dynamic plans only),
+        sends ``job`` to every worker, and gathers one result message per
+        worker.  Returns ``(t_base, results)`` where ``t_base`` is the
+        dispatch start on the shared monotonic clock and ``results`` maps
+        worker id to ``("ok", wid, iterations, claims, lock_ops,
+        events)``.  A crash or timeout terminates the fleet, marks the
+        pool broken, and raises.
+        """
+        if self._closed:
+            raise ParallelError("worker pool is closed")
+        if self._broken:
+            raise ParallelError(
+                "worker pool is broken (a previous dispatch crashed or "
+                "timed out)"
+            )
+        if job["plan"].rule is not None:
+            self.counter.reset(lo, hi)
+        self._seq += 1
+        seq = self._seq
+
+        def key(msg):
+            # ok/err messages carry (kind, wid, seq, ...); ignore ok
+            # traffic from any earlier dispatch (cannot normally occur —
+            # dispatch is a barrier — but a stale message must never
+            # corrupt accounting).  err messages always count: a worker
+            # that failed before taking its first job reports seq None.
+            if msg[0] == "err":
+                return msg[1]
+            return msg[1] if msg[2] == seq else None
+
+        t_base = time.monotonic()
+        try:
+            for q in self._jobs:
+                q.put(("job", seq, job))
+            raw = gather_results(
+                self._procs,
+                self._results,
+                deadline,
+                set(range(self.workers)),
+                key=key,
+            )
+            # Strip the seq field so both runtime paths see one message
+            # shape: ("ok", wid, ...) / ("err", wid, tb) / ("dead", wid, code).
+            results = {
+                wid: (msg[:2] + msg[3:]) if msg[0] in ("ok", "err") else msg
+                for wid, msg in raw.items()
+            }
+            raise_worker_crashes(results, self._procs)
+        except BaseException:
+            self._broken = True
+            terminate_procs(self._procs)
+            raise
+        return t_base, results
+
+    # -- lifecycle --------------------------------------------------------
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    def close(self) -> None:
+        """Stop the workers and unlink every shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._broken:
+            for q in self._jobs:
+                try:
+                    q.put(("stop",))
+                except Exception:  # pragma: no cover - worker already gone
+                    pass
+            for p in self._procs:
+                p.join(timeout=2.0)
+        terminate_procs(self._procs)
+        # Unblock and reap the result queue's feeder thread before the
+        # segments go away.
+        try:
+            self._results.close()
+            self._results.join_thread()
+        except Exception:  # pragma: no cover - defensive
+            pass
+        self.shared.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # last-resort safety net
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass

@@ -6,27 +6,47 @@ shared memory once, workers claim chunks through the shared fetch&add
 counter, and the parent copies results back on success.
 
 :func:`run_parallel_procedure` generalizes to whole programs (the paper's
-*hybrid* case, e.g. Gauss–Jordan): top-level DOALL loops are dispatched to
-workers, everything between them runs serially in the parent over the same
-shared-memory views, so one pool serves the whole execution.
+*hybrid* case, e.g. Gauss–Jordan): every dispatchable DOALL — top-level or
+nested under serial control flow — is handed to workers, everything else
+runs serially in the parent over the same shared-memory views.  A hybrid
+program therefore really performs one dispatch per serial-outer iteration
+(one per pivot row), which is exactly the overhead profile the paper's
+coalescing argument is about.
+
+Two dispatch engines serve those drivers:
+
+* ``reuse_pool=True`` (the default for whole procedures) — a persistent
+  :class:`repro.parallel.pool.WorkerPool`: workers spawn once, each
+  dispatch is a job message plus a gather barrier, chunk sources are
+  cached by loop shape on both sides, and the shared claim counter is
+  reset between loops instead of recreated.
+* ``reuse_pool=False`` — the spawn-per-dispatch baseline: a fresh fleet
+  of processes per DOALL (PR-1 behavior, kept as the comparison point —
+  ``benchmarks/bench_p02_dispatch_overhead.py`` measures the gap).
+
+``claim_batch=k`` lets unit/fixed self-scheduling take ``k`` chunks per
+counter critical section (GSS keeps its one-chunk atomic
+read-of-remaining semantics — see
+:meth:`repro.parallel.counter.SharedClaimCounter.claim_batch`).
 
 Robustness contract:
 
-* the outer loop is validated DOALL (and unit-step) *before* any process or
-  segment is created — :class:`ParallelDispatchError` otherwise;
+* the procedure is validated and checked for a dispatchable (DOALL,
+  unit-step) loop *before* any process or segment is created —
+  :class:`ParallelDispatchError` otherwise;
 * a worker that raises (or dies) triggers termination of its peers and a
   :class:`WorkerCrashError` carrying the worker traceback;
 * a per-run ``timeout`` kills the fleet and raises
   :class:`ParallelTimeoutError` (the ``backend="mp"`` adapter turns this
   into a graceful serial fallback);
 * shared-memory segments are unlinked on **every** exit path — success,
-  crash, or timeout — so ``/dev/shm`` never accumulates garbage.
+  crash, or timeout — on pool close / context-manager exit, so
+  ``/dev/shm`` never accumulates garbage.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import queue as queue_mod
 import time
 from dataclasses import dataclass, field
 from typing import Mapping
@@ -35,29 +55,38 @@ import numpy as np
 
 from repro.codegen.pygen import generate_chunk_source
 from repro.ir.expr import Const
-from repro.ir.stmt import Loop, Procedure
+from repro.ir.stmt import Block, If, Loop, Procedure, Stmt
 from repro.ir.validate import validate
 from repro.parallel.counter import SharedClaimCounter, policy_plan
+from repro.parallel.errors import (
+    ParallelDispatchError,
+    ParallelError,
+    ParallelTimeoutError,
+    WorkerCrashError,
+)
+from repro.parallel.pool import (
+    WorkerPool,
+    gather_results,
+    mp_context,
+    raise_worker_crashes,
+    terminate_procs,
+)
 from repro.parallel.shm import SharedArrayPool
 from repro.parallel.worker import worker_main
-from repro.runtime.interp import Interpreter
+from repro.runtime.interp import Interpreter, InterpreterError, eval_bound
 from repro.scheduling.policies import SchedulingPolicy
 
-
-class ParallelError(Exception):
-    """Base class for process-parallel runtime failures."""
-
-
-class ParallelDispatchError(ParallelError):
-    """The procedure cannot be dispatched (e.g. outer loop is not DOALL)."""
-
-
-class WorkerCrashError(ParallelError):
-    """A worker process raised or died; peers were terminated cleanly."""
-
-
-class ParallelTimeoutError(ParallelError):
-    """The run exceeded its deadline; workers were killed."""
+__all__ = [
+    "ClaimEvent",
+    "ParallelDispatchError",
+    "ParallelError",
+    "ParallelProcedureResult",
+    "ParallelRunResult",
+    "ParallelTimeoutError",
+    "WorkerCrashError",
+    "run_parallel_doall",
+    "run_parallel_procedure",
+]
 
 
 @dataclass(frozen=True)
@@ -89,6 +118,9 @@ class ParallelRunResult:
     iterations_per_worker: list[int]
     claims: int
     events: list[ClaimEvent] = field(default_factory=list)
+    #: Counter critical sections entered; < ``claims`` when claims were
+    #: batched, 0 for static plans (no shared counter at all).
+    lock_ops: int = 0
 
     @property
     def total_iterations(self) -> int:
@@ -115,194 +147,102 @@ class ParallelProcedureResult:
     wall_time: float
     dispatches: list[ParallelRunResult] = field(default_factory=list)
     serial_stmts: int = 0
+    #: Whether the run used one persistent worker pool for every dispatch
+    #: (True) or spawned a fresh fleet per dispatch (False).
+    reused_pool: bool = False
 
     @property
     def claims(self) -> int:
         return sum(d.claims for d in self.dispatches)
 
     @property
+    def lock_ops(self) -> int:
+        return sum(d.lock_ops for d in self.dispatches)
+
+    @property
     def total_iterations(self) -> int:
         return sum(d.total_iterations for d in self.dispatches)
 
 
-def _context(method: str | None) -> multiprocessing.context.BaseContext:
-    if method is not None:
-        return multiprocessing.get_context(method)
-    try:  # fork is fastest and fine for these self-contained workers
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        return multiprocessing.get_context("spawn")
-
-
 def _dispatchable(loop: Loop) -> bool:
-    """A top-level loop we can hand to workers: DOALL with unit step."""
+    """A loop we can hand to workers: DOALL with unit step."""
     return loop.is_doall and isinstance(loop.step, Const) and loop.step.value == 1
+
+
+def _contains_dispatchable(stmt: Stmt) -> bool:
+    """Does this statement tree contain any dispatchable DOALL?"""
+    if isinstance(stmt, Loop):
+        return _dispatchable(stmt) or _contains_dispatchable(stmt.body)
+    if isinstance(stmt, Block):
+        return any(_contains_dispatchable(s) for s in stmt.stmts)
+    if isinstance(stmt, If):
+        return _contains_dispatchable(stmt.then) or _contains_dispatchable(
+            stmt.orelse
+        )
+    return False
 
 
 def _check_dispatchable(proc: Procedure) -> None:
     """Raise :class:`ParallelDispatchError` unless something can go parallel."""
-    if not any(
-        isinstance(s, Loop) and _dispatchable(s) for s in proc.body.stmts
-    ):
+    if not _contains_dispatchable(proc.body):
         raise ParallelDispatchError(
-            f"procedure {proc.name!r} has no top-level unit-step DOALL to "
-            "dispatch (coalesce it first, or run the serial backend)"
+            f"procedure {proc.name!r} has no dispatchable unit-step DOALL "
+            "(coalesce it first, or run the serial backend)"
         )
 
 
-def _terminate(procs: list) -> None:
-    for p in procs:
-        if p.is_alive():
-            p.terminate()
-    for p in procs:
-        p.join(timeout=1.0)
-    for p in procs:
-        if p.is_alive():  # pragma: no cover - terminate() refused
-            p.kill()
-            p.join(timeout=1.0)
+# ---------------------------------------------------------------------------
+# Dispatch preparation (shared by the spawn and pool engines)
+# ---------------------------------------------------------------------------
 
 
-def _gather(procs: list, q, deadline: float | None) -> dict:
-    """Collect one result message per worker, watching for crashes/timeouts."""
-    results: dict[int, tuple] = {}
-    pending = set(range(len(procs)))
-    grace_until: float | None = None
-    while pending:
-        now = time.monotonic()
-        if deadline is not None and now > deadline:
-            raise ParallelTimeoutError(
-                f"parallel run exceeded its deadline with {len(pending)} "
-                "worker(s) still running"
+@dataclass
+class _DispatchCaches:
+    """Per-run memoization of everything a dispatch recomputes needlessly.
+
+    The same ``Loop`` object is dispatched once per serial-outer iteration
+    in a hybrid program; its chunk source, parameter order, and (for a
+    fixed trip count) its scheduling plan are identical every time.  Keys
+    use object identity — valid for the lifetime of one run, which is the
+    lifetime of this cache.
+    """
+
+    source: dict = field(default_factory=dict)
+    plans: dict = field(default_factory=dict)
+
+    def chunk_source(
+        self, proc: Procedure, loop: Loop, extra: tuple[str, ...]
+    ) -> tuple[str, str, list[str]]:
+        key = (id(loop), extra)
+        hit = self.source.get(key)
+        if hit is None:
+            fname = f"{proc.name}__chunk"
+            source = (
+                _chunk_source_with_extras(proc, loop, extra)
+                if extra
+                else generate_chunk_source(proc, loop=loop)
             )
-        try:
-            msg = q.get(timeout=0.05)
-        except queue_mod.Empty:
-            dead = [w for w in pending if not procs[w].is_alive()]
-            if len(dead) == len(pending):
-                # Every remaining worker has exited without a message yet;
-                # allow a short grace period for queue feeders to flush,
-                # then declare them crashed.
-                if grace_until is None:
-                    grace_until = now + 1.0
-                elif now > grace_until:
-                    for w in dead:
-                        results[w] = ("dead", w, procs[w].exitcode)
-                    pending.clear()
-            continue
-        results[msg[1]] = msg
-        pending.discard(msg[1])
-    return results
+            scalar_order = list(proc.scalars) + list(extra)
+            hit = self.source[key] = (source, fname, scalar_order)
+        return hit
 
-
-def _dispatch_loop(
-    proc: Procedure,
-    loop: Loop,
-    pool: SharedArrayPool,
-    env: Mapping[str, int | float],
-    workers: int,
-    policy: SchedulingPolicy | str,
-    chunk: int | None,
-    deadline: float | None,
-    log_events: bool,
-    ctx: multiprocessing.context.BaseContext,
-) -> ParallelRunResult:
-    """Run one top-level DOALL across worker processes (pool already live)."""
-    interp = Interpreter()
-    env = dict(env)
-    lo = interp._eval_int(loop.lower, env, pool.views, "loop lower bound")
-    hi = interp._eval_int(loop.upper, env, pool.views, "loop upper bound")
-    n = max(0, hi - lo + 1)
-    if n == 0:
-        name = policy if isinstance(policy, str) else policy.name
-        return ParallelRunResult(
-            loop.var, lo, hi, workers, name, 0.0, [0] * workers, 0
+    def plan_for(
+        self,
+        policy: SchedulingPolicy | str,
+        n: int,
+        workers: int,
+        chunk: int | None,
+    ):
+        key = (
+            policy if isinstance(policy, str) else id(policy),
+            n,
+            workers,
+            chunk,
         )
-    workers = max(1, min(workers, n))
-    plan = policy_plan(policy, n, workers, chunk)
-
-    extra = tuple(
-        sorted(k for k in env if k not in proc.scalars and k != loop.var)
-    )
-    scalar_order = list(proc.scalars) + list(extra)
-    source = (
-        _chunk_source_with_extras(proc, loop, extra)
-        if extra
-        else generate_chunk_source(proc, loop=loop)
-    )
-    fname = f"{proc.name}__chunk"
-    scalars = {name: env[name] for name in scalar_order}
-
-    job = {
-        "source": source,
-        "fname": fname,
-        "specs": pool.specs(),
-        "array_order": list(proc.arrays),
-        "scalar_order": scalar_order,
-        "scalars": scalars,
-        "plan": plan,
-        "lo": lo,
-        "log_events": log_events,
-    }
-    counter = (
-        None if plan.static is not None else SharedClaimCounter(lo, hi, ctx)
-    )
-    q = ctx.Queue()
-    procs = [
-        ctx.Process(
-            target=worker_main,
-            args=(wid, job, counter, q),
-            name=f"repro-par-{wid}",
-            daemon=True,
-        )
-        for wid in range(workers)
-    ]
-    t_base = time.monotonic()
-    for p in procs:
-        p.start()
-    try:
-        results = _gather(procs, q, deadline)
-    except BaseException:
-        _terminate(procs)
-        raise
-    for p in procs:
-        p.join(timeout=5.0)
-
-    crashes = []
-    for wid in range(workers):
-        msg = results.get(wid)
-        if msg is None or msg[0] == "dead":
-            crashes.append(f"worker {wid}: died (exitcode {procs[wid].exitcode})")
-        elif msg[0] == "err":
-            crashes.append(f"worker {wid}:\n{msg[2]}")
-    if crashes:
-        _terminate(procs)
-        raise WorkerCrashError(
-            "parallel DOALL failed in {} worker(s):\n{}".format(
-                len(crashes), "\n".join(crashes)
-            )
-        )
-
-    wall = time.monotonic() - t_base
-    per_worker = [0] * workers
-    claims = 0
-    events: list[ClaimEvent] = []
-    for wid in range(workers):
-        _, _, iters, wclaims, wevents = results[wid]
-        per_worker[wid] = iters
-        claims += wclaims
-        for (clo, chi, t0, t1, t2) in wevents:
-            events.append(
-                ClaimEvent(wid, clo, chi, t0 - t_base, t1 - t_base, t2 - t_base)
-            )
-    if sum(per_worker) != n:
-        raise ParallelError(
-            f"claim accounting violated: {sum(per_worker)} iterations "
-            f"executed for a range of {n}"
-        )
-    events.sort(key=lambda e: (e.worker, e.t_claim))
-    return ParallelRunResult(
-        loop.var, lo, hi, workers, plan.name, wall, per_worker, claims, events
-    )
+        hit = self.plans.get(key)
+        if hit is None:
+            hit = self.plans[key] = policy_plan(policy, n, workers, chunk)
+        return hit
 
 
 def _chunk_source_with_extras(
@@ -315,6 +255,247 @@ def _chunk_source_with_extras(
     return generate_chunk_source(widened, loop=loop)
 
 
+def _empty_result(
+    loop: Loop, lo: int, hi: int, workers: int, policy: SchedulingPolicy | str
+) -> ParallelRunResult:
+    name = policy if isinstance(policy, str) else policy.name
+    return ParallelRunResult(
+        loop.var, lo, hi, workers, name, 0.0, [0] * workers, 0
+    )
+
+
+def _build_job(
+    proc: Procedure,
+    loop: Loop,
+    pool: SharedArrayPool,
+    env: Mapping[str, int | float],
+    plan,
+    lo: int,
+    batch: int,
+    log_events: bool,
+    caches: _DispatchCaches,
+) -> dict:
+    """The picklable job descriptor both worker flavors execute."""
+    extra = tuple(
+        sorted(k for k in env if k not in proc.scalars and k != loop.var)
+    )
+    source, fname, scalar_order = caches.chunk_source(proc, loop, extra)
+    return {
+        "source": source,
+        "fname": fname,
+        "specs": pool.specs(),
+        "array_order": list(proc.arrays),
+        "scalar_order": scalar_order,
+        "scalars": {name: env[name] for name in scalar_order},
+        "plan": plan,
+        "lo": lo,
+        "batch": batch,
+        "log_events": log_events,
+    }
+
+
+def _finalize_result(
+    results: Mapping[int, tuple],
+    loop: Loop,
+    lo: int,
+    hi: int,
+    n: int,
+    active: int,
+    plan,
+    t_base: float,
+) -> ParallelRunResult:
+    """Fold per-worker result messages into one :class:`ParallelRunResult`."""
+    wall = time.monotonic() - t_base
+    per_worker = [0] * active
+    claims = 0
+    lock_ops = 0
+    events: list[ClaimEvent] = []
+    for wid, msg in results.items():
+        _, _, iters, wclaims, wlocks, wevents = msg
+        if wid < active:
+            per_worker[wid] = iters
+        elif iters:  # pragma: no cover - plan contract violated
+            raise ParallelError(
+                f"idle worker {wid} executed {iters} iterations"
+            )
+        claims += wclaims
+        lock_ops += wlocks
+        for (clo, chi, t0, t1, t2) in wevents:
+            events.append(
+                ClaimEvent(wid, clo, chi, t0 - t_base, t1 - t_base, t2 - t_base)
+            )
+    if sum(per_worker) != n:
+        raise ParallelError(
+            f"claim accounting violated: {sum(per_worker)} iterations "
+            f"executed for a range of {n}"
+        )
+    events.sort(key=lambda e: (e.worker, e.t_claim))
+    return ParallelRunResult(
+        loop.var,
+        lo,
+        hi,
+        active,
+        plan.name,
+        wall,
+        per_worker,
+        claims,
+        events,
+        lock_ops=lock_ops,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dispatch engines
+# ---------------------------------------------------------------------------
+
+
+def _dispatch_spawn(
+    proc: Procedure,
+    loop: Loop,
+    pool: SharedArrayPool,
+    env: Mapping[str, int | float],
+    workers: int,
+    policy: SchedulingPolicy | str,
+    chunk: int | None,
+    batch: int,
+    deadline: float | None,
+    log_events: bool,
+    ctx: multiprocessing.context.BaseContext,
+    caches: _DispatchCaches,
+) -> ParallelRunResult:
+    """Run one DOALL on a freshly spawned fleet (the PR-1 baseline path)."""
+    lo = eval_bound(loop.lower, env, pool.views, "loop lower bound")
+    hi = eval_bound(loop.upper, env, pool.views, "loop upper bound")
+    n = max(0, hi - lo + 1)
+    if n == 0:
+        return _empty_result(loop, lo, hi, workers, policy)
+    active = max(1, min(workers, n))
+    plan = caches.plan_for(policy, n, active, chunk)
+    job = _build_job(proc, loop, pool, env, plan, lo, batch, log_events, caches)
+    counter = (
+        None if plan.static is not None else SharedClaimCounter(lo, hi, ctx)
+    )
+    q = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=worker_main,
+            args=(wid, job, counter, q),
+            name=f"repro-par-{wid}",
+            daemon=True,
+        )
+        for wid in range(active)
+    ]
+    t_base = time.monotonic()
+    for p in procs:
+        p.start()
+    try:
+        results = gather_results(procs, q, deadline, set(range(active)))
+        raise_worker_crashes(results, procs)
+    except BaseException:
+        terminate_procs(procs)
+        raise
+    for p in procs:
+        p.join(timeout=5.0)
+    return _finalize_result(results, loop, lo, hi, n, active, plan, t_base)
+
+
+def _dispatch_pool(
+    wpool: WorkerPool,
+    proc: Procedure,
+    loop: Loop,
+    env: Mapping[str, int | float],
+    policy: SchedulingPolicy | str,
+    chunk: int | None,
+    batch: int,
+    deadline: float | None,
+    log_events: bool,
+    caches: _DispatchCaches,
+) -> ParallelRunResult:
+    """Run one DOALL on the persistent pool: a message, not a fork."""
+    lo = eval_bound(loop.lower, env, wpool.views, "loop lower bound")
+    hi = eval_bound(loop.upper, env, wpool.views, "loop upper bound")
+    n = max(0, hi - lo + 1)
+    if n == 0:
+        # Nothing to do — and nothing sent: the pool idles through empty
+        # ranges and stays usable for the next dispatch.
+        return _empty_result(loop, lo, hi, wpool.workers, policy)
+    active = max(1, min(wpool.workers, n))
+    plan = caches.plan_for(policy, n, active, chunk)
+    job = _build_job(
+        proc, loop, wpool.shared, env, plan, lo, batch, log_events, caches
+    )
+    t_base, results = wpool.dispatch(job, lo, hi, deadline)
+    return _finalize_result(results, loop, lo, hi, n, active, plan, t_base)
+
+
+# ---------------------------------------------------------------------------
+# Hybrid program execution (serial segments + nested dispatch)
+# ---------------------------------------------------------------------------
+
+
+_MISSING = object()
+
+
+def _exec_hybrid(
+    stmt: Stmt,
+    dispatch,
+    interp: Interpreter,
+    env: dict[str, int | float],
+    views: Mapping[str, np.ndarray],
+    out: ParallelProcedureResult,
+    deadline: float | None,
+) -> None:
+    """Execute a statement tree, dispatching every reachable DOALL.
+
+    Serial loops *containing* dispatchable DOALLs are driven by the
+    parent (their control flow must interleave with dispatches — the
+    pivot loop of Gauss–Jordan); everything else falls through to the
+    interpreter over the shared views in one call.
+    """
+    if isinstance(stmt, Block):
+        for s in stmt.stmts:
+            _exec_hybrid(s, dispatch, interp, env, views, out, deadline)
+        return
+    if deadline is not None and time.monotonic() > deadline:
+        raise ParallelTimeoutError(
+            "parallel run exceeded its deadline in a serial segment"
+        )
+    if isinstance(stmt, Loop) and _dispatchable(stmt):
+        out.dispatches.append(dispatch(stmt, env))
+        return
+    if isinstance(stmt, Loop) and _contains_dispatchable(stmt.body):
+        lo = eval_bound(stmt.lower, env, views, "loop lower bound")
+        hi = eval_bound(stmt.upper, env, views, "loop upper bound")
+        st = eval_bound(stmt.step, env, views, "loop step")
+        if st <= 0:
+            raise InterpreterError(
+                f"loop {stmt.var!r}: non-positive step {st}"
+            )
+        saved = env.get(stmt.var, _MISSING)
+        for value in range(lo, hi + 1, st):
+            env[stmt.var] = value
+            _exec_hybrid(stmt.body, dispatch, interp, env, views, out, deadline)
+        if saved is _MISSING:
+            env.pop(stmt.var, None)
+        else:
+            env[stmt.var] = saved
+        out.serial_stmts += 1
+        return
+    if isinstance(stmt, If) and _contains_dispatchable(stmt):
+        cond = interp._eval(stmt.cond, env, views)
+        branch = stmt.then if cond else stmt.orelse
+        _exec_hybrid(branch, dispatch, interp, env, views, out, deadline)
+        out.serial_stmts += 1
+        return
+    interp._exec(stmt, env, views)
+    out.serial_stmts += 1
+
+
+# ---------------------------------------------------------------------------
+# Public drivers
+# ---------------------------------------------------------------------------
+
+
 def run_parallel_doall(
     proc: Procedure,
     arrays: Mapping[str, np.ndarray],
@@ -325,13 +506,17 @@ def run_parallel_doall(
     timeout: float | None = None,
     log_events: bool = True,
     method: str | None = None,
+    reuse_pool: bool = False,
+    claim_batch: int = 1,
 ) -> ParallelRunResult:
     """Execute a single-DOALL procedure across worker processes.
 
     The procedure body must be exactly one top-level unit-step DOALL (what
     :func:`repro.transforms.coalesce.coalesce_procedure` produces).  On
     success the caller's ``arrays`` hold the results; on any failure they
-    are untouched (workers mutate only the shared copies).
+    are untouched (workers mutate only the shared copies).  A single
+    dispatch gains nothing from pool reuse, so ``reuse_pool`` defaults to
+    False here; pass True to exercise the pool engine.
     """
     validate(proc)
     body = proc.body
@@ -345,13 +530,22 @@ def run_parallel_doall(
         raise ParallelDispatchError(
             f"outer loop {loop.var!r} is not a unit-step DOALL"
         )
-    ctx = _context(method)
     env: dict[str, int | float] = dict(scalars or {})
     deadline = None if timeout is None else time.monotonic() + timeout
+    caches = _DispatchCaches()
+    if reuse_pool:
+        with WorkerPool(arrays, workers=workers, method=method) as wpool:
+            result = _dispatch_pool(
+                wpool, proc, loop, env, policy, chunk, claim_batch,
+                deadline, log_events, caches,
+            )
+            wpool.copy_back(arrays)
+        return result
+    ctx = mp_context(method)
     with SharedArrayPool(arrays) as pool:
-        result = _dispatch_loop(
-            proc, loop, pool, env, workers, policy, chunk, deadline,
-            log_events, ctx,
+        result = _dispatch_spawn(
+            proc, loop, pool, env, workers, policy, chunk, claim_batch,
+            deadline, log_events, ctx, caches,
         )
         pool.copy_back(arrays)
     return result
@@ -367,40 +561,59 @@ def run_parallel_procedure(
     timeout: float | None = None,
     log_events: bool = True,
     method: str | None = None,
+    reuse_pool: bool = True,
+    claim_batch: int = 1,
 ) -> ParallelProcedureResult:
-    """Execute a whole procedure, dispatching its top-level DOALL loops.
+    """Execute a whole procedure, dispatching every reachable DOALL.
 
-    Statements between top-level DOALLs (the serial pivot loop of a hybrid
-    program, scalar setup, non-unit-step loops) run in the parent over the
-    same shared-memory views, so array state flows through the whole
-    program without extra copies.  Raises :class:`ParallelDispatchError` if
-    there is nothing to dispatch — a purely serial program should use the
-    serial backends instead of paying for a pool.
+    Statements between DOALLs (the serial pivot loop of a hybrid program,
+    scalar setup, non-unit-step loops) run in the parent over the same
+    shared-memory views, so array state flows through the whole program
+    without extra copies.  DOALLs nested under serial control flow are
+    dispatched too — one dispatch per enclosing serial iteration, the
+    paper's hybrid execution model.  Raises
+    :class:`ParallelDispatchError` if there is nothing to dispatch — a
+    purely serial program should use the serial backends instead of
+    paying for a pool.
+
+    With ``reuse_pool=True`` (default) one persistent worker fleet serves
+    every dispatch; ``reuse_pool=False`` restores the spawn-per-dispatch
+    baseline.
     """
     validate(proc)
     _check_dispatchable(proc)
-    ctx = _context(method)
     env: dict[str, int | float] = dict(scalars or {})
     deadline = None if timeout is None else time.monotonic() + timeout
     t_start = time.monotonic()
-    out = ParallelProcedureResult(0.0)
+    out = ParallelProcedureResult(0.0, reused_pool=reuse_pool)
     interp = Interpreter()
-    with SharedArrayPool(arrays) as pool:
-        for stmt in proc.body.stmts:
-            if isinstance(stmt, Loop) and _dispatchable(stmt):
-                out.dispatches.append(
-                    _dispatch_loop(
-                        proc, stmt, pool, env, workers, policy, chunk,
-                        deadline, log_events, ctx,
-                    )
+    caches = _DispatchCaches()
+    if reuse_pool:
+        with WorkerPool(arrays, workers=workers, method=method) as wpool:
+
+            def dispatch(loop: Loop, env: Mapping) -> ParallelRunResult:
+                return _dispatch_pool(
+                    wpool, proc, loop, env, policy, chunk, claim_batch,
+                    deadline, log_events, caches,
                 )
-            else:
-                if deadline is not None and time.monotonic() > deadline:
-                    raise ParallelTimeoutError(
-                        "parallel run exceeded its deadline in a serial segment"
-                    )
-                interp._exec(stmt, env, pool.views)
-                out.serial_stmts += 1
-        pool.copy_back(arrays)
+
+            _exec_hybrid(
+                proc.body, dispatch, interp, env, wpool.views, out, deadline
+            )
+            wpool.copy_back(arrays)
+    else:
+        ctx = mp_context(method)
+        with SharedArrayPool(arrays) as pool:
+
+            def dispatch(loop: Loop, env: Mapping) -> ParallelRunResult:
+                return _dispatch_spawn(
+                    proc, loop, pool, env, workers, policy, chunk,
+                    claim_batch, deadline, log_events, ctx, caches,
+                )
+
+            _exec_hybrid(
+                proc.body, dispatch, interp, env, pool.views, out, deadline
+            )
+            pool.copy_back(arrays)
     out.wall_time = time.monotonic() - t_start
     return out

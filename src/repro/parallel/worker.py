@@ -1,11 +1,21 @@
-"""Worker-process entry point: attach, claim, execute, report.
+"""Worker-process entry points: attach, claim, execute, report.
 
-Each worker attaches the shared arrays by segment name (zero-copy), compiles
-the chunk function *from source text* (strings cross process boundaries
-under both fork and spawn), and then runs the paper's protocol: fetch&add a
-chunk from the shared counter, execute the claimed flat iterations, repeat
-until the counter is drained.  Static plans skip the counter and walk a
-precomputed chunk list.
+Two flavors share one claim/execute core (:func:`run_plan`):
+
+* :func:`worker_main` — the spawn-per-dispatch worker: one process per
+  DOALL dispatch, exits after reporting (the PR-1 baseline the dispatch
+  bench measures against).
+* :func:`pool_worker_main` — the persistent-pool worker: attaches the
+  shared arrays once, then serves lightweight job descriptors from its
+  private job queue until told to stop.  Chunk functions are compiled
+  from source text (strings cross process boundaries under both fork and
+  spawn) and cached by source, so a loop shape dispatched many times —
+  one dispatch per pivot row in a hybrid program — is compiled once.
+
+Both run the paper's protocol: fetch&add a chunk (or a *batch* of chunks,
+amortizing the lock round-trip) from the shared counter, execute the
+claimed flat iterations, repeat until the counter is drained.  Static
+plans skip the counter and walk a precomputed chunk list.
 
 Every claim is logged as ``(lo, hi, t_claim, t_work, t_end)`` on the shared
 monotonic clock so the parent can reconstruct the measured schedule
@@ -24,13 +34,77 @@ from repro.codegen.pygen import compile_chunk_source
 from repro.parallel.shm import attach_array
 
 
-def worker_main(wid: int, job: dict[str, Any], counter, queue) -> None:
-    """Run one worker's share of a parallel DOALL (see module docstring).
+def run_plan(
+    wid: int, job: dict[str, Any], counter, arrays: dict
+) -> tuple[int, int, int, list]:
+    """Execute one worker's share of a dispatch.
 
-    ``job`` keys: ``source``/``fname`` (chunk function), ``specs`` (shared
-    array attachments), ``array_order``/``scalar_order``/``scalars`` (call
-    convention), ``plan`` (:class:`repro.parallel.counter.PolicyPlan`),
-    ``lo`` (loop lower bound, for static chunk lists), ``log_events``.
+    Returns ``(iterations, claims, lock_ops, events)`` where ``claims``
+    counts executed chunks and ``lock_ops`` counts counter critical
+    sections (``claims == lock_ops`` unless claims were batched).
+
+    ``job`` keys: ``source``/``fname`` (chunk function), ``array_order``/
+    ``scalar_order``/``scalars`` (call convention), ``plan``
+    (:class:`repro.parallel.counter.PolicyPlan`), ``lo`` (loop lower
+    bound, for static chunk lists), ``batch`` (chunks per claim),
+    ``log_events``.
+    """
+    func = compile_chunk_source(job["source"], job["fname"])
+    call_args = [arrays[n] for n in job["array_order"]]
+    call_args += [job["scalars"][n] for n in job["scalar_order"]]
+    plan = job["plan"]
+    log_events = job["log_events"]
+    events: list[tuple[int, int, float, float, float]] = []
+    iterations = 0
+    claims = 0
+    lock_ops = 0
+
+    if wid >= plan.workers:
+        # Pool larger than the iteration space: this worker sits the
+        # dispatch out (the plan was built for plan.workers processes).
+        return 0, 0, 0, events
+
+    if plan.static is not None:
+        lo0 = job["lo"]
+        t0 = time.monotonic()
+        for start, size in plan.static[wid]:
+            lo, hi = lo0 + start, lo0 + start + size - 1
+            t1 = time.monotonic()
+            func(lo, hi, *call_args)
+            t2 = time.monotonic()
+            if log_events:
+                events.append((lo, hi, t0, t1, t2))
+            iterations += size
+            claims += 1
+            t0 = t2
+    else:
+        rule = plan.rule
+        batch = job.get("batch", 1)
+        while True:
+            t0 = time.monotonic()
+            claimed = counter.claim_batch(rule, batch)
+            t1 = time.monotonic()
+            if not claimed:
+                break
+            lock_ops += 1
+            for lo, hi in claimed:
+                func(lo, hi, *call_args)
+                t2 = time.monotonic()
+                if log_events:
+                    events.append((lo, hi, t0, t1, t2))
+                iterations += hi - lo + 1
+                claims += 1
+                t0 = t1 = t2
+    if plan.static is not None:
+        lock_ops = 0  # static plans never touch the shared counter
+    return iterations, claims, lock_ops, events
+
+
+def worker_main(wid: int, job: dict[str, Any], counter, queue) -> None:
+    """Spawn-per-dispatch worker: one process, one dispatch, then exit.
+
+    ``job`` carries everything :func:`run_plan` needs plus ``specs`` (the
+    shared-memory attachment recipes).
     """
     segments = []
     failed = False
@@ -40,45 +114,10 @@ def worker_main(wid: int, job: dict[str, Any], counter, queue) -> None:
             view, shm = attach_array(spec)
             arrays[spec.name] = view
             segments.append(shm)
-        func = compile_chunk_source(job["source"], job["fname"])
-        call_args = [arrays[n] for n in job["array_order"]]
-        call_args += [job["scalars"][n] for n in job["scalar_order"]]
-        plan = job["plan"]
-        log_events = job["log_events"]
-        events: list[tuple[int, int, float, float, float]] = []
-        iterations = 0
-        claims = 0
-
-        if plan.static is not None:
-            lo0 = job["lo"]
-            t0 = time.monotonic()
-            for start, size in plan.static[wid]:
-                lo, hi = lo0 + start, lo0 + start + size - 1
-                t1 = time.monotonic()
-                func(lo, hi, *call_args)
-                t2 = time.monotonic()
-                if log_events:
-                    events.append((lo, hi, t0, t1, t2))
-                iterations += size
-                claims += 1
-                t0 = t2
-        else:
-            rule = plan.rule
-            while True:
-                t0 = time.monotonic()
-                claimed = counter.claim(rule)
-                t1 = time.monotonic()
-                if claimed is None:
-                    break
-                lo, hi = claimed
-                func(lo, hi, *call_args)
-                t2 = time.monotonic()
-                if log_events:
-                    events.append((lo, hi, t0, t1, t2))
-                iterations += hi - lo + 1
-                claims += 1
-
-        queue.put(("ok", wid, iterations, claims, events))
+        iterations, claims, lock_ops, events = run_plan(
+            wid, job, counter, arrays
+        )
+        queue.put(("ok", wid, iterations, claims, lock_ops, events))
     except BaseException:
         failed = True
         try:
@@ -86,6 +125,62 @@ def worker_main(wid: int, job: dict[str, Any], counter, queue) -> None:
         except Exception:  # pragma: no cover - queue already broken
             pass
     finally:
+        for shm in segments:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+    if failed:
+        raise SystemExit(1)
+
+
+def pool_worker_main(wid: int, specs: list, counter, jobs, results) -> None:
+    """Persistent worker: serve job descriptors until a stop message.
+
+    ``jobs`` is this worker's private queue of ``("job", seq, job)`` /
+    ``("stop",)`` messages; ``results`` is the shared result queue, fed
+    one ``("ok", wid, seq, iterations, claims, lock_ops, events)`` or
+    ``("err", wid, seq, traceback)`` message per job.
+
+    The shared arrays are attached once, up front — each dispatch is then
+    a message plus the claim loop, no fork, no re-attach.  Any specs a job
+    carries beyond the initial set are attached on demand (and cached), so
+    one pool can serve procedures over growing array environments.  A
+    failed job poisons the pool: the worker reports the traceback and
+    exits nonzero, and the parent tears the fleet down.
+    """
+    segments = []
+    failed = False
+    seq = None
+    try:
+        arrays: dict = {}
+
+        def attach(spec_list) -> None:
+            for spec in spec_list:
+                if spec.name not in arrays:
+                    view, shm = attach_array(spec)
+                    arrays[spec.name] = view
+                    segments.append(shm)
+
+        attach(specs)
+        while True:
+            msg = jobs.get()
+            if msg[0] == "stop":
+                break
+            _, seq, job = msg
+            attach(job.get("specs", ()))
+            iterations, claims, lock_ops, events = run_plan(
+                wid, job, counter, arrays
+            )
+            results.put(("ok", wid, seq, iterations, claims, lock_ops, events))
+    except BaseException:
+        failed = True
+        try:
+            results.put(("err", wid, seq, traceback.format_exc()))
+        except Exception:  # pragma: no cover - queue already broken
+            pass
+    finally:
+        del arrays
         for shm in segments:
             try:
                 shm.close()

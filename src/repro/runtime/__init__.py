@@ -10,7 +10,13 @@
   compute the same arrays as the original.
 """
 
-from repro.runtime.interp import Interpreter, InterpreterError, OpCounts, run
+from repro.runtime.interp import (
+    Interpreter,
+    InterpreterError,
+    OpCounts,
+    eval_bound,
+    run,
+)
 from repro.runtime.executor import (
     run_doall_serial,
     run_doall_shuffled,
@@ -33,6 +39,7 @@ __all__ = [
     "OpCounts",
     "SelfSchedStats",
     "assert_equivalent",
+    "eval_bound",
     "fixed_chunks",
     "guided_chunks",
     "random_env",

@@ -23,7 +23,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.ir.stmt import Block, Loop, Procedure
-from repro.runtime.interp import Interpreter, InterpreterError
+from repro.runtime.interp import Interpreter, InterpreterError, eval_bound
 
 
 def _outer_doall(proc: Procedure) -> Loop:
@@ -40,11 +40,11 @@ def _outer_doall(proc: Procedure) -> Loop:
 
 
 def _iteration_values(
-    loop: Loop, interp: Interpreter, env: dict, arrays: Mapping[str, np.ndarray]
+    loop: Loop, env: dict, arrays: Mapping[str, np.ndarray]
 ) -> list[int]:
-    lo = interp._eval_int(loop.lower, env, arrays, "lower bound")
-    hi = interp._eval_int(loop.upper, env, arrays, "upper bound")
-    st = interp._eval_int(loop.step, env, arrays, "step")
+    lo = eval_bound(loop.lower, env, arrays, "lower bound")
+    hi = eval_bound(loop.upper, env, arrays, "upper bound")
+    st = eval_bound(loop.step, env, arrays, "step")
     return list(range(lo, hi + 1, st))
 
 
@@ -77,7 +77,7 @@ def _run_in_order(proc, arrays, scalars, order) -> None:
     interp = Interpreter()
     env: dict[str, int | float] = dict(scalars or {})
     loop = _outer_doall(proc)
-    values = _iteration_values(loop, interp, env, arrays)
+    values = _iteration_values(loop, env, arrays)
     if order is not None:
         order(values)
     for value in values:
@@ -101,7 +101,7 @@ def run_doall_threads(
     interp = Interpreter()
     env: dict[str, int | float] = dict(scalars or {})
     loop = _outer_doall(proc)
-    values = _iteration_values(loop, interp, env, arrays)
+    values = _iteration_values(loop, env, arrays)
 
     def one(value: int) -> None:
         local = dict(env)

@@ -229,6 +229,24 @@ class Interpreter:
 _MISSING = object()
 
 
+def eval_bound(
+    e: Expr,
+    env: Mapping[str, int | float],
+    arrays: Mapping[str, np.ndarray] | None = None,
+    what: str = "loop bound",
+) -> int:
+    """Evaluate a loop-bound (or any integer) expression to a plain int.
+
+    The public face of the interpreter's integer-expression evaluation:
+    runtime drivers (:mod:`repro.runtime.executor`,
+    :mod:`repro.runtime.selfsched`, :mod:`repro.parallel.runtime`) all need
+    concrete loop bounds from IR expressions before they can partition an
+    iteration space.  Raises :class:`InterpreterError` if the expression
+    does not evaluate to an integer.
+    """
+    return Interpreter()._eval_int(e, env, arrays or {}, what)
+
+
 def run(
     proc: Procedure,
     arrays: Mapping[str, np.ndarray],

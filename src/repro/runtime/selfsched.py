@@ -25,7 +25,7 @@ from typing import Callable, Mapping
 import numpy as np
 
 from repro.ir.stmt import Loop, Procedure
-from repro.runtime.interp import Interpreter, InterpreterError
+from repro.runtime.interp import Interpreter, InterpreterError, eval_bound
 
 
 @dataclass
@@ -121,11 +121,10 @@ def run_self_scheduled(
     if not loop.is_doall:
         raise InterpreterError(f"loop {loop.var!r} is not a DOALL")
 
-    probe = Interpreter()
     env: dict[str, int | float] = dict(scalars or {})
-    lo = probe._eval_int(loop.lower, env, arrays, "lower bound")
-    hi = probe._eval_int(loop.upper, env, arrays, "upper bound")
-    step = probe._eval_int(loop.step, env, arrays, "step")
+    lo = eval_bound(loop.lower, env, arrays, "lower bound")
+    hi = eval_bound(loop.upper, env, arrays, "upper bound")
+    step = eval_bound(loop.step, env, arrays, "step")
     if step != 1:
         raise InterpreterError(
             "self-scheduling requires a unit-step loop (normalize first)"

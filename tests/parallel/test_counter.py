@@ -108,3 +108,51 @@ class TestSharedClaimCounter:
             sizes.append(c[1] - c[0] + 1)
         assert sizes == [8, 4, 2, 1, 1]
         assert sum(sizes) == 16
+
+    def test_reset_rearms_a_drained_counter(self):
+        counter = SharedClaimCounter(0, -1, _ctx())
+        assert counter.drained
+        assert counter.claim(("unit",)) is None
+        counter.reset(1, 5)
+        assert counter.start == 1 and counter.stop == 5
+        assert counter.claim(("fixed", 5)) == (1, 5)
+        assert counter.drained
+
+
+class TestBatchedClaims:
+    def test_batch_partitions_range_exactly(self):
+        counter = SharedClaimCounter(1, 23, _ctx())
+        seen = []
+        rounds = 0
+        while True:
+            chunks = counter.claim_batch(("fixed", 3), batch=4)
+            if not chunks:
+                break
+            rounds += 1
+            for lo, hi in chunks:
+                seen.extend(range(lo, hi + 1))
+        assert seen == list(range(1, 24))
+        # ceil(23/3) = 8 chunks in batches of 4 -> 2 lock acquisitions
+        assert rounds == 2
+
+    def test_batch_tail_is_short(self):
+        counter = SharedClaimCounter(1, 5, _ctx())
+        chunks = counter.claim_batch(("fixed", 2), batch=4)
+        assert chunks == [(1, 2), (3, 4), (5, 5)]
+        assert counter.drained
+
+    def test_gss_ignores_batch(self):
+        # GSS keeps the paper's atomic read-of-remaining semantics: each
+        # chunk size depends on what is left *after* the previous claim,
+        # so handing out several per lock round would change the schedule.
+        counter = SharedClaimCounter(1, 16, _ctx())
+        sizes = []
+        while (chunks := counter.claim_batch(("gss", 2), batch=8)):
+            assert len(chunks) == 1
+            sizes.append(chunks[0][1] - chunks[0][0] + 1)
+        assert sizes == [8, 4, 2, 1, 1]
+
+    def test_claim_is_batch_of_one(self):
+        counter = SharedClaimCounter(1, 10, _ctx())
+        assert counter.claim(("unit",)) == (1, 1)
+        assert counter.claim_batch(("unit",), batch=1) == [(2, 2)]

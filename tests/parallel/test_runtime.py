@@ -205,7 +205,7 @@ class TestRobustness:
             end
             """
         )
-        with pytest.raises(ParallelDispatchError, match="no top-level"):
+        with pytest.raises(ParallelDispatchError, match="no dispatchable"):
             run_parallel_procedure(proc, {"A": np.zeros(5)}, {"n": 4})
 
     def test_empty_iteration_space(self):

@@ -1,0 +1,211 @@
+"""P3 bench — compile-once: the content-addressed artifact cache.
+
+The paper's argument is that coalescing moves scheduling work out of the
+hot loop and into a one-time compile step; ``repro.cache`` makes that step
+actually one-time across calls, processes, and the server.  This bench
+measures what the cache buys on a multi-nest kernel:
+
+* in-process: a cold ``transform_function``/``coalesce_jit`` compile
+  (lower -> dependence analysis -> distribute -> coalesce -> pygen) vs the
+  same call again, where the lower->coalesce half is a disk read;
+* the compile half alone (``lower_and_coalesce`` — exactly what the
+  server's ``POST /compile`` caches) cold vs cached;
+* the served path: two identical ``POST /compile`` requests against a
+  live ``repro.service`` server, the second of which must report
+  ``cached: true``.
+
+Cold times are medians over several *distinct-key* variants of the same
+kernel (a constant differs, so each variant recompiles from scratch at
+identical cost); cached times are medians over repeated compiles of one
+variant.  Acceptance: cached >= 10x faster than cold for both the
+in-process call and the served ``/compile``.
+
+``REPRO_BENCH_SMOKE=1`` keeps the full path but skips the timing
+assertions (shared CI hardware measures noise, not signal).
+"""
+
+import os
+import statistics
+import tempfile
+import time
+
+import numpy as np
+
+from repro.api import lower_and_coalesce, transform_function
+from repro.cache import ArtifactCache
+from repro.experiments.report import Table
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+VARIANTS = 3 if SMOKE else 5
+ROUNDS = 4 if SMOKE else 10
+N = M = 8
+
+#: One kernel, many distinct-key variants: the embedded constant changes
+#: the content hash (forcing a genuinely cold compile) without changing
+#: what the pipeline has to do.
+KERNEL = """
+def kern{i}(A, B, C, D, n, m):
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            for k in range(1, n + 1):
+                for l in range(1, m + 1):
+                    D[i, j] = D[i, j] + A[i, k] * B[k, l] * {i}.0
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            for k in range(1, n + 1):
+                C[i, j] = C[i, j] + A[i, k] * B[k, j]
+                D[i, j] = D[i, j] + C[i, j]
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            B[i, j] = C[i, j] * 2.0 + A[i, j] + D[i, j]
+"""
+
+
+def _median_ms(samples: list[float]) -> float:
+    return round(statistics.median(samples) * 1e3, 4)
+
+
+def _time(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _in_process(store: ArtifactCache) -> dict:
+    """Cold vs cached, full call and compile half, one throwaway store."""
+    cold_full = [
+        _time(lambda i=i: transform_function(KERNEL.format(i=i), cache=store))
+        for i in range(VARIANTS)
+    ]
+    cold_half = [
+        _time(
+            lambda i=i: lower_and_coalesce(
+                KERNEL.format(i=i + VARIANTS), cache=store
+            )
+        )
+        for i in range(VARIANTS)
+    ]
+    warm_src = KERNEL.format(i=0)
+    warm_full, warm_half, hits = [], [], []
+    for _ in range(ROUNDS):
+        warm_full.append(
+            _time(lambda: hits.append(
+                transform_function(warm_src, cache=store).from_cache
+            ))
+        )
+        warm_half.append(
+            _time(lambda: lower_and_coalesce(warm_src, cache=store))
+        )
+    assert all(hits), "every repeat compile must be served from cache"
+    return {
+        "transform_function": {
+            "cold_ms": _median_ms(cold_full),
+            "cached_ms": _median_ms(warm_full),
+            "speedup": round(
+                statistics.median(cold_full) / statistics.median(warm_full), 1
+            ),
+        },
+        "lower_and_coalesce": {
+            "cold_ms": _median_ms(cold_half),
+            "cached_ms": _median_ms(warm_half),
+            "speedup": round(
+                statistics.median(cold_half) / statistics.median(warm_half), 1
+            ),
+        },
+        "cache": store.stats_dict(),
+    }
+
+
+def _served(store: ArtifactCache) -> dict:
+    """Two identical ``POST /compile`` against a live server + one run."""
+    from repro.service.client import ServiceClient
+    from repro.service.server import serve_background
+
+    server, _ = serve_background(cache=store)
+    try:
+        client = ServiceClient(port=server.port)
+        colds = [
+            client.compile(KERNEL.format(i=100 + i))["compile_s"]
+            for i in range(VARIANTS)
+        ]
+        warm_src = KERNEL.format(i=100)
+        cached = [client.compile(warm_src) for _ in range(ROUNDS)]
+        assert all(c["cached"] for c in cached), "repeat /compile must hit"
+        warms = [c["compile_s"] for c in cached]
+
+        # The cached program still computes the right thing end to end.
+        rng = np.random.default_rng(3)
+        shape = (N + 1, M + 1)
+        arrays = {
+            "A": rng.random(shape),
+            "B": np.zeros(shape),
+            "C": np.zeros(shape),
+            "D": np.zeros(shape),
+        }
+        expected = {k: v.copy() for k, v in arrays.items()}
+        transform_function(warm_src, cache=None)(
+            expected["A"], expected["B"], expected["C"], expected["D"], N, M
+        )
+        out = client.run(cached[0]["key"], arrays, {"n": N, "m": M})
+        for name in arrays:
+            assert np.array_equal(out["arrays"][name], expected[name]), name
+        return {
+            "cold_ms": _median_ms(colds),
+            "cached_ms": _median_ms(warms),
+            "speedup": round(
+                statistics.median(colds) / statistics.median(warms), 1
+            ),
+            "run_engine": out["engine"],
+        }
+    finally:
+        server.shutdown()
+        server.close()
+
+
+def run() -> tuple[Table, dict]:
+    with tempfile.TemporaryDirectory(prefix="repro_p03_") as tmp:
+        local = _in_process(ArtifactCache(tmp))
+    with tempfile.TemporaryDirectory(prefix="repro_p03_srv_") as tmp:
+        served = _served(ArtifactCache(tmp))
+    table = Table(
+        "P3: compile cache — cold vs content-addressed cached compile",
+        ["path", "cold_ms", "cached_ms", "speedup"],
+        notes=(
+            f"medians over {VARIANTS} distinct-key cold compiles and "
+            f"{ROUNDS} cached repeats of a 3-nest (max depth 4) kernel; "
+            "'served /compile' is the HTTP server's own compile_s."
+        ),
+    )
+    rows = {
+        "transform_function": local["transform_function"],
+        "lower_and_coalesce": local["lower_and_coalesce"],
+        "served /compile": served,
+    }
+    for path, row in rows.items():
+        table.add(path, row["cold_ms"], row["cached_ms"], row["speedup"])
+    payload = {
+        "smoke": SMOKE,
+        "kernel_nests": 3,
+        "in_process": local,
+        "served": served,
+    }
+    return table, payload
+
+
+def test_p03_compile_cache(benchmark, save_table, save_json):
+    table, payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("p03_compile_cache", table)
+    save_json("BENCH_p03_compile_cache", payload)
+
+    # Acceptance: the second identical compile is served from cache, >=10x
+    # faster than cold — for the in-process call and the served /compile.
+    if not SMOKE:
+        assert payload["in_process"]["transform_function"]["speedup"] >= 10.0, (
+            payload["in_process"]
+        )
+        assert payload["served"]["speedup"] >= 10.0, payload["served"]
+
+
+if __name__ == "__main__":
+    t, p = run()
+    print(t.format())

@@ -41,24 +41,27 @@ def deep_nest(depth: int) -> Loop:
     return loop
 
 
-def test_t01_parse_speed(benchmark):
+def test_t01_parse_speed(benchmark, record_timing):
     p = benchmark(parse, MATMUL_SRC)
     assert p.name == "matmul"
+    record_timing("t01_transform_speed", "parse", benchmark)
 
 
-def test_t01_analysis_speed(benchmark):
+def test_t01_analysis_speed(benchmark, record_timing):
     mm = parse(MATMUL_SRC)
     tagged = benchmark(mark_doall, mm)
     assert any(lp.is_doall for lp in _loops(tagged))
+    record_timing("t01_transform_speed", "analysis", benchmark)
 
 
-def test_t01_coalesce_speed_depth8(benchmark):
+def test_t01_coalesce_speed_depth8(benchmark, record_timing):
     nest = deep_nest(8)
     result = benchmark(coalesce, nest)
     assert result.depth == 8
+    record_timing("t01_transform_speed", "coalesce_depth8", benchmark, depth=8)
 
 
-def test_t01_full_pipeline_speed(benchmark):
+def test_t01_full_pipeline_speed(benchmark, record_timing):
     def pipeline():
         p = mark_doall(parse(MATMUL_SRC))
         p = distribute_procedure(p)
@@ -66,6 +69,7 @@ def test_t01_full_pipeline_speed(benchmark):
 
     proc_out, results = benchmark(pipeline)
     assert len(results) == 2
+    record_timing("t01_transform_speed", "full_pipeline", benchmark)
 
 
 def _loops(p):

@@ -13,11 +13,15 @@ high-level entry points live here; the subpackages are the system:
 * :mod:`repro.machine` / :mod:`repro.scheduling` — the simulated
   multiprocessor and its scheduling policies
 * :mod:`repro.workloads` / :mod:`repro.experiments` — the evaluation suite
+* :mod:`repro.cache` / :mod:`repro.service` — the content-addressed
+  artifact cache and the compile-and-run HTTP server built on it
 """
 
-from repro.api import TransformedFunction, coalesce_jit, transform_function
+# Version first: repro.cache.keys reads it while repro.api (imported next)
+# is still initializing.
+__version__ = "0.2.0"
 
-__version__ = "0.1.0"
+from repro.api import TransformedFunction, coalesce_jit, transform_function
 
 __all__ = [
     "TransformedFunction",

@@ -30,11 +30,16 @@ shared-memory arrays — real wall-clock speedup, see :mod:`repro.parallel`)::
 from __future__ import annotations
 
 import functools
+import inspect
+import pickle
+import textwrap
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.analysis.doall import mark_doall
+from repro.cache import artifact_key, resolve_cache
 from repro.codegen.pygen import CompiledProcedure, compile_procedure
+from repro.frontend.dsl import parse
 from repro.frontend.pyfront import from_python
 from repro.ir.printer import to_source
 from repro.ir.stmt import Procedure
@@ -57,6 +62,9 @@ class TransformedFunction:
     results: list[CoalesceResult]
     _backend: object
     name: str
+    #: True when the lower→analyse→transform half was served from the
+    #: artifact cache instead of recomputed.
+    from_cache: bool = False
 
     def __call__(self, *args, **kwargs):
         names = list(self.transformed.arrays) + list(self.transformed.scalars)
@@ -110,6 +118,82 @@ class TransformedFunction:
         return "\n".join(lines)
 
 
+def lower_and_coalesce(
+    source: str,
+    frontend: str = "python",
+    style: str = "ceiling",
+    depth: int | None = None,
+    distribute: bool = True,
+    analyze: bool = True,
+    triangular: bool = False,
+    cache: object = "default",
+) -> tuple[Procedure, Procedure, list, bool]:
+    """The compile-time half of the pipeline, cached by content.
+
+    Lowers ``source`` (restricted Python with ``frontend="python"``, the
+    mini-language with ``frontend="dsl"``), proves DOALLs, distributes,
+    and coalesces.  The result — ``(original, transformed, results)`` — is
+    stored in the artifact cache under a canonical hash of the source text
+    and every option, so the second identical compile anywhere on the
+    machine (other process, the server, the CLI) is a disk read, not a
+    recompute.  Returns ``(original, transformed, results, from_cache)``.
+
+    ``cache`` is ``"default"`` (the process default store), an explicit
+    :class:`repro.cache.ArtifactCache`, a directory path, or None/False to
+    bypass caching entirely.
+    """
+    store = resolve_cache(cache)
+    key = None
+    if store is not None:
+        key = artifact_key(
+            "pipeline",
+            source=source,
+            frontend=frontend,
+            style=style,
+            depth=depth,
+            distribute=distribute,
+            analyze=analyze,
+            triangular=triangular,
+        )
+        blob = store.get_bytes(key, "pipeline.pkl")
+        if blob is not None:
+            try:
+                original, proc, results = pickle.loads(blob)
+                validate(proc)
+                return original, proc, results, True
+            except Exception:
+                # Unreadable pickle (version skew, corruption the manifest
+                # couldn't see): drop the entry and recompute.
+                store.stats.errors += 1
+                store.invalidate(key)
+    if frontend == "python":
+        original = from_python(source)
+    elif frontend == "dsl":
+        original = parse(source)
+    else:
+        raise ValueError(f"unknown frontend {frontend!r}")
+    validate(original)
+    proc = normalize_procedure(original)
+    if analyze:
+        proc = mark_doall(proc)
+    if distribute:
+        proc = distribute_procedure(proc)
+    proc, results = coalesce_procedure(
+        proc, depth=depth, style=style, triangular=triangular
+    )
+    validate(proc)
+    if store is not None:
+        store.put(
+            key,
+            {
+                "pipeline.pkl": pickle.dumps((original, proc, results)),
+                "transformed.loop": to_source(proc),
+            },
+            meta={"kind": "pipeline", "name": proc.name},
+        )
+    return original, proc, results, False
+
+
 def transform_function(
     fn: Callable | str,
     style: str = "ceiling",
@@ -117,6 +201,7 @@ def transform_function(
     distribute: bool = True,
     analyze: bool = True,
     backend: str = "python",
+    cache: object = "default",
     **backend_options,
 ) -> TransformedFunction:
     """Run the full pipeline on a restricted Python function.
@@ -131,6 +216,10 @@ def transform_function(
         backend: ``"python"`` (generated Python), ``"c"`` (gcc + OpenMP),
             or ``"mp"`` (worker processes + shared memory + fetch&add
             self-scheduling — see :mod:`repro.parallel`).
+        cache: artifact cache for the compile-time half (and, for the C
+            backend, the compiled ``.so``): ``"default"``, an
+            :class:`repro.cache.ArtifactCache`, a directory path, or
+            None/False to bypass.
         **backend_options: forwarded to the ``"mp"`` backend — ``workers``,
             ``policy`` (``"unit"``/``"fixed"``/``"gss"``/``"static"`` or a
             :class:`repro.scheduling.policies.SchedulingPolicy`), ``chunk``,
@@ -139,15 +228,16 @@ def transform_function(
             run), ``claim_batch`` (chunks handed out per fetch&add critical
             section for unit/fixed policies; GSS always claims singly).
     """
-    original = from_python(fn)
-    validate(original)
-    proc = normalize_procedure(original)
-    if analyze:
-        proc = mark_doall(proc)
-    if distribute:
-        proc = distribute_procedure(proc)
-    proc, results = coalesce_procedure(proc, depth=depth, style=style)
-    validate(proc)
+    source = fn if isinstance(fn, str) else textwrap.dedent(inspect.getsource(fn))
+    original, proc, results, from_cache = lower_and_coalesce(
+        source,
+        frontend="python",
+        style=style,
+        depth=depth,
+        distribute=distribute,
+        analyze=analyze,
+        cache=cache,
+    )
     if backend != "mp" and backend_options:
         raise TypeError(
             f"backend {backend!r} takes no options, got "
@@ -158,7 +248,7 @@ def transform_function(
     elif backend == "c":
         from repro.codegen.cload import compile_c_procedure
 
-        compiled = compile_c_procedure(proc)
+        compiled = compile_c_procedure(proc, cache=cache)
     elif backend == "mp":
         from repro.parallel.backend import compile_mp_procedure
 
@@ -171,6 +261,7 @@ def transform_function(
         results=results,
         _backend=compiled,
         name=original.name,
+        from_cache=from_cache,
     )
 
 

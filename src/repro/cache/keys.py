@@ -1,0 +1,53 @@
+"""Canonical cache keys.
+
+A key is the SHA-256 of a canonical JSON rendering of everything that
+determines the artifact: the artifact kind, the source text (Python or
+mini-language), the transform/backend options, and the repro + cache
+format versions.  Two processes computing the key for the same inputs get
+the same hex digest, which is what makes the on-disk store shareable
+between the in-process API, the CLI, and the server.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+
+#: Bump when the on-disk entry format (or what a kind stores) changes —
+#: old entries simply stop being found, they are never misread.
+CACHE_VERSION = 1
+
+
+def _repro_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+def canonical_payload(kind: str, fields: dict) -> str:
+    """The canonical JSON text that gets hashed for a key.
+
+    Sorted keys, no whitespace variance, explicit versions.  ``pickle``
+    artifacts additionally depend on the Python major.minor (a pickle
+    written by 3.12 should not be the 3.11 process's hit).
+    """
+    payload = {
+        "kind": kind,
+        "cache_version": CACHE_VERSION,
+        "repro_version": _repro_version(),
+        "python": platform.python_version_tuple()[:2],
+        **fields,
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def artifact_key(kind: str, **fields) -> str:
+    """SHA-256 hex key for an artifact of ``kind`` determined by ``fields``.
+
+    ``fields`` values must be JSON-serializable (strings, numbers, bools,
+    None, lists/tuples of those); anything option-like should be passed
+    explicitly rather than folded into a repr.
+    """
+    text = canonical_payload(kind, fields)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -23,6 +23,14 @@ Instead of an input file, ``--workload NAME`` compiles a registered
 workload, and ``--run`` executes it with the chosen backend —
 ``--backend mp --workers 4 --policy gss`` runs the coalesced program on
 real worker processes and prints the measured schedule (``--gantt``).
+
+Compilation artifacts are cached on disk by content (``repro.cache``);
+``--cache-dir DIR`` points the cache somewhere explicit and ``--no-cache``
+bypasses it for one invocation.
+
+``python -m repro serve`` starts the compile-and-run HTTP server
+(:mod:`repro.service`) instead: ``POST /compile``, ``POST /run``,
+``GET /healthz``, ``GET /metrics``.
 """
 
 from __future__ import annotations
@@ -109,6 +117,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also coalesce triangular (outer-dependent-bound) nests",
     )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="root of the on-disk compilation artifact cache "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the compilation artifact cache entirely",
+    )
     parser.add_argument("--report", action="store_true")
     parser.add_argument(
         "--analyze",
@@ -125,12 +145,31 @@ def run_pipeline(
     style: str = "ceiling",
     depth: int | None = None,
     triangular: bool = False,
+    cache: object = "default",
 ):
-    """Parse + transform; returns (procedure, coalesce results)."""
+    """Parse + transform; returns (procedure, coalesce results).
+
+    The default pass order is served through the content-addressed
+    artifact cache (``repro.cache``); custom pass subsets/orders always
+    recompute.
+    """
+    names = [p.strip() for p in passes.split(",") if p.strip()]
+    if names == DEFAULT_PASSES.split(","):
+        from repro.api import lower_and_coalesce
+
+        _, proc, results, _ = lower_and_coalesce(
+            source,
+            frontend="dsl",
+            style=style,
+            depth=depth,
+            triangular=triangular,
+            cache=cache,
+        )
+        return proc, results
     proc = parse(source)
     validate(proc)
     results = []
-    for name in [p.strip() for p in passes.split(",") if p.strip()]:
+    for name in names:
         if name == "normalize":
             proc = normalize_procedure(proc)
         elif name == "analyze":
@@ -206,7 +245,17 @@ def _run_transformed(args, workload, proc) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["serve"]:
+        from repro.service.server import serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
+    if args.no_cache or args.cache_dir:
+        from repro.cache import configure
+
+        configure(dir=args.cache_dir, enabled=not args.no_cache)
     workload = None
     if args.workload:
         if args.input:

@@ -4,6 +4,15 @@ This closes the loop on the OpenMP-collapse lineage: the same IR procedure
 can execute through the Python interpreter, generated Python, and compiled
 C (optionally with real OpenMP threads), and the test suite checks all three
 agree.  Requires a ``gcc`` on PATH; tests skip gracefully without one.
+
+Compiled shared libraries are content-addressed: by default the ``.so``
+lands in the artifact cache under a hash of (generated C, compiler, flags),
+so the second identical compile — in this process, another process, or the
+server — loads the cached library instead of invoking gcc.  With caching
+bypassed, compilation happens in a self-cleaning temporary directory whose
+lifetime is tied to the returned :class:`CProcedure` (nothing is leaked
+per call).  An explicit ``workdir`` keeps the old behavior of compiling in
+a caller-owned directory.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.cache import artifact_key, resolve_cache
 from repro.codegen.cgen import generate_c
 from repro.ir.stmt import Procedure
 
@@ -40,6 +50,11 @@ class CProcedure:
     library_path: str
     _lib: ctypes.CDLL
     _fn: ctypes._CFuncPtr
+    #: True when the ``.so`` came out of the artifact cache (gcc not run).
+    from_cache: bool = False
+    #: Keeps an uncached compile's temporary directory alive (and cleaned
+    #: up with this object) when no cache and no workdir were given.
+    _tmp: tempfile.TemporaryDirectory | None = None
 
     def run(
         self,
@@ -71,21 +86,13 @@ class CProcedure:
         self._fn(*args)
 
 
-def compile_c_procedure(
-    proc: Procedure,
-    omp: bool = True,
-    cc: str = "gcc",
-    optimize: str = "-O2",
-    workdir: str | None = None,
-) -> CProcedure:
-    """Generate, compile (``cc -shared -fPIC [-fopenmp]``), and load."""
-    if not have_compiler(cc):
-        raise CCompileError(f"no C compiler {cc!r} on PATH")
-    source = generate_c(proc, omp=omp)
-    tmp = Path(workdir) if workdir else Path(tempfile.mkdtemp(prefix="repro_c_"))
+def _compile_into(
+    tmp: Path, name: str, source: str, cc: str, optimize: str, omp: bool
+) -> Path:
+    """Run the compiler in ``tmp``; return the ``.so`` path."""
     tmp.mkdir(parents=True, exist_ok=True)
-    c_path = tmp / f"{proc.name}.c"
-    so_path = tmp / f"lib{proc.name}.so"
+    c_path = tmp / f"{name}.c"
+    so_path = tmp / f"lib{name}.so"
     c_path.write_text(source)
     cmd = [cc, optimize, "-fPIC", "-shared", str(c_path), "-o", str(so_path), "-lm"]
     if omp:
@@ -96,7 +103,59 @@ def compile_c_procedure(
             f"gcc failed ({result.returncode}):\n{result.stderr}\n--- source ---\n"
             + source
         )
+    return so_path
+
+
+def _load(proc: Procedure, source: str, so_path: Path, **extra) -> CProcedure:
     lib = ctypes.CDLL(str(so_path))
     fn = getattr(lib, proc.name)
     fn.restype = None
-    return CProcedure(proc, source, str(so_path), lib, fn)
+    return CProcedure(proc, source, str(so_path), lib, fn, **extra)
+
+
+def compile_c_procedure(
+    proc: Procedure,
+    omp: bool = True,
+    cc: str = "gcc",
+    optimize: str = "-O2",
+    workdir: str | None = None,
+    cache: object = "default",
+) -> CProcedure:
+    """Generate, compile (``cc -shared -fPIC [-fopenmp]``), and load.
+
+    Resolution order for where the ``.so`` lives:
+
+    * ``workdir`` given → compile there (caller owns the files; no cache);
+    * a cache is available → content-addressed lookup by (C source, cc,
+      flags); a hit skips gcc entirely, a miss compiles once and publishes
+      the library for every later identical compile;
+    * otherwise → a temporary directory cleaned up with the returned
+      object (per-call tempdirs are never leaked).
+    """
+    if not have_compiler(cc):
+        raise CCompileError(f"no C compiler {cc!r} on PATH")
+    source = generate_c(proc, omp=omp)
+    if workdir is not None:
+        so_path = _compile_into(Path(workdir), proc.name, source, cc, optimize, omp)
+        return _load(proc, source, so_path)
+    store = resolve_cache(cache)
+    if store is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro_c_")
+        so_path = _compile_into(Path(tmp.name), proc.name, source, cc, optimize, omp)
+        return _load(proc, source, so_path, _tmp=tmp)
+    key = artifact_key(
+        "clib", source=source, cc=cc, optimize=optimize, omp=omp
+    )
+    so_name = f"lib{proc.name}.so"
+    entry = store.get(key)
+    if entry is not None:
+        return _load(proc, source, entry.file_path(so_name), from_cache=True)
+    with tempfile.TemporaryDirectory(prefix="repro_c_") as tmp:
+        built = _compile_into(Path(tmp), proc.name, source, cc, optimize, omp)
+        entry = store.put(
+            key,
+            {so_name: built.read_bytes(), f"{proc.name}.c": source},
+            meta={"kind": "clib", "name": proc.name, "cc": cc,
+                  "optimize": optimize, "omp": omp},
+        )
+    return _load(proc, source, entry.file_path(so_name))

@@ -55,6 +55,17 @@ class Table:
             lines.append(self.notes)
         return "\n".join(lines)
 
+    def to_payload(self) -> dict:
+        """JSON-ready form: title, headers, rows (and notes when set)."""
+        payload = {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+        }
+        if self.notes:
+            payload["notes"] = self.notes
+        return payload
+
     def to_csv(self) -> str:
         out = [",".join(map(str, self.headers))]
         for row in self.rows:

@@ -121,6 +121,9 @@ class MPCompiledProcedure:
                 raise
             # Caller arrays are untouched on these paths (workers only ever
             # mutate the shared copies), so the serial rerun is clean.
+            from repro.parallel.observe import record_fallback
+
+            record_fallback()
             self.fallback_reason = f"{type(exc).__name__}: {exc}"
             self._serial.run(arrays, scalars)
 

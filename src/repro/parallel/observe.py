@@ -1,4 +1,4 @@
-"""Measured schedules in the simulator's vocabulary.
+"""Measured schedules in the simulator's vocabulary — and live counters.
 
 The simulator (:mod:`repro.machine`) produces :class:`SimResult` objects;
 the real runtime produces :class:`~repro.parallel.runtime.ParallelRunResult`
@@ -10,11 +10,99 @@ loop on the paper's claims.
 
 Times are seconds (optionally rescaled); chunk first-iterations are
 converted to the simulator's 0-based flat convention.
+
+This module also owns the *observability schema*: every parallel run
+records into the process-wide :data:`DISPATCH` counters, and
+:func:`metrics_snapshot` folds those together with the artifact cache's
+counters (and, when serving, the server's request counters) into one JSON
+document.  The server's ``GET /metrics`` endpoint returns exactly this
+structure, so in-process runs and served runs are observed through one
+schema.
 """
 
 from __future__ import annotations
 
+import threading
+from dataclasses import dataclass
+
 from repro.machine.trace import ChunkEvent, ProcessorTrace, SimResult
+
+#: Version tag of the metrics document layout.
+METRICS_SCHEMA = "repro.metrics/v1"
+
+
+@dataclass
+class DispatchCounters:
+    """Monotonic process-wide counters over every parallel run."""
+
+    runs: int = 0
+    dispatches: int = 0
+    claims: int = 0
+    lock_ops: int = 0
+    iterations: int = 0
+    wall_s: float = 0.0
+    fallbacks: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "runs": self.runs,
+            "dispatches": self.dispatches,
+            "claims": self.claims,
+            "lock_ops": self.lock_ops,
+            "iterations": self.iterations,
+            "wall_s": round(self.wall_s, 6),
+            "fallbacks": self.fallbacks,
+        }
+
+
+#: The counters :func:`record_run` / :func:`record_fallback` feed.
+DISPATCH = DispatchCounters()
+_DISPATCH_LOCK = threading.Lock()
+
+
+def record_run(result) -> None:
+    """Fold one parallel run into :data:`DISPATCH`.
+
+    Accepts a whole-procedure result (counted as ``len(dispatches)``
+    dispatches) or a single-DOALL :class:`ParallelRunResult` (one).
+    """
+    with _DISPATCH_LOCK:
+        DISPATCH.runs += 1
+        DISPATCH.dispatches += (
+            len(result.dispatches) if hasattr(result, "dispatches") else 1
+        )
+        DISPATCH.claims += result.claims
+        DISPATCH.lock_ops += result.lock_ops
+        DISPATCH.iterations += result.total_iterations
+        DISPATCH.wall_s += result.wall_time
+
+
+def record_fallback() -> None:
+    """Count one graceful serial fallback (``backend="mp"`` degradation)."""
+    with _DISPATCH_LOCK:
+        DISPATCH.fallbacks += 1
+
+
+def metrics_snapshot(
+    cache: object = "default", server: dict | None = None
+) -> dict:
+    """The unified metrics document (what ``GET /metrics`` serves).
+
+    ``cache`` is resolved like every other cache argument (``"default"``,
+    an :class:`repro.cache.ArtifactCache`, a path, or None); ``server``
+    is the server's own request-counter block, absent for in-process use.
+    """
+    from repro.cache import resolve_cache
+
+    store = resolve_cache(cache)
+    doc = {
+        "schema": METRICS_SCHEMA,
+        "dispatch": DISPATCH.as_dict(),
+        "cache": store.stats_dict() if store is not None else None,
+    }
+    if server is not None:
+        doc["server"] = server
+    return doc
 
 
 def to_sim_result(run, time_scale: float = 1.0) -> SimResult:

@@ -213,6 +213,10 @@ class WorkerPool:
         """Copy shared results back into the caller's arrays."""
         self.shared.copy_back(arrays)
 
+    def load(self, arrays: Mapping[str, np.ndarray]) -> None:
+        """Load a new request's arrays into the shared views (warm reuse)."""
+        self.shared.load(arrays)
+
     # -- dispatch ---------------------------------------------------------
     def dispatch(
         self,

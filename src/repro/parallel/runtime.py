@@ -53,8 +53,10 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.cache import artifact_key, resolve_cache
 from repro.codegen.pygen import generate_chunk_source
 from repro.ir.expr import Const
+from repro.ir.printer import to_source
 from repro.ir.stmt import Block, If, Loop, Procedure, Stmt
 from repro.ir.validate import validate
 from repro.parallel.counter import SharedClaimCounter, policy_plan
@@ -64,6 +66,7 @@ from repro.parallel.errors import (
     ParallelTimeoutError,
     WorkerCrashError,
 )
+from repro.parallel.observe import record_run
 from repro.parallel.pool import (
     WorkerPool,
     gather_results,
@@ -205,10 +208,24 @@ class _DispatchCaches:
     fixed trip count) its scheduling plan are identical every time.  Keys
     use object identity — valid for the lifetime of one run, which is the
     lifetime of this cache.
+
+    Behind the per-run identity memo sits the on-disk artifact cache
+    (kind ``"chunk"``): generated chunk sources are keyed by the printed
+    loop (variable, bounds, *and* body) plus the calling convention, so
+    repeated runs of the same program — across processes, or through the
+    server — reuse one generated source.  The store is resolved lazily
+    from the process default; disabling the default cache disables this
+    layer too.
     """
 
     source: dict = field(default_factory=dict)
     plans: dict = field(default_factory=dict)
+    store: object = "default"  # resolved on first use
+
+    def _store(self):
+        if self.store == "default":
+            self.store = resolve_cache("default")
+        return self.store
 
     def chunk_source(
         self, proc: Procedure, loop: Loop, extra: tuple[str, ...]
@@ -217,12 +234,30 @@ class _DispatchCaches:
         hit = self.source.get(key)
         if hit is None:
             fname = f"{proc.name}__chunk"
-            source = (
-                _chunk_source_with_extras(proc, loop, extra)
-                if extra
-                else generate_chunk_source(proc, loop=loop)
-            )
             scalar_order = list(proc.scalars) + list(extra)
+
+            def generate() -> str:
+                return (
+                    _chunk_source_with_extras(proc, loop, extra)
+                    if extra
+                    else generate_chunk_source(proc, loop=loop)
+                )
+
+            store = self._store()
+            if store is None:
+                source = generate()
+            else:
+                # The printed loop covers var, bounds, and body — two
+                # loops that collide here generate identical chunk
+                # sources, so a collision is harmless by construction.
+                ckey = artifact_key(
+                    "chunk",
+                    loop=to_source(loop),
+                    name=fname,
+                    arrays=list(proc.arrays),
+                    scalars=scalar_order,
+                )
+                source = store.memo_text(ckey, "chunk.py", generate)
             hit = self.source[key] = (source, fname, scalar_order)
         return hit
 
@@ -540,14 +575,15 @@ def run_parallel_doall(
                 deadline, log_events, caches,
             )
             wpool.copy_back(arrays)
-        return result
-    ctx = mp_context(method)
-    with SharedArrayPool(arrays) as pool:
-        result = _dispatch_spawn(
-            proc, loop, pool, env, workers, policy, chunk, claim_batch,
-            deadline, log_events, ctx, caches,
-        )
-        pool.copy_back(arrays)
+    else:
+        ctx = mp_context(method)
+        with SharedArrayPool(arrays) as pool:
+            result = _dispatch_spawn(
+                proc, loop, pool, env, workers, policy, chunk, claim_batch,
+                deadline, log_events, ctx, caches,
+            )
+            pool.copy_back(arrays)
+    record_run(result)
     return result
 
 
@@ -563,6 +599,7 @@ def run_parallel_procedure(
     method: str | None = None,
     reuse_pool: bool = True,
     claim_batch: int = 1,
+    pool: WorkerPool | None = None,
 ) -> ParallelProcedureResult:
     """Execute a whole procedure, dispatching every reachable DOALL.
 
@@ -578,17 +615,38 @@ def run_parallel_procedure(
 
     With ``reuse_pool=True`` (default) one persistent worker fleet serves
     every dispatch; ``reuse_pool=False`` restores the spawn-per-dispatch
-    baseline.
+    baseline.  Passing an already-warm ``pool`` (the server's per-shape
+    fleets) skips even the per-run spawn: the caller's arrays are loaded
+    into the pool's shared views, the run dispatches through the resident
+    workers, results are copied back, and the pool is left running for
+    the next run.  The pool's array environment must match ``arrays`` by
+    name and shape, and the caller must serialize concurrent runs on one
+    pool.
     """
     validate(proc)
     _check_dispatchable(proc)
     env: dict[str, int | float] = dict(scalars or {})
     deadline = None if timeout is None else time.monotonic() + timeout
     t_start = time.monotonic()
-    out = ParallelProcedureResult(0.0, reused_pool=reuse_pool)
+    out = ParallelProcedureResult(
+        0.0, reused_pool=reuse_pool or pool is not None
+    )
     interp = Interpreter()
     caches = _DispatchCaches()
-    if reuse_pool:
+    if pool is not None:
+        pool.load(arrays)
+
+        def dispatch(loop: Loop, env: Mapping) -> ParallelRunResult:
+            return _dispatch_pool(
+                pool, proc, loop, env, policy, chunk, claim_batch,
+                deadline, log_events, caches,
+            )
+
+        _exec_hybrid(
+            proc.body, dispatch, interp, env, pool.views, out, deadline
+        )
+        pool.copy_back(arrays)
+    elif reuse_pool:
         with WorkerPool(arrays, workers=workers, method=method) as wpool:
 
             def dispatch(loop: Loop, env: Mapping) -> ParallelRunResult:
@@ -603,17 +661,18 @@ def run_parallel_procedure(
             wpool.copy_back(arrays)
     else:
         ctx = mp_context(method)
-        with SharedArrayPool(arrays) as pool:
+        with SharedArrayPool(arrays) as spool:
 
             def dispatch(loop: Loop, env: Mapping) -> ParallelRunResult:
                 return _dispatch_spawn(
-                    proc, loop, pool, env, workers, policy, chunk,
+                    proc, loop, spool, env, workers, policy, chunk,
                     claim_batch, deadline, log_events, ctx, caches,
                 )
 
             _exec_hybrid(
-                proc.body, dispatch, interp, env, pool.views, out, deadline
+                proc.body, dispatch, interp, env, spool.views, out, deadline
             )
-            pool.copy_back(arrays)
+            spool.copy_back(arrays)
     out.wall_time = time.monotonic() - t_start
+    record_run(out)
     return out

@@ -97,6 +97,29 @@ class SharedArrayPool:
         for name, view in self.views.items():
             np.copyto(arrays[name], view)
 
+    def load(self, arrays: Mapping[str, np.ndarray]) -> None:
+        """Copy caller arrays *into* the shared views (copy_back's inverse).
+
+        This is how a warm pool serves a new request's data: same names,
+        same shapes, fresh contents.  Raises ``ValueError`` on an array
+        environment that does not match the pool's.
+        """
+        missing = set(self.views) - set(arrays)
+        extra = set(arrays) - set(self.views)
+        if missing or extra:
+            raise ValueError(
+                f"array environment mismatch: missing={sorted(missing)} "
+                f"extra={sorted(extra)}"
+            )
+        for name, view in self.views.items():
+            src = arrays[name]
+            if tuple(src.shape) != tuple(view.shape):
+                raise ValueError(
+                    f"array {name!r}: shape {src.shape} does not match the "
+                    f"pool's {view.shape}"
+                )
+            np.copyto(view, src)
+
     def close(self) -> None:
         """Release views, close and unlink every segment (idempotent)."""
         if self._closed:

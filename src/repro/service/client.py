@@ -1,0 +1,118 @@
+"""A small stdlib client for the compile-and-run server.
+
+Used by the tests, the CI smoke step, and anything that wants to talk to
+``python -m repro serve`` without hand-rolling HTTP::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(port=8923)
+    program = client.compile(SOURCE, backend="mp")
+    out = client.run(program["key"], {"A": A, "B": B}, {"n": 64, "m": 64})
+    out["arrays"]["B"]          # numpy array, computed by the server
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Mapping
+
+import numpy as np
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response; carries the HTTP status and decoded body."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(
+            f"HTTP {status}: {payload.get('error', payload)}"
+        )
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Blocking JSON client bound to one server address.
+
+    Thread-safe: every call opens its own connection, so one client can be
+    shared by concurrent request threads (the concurrency tests do).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8923,
+        timeout: float = 60.0,
+    ) -> None:
+        self.base = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    # -- transport --------------------------------------------------------
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        req = urllib.request.Request(
+            self.base + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read())
+            except Exception:
+                body = {"error": str(exc)}
+            raise ServiceError(exc.code, body) from exc
+
+    # -- endpoints --------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def compile(
+        self,
+        source: str,
+        backend: str = "python",
+        frontend: str = "auto",
+        **options,
+    ) -> dict:
+        """POST /compile; returns the program description (with ``key``)."""
+        return self._request(
+            "POST",
+            "/compile",
+            {
+                "source": source,
+                "backend": backend,
+                "frontend": frontend,
+                "options": options,
+            },
+        )
+
+    def run(
+        self,
+        key: str,
+        arrays: Mapping[str, np.ndarray],
+        scalars: Mapping[str, int | float] | None = None,
+        **options,
+    ) -> dict:
+        """POST /run; result ``arrays`` come back as float64 ndarrays."""
+        body = {
+            "key": key,
+            "arrays": {
+                name: np.asarray(a, dtype=np.float64).tolist()
+                for name, a in arrays.items()
+            },
+            "scalars": dict(scalars or {}),
+            **options,
+        }
+        out = self._request("POST", "/run", body)
+        out["arrays"] = {
+            name: np.asarray(a, dtype=np.float64)
+            for name, a in out.get("arrays", {}).items()
+        }
+        return out

@@ -1,0 +1,82 @@
+"""End-to-end service smoke check (the CI gate).
+
+``python -m repro.service.selfcheck`` starts a server on an ephemeral port
+with a throwaway cache, then drives it through the client exactly like a
+real deployment: health check, compile a kernel twice (the second must be
+served from the artifact cache), run it on the mp backend, and verify the
+served result bit-for-bit against a local serial run.  Exits nonzero on
+any failure, so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+import numpy as np
+
+KERNEL = """
+def scale2d(A, B, n, m):
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            B[i, j] = 2.0 * A[i, j] + 1.0
+"""
+
+N = M = 24
+
+
+def main() -> int:
+    from repro.api import transform_function
+    from repro.cache import ArtifactCache
+    from repro.service.client import ServiceClient
+    from repro.service.server import serve_background
+
+    with tempfile.TemporaryDirectory(prefix="repro_selfcheck_") as tmp:
+        server, thread = serve_background(cache=ArtifactCache(tmp))
+        try:
+            client = ServiceClient(port=server.port)
+
+            health = client.healthz()
+            assert health["status"] == "ok", health
+
+            first = client.compile(KERNEL, backend="mp")
+            assert not first["cached"], first
+            second = client.compile(KERNEL, backend="mp")
+            assert second["cached"], second
+            assert second["key"] == first["key"]
+
+            rng = np.random.default_rng(7)
+            A = rng.random((N + 1, M + 1))
+            B = np.zeros_like(A)
+            out = client.run(
+                first["key"], {"A": A, "B": B},
+                {"n": N, "m": M}, workers=2, backend="mp",
+            )
+            assert out["engine"] == "mp-pool", out["engine"]
+
+            expected_B = np.zeros_like(A)
+            local = transform_function(KERNEL, cache=None)
+            local(A, expected_B, N, M)
+            assert np.array_equal(out["arrays"]["B"], expected_B), (
+                "served mp result diverged from local serial"
+            )
+
+            metrics = client.metrics()
+            assert metrics["schema"] == "repro.metrics/v1", metrics
+            assert metrics["cache"]["hits"] >= 1, metrics["cache"]
+            assert metrics["server"]["runs"] >= 1, metrics["server"]
+            print(
+                "service selfcheck OK: "
+                f"compile_s={first['compile_s']:.4f} -> "
+                f"{second['compile_s']:.4f} (cached), "
+                f"run engine={out['engine']} wall_s={out['wall_s']:.4f}, "
+                f"cache hits={metrics['cache']['hits']}"
+            )
+        finally:
+            server.shutdown()
+            server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,546 @@
+"""The compile-and-run HTTP server (stdlib ``ThreadingHTTPServer``).
+
+One resident process serves many clients: compiles are content-addressed
+through :mod:`repro.cache`, compiled programs stay registered in memory,
+and mp-backend runs dispatch through warm per-(workers, shape) worker
+pools guarded by per-pool locks (concurrent requests with the same shape
+serialize on the pool; different shapes run in parallel).
+
+Start it with ``python -m repro serve`` and talk JSON::
+
+    curl -s localhost:8923/healthz
+    curl -s -X POST localhost:8923/compile -d '{"source": "..."}'
+    curl -s -X POST localhost:8923/run -d '{"key": "...", "arrays": {...}}'
+    curl -s localhost:8923/metrics
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import sys
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Mapping
+
+import numpy as np
+
+from repro.api import lower_and_coalesce
+from repro.cache import artifact_key, resolve_cache
+from repro.codegen.pygen import CompiledProcedure, compile_procedure
+from repro.ir.printer import to_source
+from repro.parallel.errors import ParallelDispatchError, ParallelError
+from repro.parallel.observe import metrics_snapshot, record_fallback
+from repro.parallel.pool import WorkerPool
+from repro.parallel.runtime import run_parallel_procedure
+
+DEFAULT_PORT = 8923
+
+#: /compile options forwarded to the pipeline, with their defaults.
+PIPELINE_OPTIONS = {
+    "style": "ceiling",
+    "depth": None,
+    "distribute": True,
+    "analyze": True,
+    "triangular": False,
+}
+
+
+class RequestError(Exception):
+    """A client error: maps to an HTTP 4xx with a JSON body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class CompiledProgram:
+    """One compiled entry in the server's in-memory program registry."""
+
+    key: str
+    proc: object
+    results: list
+    backend: str
+    from_cache: bool
+    compile_s: float
+    serial: CompiledProcedure
+    cbackend: object | None = None  # CProcedure when backend == "c"
+
+    def describe(self) -> dict:
+        return {
+            "key": self.key,
+            "name": self.proc.name,
+            "backend": self.backend,
+            "cached": self.from_cache,
+            "compile_s": round(self.compile_s, 6),
+            "coalesced_nests": len(self.results),
+            "loop_source": to_source(self.proc),
+            "arrays": dict(self.proc.arrays),
+            "scalars": list(self.proc.scalars),
+        }
+
+
+class _WarmPool:
+    """A resident worker fleet plus the lock that serializes runs on it."""
+
+    def __init__(self, pool: WorkerPool) -> None:
+        self.pool = pool
+        self.lock = threading.Lock()
+
+
+class PoolRegistry:
+    """Warm :class:`WorkerPool` per (workers, array-shape signature).
+
+    ``lease`` hands out a pool with its per-pool lock held, creating (and
+    LRU-evicting idle) pools as needed.  A pool that breaks during a run
+    is closed and dropped, so the next request with that shape gets a
+    fresh fleet.
+    """
+
+    def __init__(self, max_pools: int = 4) -> None:
+        self.max_pools = max_pools
+        self._pools: OrderedDict[tuple, _WarmPool] = OrderedDict()
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def signature(workers: int, arrays: Mapping[str, np.ndarray]) -> tuple:
+        return (
+            workers,
+            tuple(
+                sorted(
+                    (name, tuple(a.shape), str(a.dtype))
+                    for name, a in arrays.items()
+                )
+            ),
+        )
+
+    def _evict_idle(self) -> None:
+        """Drop oldest idle pools until under budget (soft cap: busy pools
+        are never evicted, so a burst of distinct shapes may exceed it)."""
+        for sig in list(self._pools):
+            if len(self._pools) < self.max_pools:
+                break
+            wp = self._pools[sig]
+            if wp.lock.acquire(blocking=False):
+                try:
+                    del self._pools[sig]
+                    wp.pool.close()
+                finally:
+                    wp.lock.release()
+
+    @contextlib.contextmanager
+    def lease(self, workers: int, arrays: Mapping[str, np.ndarray]):
+        sig = self.signature(workers, arrays)
+        with self._lock:
+            wp = self._pools.get(sig)
+            if wp is None:
+                self._evict_idle()
+                wp = _WarmPool(WorkerPool(arrays, workers=workers))
+                self._pools[sig] = wp
+            else:
+                self._pools.move_to_end(sig)
+        with wp.lock:
+            try:
+                yield wp.pool
+            finally:
+                if wp.pool.broken:
+                    with self._lock:
+                        if self._pools.get(sig) is wp:
+                            del self._pools[sig]
+                    wp.pool.close()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pools)
+
+    def close_all(self) -> None:
+        with self._lock:
+            pools, self._pools = list(self._pools.values()), OrderedDict()
+        for wp in pools:
+            with wp.lock:
+                wp.pool.close()
+
+
+class ReproServer(ThreadingHTTPServer):
+    """The resident compile-and-run service."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int] = ("127.0.0.1", 0),
+        cache: object = "default",
+        max_pools: int = 4,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.cache = resolve_cache(cache)
+        self.verbose = verbose
+        self.programs: dict[str, CompiledProgram] = {}
+        self.pools = PoolRegistry(max_pools)
+        self.counters = {
+            "requests": 0,
+            "compiles": 0,
+            "compile_cache_hits": 0,
+            "runs": 0,
+            "errors": 0,
+        }
+        self._state_lock = threading.Lock()
+        self._started = time.monotonic()
+
+    # -- state ------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def bump(self, name: str, by: int = 1) -> None:
+        with self._state_lock:
+            self.counters[name] += by
+
+    def server_metrics(self) -> dict:
+        with self._state_lock:
+            counters = dict(self.counters)
+        return {
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "programs": len(self.programs),
+            "warm_pools": len(self.pools),
+            **counters,
+        }
+
+    def close(self) -> None:
+        self.pools.close_all()
+        self.server_close()
+
+    # -- request logic (handler methods delegate here) --------------------
+    def handle_compile(self, body: dict) -> dict:
+        source = body.get("source")
+        if not isinstance(source, str) or not source.strip():
+            raise RequestError(400, "body must carry a non-empty 'source'")
+        frontend = body.get("frontend", "auto")
+        if frontend == "auto":
+            frontend = (
+                "dsl" if source.lstrip().startswith("procedure") else "python"
+            )
+        if frontend not in ("python", "dsl"):
+            raise RequestError(400, f"unknown frontend {frontend!r}")
+        backend = body.get("backend", "python")
+        if backend not in ("python", "mp", "c"):
+            raise RequestError(400, f"unknown backend {backend!r}")
+        options = dict(PIPELINE_OPTIONS)
+        for name, value in (body.get("options") or {}).items():
+            if name not in options:
+                raise RequestError(400, f"unknown option {name!r}")
+            options[name] = value
+
+        t0 = time.perf_counter()
+        try:
+            _, proc, results, from_cache = lower_and_coalesce(
+                source, frontend=frontend, cache=self.cache, **options
+            )
+        except RequestError:
+            raise
+        except Exception as exc:
+            raise RequestError(400, f"compile failed: {exc}") from exc
+        key = artifact_key(
+            "program",
+            source=source,
+            frontend=frontend,
+            backend=backend,
+            **options,
+        )
+        cbackend = None
+        if backend == "c":
+            from repro.codegen.cload import (
+                CCompileError,
+                compile_c_procedure,
+                have_compiler,
+            )
+
+            if not have_compiler():
+                raise RequestError(400, "backend 'c' needs a gcc on PATH")
+            try:
+                cbackend = compile_c_procedure(proc, cache=self.cache)
+            except CCompileError as exc:
+                raise RequestError(400, f"C compile failed: {exc}") from exc
+            from_cache = from_cache and cbackend.from_cache
+        program = CompiledProgram(
+            key=key,
+            proc=proc,
+            results=results,
+            backend=backend,
+            from_cache=from_cache,
+            compile_s=time.perf_counter() - t0,
+            serial=compile_procedure(proc),
+            cbackend=cbackend,
+        )
+        with self._state_lock:
+            self.programs[key] = program
+        self.bump("compiles")
+        if from_cache:
+            self.bump("compile_cache_hits")
+        return program.describe()
+
+    def handle_run(self, body: dict) -> dict:
+        key = body.get("key")
+        program = self.programs.get(key) if isinstance(key, str) else None
+        if program is None:
+            raise RequestError(
+                404, f"unknown program key {key!r} (POST /compile first)"
+            )
+        proc = program.proc
+        arrays = _decode_arrays(body.get("arrays"), proc)
+        scalars = _decode_scalars(body.get("scalars"), proc)
+        backend = body.get("backend", program.backend)
+        workers = int(body.get("workers", 4))
+        policy = body.get("policy", "gss")
+        chunk = body.get("chunk")
+        claim_batch = int(body.get("claim_batch", 1))
+        timeout = body.get("timeout")
+
+        t0 = time.perf_counter()
+        stats: dict = {}
+        if backend == "mp":
+            try:
+                with self.pools.lease(workers, arrays) as pool:
+                    result = run_parallel_procedure(
+                        proc,
+                        arrays,
+                        scalars,
+                        workers=workers,
+                        policy=policy,
+                        chunk=chunk,
+                        claim_batch=claim_batch,
+                        timeout=timeout,
+                        log_events=bool(body.get("log_events", False)),
+                        pool=pool,
+                    )
+                engine = "mp-pool"
+                stats = {
+                    "dispatches": len(result.dispatches),
+                    "claims": result.claims,
+                    "lock_ops": result.lock_ops,
+                    "iterations": result.total_iterations,
+                }
+            except ParallelDispatchError:
+                # Nothing dispatchable: degrade exactly like backend="mp"
+                # in-process — run the serial build, say so.
+                record_fallback()
+                program.serial.run(arrays, scalars)
+                engine = "serial-fallback"
+            except (ParallelError, ValueError) as exc:
+                raise RequestError(400, f"run failed: {exc}") from exc
+        elif backend == "c" and program.cbackend is not None:
+            program.cbackend.run(arrays, scalars)
+            engine = "c"
+        else:
+            program.serial.run(arrays, scalars)
+            engine = "serial"
+        self.bump("runs")
+        return {
+            "key": key,
+            "engine": engine,
+            "wall_s": round(time.perf_counter() - t0, 6),
+            **stats,
+            "arrays": {name: a.tolist() for name, a in arrays.items()},
+        }
+
+
+def _decode_arrays(raw, proc) -> dict[str, np.ndarray]:
+    """JSON array payload → float64 ndarrays matching the procedure."""
+    raw = raw or {}
+    if not isinstance(raw, dict):
+        raise RequestError(400, "'arrays' must be an object of name -> data")
+    out: dict[str, np.ndarray] = {}
+    for name, rank in proc.arrays.items():
+        if name not in raw:
+            raise RequestError(400, f"missing array {name!r}")
+        try:
+            arr = np.asarray(raw[name], dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise RequestError(400, f"array {name!r}: {exc}") from exc
+        if arr.ndim != rank:
+            raise RequestError(
+                400, f"array {name!r}: rank {rank} expected, got {arr.ndim}"
+            )
+        out[name] = np.ascontiguousarray(arr)
+    extra = set(raw) - set(out)
+    if extra:
+        raise RequestError(400, f"unknown arrays: {sorted(extra)}")
+    return out
+
+
+def _decode_scalars(raw, proc) -> dict[str, int | float]:
+    raw = raw or {}
+    if not isinstance(raw, dict):
+        raise RequestError(400, "'scalars' must be an object of name -> value")
+    out: dict[str, int | float] = {}
+    for name in proc.scalars:
+        if name not in raw:
+            raise RequestError(400, f"missing scalar {name!r}")
+        value = raw[name]
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        if not isinstance(value, (int, float)):
+            raise RequestError(400, f"scalar {name!r} must be a number")
+        out[name] = value
+    return out
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the server's handle_* methods; JSON in, JSON out."""
+
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt, *args):  # noqa: N802 - stdlib name
+        if getattr(self.server, "verbose", False):
+            super().log_message(fmt, *args)
+
+    def _send(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise RequestError(400, "empty request body (JSON expected)")
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise RequestError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(body, dict):
+            raise RequestError(400, "JSON body must be an object")
+        return body
+
+    def _dispatch(self, method: str) -> None:
+        server: ReproServer = self.server  # type: ignore[assignment]
+        server.bump("requests")
+        try:
+            if method == "GET" and self.path == "/healthz":
+                self._send(
+                    200, {"status": "ok", **server.server_metrics()}
+                )
+            elif method == "GET" and self.path == "/metrics":
+                self._send(
+                    200,
+                    metrics_snapshot(
+                        cache=server.cache, server=server.server_metrics()
+                    ),
+                )
+            elif method == "POST" and self.path == "/compile":
+                self._send(200, server.handle_compile(self._body()))
+            elif method == "POST" and self.path == "/run":
+                self._send(200, server.handle_run(self._body()))
+            else:
+                raise RequestError(
+                    404, f"no route {method} {self.path}"
+                )
+        except RequestError as exc:
+            server.bump("errors")
+            self._send(exc.status, {"error": str(exc)})
+        except Exception:
+            server.bump("errors")
+            import traceback
+
+            self._send(
+                500,
+                {"error": "internal error", "detail": traceback.format_exc()},
+            )
+
+    def do_GET(self):  # noqa: N802 - stdlib name
+        self._dispatch("GET")
+
+    def do_POST(self):  # noqa: N802 - stdlib name
+        self._dispatch("POST")
+
+
+def serve_background(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache: object = "default",
+    max_pools: int = 4,
+) -> tuple[ReproServer, threading.Thread]:
+    """Start a server on a daemon thread (tests, selfcheck, notebooks).
+
+    Returns ``(server, thread)``; ``server.port`` carries the bound port.
+    Stop with ``server.shutdown(); server.close()``.
+    """
+    server = ReproServer((host, port), cache=cache, max_pools=max_pools)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    """``python -m repro serve`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Start the repro compile-and-run HTTP server",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="root of the artifact cache "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without the on-disk artifact cache",
+    )
+    parser.add_argument(
+        "--max-pools",
+        type=int,
+        default=4,
+        help="warm worker pools kept resident (per workers x shape)",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    if args.no_cache:
+        cache: object = None
+    elif args.cache_dir:
+        from repro.cache import ArtifactCache
+
+        cache = ArtifactCache(args.cache_dir)
+    else:
+        cache = "default"
+    server = ReproServer(
+        (args.host, args.port),
+        cache=cache,
+        max_pools=args.max_pools,
+        verbose=args.verbose,
+    )
+    cache_line = (
+        server.cache.root if server.cache is not None else "disabled"
+    )
+    print(
+        f"repro serve: listening on http://{args.host}:{server.port} "
+        f"(cache: {cache_line})",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(serve_main())

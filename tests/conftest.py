@@ -1,0 +1,23 @@
+"""Suite-wide fixtures.
+
+The artifact cache defaults to a real per-user directory
+(``~/.cache/repro``); tests must never read or pollute it, so the whole
+session runs against a throwaway store.  Individual tests that need their
+own store construct an :class:`repro.cache.ArtifactCache` on a
+``tmp_path`` explicitly.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    from repro.cache import configure
+
+    root = tmp_path_factory.mktemp("artifact-cache")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    configure(dir=root)
+    yield
+    configure()  # re-resolve from the environment for any late users

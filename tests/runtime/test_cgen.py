@@ -168,3 +168,16 @@ class TestCompileAndRun:
         env = {k: np.zeros((5, 5)) for k in "ABC"}
         with pytest.raises(TypeError, match="integer"):
             compiled.run(env, {"n": 2.5})
+
+    def test_identical_compiles_reuse_one_so(self, tmp_path):
+        # Regression: per-call tempdirs used to leak; now identical
+        # compiles resolve to a single cached shared library.
+        from repro.cache import ArtifactCache
+
+        store = ArtifactCache(tmp_path)
+        p = parse(MATMUL)
+        first = compile_c_procedure(p, cache=store)
+        second = compile_c_procedure(p, cache=store)
+        assert second.from_cache
+        assert first.library_path == second.library_path
+        assert store.entry_count() == 1

@@ -1,0 +1,196 @@
+"""The compile-and-run server, driven through the in-process client."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.api import transform_function
+from repro.cache import ArtifactCache
+from repro.service import ServiceClient, ServiceError, serve_background
+
+PY_KERNEL = """
+def scale2d(A, B, n, m):
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            B[i, j] = 2.0 * A[i, j] + 1.0
+"""
+
+DSL_KERNEL = """
+procedure saxpy(X[1], Y[1]; n)
+  doall i = 1, n
+    Y(i) := Y(i) + 2.0 * X(i)
+  end
+end
+"""
+
+N = M = 12
+
+
+@pytest.fixture()
+def service(tmp_path):
+    server, thread = serve_background(cache=ArtifactCache(tmp_path / "cache"))
+    try:
+        yield ServiceClient(port=server.port), server
+    finally:
+        server.shutdown()
+        server.close()
+        thread.join(timeout=10)
+
+
+def env():
+    rng = np.random.default_rng(11)
+    A = rng.random((N + 1, M + 1))
+    return A, np.zeros_like(A)
+
+
+def expected_from(A):
+    B = np.zeros_like(A)
+    local = transform_function(PY_KERNEL, cache=None)
+    local(A, B, N, M)
+    return B
+
+
+class TestEndpoints:
+    def test_healthz(self, service):
+        client, _ = service
+        health = client.healthz()
+        assert health["status"] == "ok"
+
+    def test_compile_python(self, service):
+        client, _ = service
+        out = client.compile(PY_KERNEL)
+        assert out["name"] == "scale2d"
+        assert out["coalesced_nests"] == 1
+        assert not out["cached"]
+        assert "doall" in out["loop_source"]
+
+    def test_compile_dsl_autodetected(self, service):
+        client, _ = service
+        out = client.compile(DSL_KERNEL)
+        assert out["name"] == "saxpy"
+        assert out["arrays"] == {"X": 1, "Y": 1}
+
+    def test_second_compile_served_from_cache(self, service):
+        client, _ = service
+        first = client.compile(PY_KERNEL)
+        second = client.compile(PY_KERNEL)
+        assert second["key"] == first["key"]
+        assert not first["cached"] and second["cached"]
+
+    def test_run_serial(self, service):
+        client, _ = service
+        key = client.compile(PY_KERNEL)["key"]
+        A, B = env()
+        out = client.run(key, {"A": A, "B": B}, {"n": N, "m": M})
+        assert out["engine"] == "serial"
+        assert np.array_equal(out["arrays"]["B"], expected_from(A))
+
+    def test_run_mp_matches_serial(self, service):
+        client, _ = service
+        key = client.compile(PY_KERNEL, backend="mp")["key"]
+        A, B = env()
+        out = client.run(
+            key, {"A": A, "B": B}, {"n": N, "m": M}, workers=2, backend="mp"
+        )
+        assert out["engine"] in ("mp-pool", "serial-fallback")
+        assert np.array_equal(out["arrays"]["B"], expected_from(A))
+
+    def test_metrics_schema(self, service):
+        client, _ = service
+        client.compile(PY_KERNEL)
+        client.compile(PY_KERNEL)
+        metrics = client.metrics()
+        assert metrics["schema"] == "repro.metrics/v1"
+        assert metrics["cache"]["hits"] >= 1
+        assert metrics["server"]["compiles"] == 2
+        assert metrics["server"]["compile_cache_hits"] == 1
+        assert set(metrics["dispatch"]) >= {"runs", "dispatches", "claims"}
+
+
+class TestConcurrency:
+    def test_four_client_threads(self, service):
+        client, _ = service
+        key = client.compile(PY_KERNEL, backend="mp")["key"]
+        A, _ = env()
+        want = expected_from(A)
+        results: list = [None] * 4
+        errors: list = []
+
+        def worker(slot: int) -> None:
+            try:
+                out = client.run(
+                    key,
+                    {"A": A, "B": np.zeros_like(A)},
+                    {"n": N, "m": M},
+                    workers=2,
+                    backend="mp",
+                )
+                results[slot] = out
+            except Exception as exc:  # surfaced below with context
+                errors.append((slot, exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        for out in results:
+            assert out is not None
+            assert np.array_equal(out["arrays"]["B"], want)
+        # Same (workers, shapes) signature: requests shared warm pools,
+        # bounded by the registry cap.
+        _, server = service
+        assert server.server_metrics()["runs"] == 4
+
+
+class TestErrors:
+    def test_unknown_program_is_404(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError) as err:
+            client.run("0" * 64, {"A": np.zeros((2, 2))}, {"n": 1})
+        assert err.value.status == 404
+
+    def test_unknown_route_is_404(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_bad_json_is_400(self, service):
+        client, _ = service
+        req = urllib.request.Request(
+            client.base + "/compile",
+            data=b"{not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=30)
+        assert err.value.code == 400
+        assert "error" in json.loads(err.value.read())
+
+    def test_compile_rejects_bad_source(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError) as err:
+            client.compile("def broken(:\n  pass")
+        assert err.value.status == 400
+
+    def test_compile_rejects_unknown_option(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError) as err:
+            client.compile(PY_KERNEL, bogus=True)
+        assert err.value.status == 400
+
+    def test_run_rejects_unknown_array(self, service):
+        client, _ = service
+        key = client.compile(PY_KERNEL)["key"]
+        with pytest.raises(ServiceError) as err:
+            client.run(key, {"Z": np.zeros((2, 2))}, {"n": 1, "m": 1})
+        assert err.value.status == 400

@@ -226,7 +226,11 @@ def transform_function(
             ``timeout``, ``fallback``, ``method``, ``reuse_pool`` (default
             True: one persistent worker fleet serves every dispatch of a
             run), ``claim_batch`` (chunks handed out per fetch&add critical
-            section for unit/fixed policies; GSS always claims singly).
+            section for unit/fixed policies; GSS always claims singly),
+            ``chunk_lang`` (``"c"``/``"py"``/``"auto"``: workers execute
+            claimed blocks through a native ctypes kernel when a compiler
+            is available, degrading to the generated Python chunk
+            automatically — ``.last.chunk_lang`` reports what ran).
     """
     source = fn if isinstance(fn, str) else textwrap.dedent(inspect.getsource(fn))
     original, proc, results, from_cache = lower_and_coalesce(

@@ -108,6 +108,14 @@ def build_parser() -> argparse.ArgumentParser:
         "unit/fixed policies (GSS always claims singly)",
     )
     parser.add_argument(
+        "--chunk-lang",
+        choices=("auto", "py", "c"),
+        default="auto",
+        help="with --backend mp: language workers execute claimed blocks "
+        "in — c (native ctypes kernel, the default when a C compiler is "
+        "on PATH, with automatic fallback to py) or py (generated Python)",
+    )
+    parser.add_argument(
         "--gantt",
         action="store_true",
         help="with --run --backend mp: print the measured schedule",
@@ -214,6 +222,7 @@ def _run_transformed(args, workload, proc) -> int:
                 chunk=args.chunk,
                 reuse_pool=args.reuse_pool,
                 claim_batch=args.claim_batch,
+                chunk_lang=args.chunk_lang,
             )
         except (ParallelError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -222,6 +231,7 @@ def _run_transformed(args, workload, proc) -> int:
         engine = "pool" if result.reused_pool else "spawn"
         label = (
             f"mp[{args.policy}, {args.workers} workers, {engine}, "
+            f"{result.chunk_lang} chunks, "
             f"{len(result.dispatches)} dispatches, {result.claims} claims, "
             f"{result.lock_ops} lock ops]"
         )

@@ -18,6 +18,7 @@ a caller-owned directory.
 from __future__ import annotations
 
 import ctypes
+import functools
 import shutil
 import subprocess
 import tempfile
@@ -36,9 +37,20 @@ class CCompileError(RuntimeError):
     """gcc rejected the generated translation unit."""
 
 
+@functools.lru_cache(maxsize=None)
+def _compiler_path(cc: str) -> str | None:
+    """PATH lookup for ``cc``, probed once per compiler per process.
+
+    The mp runtime consults :func:`have_compiler` on every dispatch
+    decision, so the probe must not rescan PATH each time.  Call
+    ``_compiler_path.cache_clear()`` if PATH changes mid-process (tests).
+    """
+    return shutil.which(cc)
+
+
 def have_compiler(cc: str = "gcc") -> bool:
-    """Is a usable C compiler on PATH?"""
-    return shutil.which(cc) is not None
+    """Is a usable C compiler on PATH?  (Cached per ``cc``.)"""
+    return _compiler_path(cc) is not None
 
 
 @dataclass
@@ -159,3 +171,96 @@ def compile_c_procedure(
                   "optimize": optimize, "omp": omp},
         )
     return _load(proc, source, entry.file_path(so_name))
+
+
+# ---------------------------------------------------------------------------
+# Chunk kernels (the mp runtime's native unit of work)
+# ---------------------------------------------------------------------------
+
+#: Process-lifetime directory for chunk libraries built with caching
+#: bypassed.  Created lazily; cleaned up by its finalizer at interpreter
+#: exit, so uncached chunk compiles never leak per-call tempdirs.
+_PRIVATE_DIR: tempfile.TemporaryDirectory | None = None
+
+
+def _private_dir() -> Path:
+    global _PRIVATE_DIR
+    if _PRIVATE_DIR is None:
+        _PRIVATE_DIR = tempfile.TemporaryDirectory(prefix="repro_chunk_")
+    return Path(_PRIVATE_DIR.name)
+
+
+def compile_chunk_library(
+    source: str,
+    name: str,
+    cc: str = "gcc",
+    optimize: str = "-O2",
+    cache: object = "default",
+) -> tuple[str, bool]:
+    """Compile one chunk-kernel translation unit; return ``(so_path, hit)``.
+
+    Content-addressed exactly like :func:`compile_c_procedure`: the ``.so``
+    lands in the artifact cache under a hash of (C source, compiler,
+    flags), so every worker process — and every later run, CLI invocation,
+    or server — dlopens one shared build per kernel shape.  With caching
+    bypassed, builds go to a private process-lifetime directory keyed by
+    the same hash (one build per shape per process, nothing leaked).
+
+    No OpenMP: a chunk kernel is single-threaded by design — parallelism
+    comes from the worker processes claiming blocks around it.
+    """
+    if not have_compiler(cc):
+        raise CCompileError(f"no C compiler {cc!r} on PATH")
+    key = artifact_key("chunk_clib", source=source, cc=cc, optimize=optimize)
+    so_name = f"lib{name}.so"
+    store = resolve_cache(cache)
+    if store is None:
+        so_path = _private_dir() / f"{key[:16]}-{so_name}"
+        if so_path.exists():
+            return str(so_path), True
+        built = _compile_into(
+            _private_dir() / key[:16], name, source, cc, optimize, omp=False
+        )
+        built.replace(so_path)
+        return str(so_path), False
+    entry = store.get(key)
+    if entry is not None:
+        return str(entry.file_path(so_name)), True
+    with tempfile.TemporaryDirectory(prefix="repro_chunk_") as tmp:
+        built = _compile_into(Path(tmp), name, source, cc, optimize, omp=False)
+        entry = store.put(
+            key,
+            {so_name: built.read_bytes(), f"{name}.c": source},
+            meta={"kind": "chunk_clib", "name": name, "cc": cc,
+                  "optimize": optimize},
+        )
+    return str(entry.file_path(so_name)), False
+
+
+_CTYPES = {
+    "ptr": ctypes.POINTER(ctypes.c_double),
+    "long": ctypes.c_long,
+    "double": ctypes.c_double,
+}
+
+
+@functools.lru_cache(maxsize=256)
+def load_chunk_kernel(so_path: str, fname: str, sig: tuple[str, ...]):
+    """dlopen a chunk kernel and bind its signature (worker-side cache).
+
+    Mirrors :func:`repro.codegen.pygen.compile_chunk_source`'s source-keyed
+    memo for the C language: a persistent pool worker receiving the same
+    loop shape across many dispatches (one per pivot row in a hybrid
+    program) opens the library and resolves the symbol exactly once —
+    ``so_path`` is content-addressed, so the key is exact.
+
+    ``sig`` describes the parameters *after* the two leading ``long``
+    bounds: ``"ptr"`` (``double *``), ``"long"``, or ``"double"``, exactly
+    as the job descriptor carries them.  With argtypes bound, workers pass
+    plain ints/floats and ctypes converts — no per-call wrapping.
+    """
+    lib = ctypes.CDLL(so_path)
+    fn = getattr(lib, fname)
+    fn.restype = None
+    fn.argtypes = [ctypes.c_long, ctypes.c_long] + [_CTYPES[t] for t in sig]
+    return fn

@@ -59,7 +59,11 @@ class MPCompiledProcedure:
     serial path was taken.  ``reuse_pool`` (default True) serves every
     dispatch of a run from one persistent worker fleet; ``claim_batch``
     hands workers that many chunks per counter critical section (unit and
-    fixed policies — GSS always claims singly).
+    fixed policies — GSS always claims singly).  ``chunk_lang`` selects
+    how workers execute claimed blocks — ``"c"`` (native ctypes kernel),
+    ``"py"``, or ``None``/``"auto"`` (C when a compiler is available);
+    the C path degrades to Python automatically and
+    ``last.chunk_lang`` reports what actually ran.
     """
 
     proc: Procedure
@@ -72,6 +76,7 @@ class MPCompiledProcedure:
     log_events: bool = True
     reuse_pool: bool = True
     claim_batch: int = 1
+    chunk_lang: str | None = None
     _serial: CompiledProcedure = field(init=False, repr=False)
     last: ParallelProcedureResult | None = field(init=False, default=None)
     fallback_reason: str | None = field(init=False, default=None)
@@ -115,6 +120,7 @@ class MPCompiledProcedure:
                 method=self.method,
                 reuse_pool=self.reuse_pool,
                 claim_batch=self.claim_batch,
+                chunk_lang=self.chunk_lang,
             )
         except (ParallelDispatchError, ParallelTimeoutError) as exc:
             if not self.fallback:

@@ -42,6 +42,16 @@ class DispatchCounters:
     iterations: int = 0
     wall_s: float = 0.0
     fallbacks: int = 0
+    #: Per-chunk-language dispatch counts: "c" (native kernel), "py"
+    #: (interpreted chunk), "mixed" (workers of one dispatch disagreed —
+    #: some dlopened the kernel, some degraded).
+    chunk_c: int = 0
+    chunk_py: int = 0
+    chunk_mixed: int = 0
+    #: Dispatches that *wanted* the C chunk language but degraded to
+    #: Python (no compiler, codegen failure, compile failure, or a
+    #: worker-side dlopen failure).
+    chunk_fallbacks: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -52,6 +62,12 @@ class DispatchCounters:
             "iterations": self.iterations,
             "wall_s": round(self.wall_s, 6),
             "fallbacks": self.fallbacks,
+            "chunk_lang": {
+                "c": self.chunk_c,
+                "py": self.chunk_py,
+                "mixed": self.chunk_mixed,
+                "fallbacks": self.chunk_fallbacks,
+            },
         }
 
 
@@ -66,21 +82,36 @@ def record_run(result) -> None:
     Accepts a whole-procedure result (counted as ``len(dispatches)``
     dispatches) or a single-DOALL :class:`ParallelRunResult` (one).
     """
+    dispatches = (
+        result.dispatches if hasattr(result, "dispatches") else [result]
+    )
     with _DISPATCH_LOCK:
         DISPATCH.runs += 1
-        DISPATCH.dispatches += (
-            len(result.dispatches) if hasattr(result, "dispatches") else 1
-        )
+        DISPATCH.dispatches += len(dispatches)
         DISPATCH.claims += result.claims
         DISPATCH.lock_ops += result.lock_ops
         DISPATCH.iterations += result.total_iterations
         DISPATCH.wall_s += result.wall_time
+        for d in dispatches:
+            lang = getattr(d, "chunk_lang", "py")
+            if lang == "c":
+                DISPATCH.chunk_c += 1
+            elif lang == "mixed":
+                DISPATCH.chunk_mixed += 1
+            else:
+                DISPATCH.chunk_py += 1
 
 
 def record_fallback() -> None:
     """Count one graceful serial fallback (``backend="mp"`` degradation)."""
     with _DISPATCH_LOCK:
         DISPATCH.fallbacks += 1
+
+
+def record_chunk_fallback(count: int = 1) -> None:
+    """Count dispatches that wanted C chunks but degraded to Python."""
+    with _DISPATCH_LOCK:
+        DISPATCH.chunk_fallbacks += count
 
 
 def metrics_snapshot(

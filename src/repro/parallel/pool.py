@@ -231,9 +231,9 @@ class WorkerPool:
         sends ``job`` to every worker, and gathers one result message per
         worker.  Returns ``(t_base, results)`` where ``t_base`` is the
         dispatch start on the shared monotonic clock and ``results`` maps
-        worker id to ``("ok", wid, iterations, claims, lock_ops,
-        events)``.  A crash or timeout terminates the fleet, marks the
-        pool broken, and raises.
+        worker id to ``("ok", wid, iterations, claims, lock_ops, events,
+        chunk_lang)``.  A crash or timeout terminates the fleet, marks
+        the pool broken, and raises.
         """
         if self._closed:
             raise ParallelError("worker pool is closed")

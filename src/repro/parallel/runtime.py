@@ -54,6 +54,8 @@ from typing import Mapping
 import numpy as np
 
 from repro.cache import artifact_key, resolve_cache
+from repro.codegen.cgen import generate_chunk_c
+from repro.codegen.cload import compile_chunk_library, have_compiler
 from repro.codegen.pygen import generate_chunk_source
 from repro.ir.expr import Const
 from repro.ir.printer import to_source
@@ -66,7 +68,7 @@ from repro.parallel.errors import (
     ParallelTimeoutError,
     WorkerCrashError,
 )
-from repro.parallel.observe import record_run
+from repro.parallel.observe import record_chunk_fallback, record_run
 from repro.parallel.pool import (
     WorkerPool,
     gather_results,
@@ -87,9 +89,31 @@ __all__ = [
     "ParallelRunResult",
     "ParallelTimeoutError",
     "WorkerCrashError",
+    "resolve_chunk_lang",
     "run_parallel_doall",
     "run_parallel_procedure",
 ]
+
+
+def resolve_chunk_lang(requested: str | None) -> str:
+    """Resolve a requested chunk language to what this host can run.
+
+    ``None``/``"auto"`` pick ``"c"`` when a compiler is on PATH, else
+    ``"py"``.  An explicit ``"c"`` without a compiler degrades to ``"py"``
+    and records a chunk fallback (the run still succeeds — the C path is
+    an optimization, never a requirement).  Anything else raises
+    :class:`ValueError`.
+    """
+    if requested in (None, "auto"):
+        return "c" if have_compiler() else "py"
+    if requested not in ("py", "c"):
+        raise ValueError(
+            f"chunk_lang must be 'py', 'c', or 'auto' (got {requested!r})"
+        )
+    if requested == "c" and not have_compiler():
+        record_chunk_fallback()
+        return "py"
+    return requested
 
 
 @dataclass(frozen=True)
@@ -124,6 +148,10 @@ class ParallelRunResult:
     #: Counter critical sections entered; < ``claims`` when claims were
     #: batched, 0 for static plans (no shared counter at all).
     lock_ops: int = 0
+    #: Chunk language the workers actually executed: ``"c"`` (every worker
+    #: ran the native kernel), ``"py"``, or ``"mixed"`` (some workers
+    #: degraded to the Python chunk mid-fleet).
+    chunk_lang: str = "py"
 
     @property
     def total_iterations(self) -> int:
@@ -165,6 +193,16 @@ class ParallelProcedureResult:
     @property
     def total_iterations(self) -> int:
         return sum(d.total_iterations for d in self.dispatches)
+
+    @property
+    def chunk_lang(self) -> str:
+        """Aggregate chunk language across dispatches (``c``/``py``/``mixed``)."""
+        langs = {d.chunk_lang for d in self.dispatches}
+        if langs == {"c"}:
+            return "c"
+        if langs <= {"py"}:
+            return "py"
+        return "mixed"
 
 
 def _dispatchable(loop: Loop) -> bool:
@@ -220,6 +258,7 @@ class _DispatchCaches:
 
     source: dict = field(default_factory=dict)
     plans: dict = field(default_factory=dict)
+    kernels: dict = field(default_factory=dict)
     store: object = "default"  # resolved on first use
 
     def _store(self):
@@ -259,6 +298,63 @@ class _DispatchCaches:
                 )
                 source = store.memo_text(ckey, "chunk.py", generate)
             hit = self.source[key] = (source, fname, scalar_order)
+        return hit
+
+    def chunk_kernel(
+        self,
+        proc: Procedure,
+        loop: Loop,
+        extra: tuple[str, ...],
+        env: Mapping[str, int | float],
+    ) -> tuple[str, str, tuple[str, ...], tuple[str, ...]] | None:
+        """Compiled C kernel for this loop shape, or None (stay on Python).
+
+        Returns ``(so_path, fname, sig, scalar_types)`` — everything the
+        job descriptor needs for the native path.  Keyed by loop identity
+        plus the *C types* of the live scalar values (a hybrid program can
+        feed the same loop integer scalars on one dispatch and serially
+        computed floats on the next — those are different kernels).  Any
+        codegen or compile failure is memoized as None, so a shape that
+        cannot go native costs one attempt per run, not one per dispatch.
+
+        Behind the per-run memo, :func:`compile_chunk_library` is
+        content-addressed in the artifact cache: across processes and runs
+        each kernel shape is compiled by gcc exactly once.
+        """
+        scalar_order = list(proc.scalars) + list(extra)
+        types = tuple(
+            "double"
+            if isinstance(env[s], (float, np.floating))
+            else "long"
+            for s in scalar_order
+        )
+        key = (id(loop), extra, types)
+        if key in self.kernels:
+            return self.kernels[key]
+        fname = f"{proc.name}__chunk"
+        try:
+            widened = Procedure(
+                proc.name, proc.body, proc.arrays,
+                tuple(proc.scalars) + extra,
+            )
+            source = generate_chunk_c(
+                widened,
+                loop=loop,
+                name=fname,
+                scalar_types=dict(zip(scalar_order, types)),
+            )
+            so_path, _ = compile_chunk_library(
+                source, fname, cache=self._store()
+            )
+            sig: list[str] = []
+            for rank in proc.arrays.values():
+                sig.append("ptr")
+                sig.extend(["long"] * rank)
+            sig.extend(types)
+            hit = (so_path, fname, tuple(sig), types)
+        except Exception:
+            hit = None
+        self.kernels[key] = hit
         return hit
 
     def plan_for(
@@ -309,13 +405,22 @@ def _build_job(
     batch: int,
     log_events: bool,
     caches: _DispatchCaches,
+    chunk_lang: str,
 ) -> dict:
-    """The picklable job descriptor both worker flavors execute."""
+    """The picklable job descriptor both worker flavors execute.
+
+    The Python chunk source is always present (the safety net every
+    fallback lands on).  When ``chunk_lang == "c"`` and the shape compiles
+    — every array float64 C-contiguous at its declared rank, codegen and
+    gcc both succeed — the descriptor also carries the native kernel
+    (``c_so``/``c_fname``/``c_sig``/``c_scalar_types``); otherwise the
+    dispatch degrades to Python and the fallback is counted in metrics.
+    """
     extra = tuple(
         sorted(k for k in env if k not in proc.scalars and k != loop.var)
     )
     source, fname, scalar_order = caches.chunk_source(proc, loop, extra)
-    return {
+    job = {
         "source": source,
         "fname": fname,
         "specs": pool.specs(),
@@ -327,6 +432,27 @@ def _build_job(
         "batch": batch,
         "log_events": log_events,
     }
+    if chunk_lang == "c":
+        views = pool.views
+        eligible = all(
+            views[a].dtype == np.float64
+            and views[a].flags["C_CONTIGUOUS"]
+            and views[a].ndim == rank
+            for a, rank in proc.arrays.items()
+        )
+        kernel = (
+            caches.chunk_kernel(proc, loop, extra, env) if eligible else None
+        )
+        if kernel is not None:
+            so_path, c_fname, sig, scalar_types = kernel
+            job["chunk_lang"] = "c"
+            job["c_so"] = so_path
+            job["c_fname"] = c_fname
+            job["c_sig"] = sig
+            job["c_scalar_types"] = scalar_types
+        else:
+            record_chunk_fallback()
+    return job
 
 
 def _finalize_result(
@@ -344,9 +470,11 @@ def _finalize_result(
     per_worker = [0] * active
     claims = 0
     lock_ops = 0
+    langs: set[str] = set()
     events: list[ClaimEvent] = []
     for wid, msg in results.items():
-        _, _, iters, wclaims, wlocks, wevents = msg
+        _, _, iters, wclaims, wlocks, wevents, wlang = msg
+        langs.add(wlang)
         if wid < active:
             per_worker[wid] = iters
         elif iters:  # pragma: no cover - plan contract violated
@@ -365,6 +493,12 @@ def _finalize_result(
             f"executed for a range of {n}"
         )
     events.sort(key=lambda e: (e.worker, e.t_claim))
+    if langs == {"c"}:
+        chunk_lang = "c"
+    elif langs <= {"py"}:
+        chunk_lang = "py"
+    else:
+        chunk_lang = "mixed"
     return ParallelRunResult(
         loop.var,
         lo,
@@ -376,6 +510,7 @@ def _finalize_result(
         claims,
         events,
         lock_ops=lock_ops,
+        chunk_lang=chunk_lang,
     )
 
 
@@ -397,6 +532,7 @@ def _dispatch_spawn(
     log_events: bool,
     ctx: multiprocessing.context.BaseContext,
     caches: _DispatchCaches,
+    chunk_lang: str = "py",
 ) -> ParallelRunResult:
     """Run one DOALL on a freshly spawned fleet (the PR-1 baseline path)."""
     lo = eval_bound(loop.lower, env, pool.views, "loop lower bound")
@@ -406,7 +542,9 @@ def _dispatch_spawn(
         return _empty_result(loop, lo, hi, workers, policy)
     active = max(1, min(workers, n))
     plan = caches.plan_for(policy, n, active, chunk)
-    job = _build_job(proc, loop, pool, env, plan, lo, batch, log_events, caches)
+    job = _build_job(
+        proc, loop, pool, env, plan, lo, batch, log_events, caches, chunk_lang
+    )
     counter = (
         None if plan.static is not None else SharedClaimCounter(lo, hi, ctx)
     )
@@ -431,7 +569,10 @@ def _dispatch_spawn(
         raise
     for p in procs:
         p.join(timeout=5.0)
-    return _finalize_result(results, loop, lo, hi, n, active, plan, t_base)
+    result = _finalize_result(results, loop, lo, hi, n, active, plan, t_base)
+    if job.get("chunk_lang") == "c" and result.chunk_lang != "c":
+        record_chunk_fallback()  # worker-side dlopen/bind degradation
+    return result
 
 
 def _dispatch_pool(
@@ -445,6 +586,7 @@ def _dispatch_pool(
     deadline: float | None,
     log_events: bool,
     caches: _DispatchCaches,
+    chunk_lang: str = "py",
 ) -> ParallelRunResult:
     """Run one DOALL on the persistent pool: a message, not a fork."""
     lo = eval_bound(loop.lower, env, wpool.views, "loop lower bound")
@@ -457,10 +599,14 @@ def _dispatch_pool(
     active = max(1, min(wpool.workers, n))
     plan = caches.plan_for(policy, n, active, chunk)
     job = _build_job(
-        proc, loop, wpool.shared, env, plan, lo, batch, log_events, caches
+        proc, loop, wpool.shared, env, plan, lo, batch, log_events, caches,
+        chunk_lang,
     )
     t_base, results = wpool.dispatch(job, lo, hi, deadline)
-    return _finalize_result(results, loop, lo, hi, n, active, plan, t_base)
+    result = _finalize_result(results, loop, lo, hi, n, active, plan, t_base)
+    if job.get("chunk_lang") == "c" and result.chunk_lang != "c":
+        record_chunk_fallback()  # worker-side dlopen/bind degradation
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -543,6 +689,7 @@ def run_parallel_doall(
     method: str | None = None,
     reuse_pool: bool = False,
     claim_batch: int = 1,
+    chunk_lang: str | None = None,
 ) -> ParallelRunResult:
     """Execute a single-DOALL procedure across worker processes.
 
@@ -552,6 +699,13 @@ def run_parallel_doall(
     are untouched (workers mutate only the shared copies).  A single
     dispatch gains nothing from pool reuse, so ``reuse_pool`` defaults to
     False here; pass True to exercise the pool engine.
+
+    ``chunk_lang`` selects how workers execute claimed blocks: ``"c"``
+    (native kernel via ctypes — the default when a compiler is available),
+    ``"py"`` (generated Python), or ``None``/``"auto"``.  The C path
+    degrades to Python automatically on any codegen, compile, or load
+    failure; the language actually used is reported in
+    ``result.chunk_lang``.
     """
     validate(proc)
     body = proc.body
@@ -568,11 +722,12 @@ def run_parallel_doall(
     env: dict[str, int | float] = dict(scalars or {})
     deadline = None if timeout is None else time.monotonic() + timeout
     caches = _DispatchCaches()
+    lang = resolve_chunk_lang(chunk_lang)
     if reuse_pool:
         with WorkerPool(arrays, workers=workers, method=method) as wpool:
             result = _dispatch_pool(
                 wpool, proc, loop, env, policy, chunk, claim_batch,
-                deadline, log_events, caches,
+                deadline, log_events, caches, lang,
             )
             wpool.copy_back(arrays)
     else:
@@ -580,7 +735,7 @@ def run_parallel_doall(
         with SharedArrayPool(arrays) as pool:
             result = _dispatch_spawn(
                 proc, loop, pool, env, workers, policy, chunk, claim_batch,
-                deadline, log_events, ctx, caches,
+                deadline, log_events, ctx, caches, lang,
             )
             pool.copy_back(arrays)
     record_run(result)
@@ -600,6 +755,7 @@ def run_parallel_procedure(
     reuse_pool: bool = True,
     claim_batch: int = 1,
     pool: WorkerPool | None = None,
+    chunk_lang: str | None = None,
 ) -> ParallelProcedureResult:
     """Execute a whole procedure, dispatching every reachable DOALL.
 
@@ -622,6 +778,10 @@ def run_parallel_procedure(
     the next run.  The pool's array environment must match ``arrays`` by
     name and shape, and the caller must serialize concurrent runs on one
     pool.
+
+    ``chunk_lang`` selects the workers' chunk language exactly as in
+    :func:`run_parallel_doall` (default: native C when a compiler is
+    available, with automatic per-dispatch fallback to Python).
     """
     validate(proc)
     _check_dispatchable(proc)
@@ -633,13 +793,14 @@ def run_parallel_procedure(
     )
     interp = Interpreter()
     caches = _DispatchCaches()
+    lang = resolve_chunk_lang(chunk_lang)
     if pool is not None:
         pool.load(arrays)
 
         def dispatch(loop: Loop, env: Mapping) -> ParallelRunResult:
             return _dispatch_pool(
                 pool, proc, loop, env, policy, chunk, claim_batch,
-                deadline, log_events, caches,
+                deadline, log_events, caches, lang,
             )
 
         _exec_hybrid(
@@ -652,7 +813,7 @@ def run_parallel_procedure(
             def dispatch(loop: Loop, env: Mapping) -> ParallelRunResult:
                 return _dispatch_pool(
                     wpool, proc, loop, env, policy, chunk, claim_batch,
-                    deadline, log_events, caches,
+                    deadline, log_events, caches, lang,
                 )
 
             _exec_hybrid(
@@ -666,7 +827,7 @@ def run_parallel_procedure(
             def dispatch(loop: Loop, env: Mapping) -> ParallelRunResult:
                 return _dispatch_spawn(
                     proc, loop, spool, env, workers, policy, chunk,
-                    claim_batch, deadline, log_events, ctx, caches,
+                    claim_batch, deadline, log_events, ctx, caches, lang,
                 )
 
             _exec_hybrid(

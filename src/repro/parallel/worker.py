@@ -12,6 +12,20 @@ Two flavors share one claim/execute core (:func:`run_plan`):
   spawn) and cached by source, so a loop shape dispatched many times —
   one dispatch per pivot row in a hybrid program — is compiled once.
 
+Chunk bodies execute in one of two *languages* (``job["chunk_lang"]``):
+
+* ``"py"`` — the generated Python chunk function
+  (:func:`repro.codegen.pygen.compile_chunk_source`), always present in
+  the job as the safety net;
+* ``"c"`` — a native kernel: the job carries a content-addressed ``.so``
+  path, symbol name, and argument signature; the worker dlopens it once
+  per shape (:func:`repro.codegen.cload.load_chunk_kernel` is memoized on
+  ``(so_path, fname, sig)``) and calls it directly on its shared-memory
+  array views (``ndarray.ctypes`` pointers — zero copies), so a claimed
+  block runs entirely in native code between two fetch&adds.  Any failure
+  to load or bind the kernel degrades this worker to the Python chunk for
+  the dispatch; the language actually used is reported back to the parent.
+
 Both run the paper's protocol: fetch&add a chunk (or a *batch* of chunks,
 amortizing the lock round-trip) from the shared counter, execute the
 claimed flat iterations, repeat until the counter is drained.  Static
@@ -26,32 +40,84 @@ the message is lost.
 
 from __future__ import annotations
 
+import ctypes
 import time
 import traceback
-from typing import Any
+from typing import Any, Callable
+
+import numpy as np
 
 from repro.codegen.pygen import compile_chunk_source
 from repro.parallel.shm import attach_array
 
 
+def _make_invoker(
+    job: dict[str, Any], arrays: dict
+) -> tuple[Callable[[int, int], None], str]:
+    """Build the ``invoke(lo, hi)`` callable for one job.
+
+    Returns ``(invoke, lang)`` where ``lang`` is the chunk language
+    actually bound — ``"c"`` only when the native kernel loaded and every
+    array qualifies for the zero-copy call convention; otherwise the
+    Python chunk (the job always carries its source).
+    """
+    if job.get("chunk_lang") == "c":
+        try:
+            from repro.codegen.cload import load_chunk_kernel
+
+            fn = load_chunk_kernel(
+                job["c_so"], job["c_fname"], tuple(job["c_sig"])
+            )
+            args: list = []
+            for name in job["array_order"]:
+                view = arrays[name]
+                if view.dtype != np.float64 or not view.flags["C_CONTIGUOUS"]:
+                    raise TypeError(
+                        f"array {name!r} not C-contiguous float64"
+                    )
+                args.append(
+                    view.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+                )
+                args.extend(int(d) for d in view.shape)
+            for name, ty in zip(job["scalar_order"], job["c_scalar_types"]):
+                value = job["scalars"][name]
+                args.append(float(value) if ty == "double" else int(value))
+
+            def invoke(lo: int, hi: int, _fn=fn, _args=tuple(args)) -> None:
+                _fn(lo, hi, *_args)
+
+            return invoke, "c"
+        except Exception:
+            pass  # degrade to the Python chunk; the parent sees lang="py"
+    func = compile_chunk_source(job["source"], job["fname"])
+    call_args = [arrays[n] for n in job["array_order"]]
+    call_args += [job["scalars"][n] for n in job["scalar_order"]]
+
+    def invoke(lo: int, hi: int, _fn=func, _args=tuple(call_args)) -> None:
+        _fn(lo, hi, *_args)
+
+    return invoke, "py"
+
+
 def run_plan(
     wid: int, job: dict[str, Any], counter, arrays: dict
-) -> tuple[int, int, int, list]:
+) -> tuple[int, int, int, list, str]:
     """Execute one worker's share of a dispatch.
 
-    Returns ``(iterations, claims, lock_ops, events)`` where ``claims``
-    counts executed chunks and ``lock_ops`` counts counter critical
-    sections (``claims == lock_ops`` unless claims were batched).
+    Returns ``(iterations, claims, lock_ops, events, lang)`` where
+    ``claims`` counts executed chunks, ``lock_ops`` counts counter critical
+    sections (``claims == lock_ops`` unless claims were batched), and
+    ``lang`` is the chunk language actually executed (``"c"``/``"py"``).
 
-    ``job`` keys: ``source``/``fname`` (chunk function), ``array_order``/
-    ``scalar_order``/``scalars`` (call convention), ``plan``
+    ``job`` keys: ``source``/``fname`` (Python chunk function),
+    ``chunk_lang`` plus ``c_so``/``c_fname``/``c_sig``/``c_scalar_types``
+    (native kernel, optional), ``array_order``/``scalar_order``/``scalars``
+    (call convention), ``plan``
     (:class:`repro.parallel.counter.PolicyPlan`), ``lo`` (loop lower
     bound, for static chunk lists), ``batch`` (chunks per claim),
     ``log_events``.
     """
-    func = compile_chunk_source(job["source"], job["fname"])
-    call_args = [arrays[n] for n in job["array_order"]]
-    call_args += [job["scalars"][n] for n in job["scalar_order"]]
+    func, lang = _make_invoker(job, arrays)
     plan = job["plan"]
     log_events = job["log_events"]
     events: list[tuple[int, int, float, float, float]] = []
@@ -62,7 +128,7 @@ def run_plan(
     if wid >= plan.workers:
         # Pool larger than the iteration space: this worker sits the
         # dispatch out (the plan was built for plan.workers processes).
-        return 0, 0, 0, events
+        return 0, 0, 0, events, lang
 
     if plan.static is not None:
         lo0 = job["lo"]
@@ -70,7 +136,7 @@ def run_plan(
         for start, size in plan.static[wid]:
             lo, hi = lo0 + start, lo0 + start + size - 1
             t1 = time.monotonic()
-            func(lo, hi, *call_args)
+            func(lo, hi)
             t2 = time.monotonic()
             if log_events:
                 events.append((lo, hi, t0, t1, t2))
@@ -88,7 +154,7 @@ def run_plan(
                 break
             lock_ops += 1
             for lo, hi in claimed:
-                func(lo, hi, *call_args)
+                func(lo, hi)
                 t2 = time.monotonic()
                 if log_events:
                     events.append((lo, hi, t0, t1, t2))
@@ -97,7 +163,7 @@ def run_plan(
                 t0 = t1 = t2
     if plan.static is not None:
         lock_ops = 0  # static plans never touch the shared counter
-    return iterations, claims, lock_ops, events
+    return iterations, claims, lock_ops, events, lang
 
 
 def worker_main(wid: int, job: dict[str, Any], counter, queue) -> None:
@@ -114,10 +180,10 @@ def worker_main(wid: int, job: dict[str, Any], counter, queue) -> None:
             view, shm = attach_array(spec)
             arrays[spec.name] = view
             segments.append(shm)
-        iterations, claims, lock_ops, events = run_plan(
+        iterations, claims, lock_ops, events, lang = run_plan(
             wid, job, counter, arrays
         )
-        queue.put(("ok", wid, iterations, claims, lock_ops, events))
+        queue.put(("ok", wid, iterations, claims, lock_ops, events, lang))
     except BaseException:
         failed = True
         try:
@@ -139,15 +205,17 @@ def pool_worker_main(wid: int, specs: list, counter, jobs, results) -> None:
 
     ``jobs`` is this worker's private queue of ``("job", seq, job)`` /
     ``("stop",)`` messages; ``results`` is the shared result queue, fed
-    one ``("ok", wid, seq, iterations, claims, lock_ops, events)`` or
-    ``("err", wid, seq, traceback)`` message per job.
+    one ``("ok", wid, seq, iterations, claims, lock_ops, events, lang)``
+    or ``("err", wid, seq, traceback)`` message per job.
 
     The shared arrays are attached once, up front — each dispatch is then
     a message plus the claim loop, no fork, no re-attach.  Any specs a job
     carries beyond the initial set are attached on demand (and cached), so
-    one pool can serve procedures over growing array environments.  A
-    failed job poisons the pool: the worker reports the traceback and
-    exits nonzero, and the parent tears the fleet down.
+    one pool can serve procedures over growing array environments.
+    Native chunk kernels are likewise cached for the worker's lifetime
+    (dlopened once per shape).  A failed job poisons the pool: the worker
+    reports the traceback and exits nonzero, and the parent tears the
+    fleet down.
     """
     segments = []
     failed = False
@@ -169,10 +237,12 @@ def pool_worker_main(wid: int, specs: list, counter, jobs, results) -> None:
                 break
             _, seq, job = msg
             attach(job.get("specs", ()))
-            iterations, claims, lock_ops, events = run_plan(
+            iterations, claims, lock_ops, events, lang = run_plan(
                 wid, job, counter, arrays
             )
-            results.put(("ok", wid, seq, iterations, claims, lock_ops, events))
+            results.put(
+                ("ok", wid, seq, iterations, claims, lock_ops, events, lang)
+            )
     except BaseException:
         failed = True
         try:

@@ -3,9 +3,11 @@
 ``python -m repro.service.selfcheck`` starts a server on an ephemeral port
 with a throwaway cache, then drives it through the client exactly like a
 real deployment: health check, compile a kernel twice (the second must be
-served from the artifact cache), run it on the mp backend, and verify the
-served result bit-for-bit against a local serial run.  Exits nonzero on
-any failure, so CI can gate on it directly.
+served from the artifact cache), run it on the mp backend — once with
+``chunk_lang="c"`` when a compiler is available (asserting the native
+kernel path actually engaged) — and verify every served result
+bit-for-bit against a local serial run.  Exits nonzero on any failure,
+so CI can gate on it directly.
 """
 
 from __future__ import annotations
@@ -61,15 +63,37 @@ def main() -> int:
                 "served mp result diverged from local serial"
             )
 
+            from repro.codegen.cload import have_compiler
+
+            lang = "py"
+            if have_compiler():
+                B2 = np.zeros_like(A)
+                native = client.run(
+                    first["key"], {"A": A, "B": B2},
+                    {"n": N, "m": M}, workers=2, backend="mp",
+                    chunk_lang="c",
+                )
+                assert native["chunk_lang"] == "c", native
+                assert np.array_equal(native["arrays"]["B"], expected_B), (
+                    "served native-chunk result diverged from local serial"
+                )
+                lang = native["chunk_lang"]
+
             metrics = client.metrics()
             assert metrics["schema"] == "repro.metrics/v1", metrics
             assert metrics["cache"]["hits"] >= 1, metrics["cache"]
             assert metrics["server"]["runs"] >= 1, metrics["server"]
+            assert "chunk_lang" in metrics["dispatch"], metrics["dispatch"]
+            if have_compiler():
+                assert metrics["dispatch"]["chunk_lang"]["c"] >= 1, (
+                    metrics["dispatch"]
+                )
             print(
                 "service selfcheck OK: "
                 f"compile_s={first['compile_s']:.4f} -> "
                 f"{second['compile_s']:.4f} (cached), "
                 f"run engine={out['engine']} wall_s={out['wall_s']:.4f}, "
+                f"chunk_lang={lang}, "
                 f"cache hits={metrics['cache']['hits']}"
             )
         finally:

@@ -300,6 +300,12 @@ class ReproServer(ThreadingHTTPServer):
         policy = body.get("policy", "gss")
         chunk = body.get("chunk")
         claim_batch = int(body.get("claim_batch", 1))
+        chunk_lang = body.get("chunk_lang", "auto")
+        if chunk_lang not in ("auto", "py", "c"):
+            raise RequestError(
+                400,
+                f"chunk_lang must be 'auto', 'py', or 'c' (got {chunk_lang!r})",
+            )
         timeout = body.get("timeout")
 
         t0 = time.perf_counter()
@@ -315,6 +321,7 @@ class ReproServer(ThreadingHTTPServer):
                         policy=policy,
                         chunk=chunk,
                         claim_batch=claim_batch,
+                        chunk_lang=chunk_lang,
                         timeout=timeout,
                         log_events=bool(body.get("log_events", False)),
                         pool=pool,
@@ -325,6 +332,7 @@ class ReproServer(ThreadingHTTPServer):
                     "claims": result.claims,
                     "lock_ops": result.lock_ops,
                     "iterations": result.total_iterations,
+                    "chunk_lang": result.chunk_lang,
                 }
             except ParallelDispatchError:
                 # Nothing dispatchable: degrade exactly like backend="mp"

@@ -7,22 +7,12 @@ A3 — chunk size in self-scheduling (1, fixed k, GSS).
 A4 — coalesce depth: full vs partial coalescing of a deep nest.
 """
 
-import numpy as np
 
 from repro.experiments.report import Table
 from repro.ir.stmt import Block
 from repro.machine import MachineParams, simulate_loop
 from repro.runtime.interp import run as interp_run
-from repro.scheduling import (
-    ChunkSelfScheduled,
-    GuidedSelfScheduled,
-    NestCosts,
-    SelfScheduled,
-    StaticBalanced,
-    StaticCyclic,
-    recovery_op_counts,
-    simulate_coalesced,
-)
+from repro.scheduling import ChunkSelfScheduled, GuidedSelfScheduled, SelfScheduled, StaticBalanced, recovery_op_counts
 from repro.transforms import block_recovered_loop, coalesce
 from repro.workloads import make_env, mark_nest
 

@@ -9,7 +9,7 @@ regenerators use.
 
 from repro.analysis.doall import mark_doall
 from repro.frontend.dsl import parse
-from repro.ir.builder import assign, block, doall, proc, ref, v
+from repro.ir.builder import assign, ref, v
 from repro.ir.stmt import Block, Loop, LoopKind
 from repro.ir.expr import Const, Var
 from repro.transforms.coalesce import coalesce, coalesce_procedure

@@ -3,8 +3,9 @@
 The paper assumes a restructuring compiler (Parafrase) has already classified
 loops as parallel.  This package supplies that classification for this
 library: affine subscript extraction, the classic ZIV/SIV/GCD/Banerjee
-dependence tests with direction vectors, scalar privatization analysis, and a
-DOALL classifier/auto-tagger.
+dependence tests with direction vectors, scalar privatization analysis, a
+DOALL classifier/auto-tagger, and the chunk-safety verifier that proves
+each mp dispatch race-free (:mod:`repro.analysis.safety`).
 """
 
 from repro.analysis.subscripts import AffineForm, affine_of
@@ -22,6 +23,13 @@ from repro.analysis.doall import (
     loop_carried_dependences,
     mark_doall,
 )
+from repro.analysis.recovery import RecoveredNest, recognize_recovered_nest
+from repro.analysis.safety import (
+    LoopSafety,
+    SafetyFinding,
+    SafetyReport,
+    verify_procedure,
+)
 from repro.analysis.summary import (
     LoopVerdict,
     NestPlan,
@@ -35,9 +43,13 @@ __all__ = [
     "Dependence",
     "DependenceTester",
     "IterationSpace",
+    "LoopSafety",
     "LoopVerdict",
     "NestPlan",
     "ProcedureSummary",
+    "RecoveredNest",
+    "SafetyFinding",
+    "SafetyReport",
     "affine_of",
     "analyze_procedure",
     "classify_loop",
@@ -46,4 +58,6 @@ __all__ = [
     "interchange_legal",
     "loop_carried_dependences",
     "mark_doall",
+    "recognize_recovered_nest",
+    "verify_procedure",
 ]

@@ -108,9 +108,18 @@ def _term_range(
     verts = _vertices_for_direction(direction, lo, hi)
     if not verts:
         return None
-    values = [a * i - b * j for i, j in verts]
-    finite = [val for val in values if not math.isnan(val)]
-    return (min(finite), max(finite))
+    if math.isfinite(lo) and math.isfinite(hi):
+        values = [a * i - b * j for i, j in verts]
+        return (min(values), max(values))
+    # Unbounded range: vertex evaluation would form ``inf - inf``.
+    # Substitute i′ = i + d (``<``) or i = i′ + d (``>``) with d >= 1 and
+    # range the decoupled form by interval arithmetic — exact for ``=``
+    # (the form collapses to (a-b)·i) and a sound superset otherwise.
+    if direction == "=":
+        return _interval_mul(a - b, lo, hi)
+    base = _interval_mul(a - b, lo, hi - 1)
+    step = _interval_mul(-b if direction == "<" else a, 1.0, hi - lo)
+    return (base[0] + step[0], base[1] + step[1])
 
 
 def _gcd_feasible(coeffs: Iterable[int], delta: int) -> bool:

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.dependence import Dependence, DependenceTester, LoopInfo
-from repro.ir.expr import ArrayRef, Var
+from repro.ir.expr import ArrayRef, Expr, Var
 from repro.ir.stmt import Assign, Block, If, Loop, LoopKind, Procedure, Stmt
 from repro.ir.visitor import walk_exprs
 
@@ -36,7 +36,7 @@ def collect_accesses(body: Block, chain: tuple[Loop, ...] = ()) -> list[AccessIn
     """All array accesses in ``body`` with their inner-loop chains."""
     out: list[AccessInfo] = []
 
-    def exprs_reads(e) -> None:
+    def exprs_reads(e: Expr) -> None:
         for sub in walk_exprs(e):
             if isinstance(sub, ArrayRef):
                 out.append(AccessInfo(sub, False, chain))
@@ -60,7 +60,7 @@ def collect_accesses(body: Block, chain: tuple[Loop, ...] = ()) -> list[AccessIn
     return out
 
 
-def _scalar_reads(e) -> set[str]:
+def _scalar_reads(e: Expr) -> set[str]:
     return {sub.name for sub in walk_exprs(e) if isinstance(sub, Var)}
 
 

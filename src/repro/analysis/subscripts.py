@@ -10,7 +10,7 @@ conservatively (dependence assumed).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.ir.expr import BinOp, Const, Expr, Unary, Var

@@ -24,10 +24,9 @@ from repro.analysis.doall import (
 )
 from repro.ir.printer import to_source
 from repro.ir.stmt import Block, If, Loop, Procedure, Stmt
-from repro.transforms.base import TransformError
+from repro.transforms.base import TransformError, used_names
 from repro.transforms.coalesce import coalesce
 from repro.transforms.collapse import collapse
-from repro.transforms.base import used_names
 
 
 @dataclass(frozen=True)

@@ -48,6 +48,14 @@ from repro.transforms.coalesce import CoalesceResult, coalesce_procedure
 from repro.transforms.distribute import distribute_procedure
 from repro.transforms.normalize import normalize_procedure
 
+__all__ = [
+    "CompiledProcedure",
+    "TransformedFunction",
+    "coalesce_jit",
+    "lower_and_coalesce",
+    "transform_function",
+]
+
 
 @dataclass
 class TransformedFunction:
@@ -65,6 +73,7 @@ class TransformedFunction:
     #: True when the lower→analyse→transform half was served from the
     #: artifact cache instead of recomputed.
     from_cache: bool = False
+    _safety_report: object | None = field(default=None, repr=False)
 
     def __call__(self, *args, **kwargs):
         names = list(self.transformed.arrays) + list(self.transformed.scalars)
@@ -106,6 +115,24 @@ class TransformedFunction:
         """
         return getattr(self._backend, "last", None)
 
+    @property
+    def safety_report(self):
+        """Static chunk-safety verdicts for the transformed program.
+
+        A :class:`repro.analysis.safety.SafetyReport` over every loop the
+        mp runtime would dispatch — the same verdicts ``safety="warn"``
+        attaches to each run and ``safety="enforce"`` gates dispatch on.
+        Computed once and cached (shared with the mp backend's copy).
+        """
+        if self._safety_report is None:
+            if hasattr(self._backend, "safety_report"):
+                self._safety_report = self._backend.safety_report
+            else:
+                from repro.analysis.safety import verify_procedure
+
+                self._safety_report = verify_procedure(self.transformed)
+        return self._safety_report
+
     def report(self) -> str:
         """Human-readable summary of what the pipeline did."""
         lines = [f"{self.name}: {len(self.results)} nest(s) coalesced"]
@@ -114,6 +141,19 @@ class TransformedFunction:
             lines.append(
                 f"  ({', '.join(r.index_vars)}) depth={r.depth} "
                 f"bounds=[{bounds}] -> flat index {r.flat_var}"
+            )
+        safety = self.safety_report
+        if not safety.loops:
+            lines.append("  safety: no dispatchable DOALL loops")
+        for verdict in safety.loops:
+            status = (
+                "proven race-free"
+                if verdict.proven
+                else ", ".join(sorted({f.rule for f in verdict.findings}))
+                or "unproven"
+            )
+            lines.append(
+                f"  safety: loop {verdict.loop_var} [{verdict.shape}] {status}"
             )
         return "\n".join(lines)
 
@@ -230,7 +270,11 @@ def transform_function(
             ``chunk_lang`` (``"c"``/``"py"``/``"auto"``: workers execute
             claimed blocks through a native ctypes kernel when a compiler
             is available, degrading to the generated Python chunk
-            automatically — ``.last.chunk_lang`` reports what ran).
+            automatically — ``.last.chunk_lang`` reports what ran),
+            ``safety`` (``"off"``/``"warn"``/``"enforce"``, default warn:
+            every run is verified by the chunk-safety analyser and the
+            report attached to ``.last.safety``; enforce refuses unproven
+            dispatches — see :mod:`repro.analysis.safety`).
     """
     source = fn if isinstance(fn, str) else textwrap.dedent(inspect.getsource(fn))
     original, proc, results, from_cache = lower_and_coalesce(

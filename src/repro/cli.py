@@ -30,7 +30,11 @@ bypasses it for one invocation.
 
 ``python -m repro serve`` starts the compile-and-run HTTP server
 (:mod:`repro.service`) instead: ``POST /compile``, ``POST /run``,
-``GET /healthz``, ``GET /metrics``.
+``POST /lint``, ``GET /healthz``, ``GET /metrics``.
+
+``python -m repro lint`` runs the chunk-safety verifier
+(:mod:`repro.lint`) over source files or registered workloads and
+reports structured findings (RACE001/RACE002/RACE003/PRIV002).
 """
 
 from __future__ import annotations
@@ -114,6 +118,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --backend mp: language workers execute claimed blocks "
         "in — c (native ctypes kernel, the default when a C compiler is "
         "on PATH, with automatic fallback to py) or py (generated Python)",
+    )
+    parser.add_argument(
+        "--safety",
+        choices=("off", "warn", "enforce"),
+        default=None,
+        help="chunk-safety mode for --backend mp --run: warn (default) "
+        "verifies every dispatch and reports findings on stderr, enforce "
+        "refuses unproven dispatches (they run serially; a fully-refused "
+        "run is an error), off skips verification",
     )
     parser.add_argument(
         "--gantt",
@@ -223,17 +236,26 @@ def _run_transformed(args, workload, proc) -> int:
                 reuse_pool=args.reuse_pool,
                 claim_batch=args.claim_batch,
                 chunk_lang=args.chunk_lang,
+                safety=args.safety,
             )
         except (ParallelError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2 if isinstance(exc, ValueError) else 1
+        if result.safety is not None and not result.safety.ok:
+            for f in result.safety.findings:
+                print(f"safety: {f.format()}", file=sys.stderr)
         elapsed = result.wall_time
         engine = "pool" if result.reused_pool else "spawn"
+        blocked = (
+            f", {result.blocked_dispatches} blocked"
+            if result.blocked_dispatches
+            else ""
+        )
         label = (
             f"mp[{args.policy}, {args.workers} workers, {engine}, "
             f"{result.chunk_lang} chunks, "
-            f"{len(result.dispatches)} dispatches, {result.claims} claims, "
-            f"{result.lock_ops} lock ops]"
+            f"{len(result.dispatches)} dispatches{blocked}, "
+            f"{result.claims} claims, {result.lock_ops} lock ops]"
         )
         if args.gantt:
             for d in result.dispatches:
@@ -261,6 +283,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.server import serve_main
 
         return serve_main(argv[1:])
+    if argv[:1] == ["lint"]:
+        from repro.lint.cli import lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.no_cache or args.cache_dir:
         from repro.cache import configure

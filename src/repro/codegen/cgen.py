@@ -24,12 +24,10 @@ Conventions:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.ir.expr import ArrayRef, BinOp, Call, Const, Expr, Unary, Var
 from repro.ir.stmt import Assign, Block, If, Loop, Procedure, Stmt
 from repro.ir.validate import validate
-from repro.ir.visitor import free_vars, substitute, walk_exprs, walk_stmts
+from repro.ir.visitor import substitute, walk_exprs, walk_stmts
 
 _PRELUDE = """\
 #include <math.h>
@@ -378,106 +376,13 @@ SR_MARKER = "/* strength-reduced block recovery */"
 NAIVE_MARKER = "/* per-iteration index recovery */"
 
 
-def _recovery_prefix(
-    loop: Loop, params: set[str]
-) -> tuple[list[Assign], list[Stmt]]:
-    """Split ``loop.body`` into (recovery assignments, remaining body).
-
-    A statement belongs to the recovery prefix when it assigns a body-local
-    scalar from an expression over nothing but the flat loop variable and
-    parameter scalars (no array reads) — the shape
-    :func:`repro.transforms.coalesce.coalesce` materializes.  Purely
-    structural: callers must still *verify* the prefix is rectangular
-    recovery before strength-reducing it.
-    """
-    allowed = {loop.var} | params
-    heads: list[Assign] = []
-    stmts = list(loop.body.stmts)
-    for s in stmts:
-        if (
-            isinstance(s, Assign)
-            and isinstance(s.target, Var)
-            and s.target.name not in allowed
-            and not any(isinstance(e, ArrayRef) for e in walk_exprs(s.value))
-            and free_vars(s.value) <= allowed
-        ):
-            heads.append(s)
-        else:
-            break
-    return heads, stmts[len(heads):]
-
-
-def _candidate_wrap_bound(expr: Expr) -> Expr | None:
-    """The single plausible wrap bound N inside a recovery expression.
-
-    Both recovery styles mention N exactly as ``x mod N`` (divmod) or as
-    ``N * ((x) floordiv N)`` (ceiling).  Returns the unique candidate, or
-    None when zero or several distinct candidates appear.
-    """
-    candidates: list[Expr] = []
-    for sub in walk_exprs(expr):
-        if isinstance(sub, BinOp) and sub.op == "mod":
-            candidates.append(sub.rhs)
-        elif isinstance(sub, BinOp) and sub.op == "*":
-            for n, d in ((sub.lhs, sub.rhs), (sub.rhs, sub.lhs)):
-                if isinstance(d, BinOp) and d.op == "floordiv" and d.rhs == n:
-                    candidates.append(n)
-    unique: list[Expr] = []
-    for c in candidates:
-        if not any(c == u for u in unique):
-            unique.append(c)
-    return unique[0] if len(unique) == 1 else None
-
-
-def _verified_rectangular_recovery(
-    loop: Loop, heads: list[Assign], rest: list[Stmt]
-) -> tuple[tuple[str, ...], tuple[Expr, ...]] | None:
-    """Prove ``heads`` is rectangular coalesce recovery; return its shape.
-
-    Extracts the wrap bound of every non-outermost index, reconstructs what
-    :func:`repro.transforms.coalesce.recovery_expressions` would generate
-    for both styles over those bounds, and demands structural equality with
-    the actual assignments.  A match is a proof: the recovered indices then
-    advance odometer-fashion over consecutive flat iterations, so computing
-    them once per contiguous block and incrementing is exact.  Returns
-    ``(index_vars, bounds)`` or None (emit per-iteration recovery instead).
-    """
-    from repro.transforms.coalesce import recovery_expressions
-
-    m = len(heads)
-    if m == 0:
-        return None
-    index_vars = tuple(s.target.name for s in heads)
-    if len(set(index_vars)) != m:
-        return None
-    # The loop tail must not write the flat index or any recovered index.
-    mutated = {
-        s.target.name
-        for r in rest
-        for s in walk_stmts(r)
-        if isinstance(s, Assign) and isinstance(s.target, Var)
-    }
-    if mutated & (set(index_vars) | {loop.var}):
-        return None
-    bounds: list[Expr] = [Const(1)]  # outermost bound never wraps: unused
-    for s in heads[1:]:
-        n = _candidate_wrap_bound(s.value)
-        if n is None:
-            return None
-        bounds.append(n)
-    flat = Var(loop.var)
-    for style in ("ceiling", "divmod"):
-        try:
-            expected = recovery_expressions(flat, bounds, style=style)
-        except (ValueError, ZeroDivisionError):  # pragma: no cover
-            continue
-        if m > 1 and all(s.value == e for s, e in zip(heads, expected)):
-            return index_vars, tuple(bounds)
-    if m == 1 and heads[0].value == flat:
-        # Depth-1 coalesce: the "recovery" is the identity; still worth
-        # hoisting (one assignment per block instead of per iteration).
-        return index_vars, (Const(1),)
-    return None
+# De-coalescing recognition lives in :mod:`repro.analysis.recovery` (shared
+# with the chunk-safety verifier); these aliases keep this module's internal
+# call sites and history readable.
+from repro.analysis.recovery import (  # noqa: E402
+    recovery_prefix as _recovery_prefix,
+    verified_rectangular_recovery as _verified_rectangular_recovery,
+)
 
 
 def generate_chunk_c(

@@ -9,8 +9,6 @@ programs under the op-counting interpreter — no hand-waving constants.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.experiments.report import Table
 from repro.runtime.interp import run as interp_run
 from repro.transforms.coalesce import coalesce

@@ -16,7 +16,6 @@ from repro.scheduling.nested import (
     NestCosts,
     simulate_coalesced_blocked,
     simulate_outer_only,
-    simulate_sequential,
 )
 
 

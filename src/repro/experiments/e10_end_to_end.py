@@ -21,7 +21,6 @@ from repro.runtime.interp import run as interp_run
 from repro.transforms import (
     TransformError,
     block_recovered_loop,
-    coalesce,
     coalesce_procedure,
 )
 from repro.workloads import WORKLOADS, get_workload, make_env

@@ -22,7 +22,6 @@ import numpy as np
 from repro.experiments.report import Table
 from repro.ir.builder import assign, block, doall, proc, ref, v
 from repro.machine import MachineParams, simulate_loop
-from repro.machine.trace import SimResult
 from repro.runtime.interp import run as interp_run
 from repro.scheduling.policies import StaticBalanced
 from repro.transforms.triangular import (

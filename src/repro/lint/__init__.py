@@ -1,0 +1,22 @@
+"""`repro lint`: structured chunk-safety diagnostics.
+
+A thin diagnostics layer over :mod:`repro.analysis.safety`: run the
+compilation pipeline the way the mp backend would (claimed DOALL tags
+honored, not re-derived), verify every loop the runtime would dispatch,
+and render the findings — stable rule codes, severity, source loop,
+direction vectors, fix hints — as text or JSON (schema
+``repro.lint/v1``).  Exposed as ``python -m repro lint`` and served by
+the compile server as ``POST /lint``.
+"""
+
+from repro.lint.engine import LINT_SCHEMA, LintReport, lint_procedure, lint_source
+from repro.lint.rules import RULE_DOCS, explain
+
+__all__ = [
+    "LINT_SCHEMA",
+    "LintReport",
+    "RULE_DOCS",
+    "explain",
+    "lint_procedure",
+    "lint_source",
+]

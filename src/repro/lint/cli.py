@@ -1,0 +1,140 @@
+"""``python -m repro lint``: the chunk-safety linter CLI.
+
+Usage::
+
+    python -m repro lint FILE.loop [FILE2.loop ...]
+    python -m repro lint --workload gauss_jordan
+    python -m repro lint --workload racy_flow --safety enforce  # exit 1
+    python -m repro lint FILE.loop --format json
+
+Exit codes: 0 clean (or ``--safety warn``), 1 findings under
+``--safety enforce``, 2 usage or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.frontend.dsl import ParseError
+from repro.ir.printer import to_source
+from repro.ir.validate import ValidationError
+from repro.lint.engine import LintReport, lint_source
+from repro.lint.rules import explain
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Static chunk-safety verification for mp dispatches",
+    )
+    parser.add_argument(
+        "inputs",
+        nargs="*",
+        help="mini-language source files ('-' for stdin)",
+    )
+    parser.add_argument(
+        "--workload",
+        metavar="NAME",
+        action="append",
+        default=[],
+        help="lint a registered workload (repeatable; racy counter-"
+        "examples included)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="finding output format",
+    )
+    parser.add_argument(
+        "--safety",
+        choices=("warn", "enforce"),
+        default="enforce",
+        help="enforce (default): exit nonzero when any dispatchable loop "
+        "is unproven; warn: report findings but exit 0",
+    )
+    parser.add_argument(
+        "--style", choices=("ceiling", "divmod"), default="ceiling"
+    )
+    parser.add_argument("--depth", type=int, default=None)
+    parser.add_argument(
+        "--triangular",
+        action="store_true",
+        help="also coalesce triangular nests before verification",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the compilation artifact cache",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        help="print the documentation for a rule code and exit",
+    )
+    return parser
+
+
+def _gather_sources(args: argparse.Namespace) -> list[tuple[str, str]]:
+    """(label, source) pairs from files and --workload flags."""
+    sources: list[tuple[str, str]] = []
+    for path in args.inputs:
+        if path == "-":
+            sources.append(("<stdin>", sys.stdin.read()))
+        else:
+            with open(path) as fh:
+                sources.append((path, fh.read()))
+    if args.workload:
+        from repro.workloads import get_workload
+
+        for name in args.workload:
+            sources.append((name, to_source(get_workload(name).proc)))
+    return sources
+
+
+def lint_main(argv: list[str] | None = None) -> int:
+    args = build_lint_parser().parse_args(argv)
+    if args.explain:
+        print(explain(args.explain))
+        return 0
+    try:
+        sources = _gather_sources(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not sources:
+        print(
+            "error: provide at least one input file or --workload",
+            file=sys.stderr,
+        )
+        return 2
+
+    reports: list[tuple[str, LintReport]] = []
+    for label, source in sources:
+        try:
+            report = lint_source(
+                source,
+                style=args.style,
+                depth=args.depth,
+                triangular=args.triangular,
+                cache=None if args.no_cache else "default",
+            )
+        except (ParseError, ValidationError, ValueError) as exc:
+            print(f"error: {label}: {exc}", file=sys.stderr)
+            return 2
+        reports.append((label, report))
+
+    if args.format == "json":
+        payload = [
+            {"input": label, **report.to_dict()} for label, report in reports
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        for label, report in reports:
+            prefix = "" if label == report.procedure else f"{label}: "
+            print(f"{prefix}{report.format()}")
+
+    dirty = any(report.errors for _, report in reports)
+    return 1 if dirty and args.safety == "enforce" else 0

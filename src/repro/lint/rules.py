@@ -1,0 +1,73 @@
+"""The lint rule registry: stable codes, titles, and explanations.
+
+Rule codes are part of the tool's public contract — CI greps for them,
+tests assert on them, and the service returns them verbatim — so codes
+are never renumbered or reused.  New rules append.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.safety import RULES
+
+__all__ = ["RULE_DOCS", "RuleDoc", "explain"]
+
+
+@dataclass(frozen=True)
+class RuleDoc:
+    """Documentation for one stable rule code."""
+
+    code: str
+    title: str
+    severity: str
+    description: str
+
+
+RULE_DOCS: dict[str, RuleDoc] = {
+    "RACE001": RuleDoc(
+        "RACE001",
+        RULES["RACE001"],
+        "error",
+        "An iteration of the dispatched loop writes an array element that "
+        "a later iteration reads.  Under self-scheduling the two "
+        "iterations may land in different chunks on different workers, so "
+        "the reader can observe either the old or the new value.",
+    ),
+    "RACE002": RuleDoc(
+        "RACE002",
+        RULES["RACE002"],
+        "error",
+        "Two distinct iterations of the dispatched loop write the same "
+        "array element.  Claimed blocks of the flat range are disjoint in "
+        "*iterations*, not *elements*: when the write subscript is not "
+        "injective over the loop index, chunks overlap in memory and the "
+        "final value depends on worker timing.",
+    ),
+    "RACE003": RuleDoc(
+        "RACE003",
+        RULES["RACE003"],
+        "error",
+        "An iteration reads an array element that a later iteration "
+        "overwrites.  Cross-chunk, the reader may see the overwritten "
+        "value early.",
+    ),
+    "PRIV002": RuleDoc(
+        "PRIV002",
+        RULES["PRIV002"],
+        "error",
+        "A scalar received by the chunk kernel is read before it is "
+        "written inside an iteration that also writes it.  Each worker "
+        "holds its own copy, so a value carried between iterations "
+        "(an accumulator, a running flag) diverges from serial "
+        "execution.",
+    ),
+}
+
+
+def explain(code: str) -> str:
+    """Human-readable explanation of a rule code."""
+    doc = RULE_DOCS.get(code)
+    if doc is None:
+        return f"{code}: unknown rule"
+    return f"{doc.code} ({doc.severity}): {doc.title}\n\n{doc.description}"

@@ -45,7 +45,6 @@ class ParallelLoopSimulator:
             chunk_overhead: extra overhead paid once per claimed chunk —
                 e.g. head-of-block recovery under strength reduction.
         """
-        p = self.params.processors
         if policy.is_static:
             return self._run_static(costs, policy, iteration_overhead, chunk_overhead)
         return self._run_dynamic(costs, policy, iteration_overhead, chunk_overhead)

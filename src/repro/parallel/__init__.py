@@ -34,6 +34,7 @@ from repro.parallel.errors import (
     ParallelDispatchError,
     ParallelError,
     ParallelTimeoutError,
+    SafetyVerificationError,
     WorkerCrashError,
 )
 from repro.parallel.observe import to_sim_result
@@ -42,6 +43,7 @@ from repro.parallel.runtime import (
     ClaimEvent,
     ParallelProcedureResult,
     ParallelRunResult,
+    resolve_safety,
     run_parallel_doall,
     run_parallel_procedure,
 )
@@ -55,12 +57,14 @@ __all__ = [
     "ParallelProcedureResult",
     "ParallelRunResult",
     "ParallelTimeoutError",
+    "SafetyVerificationError",
     "SharedArrayPool",
     "SharedClaimCounter",
     "WorkerCrashError",
     "WorkerPool",
     "compile_mp_procedure",
     "policy_plan",
+    "resolve_safety",
     "run_parallel_doall",
     "run_parallel_procedure",
     "to_sim_result",

@@ -7,6 +7,10 @@ calling convention as :class:`repro.codegen.pygen.CompiledProcedure`, so
 Degradation policy (all observable via :attr:`MPCompiledProcedure.last`):
 
 * nothing dispatchable (no top-level DOALL) → serial pygen, recorded;
+* ``safety="enforce"`` and no dispatchable loop proven race-free →
+  :class:`repro.parallel.errors.SafetyVerificationError` (a
+  ``ParallelDispatchError``) → serial pygen rerun, refusal reason (with
+  rule codes) recorded in ``fallback_reason``;
 * timeout → workers killed, shared memory unlinked, serial pygen rerun on
   the untouched caller arrays — the graceful-fallback path;
 * worker crash → :class:`repro.parallel.runtime.WorkerCrashError` is
@@ -26,27 +30,14 @@ from repro.codegen.pygen import (
     compile_procedure,
     generate_chunk_source,
 )
-from repro.ir.stmt import Block, If, Loop, Procedure, Stmt
+from repro.ir.stmt import Procedure
 from repro.parallel.runtime import (
     ParallelDispatchError,
     ParallelProcedureResult,
     ParallelTimeoutError,
-    _dispatchable,
+    _dispatchable_loops,
     run_parallel_procedure,
 )
-
-
-def _dispatchable_loops(stmt: Stmt) -> list[Loop]:
-    """Every DOALL the runtime would dispatch, in program order."""
-    if isinstance(stmt, Loop):
-        if _dispatchable(stmt):
-            return [stmt]
-        return _dispatchable_loops(stmt.body)
-    if isinstance(stmt, Block):
-        return [l for s in stmt.stmts for l in _dispatchable_loops(s)]
-    if isinstance(stmt, If):
-        return _dispatchable_loops(stmt.then) + _dispatchable_loops(stmt.orelse)
-    return []
 
 
 @dataclass
@@ -63,7 +54,11 @@ class MPCompiledProcedure:
     how workers execute claimed blocks — ``"c"`` (native ctypes kernel),
     ``"py"``, or ``None``/``"auto"`` (C when a compiler is available);
     the C path degrades to Python automatically and
-    ``last.chunk_lang`` reports what actually ran.
+    ``last.chunk_lang`` reports what actually ran.  ``safety`` selects
+    the chunk-safety mode (``None`` → ``"warn"``): ``"enforce"`` refuses
+    unproven dispatches — they run serially, and a fully-refused run
+    falls back to the serial backend with the rule codes recorded in
+    ``fallback_reason``.
     """
 
     proc: Procedure
@@ -77,12 +72,23 @@ class MPCompiledProcedure:
     reuse_pool: bool = True
     claim_batch: int = 1
     chunk_lang: str | None = None
+    safety: str | None = None
     _serial: CompiledProcedure = field(init=False, repr=False)
+    _safety_report: object | None = field(init=False, default=None, repr=False)
     last: ParallelProcedureResult | None = field(init=False, default=None)
     fallback_reason: str | None = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         self._serial = compile_procedure(self.proc)
+
+    @property
+    def safety_report(self):
+        """Static chunk-safety verdicts for this procedure (cached)."""
+        if self._safety_report is None:
+            from repro.analysis.safety import verify_procedure
+
+            self._safety_report = verify_procedure(self.proc)
+        return self._safety_report
 
     @property
     def source(self) -> str:
@@ -121,6 +127,7 @@ class MPCompiledProcedure:
                 reuse_pool=self.reuse_pool,
                 claim_batch=self.claim_batch,
                 chunk_lang=self.chunk_lang,
+                safety=self.safety,
             )
         except (ParallelDispatchError, ParallelTimeoutError) as exc:
             if not self.fallback:

@@ -18,6 +18,15 @@ class ParallelDispatchError(ParallelError):
     """The procedure cannot be dispatched (e.g. outer loop is not DOALL)."""
 
 
+class SafetyVerificationError(ParallelDispatchError):
+    """``safety=enforce`` refused the dispatch: a loop is not proven race-free.
+
+    Raised *before* any worker process is created, so the caller (e.g. the
+    mp backend's serial-fallback path) can rerun the procedure serially and
+    record the refusal reason.
+    """
+
+
 class WorkerCrashError(ParallelError):
     """A worker process raised or died; peers were terminated cleanly."""
 

@@ -52,6 +52,14 @@ class DispatchCounters:
     #: Python (no compiler, codegen failure, compile failure, or a
     #: worker-side dlopen failure).
     chunk_fallbacks: int = 0
+    #: Chunk-safety verifier activity: procedures checked, per-loop
+    #: verdicts, dispatches refused under ``safety="enforce"`` (executed
+    #: serially instead), and finding counts keyed by stable rule code.
+    safety_checked: int = 0
+    safety_proven: int = 0
+    safety_unproven: int = 0
+    safety_blocked: int = 0
+    safety_findings: dict[str, int] | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -67,6 +75,13 @@ class DispatchCounters:
                 "py": self.chunk_py,
                 "mixed": self.chunk_mixed,
                 "fallbacks": self.chunk_fallbacks,
+            },
+            "safety": {
+                "checked": self.safety_checked,
+                "proven": self.safety_proven,
+                "unproven": self.safety_unproven,
+                "blocked": self.safety_blocked,
+                "findings": dict(self.safety_findings or {}),
             },
         }
 
@@ -112,6 +127,30 @@ def record_chunk_fallback(count: int = 1) -> None:
     """Count dispatches that wanted C chunks but degraded to Python."""
     with _DISPATCH_LOCK:
         DISPATCH.chunk_fallbacks += count
+
+
+def record_safety(report) -> None:
+    """Fold one :class:`~repro.analysis.safety.SafetyReport` into counters."""
+    with _DISPATCH_LOCK:
+        DISPATCH.safety_checked += 1
+        for verdict in report.loops:
+            if verdict.proven:
+                DISPATCH.safety_proven += 1
+            else:
+                DISPATCH.safety_unproven += 1
+        if report.findings:
+            if DISPATCH.safety_findings is None:
+                DISPATCH.safety_findings = {}
+            for f in report.findings:
+                DISPATCH.safety_findings[f.rule] = (
+                    DISPATCH.safety_findings.get(f.rule, 0) + 1
+                )
+
+
+def record_safety_block(count: int = 1) -> None:
+    """Count dispatches refused under ``safety="enforce"`` (ran serially)."""
+    with _DISPATCH_LOCK:
+        DISPATCH.safety_blocked += count
 
 
 def metrics_snapshot(

@@ -66,9 +66,15 @@ from repro.parallel.errors import (
     ParallelDispatchError,
     ParallelError,
     ParallelTimeoutError,
+    SafetyVerificationError,
     WorkerCrashError,
 )
-from repro.parallel.observe import record_chunk_fallback, record_run
+from repro.parallel.observe import (
+    record_chunk_fallback,
+    record_run,
+    record_safety,
+    record_safety_block,
+)
 from repro.parallel.pool import (
     WorkerPool,
     gather_results,
@@ -88,8 +94,10 @@ __all__ = [
     "ParallelProcedureResult",
     "ParallelRunResult",
     "ParallelTimeoutError",
+    "SafetyVerificationError",
     "WorkerCrashError",
     "resolve_chunk_lang",
+    "resolve_safety",
     "run_parallel_doall",
     "run_parallel_procedure",
 ]
@@ -114,6 +122,64 @@ def resolve_chunk_lang(requested: str | None) -> str:
         record_chunk_fallback()
         return "py"
     return requested
+
+
+def resolve_safety(requested: str | None) -> str:
+    """Resolve a requested chunk-safety mode.
+
+    ``None`` defaults to ``"warn"``: every run is verified and the report
+    is attached to the result, but nothing is refused.  ``"enforce"``
+    additionally refuses to dispatch any loop the verifier cannot prove
+    race-free (it runs serially instead, or — when *nothing* is provable —
+    the whole run raises :class:`SafetyVerificationError` before any
+    worker is created).  ``"off"`` skips verification entirely.
+    """
+    if requested is None:
+        return "warn"
+    if requested not in ("off", "warn", "enforce"):
+        raise ValueError(
+            f"safety must be 'off', 'warn', or 'enforce' (got {requested!r})"
+        )
+    return requested
+
+
+def _safety_gate(proc: Procedure, mode: str):
+    """Verify ``proc``; return ``(report, blocked-loop-id set)``.
+
+    Under ``"enforce"`` a verifier crash fails closed (the run is refused
+    rather than optimistically dispatched); under ``"warn"`` it degrades
+    to an unchecked run.
+    """
+    if mode == "off":
+        return None, frozenset()
+    from repro.analysis.safety import verify_procedure
+
+    try:
+        report = verify_procedure(proc)
+    except Exception as exc:
+        if mode == "enforce":
+            raise SafetyVerificationError(
+                f"safety=enforce: chunk-safety verification of "
+                f"{proc.name!r} failed: {exc}"
+            ) from exc
+        return None, frozenset()
+    record_safety(report)
+    if mode != "enforce":
+        return report, frozenset()
+    blocked = frozenset(
+        loop_id for loop_id, v in report.by_id.items() if not v.proven
+    )
+    return report, blocked
+
+
+def _unproven_summary(report) -> str:
+    """One-line refusal reason: each unproven loop with its rule codes."""
+    parts = []
+    for v in report.loops:
+        if not v.proven:
+            rules = sorted({f.rule for f in v.findings}) or ["unproven"]
+            parts.append(f"loop {v.loop_var} ({', '.join(rules)})")
+    return "; ".join(parts)
 
 
 @dataclass(frozen=True)
@@ -181,6 +247,14 @@ class ParallelProcedureResult:
     #: Whether the run used one persistent worker pool for every dispatch
     #: (True) or spawned a fresh fleet per dispatch (False).
     reused_pool: bool = False
+    #: Chunk-safety mode the run executed under ("off", "warn", "enforce").
+    safety_mode: str = "off"
+    #: The verifier's :class:`~repro.analysis.safety.SafetyReport`
+    #: (None when ``safety_mode == "off"`` or verification crashed under
+    #: "warn").
+    safety: object | None = field(default=None, repr=False)
+    #: Dispatches refused under enforce and executed serially instead.
+    blocked_dispatches: int = 0
 
     @property
     def claims(self) -> int:
@@ -221,6 +295,23 @@ def _contains_dispatchable(stmt: Stmt) -> bool:
             stmt.orelse
         )
     return False
+
+
+def _dispatchable_loops(stmt: Stmt) -> list[Loop]:
+    """Every loop :func:`_exec_hybrid` would dispatch, in program order.
+
+    Mirrors the executor's traversal: a dispatchable loop is a leaf (its
+    body is never searched — workers own it), everything else recurses.
+    """
+    if isinstance(stmt, Loop):
+        if _dispatchable(stmt):
+            return [stmt]
+        return _dispatchable_loops(stmt.body)
+    if isinstance(stmt, Block):
+        return [lp for s in stmt.stmts for lp in _dispatchable_loops(s)]
+    if isinstance(stmt, If):
+        return _dispatchable_loops(stmt.then) + _dispatchable_loops(stmt.orelse)
+    return []
 
 
 def _check_dispatchable(proc: Procedure) -> None:
@@ -625,23 +716,35 @@ def _exec_hybrid(
     views: Mapping[str, np.ndarray],
     out: ParallelProcedureResult,
     deadline: float | None,
+    blocked: frozenset[int] = frozenset(),
 ) -> None:
     """Execute a statement tree, dispatching every reachable DOALL.
 
     Serial loops *containing* dispatchable DOALLs are driven by the
     parent (their control flow must interleave with dispatches — the
     pivot loop of Gauss–Jordan); everything else falls through to the
-    interpreter over the shared views in one call.
+    interpreter over the shared views in one call.  Loops whose ``id`` is
+    in ``blocked`` (unproven under ``safety="enforce"``) are never handed
+    to workers — they run serially in the parent over the same views,
+    and the refusal is counted.
     """
     if isinstance(stmt, Block):
         for s in stmt.stmts:
-            _exec_hybrid(s, dispatch, interp, env, views, out, deadline)
+            _exec_hybrid(
+                s, dispatch, interp, env, views, out, deadline, blocked
+            )
         return
     if deadline is not None and time.monotonic() > deadline:
         raise ParallelTimeoutError(
             "parallel run exceeded its deadline in a serial segment"
         )
     if isinstance(stmt, Loop) and _dispatchable(stmt):
+        if id(stmt) in blocked:
+            record_safety_block()
+            out.blocked_dispatches += 1
+            interp._exec(stmt, env, views)
+            out.serial_stmts += 1
+            return
         out.dispatches.append(dispatch(stmt, env))
         return
     if isinstance(stmt, Loop) and _contains_dispatchable(stmt.body):
@@ -655,7 +758,9 @@ def _exec_hybrid(
         saved = env.get(stmt.var, _MISSING)
         for value in range(lo, hi + 1, st):
             env[stmt.var] = value
-            _exec_hybrid(stmt.body, dispatch, interp, env, views, out, deadline)
+            _exec_hybrid(
+                stmt.body, dispatch, interp, env, views, out, deadline, blocked
+            )
         if saved is _MISSING:
             env.pop(stmt.var, None)
         else:
@@ -665,7 +770,9 @@ def _exec_hybrid(
     if isinstance(stmt, If) and _contains_dispatchable(stmt):
         cond = interp._eval(stmt.cond, env, views)
         branch = stmt.then if cond else stmt.orelse
-        _exec_hybrid(branch, dispatch, interp, env, views, out, deadline)
+        _exec_hybrid(
+            branch, dispatch, interp, env, views, out, deadline, blocked
+        )
         out.serial_stmts += 1
         return
     interp._exec(stmt, env, views)
@@ -690,6 +797,7 @@ def run_parallel_doall(
     reuse_pool: bool = False,
     claim_batch: int = 1,
     chunk_lang: str | None = None,
+    safety: str | None = None,
 ) -> ParallelRunResult:
     """Execute a single-DOALL procedure across worker processes.
 
@@ -706,6 +814,11 @@ def run_parallel_doall(
     degrades to Python automatically on any codegen, compile, or load
     failure; the language actually used is reported in
     ``result.chunk_lang``.
+
+    ``safety`` selects the chunk-safety mode (see :func:`resolve_safety`;
+    default ``"warn"``).  Under ``"enforce"`` a loop the verifier cannot
+    prove race-free raises :class:`SafetyVerificationError` *before* any
+    worker or shared segment is created.
     """
     validate(proc)
     body = proc.body
@@ -718,6 +831,14 @@ def run_parallel_doall(
     if not _dispatchable(loop):
         raise ParallelDispatchError(
             f"outer loop {loop.var!r} is not a unit-step DOALL"
+        )
+    mode = resolve_safety(safety)
+    report, blocked = _safety_gate(proc, mode)
+    if id(loop) in blocked:
+        record_safety_block()
+        raise SafetyVerificationError(
+            f"safety=enforce refused to dispatch {proc.name!r}: "
+            f"{_unproven_summary(report)}"
         )
     env: dict[str, int | float] = dict(scalars or {})
     deadline = None if timeout is None else time.monotonic() + timeout
@@ -756,6 +877,7 @@ def run_parallel_procedure(
     claim_batch: int = 1,
     pool: WorkerPool | None = None,
     chunk_lang: str | None = None,
+    safety: str | None = None,
 ) -> ParallelProcedureResult:
     """Execute a whole procedure, dispatching every reachable DOALL.
 
@@ -782,14 +904,35 @@ def run_parallel_procedure(
     ``chunk_lang`` selects the workers' chunk language exactly as in
     :func:`run_parallel_doall` (default: native C when a compiler is
     available, with automatic per-dispatch fallback to Python).
+
+    ``safety`` selects the chunk-safety mode (default ``"warn"``: verify
+    and report, dispatch everything).  Under ``"enforce"``, unproven
+    loops execute serially in the parent instead of being dispatched
+    (counted in ``result.blocked_dispatches``); when *no* dispatchable
+    loop is proven, the run raises :class:`SafetyVerificationError`
+    before any worker is created — a run that could only ever execute
+    serially should not pay for a pool.
     """
     validate(proc)
     _check_dispatchable(proc)
+    mode = resolve_safety(safety)
+    report, blocked = _safety_gate(proc, mode)
+    if blocked:
+        loops = _dispatchable_loops(proc.body)
+        if all(id(lp) in blocked for lp in loops):
+            record_safety_block(len(loops))
+            raise SafetyVerificationError(
+                f"safety=enforce refused every dispatch in {proc.name!r}: "
+                f"{_unproven_summary(report)}"
+            )
     env: dict[str, int | float] = dict(scalars or {})
     deadline = None if timeout is None else time.monotonic() + timeout
     t_start = time.monotonic()
     out = ParallelProcedureResult(
-        0.0, reused_pool=reuse_pool or pool is not None
+        0.0,
+        reused_pool=reuse_pool or pool is not None,
+        safety_mode=mode,
+        safety=report,
     )
     interp = Interpreter()
     caches = _DispatchCaches()
@@ -804,7 +947,8 @@ def run_parallel_procedure(
             )
 
         _exec_hybrid(
-            proc.body, dispatch, interp, env, pool.views, out, deadline
+            proc.body, dispatch, interp, env, pool.views, out, deadline,
+            blocked,
         )
         pool.copy_back(arrays)
     elif reuse_pool:
@@ -817,7 +961,8 @@ def run_parallel_procedure(
                 )
 
             _exec_hybrid(
-                proc.body, dispatch, interp, env, wpool.views, out, deadline
+                proc.body, dispatch, interp, env, wpool.views, out, deadline,
+                blocked,
             )
             wpool.copy_back(arrays)
     else:
@@ -831,7 +976,8 @@ def run_parallel_procedure(
                 )
 
             _exec_hybrid(
-                proc.body, dispatch, interp, env, spool.views, out, deadline
+                proc.body, dispatch, interp, env, spool.views, out, deadline,
+                blocked,
             )
             spool.copy_back(arrays)
     out.wall_time = time.monotonic() - t_start

@@ -22,7 +22,7 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.ir.stmt import Block, Loop, Procedure
+from repro.ir.stmt import Loop, Procedure
 from repro.runtime.interp import Interpreter, InterpreterError, eval_bound
 
 
@@ -98,7 +98,6 @@ def run_doall_threads(
     the per-iteration locals a parallel runtime provides); arrays are shared,
     exactly as on the paper's shared-memory machine.
     """
-    interp = Interpreter()
     env: dict[str, int | float] = dict(scalars or {})
     loop = _outer_doall(proc)
     values = _iteration_values(loop, env, arrays)

@@ -19,14 +19,14 @@ dispatch counts, barrier counts and imbalance fall out of one simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable
 
 from repro.analysis.space import IterationSpace
-from repro.ir.expr import BinOp, Const, Var
+from repro.ir.expr import BinOp, Var
 from repro.ir.visitor import walk_exprs
 from repro.machine.params import MachineParams
 from repro.machine.simulator import simulate_loop
-from repro.machine.trace import ProcessorTrace, SimResult
+from repro.machine.trace import SimResult
 from repro.scheduling.policies import SchedulingPolicy, StaticBlock
 from repro.transforms.coalesce import recovery_expressions
 

@@ -18,7 +18,10 @@ Endpoints (JSON over HTTP, stdlib ``http.server`` only):
 * ``POST /compile`` — source (restricted Python or the mini-language) +
   options → program key (+ whether the artifact cache served it);
 * ``POST /run`` — program key + arrays/scalars → result arrays + measured
-  dispatch statistics;
+  dispatch statistics (accepts a ``safety`` mode; an enforce run whose
+  every dispatch is refused degrades to the serial build with the reason);
+* ``POST /lint`` — source → chunk-safety verdicts and findings
+  (:mod:`repro.lint`, schema ``repro.lint/v1``);
 * ``GET /healthz`` — liveness + resident-state summary;
 * ``GET /metrics`` — the unified :func:`repro.parallel.observe.metrics_snapshot`
   document (cache + dispatch + server counters).

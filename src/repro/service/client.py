@@ -93,6 +93,14 @@ class ServiceClient:
             },
         )
 
+    def lint(self, source: str, frontend: str = "auto", **options) -> dict:
+        """POST /lint; returns the structured chunk-safety report."""
+        return self._request(
+            "POST",
+            "/lint",
+            {"source": source, "frontend": frontend, "options": options},
+        )
+
     def run(
         self,
         key: str,

@@ -5,9 +5,11 @@ with a throwaway cache, then drives it through the client exactly like a
 real deployment: health check, compile a kernel twice (the second must be
 served from the artifact cache), run it on the mp backend — once with
 ``chunk_lang="c"`` when a compiler is available (asserting the native
-kernel path actually engaged) — and verify every served result
-bit-for-bit against a local serial run.  Exits nonzero on any failure,
-so CI can gate on it directly.
+kernel path actually engaged) — verify every served result
+bit-for-bit against a local serial run, and round-trip ``POST /lint``
+on a clean kernel and a seeded-race program (asserting the RACE001
+verdict comes back).  Exits nonzero on any failure, so CI can gate on
+it directly.
 """
 
 from __future__ import annotations
@@ -22,6 +24,14 @@ def scale2d(A, B, n, m):
     for i in range(1, n + 1):
         for j in range(1, m + 1):
             B[i, j] = 2.0 * A[i, j] + 1.0
+"""
+
+RACY = """
+procedure chase(A[1]; n)
+  doall i = 2, n
+    A(i) := A(i - 1) + 1.0
+  end
+end
 """
 
 N = M = 24
@@ -79,8 +89,17 @@ def main() -> int:
                 )
                 lang = native["chunk_lang"]
 
+            clean = client.lint(KERNEL)
+            assert clean["schema"] == "repro.lint/v1", clean
+            assert clean["ok"] and not clean["findings"], clean
+            dirty = client.lint(RACY)
+            assert not dirty["ok"], dirty
+            codes = {f["rule"] for f in dirty["findings"]}
+            assert "RACE001" in codes, dirty["findings"]
+
             metrics = client.metrics()
             assert metrics["schema"] == "repro.metrics/v1", metrics
+            assert metrics["server"]["lints"] >= 2, metrics["server"]
             assert metrics["cache"]["hits"] >= 1, metrics["cache"]
             assert metrics["server"]["runs"] >= 1, metrics["server"]
             assert "chunk_lang" in metrics["dispatch"], metrics["dispatch"]
@@ -94,6 +113,7 @@ def main() -> int:
                 f"{second['compile_s']:.4f} (cached), "
                 f"run engine={out['engine']} wall_s={out['wall_s']:.4f}, "
                 f"chunk_lang={lang}, "
+                f"lint verdicts ok={clean['ok']}/dirty={not dirty['ok']}, "
                 f"cache hits={metrics['cache']['hits']}"
             )
         finally:

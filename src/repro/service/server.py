@@ -11,7 +11,15 @@ Start it with ``python -m repro serve`` and talk JSON::
     curl -s localhost:8923/healthz
     curl -s -X POST localhost:8923/compile -d '{"source": "..."}'
     curl -s -X POST localhost:8923/run -d '{"key": "...", "arrays": {...}}'
+    curl -s -X POST localhost:8923/lint -d '{"source": "..."}'
     curl -s localhost:8923/metrics
+
+``POST /lint`` compiles the source exactly the way the mp backend would
+and returns the chunk-safety verifier's structured findings
+(:mod:`repro.lint`, schema ``repro.lint/v1``).  ``POST /run`` accepts a
+``safety`` option (``"off"``/``"warn"``/``"enforce"``); an enforce run
+whose every dispatch is refused degrades to the serial build with the
+refusal reason in the response.
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ import sys
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Mapping
 
@@ -188,6 +196,7 @@ class ReproServer(ThreadingHTTPServer):
             "compiles": 0,
             "compile_cache_hits": 0,
             "runs": 0,
+            "lints": 0,
             "errors": 0,
         }
         self._state_lock = threading.Lock()
@@ -285,6 +294,35 @@ class ReproServer(ThreadingHTTPServer):
             self.bump("compile_cache_hits")
         return program.describe()
 
+    def handle_lint(self, body: dict) -> dict:
+        source = body.get("source")
+        if not isinstance(source, str) or not source.strip():
+            raise RequestError(400, "body must carry a non-empty 'source'")
+        frontend = body.get("frontend", "auto")
+        if frontend == "auto":
+            frontend = (
+                "dsl" if source.lstrip().startswith("procedure") else "python"
+            )
+        if frontend not in ("python", "dsl"):
+            raise RequestError(400, f"unknown frontend {frontend!r}")
+        options = {"style": "ceiling", "depth": None, "triangular": False}
+        for name, value in (body.get("options") or {}).items():
+            if name not in options:
+                raise RequestError(400, f"unknown option {name!r}")
+            options[name] = value
+        from repro.lint.engine import lint_source
+
+        try:
+            report = lint_source(
+                source, frontend=frontend, cache=self.cache, **options
+            )
+        except RequestError:
+            raise
+        except Exception as exc:
+            raise RequestError(400, f"lint failed: {exc}") from exc
+        self.bump("lints")
+        return report.to_dict()
+
     def handle_run(self, body: dict) -> dict:
         key = body.get("key")
         program = self.programs.get(key) if isinstance(key, str) else None
@@ -307,6 +345,12 @@ class ReproServer(ThreadingHTTPServer):
                 f"chunk_lang must be 'auto', 'py', or 'c' (got {chunk_lang!r})",
             )
         timeout = body.get("timeout")
+        safety = body.get("safety")
+        if safety is not None and safety not in ("off", "warn", "enforce"):
+            raise RequestError(
+                400,
+                f"safety must be 'off', 'warn', or 'enforce' (got {safety!r})",
+            )
 
         t0 = time.perf_counter()
         stats: dict = {}
@@ -325,6 +369,7 @@ class ReproServer(ThreadingHTTPServer):
                         timeout=timeout,
                         log_events=bool(body.get("log_events", False)),
                         pool=pool,
+                        safety=safety,
                     )
                 engine = "mp-pool"
                 stats = {
@@ -333,13 +378,17 @@ class ReproServer(ThreadingHTTPServer):
                     "lock_ops": result.lock_ops,
                     "iterations": result.total_iterations,
                     "chunk_lang": result.chunk_lang,
+                    "safety": result.safety_mode,
+                    "blocked_dispatches": result.blocked_dispatches,
                 }
-            except ParallelDispatchError:
-                # Nothing dispatchable: degrade exactly like backend="mp"
-                # in-process — run the serial build, say so.
+            except ParallelDispatchError as exc:
+                # Nothing dispatchable (or safety=enforce refused every
+                # dispatch): degrade exactly like backend="mp" in-process —
+                # run the serial build, say why.
                 record_fallback()
                 program.serial.run(arrays, scalars)
                 engine = "serial-fallback"
+                stats = {"fallback_reason": f"{type(exc).__name__}: {exc}"}
             except (ParallelError, ValueError) as exc:
                 raise RequestError(400, f"run failed: {exc}") from exc
         elif backend == "c" and program.cbackend is not None:
@@ -449,6 +498,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(200, server.handle_compile(self._body()))
             elif method == "POST" and self.path == "/run":
                 self._send(200, server.handle_run(self._body()))
+            elif method == "POST" and self.path == "/lint":
+                self._send(200, server.handle_lint(self._body()))
             else:
                 raise RequestError(
                     404, f"no route {method} {self.path}"

@@ -33,7 +33,6 @@ from repro.analysis.doall import collect_accesses
 from repro.ir.expr import Var
 from repro.ir.stmt import Assign, Block, If, Loop, Procedure, Stmt
 from repro.ir.visitor import walk_exprs, walk_stmts
-from repro.transforms.base import TransformError
 
 
 def _stmt_scalar_reads(s: Stmt) -> set[str]:

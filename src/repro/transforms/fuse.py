@@ -25,8 +25,8 @@ from typing import Sequence
 from repro.analysis.dependence import DependenceTester, LoopInfo
 from repro.analysis.doall import collect_accesses
 from repro.ir.expr import Var
-from repro.ir.stmt import Assign, Block, If, Loop, Procedure, Stmt
-from repro.ir.visitor import transform_exprs, walk_exprs, walk_stmts
+from repro.ir.stmt import Block, If, Loop, Procedure, Stmt
+from repro.ir.visitor import transform_exprs
 from repro.transforms.base import TransformError
 from repro.transforms.distribute import _stmt_scalar_reads, _stmt_scalar_writes
 

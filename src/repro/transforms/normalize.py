@@ -18,7 +18,6 @@ from __future__ import annotations
 from repro.ir.expr import Const, Expr, Var, add, floor_div, mul, sub
 from repro.ir.simplify import simplify
 from repro.ir.stmt import Block, If, Loop, Procedure, Stmt
-from repro.ir.visitor import substitute
 from repro.transforms.base import TransformError
 
 

@@ -41,14 +41,13 @@ from repro.ir.expr import (
     Const,
     Expr,
     Var,
-    ceil_div,
     floor_div,
     max_,
     mul,
     sub,
 )
 from repro.ir.simplify import simplify
-from repro.ir.stmt import Assign, Block, If, Loop, LoopKind, Stmt
+from repro.ir.stmt import Assign, Block, If, Loop, LoopKind
 from repro.ir.visitor import free_vars, substitute
 from repro.transforms.base import TransformError, fresh_name, used_names
 from repro.transforms.coalesce import recovery_expressions

@@ -12,9 +12,11 @@ from repro.workloads.kernels import (
     stencil3d,
 )
 from repro.workloads.gauss import gauss_jordan, gauss_reference
-from repro.workloads.shapes import WORKLOADS, get_workload
+from repro.workloads.racy import racy_flow, racy_overlap, racy_scalar
+from repro.workloads.shapes import RACY_WORKLOADS, WORKLOADS, get_workload
 
 __all__ = [
+    "RACY_WORKLOADS",
     "WORKLOADS",
     "Workload",
     "floyd_warshall",
@@ -26,6 +28,9 @@ __all__ = [
     "mark_nest",
     "matmul",
     "pi_partial_sums",
+    "racy_flow",
+    "racy_overlap",
+    "racy_scalar",
     "saxpy2d",
     "stencil3d",
 ]

@@ -80,7 +80,6 @@ def matmul() -> Workload:
         return {name: (n + 1, n + 1) for name in "ABC"}
 
     def reference(arrays, sc):
-        n = sc["n"]
         a = arrays["A"][1:, 1:]
         b = arrays["B"][1:, 1:]
         arrays["C"][1:, 1:] = a @ b

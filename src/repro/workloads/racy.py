@@ -1,0 +1,103 @@
+"""Seeded racy workloads: counter-examples the safety verifier must catch.
+
+Each procedure below *claims* DOALL on a loop that is not legal to
+dispatch — the claims are deliberate lies, exercising one rule each:
+
+============== =======  =============================================
+racy_flow      RACE001  carried flow dependence (A(i) from A(i-1))
+racy_overlap   RACE002  cross-chunk write overlap (i dropped from the
+                        write subscript, so every i writes B(j))
+racy_scalar    PRIV002  non-private scalar (a running accumulator)
+============== =======  =============================================
+
+They are registered in :data:`repro.workloads.shapes.RACY_WORKLOADS`
+(kept out of ``WORKLOADS`` so benches and round-trip tests never run
+them in parallel by accident).  The ``reference`` oracles implement the
+*serial* semantics, which is what an enforced (serial-fallback) run and
+the dynamic shadow validator compare against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frontend.dsl import parse
+from repro.workloads.kernels import Workload
+
+
+def racy_flow() -> Workload:
+    """First-order recurrence mislabelled DOALL: RACE001."""
+    p = parse(
+        """
+        procedure racy_flow(A[1]; n)
+          doall i = 2, n
+            A(i) := A(i - 1) + 1.0
+          end
+        end
+        """
+    )
+
+    def sizes(sc):
+        return {"A": (sc["n"] + 1,)}
+
+    def reference(arrays, sc):
+        n = sc["n"]
+        a = arrays["A"]
+        for i in range(2, n + 1):
+            a[i] = a[i - 1] + 1.0
+
+    return Workload("racy_flow", p, sizes, {"n": 64}, reference)
+
+
+def racy_overlap() -> Workload:
+    """The outer index is missing from the write subscript: RACE002.
+
+    Every iteration of ``i`` writes the same row of ``B``, so two claimed
+    chunks of the (coalesced) range collide on identical elements.
+    Serially the last writer (``i = n``) wins.
+    """
+    p = parse(
+        """
+        procedure racy_overlap(A[2], B[1]; n, m)
+          doall i = 1, n
+            doall j = 1, m
+              B(j) := A(i, j)
+            end
+          end
+        end
+        """
+    )
+
+    def sizes(sc):
+        return {"A": (sc["n"] + 1, sc["m"] + 1), "B": (sc["m"] + 1,)}
+
+    def reference(arrays, sc):
+        n, m = sc["n"], sc["m"]
+        arrays["B"][1 : m + 1] = arrays["A"][n, 1 : m + 1]
+
+    return Workload("racy_overlap", p, sizes, {"n": 8, "m": 32}, reference)
+
+
+def racy_scalar() -> Workload:
+    """A running accumulator carried across iterations: PRIV002."""
+    p = parse(
+        """
+        procedure racy_scalar(A[1], T[1]; n, acc)
+          doall i = 1, n
+            acc := acc + A(i)
+            T(i) := acc
+          end
+        end
+        """
+    )
+
+    def sizes(sc):
+        return {"A": (sc["n"] + 1,), "T": (sc["n"] + 1,)}
+
+    def reference(arrays, sc):
+        n = sc["n"]
+        arrays["T"][1 : n + 1] = sc.get("acc", 0) + np.cumsum(
+            arrays["A"][1 : n + 1]
+        )
+
+    return Workload("racy_scalar", p, sizes, {"n": 48, "acc": 0}, reference)

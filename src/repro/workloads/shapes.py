@@ -14,6 +14,7 @@ from repro.workloads.kernels import (
     saxpy2d,
     stencil3d,
 )
+from repro.workloads.racy import racy_flow, racy_overlap, racy_scalar
 
 WORKLOADS: dict[str, Callable[[], Workload]] = {
     "matmul": matmul,
@@ -25,13 +26,21 @@ WORKLOADS: dict[str, Callable[[], Workload]] = {
     "floyd": floyd_warshall,
 }
 
+#: Deliberately-illegal DOALL claims (see :mod:`repro.workloads.racy`).
+#: Kept out of ``WORKLOADS`` so benches and round-trip tests never run
+#: them in parallel; resolvable by name everywhere via
+#: :func:`get_workload`.
+RACY_WORKLOADS: dict[str, Callable[[], Workload]] = {
+    "racy_flow": racy_flow,
+    "racy_overlap": racy_overlap,
+    "racy_scalar": racy_scalar,
+}
+
 
 def get_workload(name: str) -> Workload:
-    """Instantiate a registered workload by name."""
-    try:
-        factory = WORKLOADS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
-        ) from None
+    """Instantiate a registered workload (racy counter-examples too)."""
+    factory = WORKLOADS.get(name) or RACY_WORKLOADS.get(name)
+    if factory is None:
+        known = sorted(WORKLOADS) + sorted(RACY_WORKLOADS)
+        raise ValueError(f"unknown workload {name!r}; known: {known}")
     return factory()

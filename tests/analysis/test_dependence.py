@@ -178,3 +178,143 @@ class TestAgainstBruteForce:
         truth = brute_force_directions(aref(src), aref(sink), loops)
         missing = truth - got
         assert not missing, f"tester missed real dependences: {missing}"
+
+
+class TestSymbolicBounds:
+    """Unbounded LoopInfo (symbolic bounds): sound, never crashing.
+
+    A ``None`` bound means the tester cannot see the extent at all —
+    every answer must over-approximate the bounded truth, and the
+    interval arithmetic must not melt down on infinities (the vertex
+    method would compute ``inf - inf``).
+    """
+
+    def test_unbounded_same_subscript(self):
+        loops = [LoopInfo("i", 1, None)]
+        t = DependenceTester(loops)
+        assert t.feasible_directions(aref("A(i)"), aref("A(i)")) == [("=",)]
+
+    def test_unbounded_shift_keeps_exact_direction(self):
+        loops = [LoopInfo("i", 1, None)]
+        t = DependenceTester(loops)
+        dirs = t.feasible_directions(aref("A(i)"), aref("A(i - 1)"))
+        assert ("<",) in dirs
+        assert ("=",) not in dirs  # i = i' - 1 has no equal solution
+
+    def test_unbounded_superset_of_bounded(self):
+        # Whatever a finite extent admits, the symbolic extent must too.
+        for src, sink in TestAgainstBruteForce.PAIRS:
+            bounded = DependenceTester(
+                [LoopInfo("i", 1, 6), LoopInfo("j", 1, 6)]
+            )
+            unbounded = DependenceTester(
+                [LoopInfo("i", 1, None), LoopInfo("j", 1, None)]
+            )
+            got_b = set(bounded.feasible_directions(aref(src), aref(sink)))
+            got_u = set(unbounded.feasible_directions(aref(src), aref(sink)))
+            assert got_b <= got_u, (src, sink, got_b - got_u)
+
+    def test_no_lower_bound_either(self):
+        loops = [LoopInfo("i", None, None)]
+        t = DependenceTester(loops)
+        dirs = t.feasible_directions(aref("A(i)"), aref("A(i + 3)"))
+        assert (">",) in dirs
+
+    def test_gcd_still_refutes_unbounded(self):
+        # Parity argument needs no bounds: 2i is even, 2i' + 1 is odd.
+        loops = [LoopInfo("i", 1, None)]
+        t = DependenceTester(loops)
+        assert t.feasible_directions(aref("A(2 * i)"), aref("A(2 * i + 1)")) == []
+
+
+class TestNegativeStride:
+    """Affine subscripts with negative coefficients (reversed traversal)."""
+
+    def test_reversal_crosses_at_midpoint(self):
+        loops = [LoopInfo("i", 1, 9)]
+        t = DependenceTester(loops)
+        got = set(t.feasible_directions(aref("A(10 - i)"), aref("A(i)")))
+        truth = brute_force_directions(aref("A(10 - i)"), aref("A(i)"), loops)
+        assert truth <= got
+
+    def test_disjoint_reversed_halves(self):
+        # 5 - i over i in 1..2 hits {3, 4}; i + 10 hits {11, 12}: disjoint.
+        loops = [LoopInfo("i", 1, 2)]
+        t = DependenceTester(loops)
+        assert t.feasible_directions(aref("A(5 - i)"), aref("A(i + 10)")) == []
+
+    def test_negative_coefficient_exceeding_range(self):
+        loops = [LoopInfo("i", 1, 4)]
+        t = DependenceTester(loops)
+        # -2i + 100 ranges over {92..98}; 2i over {2..8}: no overlap.
+        assert t.feasible_directions(aref("A(100 - 2 * i)"), aref("A(2 * i)")) == []
+
+    @pytest.mark.parametrize(
+        "src,sink",
+        [
+            ("A(8 - i)", "A(i)"),
+            ("A(7 - 2 * i)", "A(i + 1)"),
+            ("A(6 - i, j)", "A(i, 7 - j)"),
+        ],
+    )
+    def test_never_misses_reversed_dependences(self, src, sink):
+        loops = [LoopInfo("i", 1, 6), LoopInfo("j", 1, 6)]
+        t = DependenceTester(loops)
+        got = set(t.feasible_directions(aref(src), aref(sink)))
+        truth = brute_force_directions(aref(src), aref(sink), loops)
+        assert truth <= got
+
+
+class TestCoupledSubscripts:
+    """Dimensions sharing index variables (A[i+j, i-j] and friends).
+
+    The per-dimension tester intersects direction sets across dimensions;
+    coupling is where that intersection does real work — and where a
+    naive per-dimension union would hallucinate or miss dependences.
+    """
+
+    def test_rotated_diagonal_self(self):
+        loops = [LoopInfo("i", 1, 6), LoopInfo("j", 1, 6)]
+        t = DependenceTester(loops)
+        src, sink = aref("A(i + j, i - j)"), aref("A(i + j, i - j)")
+        got = set(t.feasible_directions(src, sink))
+        truth = brute_force_directions(src, sink, loops)
+        # i+j and i-j jointly determine (i, j): only the equal vector.
+        assert truth == {("=", "=")}
+        assert truth <= got
+
+    def test_rotated_against_shifted(self):
+        loops = [LoopInfo("i", 1, 6), LoopInfo("j", 1, 6)]
+        t = DependenceTester(loops)
+        src = aref("A(i + j, i - j)")
+        sink = aref("A(i + j + 1, i - j - 1)")
+        got = set(t.feasible_directions(src, sink))
+        truth = brute_force_directions(src, sink, loops)
+        assert truth <= got
+        # Solving the coupled system: i' = i, j' = j - 1.
+        assert ("=", ">") in got
+
+    def test_coupling_refutes_parity(self):
+        # (i+j) + (i-j) = 2i is even; sink asks dim0 + dim1 to sum odd.
+        loops = [LoopInfo("i", 1, 20), LoopInfo("j", 1, 20)]
+        t = DependenceTester(loops)
+        src = aref("A(i + j, i - j)")
+        sink = aref("A(i + j, i - j + 1)")
+        truth = brute_force_directions(src, sink, loops)
+        assert truth == set()
+
+    @pytest.mark.parametrize(
+        "src,sink",
+        [
+            ("A(i + j, i - j)", "A(i + j, i - j)"),
+            ("A(i + j, i - j)", "A(i + j + 2, i - j)"),
+            ("A(i + j, j)", "A(j + 3, i)"),
+            ("A(2 * i + j, i)", "A(i + j, j)"),
+        ],
+    )
+    def test_coupled_never_misses(self, src, sink):
+        loops = [LoopInfo("i", 1, 5), LoopInfo("j", 1, 5)]
+        t = DependenceTester(loops)
+        got = set(t.feasible_directions(aref(src), aref(sink)))
+        truth = brute_force_directions(aref(src), aref(sink), loops)
+        assert truth <= got

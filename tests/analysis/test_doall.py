@@ -1,6 +1,5 @@
 """Unit tests for DOALL classification and auto-tagging."""
 
-import pytest
 
 from repro.analysis.doall import (
     classify_loop,

@@ -1,6 +1,5 @@
 """Unit tests for the analysis summary / diagnostics report."""
 
-import pytest
 
 from repro.analysis.summary import analyze_procedure
 from repro.frontend.dsl import parse

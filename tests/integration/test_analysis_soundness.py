@@ -18,9 +18,9 @@ import numpy as np
 from hypothesis import given, settings
 
 from repro.analysis.doall import mark_doall
-from repro.ir.builder import assign, block, proc, ref, v
+from repro.ir.builder import assign, ref, v
 from repro.ir.expr import BinOp, Const, Expr, Var
-from repro.ir.stmt import Assign, Block, Loop, LoopKind, Procedure
+from repro.ir.stmt import Block, Loop, LoopKind, Procedure
 from repro.ir.validate import validate
 from repro.ir.visitor import collect_loops
 from repro.runtime.interp import Interpreter

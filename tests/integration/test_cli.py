@@ -179,6 +179,48 @@ class TestMPBackendCLI:
         out = capsys.readouterr().out
         assert "measured schedule" in out and "P0" in out
 
+    def test_run_enforce_safe_workload(self, capsys):
+        assert (
+            main(
+                [
+                    "--workload", "saxpy2d", "--run", "--backend", "mp",
+                    "--workers", "2", "--safety", "enforce",
+                ]
+            )
+            == 0
+        )
+        assert "results match serial: True" in capsys.readouterr().out
+
+    def test_run_enforce_racy_workload_fails(self, capsys):
+        # Skip the analyze pass so the lying DOALL claim survives to the
+        # runtime: the safety gate must refuse it with the rule code.
+        assert (
+            main(
+                [
+                    "--workload", "racy_flow", "--run", "--backend", "mp",
+                    "--workers", "2", "--safety", "enforce",
+                    "--passes", "normalize,distribute,coalesce",
+                ]
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert "safety=enforce refused" in err and "RACE001" in err
+
+    def test_run_warn_racy_workload_reports_but_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "--workload", "racy_flow", "--run", "--backend", "mp",
+                    "--workers", "2", "--safety", "warn",
+                    "--passes", "normalize,distribute,coalesce",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "safety: " in captured.err and "RACE001" in captured.err
+
     def test_workload_without_run_emits_transform(self, capsys):
         assert main(["--workload", "saxpy2d"]) == 0
         assert "doall i_flat" in capsys.readouterr().out

@@ -8,7 +8,6 @@ covered.
 import pathlib
 import runpy
 
-import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
 
@@ -16,6 +15,17 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
 def run_example(name: str, capsys) -> str:
     runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
     return capsys.readouterr().out
+
+
+class TestExampleSources:
+    def test_loop_examples_lint_clean(self, capsys):
+        from repro.lint.cli import lint_main
+
+        files = sorted(EXAMPLES_DIR.glob("*.loop"))
+        assert files, "examples/ must ship .loop sources for the lint smoke"
+        assert lint_main([str(f) for f in files] + ["--triangular"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == len(files)
 
 
 class TestExamples:

@@ -10,19 +10,12 @@ import hypothesis.strategies as st
 import numpy as np
 from hypothesis import given, settings
 
-from repro.ir.builder import assign, block, proc, ref, v
+from repro.ir.builder import assign, block, ref
 from repro.ir.expr import BinOp, Const, Expr, Var
 from repro.ir.stmt import Block, Loop, LoopKind, Procedure
 from repro.ir.validate import validate
 from repro.runtime.equivalence import assert_equivalent
-from repro.transforms import (
-    TransformError,
-    block_recovered_loop,
-    coalesce,
-    coalesce_procedure,
-    distribute_procedure,
-    strip_mine,
-)
+from repro.transforms import block_recovered_loop, coalesce, coalesce_procedure, distribute_procedure, strip_mine
 from repro.transforms.normalize import normalize_procedure
 
 MAX_DEPTH = 3

@@ -1,6 +1,6 @@
 """Unit tests for the pretty-printer."""
 
-from repro.ir.builder import assign, block, c, doall, if_, proc, ref, serial, v
+from repro.ir.builder import assign, c, doall, if_, proc, ref, serial, v
 from repro.ir.expr import BinOp, Const, Unary, Var, ceil_div, floor_div, mod
 from repro.ir.printer import expr_to_source, to_source
 

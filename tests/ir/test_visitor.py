@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.ir.builder import assign, block, c, doall, if_, proc, ref, serial, v
+from repro.ir.builder import assign, c, doall, if_, proc, ref, serial, v
 from repro.ir.expr import ArrayRef, BinOp, Const, Var
-from repro.ir.stmt import Block
 from repro.ir.visitor import (
     collect_array_refs,
     collect_loops,

@@ -1,0 +1,142 @@
+"""repro.lint: the engine, the rule registry, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.ir.printer import to_source
+from repro.lint import (
+    LINT_SCHEMA,
+    RULE_DOCS,
+    explain,
+    lint_procedure,
+    lint_source,
+)
+from repro.lint.cli import lint_main
+from repro.workloads import WORKLOADS
+
+
+def workload_source(name: str) -> str:
+    from repro.workloads import get_workload
+
+    return to_source(get_workload(name).proc)
+
+
+class TestRules:
+    def test_every_rule_documented(self):
+        from repro.analysis.safety import RULES
+
+        assert set(RULE_DOCS) == set(RULES)
+        for code, doc in RULE_DOCS.items():
+            assert doc.code == code
+            assert doc.title and doc.description
+
+    def test_explain_known_and_unknown(self):
+        text = explain("RACE001")
+        assert "RACE001" in text and "flow" in text
+        assert "unknown rule" in explain("NOPE999")
+
+
+class TestEngine:
+    def test_clean_source_ok(self):
+        report = lint_source(workload_source("matmul"), frontend="dsl")
+        assert report.ok
+        assert report.findings == []
+        assert "OK" in report.format()
+
+    @pytest.mark.parametrize(
+        "name,code",
+        [
+            ("racy_flow", "RACE001"),
+            ("racy_overlap", "RACE002"),
+            ("racy_scalar", "PRIV002"),
+        ],
+    )
+    def test_racy_source_flagged(self, name, code):
+        report = lint_source(workload_source(name), frontend="dsl")
+        assert not report.ok
+        assert code in {f.rule for f in report.errors}
+        rendered = report.format()
+        assert code in rendered and "hint:" in rendered
+
+    def test_lints_claimed_tags_not_reanalysis(self):
+        # The engine must audit what the runtime would dispatch: a racy
+        # loop *claimed* DOALL stays DOALL through the lint pipeline
+        # (mark_doall would demote it and hide the bug report).
+        report = lint_source(workload_source("racy_flow"), frontend="dsl")
+        assert report.safety.loops, "claimed DOALL must reach the verifier"
+
+    def test_to_dict_schema(self):
+        report = lint_source(workload_source("racy_flow"), frontend="dsl")
+        d = report.to_dict()
+        assert d["schema"] == LINT_SCHEMA
+        assert d["procedure"] == "racy_flow"
+        assert d["ok"] is False
+        assert d["findings"] and d["loops"]
+
+    def test_lint_procedure_direct(self):
+        report = lint_procedure(WORKLOADS["saxpy2d"]().proc)
+        assert report.ok
+
+    def test_python_frontend(self):
+        src = (
+            "def scale(A, B, n):\n"
+            "    for i in range(1, n + 1):\n"
+            "        B[i] = 2.0 * A[i]\n"
+        )
+        report = lint_source(src, frontend="python")
+        assert report.ok
+
+
+class TestCLI:
+    def test_workload_clean_exit_zero(self, capsys):
+        assert lint_main(["--workload", "gauss_jordan"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_racy_enforce_exit_one(self, capsys):
+        assert lint_main(["--workload", "racy_flow"]) == 1
+        out = capsys.readouterr().out
+        assert "RACE001" in out and "hint:" in out
+
+    def test_racy_warn_exit_zero(self, capsys):
+        assert lint_main(["--workload", "racy_flow", "--safety", "warn"]) == 0
+        assert "RACE001" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        assert lint_main(["--workload", "racy_scalar", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["input"] == "racy_scalar"
+        assert payload[0]["schema"] == LINT_SCHEMA
+        assert {f["rule"] for f in payload[0]["findings"]} == {"PRIV002"}
+
+    def test_file_input(self, tmp_path, capsys):
+        f = tmp_path / "mm.loop"
+        f.write_text(workload_source("matmul"))
+        assert lint_main([str(f)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_multiple_inputs_any_dirty_fails(self, tmp_path):
+        f = tmp_path / "mm.loop"
+        f.write_text(workload_source("matmul"))
+        assert lint_main([str(f), "--workload", "racy_flow"]) == 1
+
+    def test_explain_flag(self, capsys):
+        assert lint_main(["--explain", "PRIV002"]) == 0
+        assert "PRIV002" in capsys.readouterr().out
+
+    def test_usage_errors(self, capsys):
+        assert lint_main([]) == 2
+        assert lint_main(["--workload", "no_such_workload"]) == 2
+        capsys.readouterr()
+
+    def test_parse_error_is_usage_error(self, tmp_path, capsys):
+        f = tmp_path / "broken.loop"
+        f.write_text("procedure nope(\n")
+        assert lint_main([str(f)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_module_routing(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--workload", "saxpy2d"]) == 0
+        assert "OK" in capsys.readouterr().out

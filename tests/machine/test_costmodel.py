@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.frontend.dsl import parse, parse_expr
-from repro.ir.builder import assign, block, c, doall, if_, proc, ref, serial, v
+from repro.frontend.dsl import parse_expr
+from repro.ir.builder import assign, block, c, doall, if_, ref, serial, v
 from repro.machine.costmodel import (
     CostModelError,
     CostWeights,

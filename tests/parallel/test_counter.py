@@ -4,13 +4,7 @@ import multiprocessing
 
 import pytest
 
-from repro.parallel.counter import (
-    POLICY_ALIASES,
-    SharedClaimCounter,
-    chunk_size,
-    policy_plan,
-    resolve_policy,
-)
+from repro.parallel.counter import SharedClaimCounter, chunk_size, policy_plan, resolve_policy
 from repro.scheduling.policies import (
     ChunkSelfScheduled,
     GuidedSelfScheduled,

@@ -3,7 +3,6 @@
 import pickle
 
 import numpy as np
-import pytest
 
 from repro.parallel.shm import (
     SEGMENT_PREFIX,

@@ -7,8 +7,8 @@ gcc is available.
 import numpy as np
 import pytest
 
-from repro.codegen.cgen import CGenError, generate_c
-from repro.codegen.cload import CCompileError, compile_c_procedure, have_compiler
+from repro.codegen.cgen import generate_c
+from repro.codegen.cload import compile_c_procedure, have_compiler
 from repro.frontend import parse
 from repro.ir.builder import assign, block, c, doall, proc, ref, serial, v
 from repro.runtime.equivalence import copy_env, random_env

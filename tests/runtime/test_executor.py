@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.ir.builder import assign, block, c, doall, proc, ref, serial, v
+from repro.ir.builder import assign, c, doall, proc, ref, serial, v
 from repro.runtime.equivalence import assert_equivalent, copy_env, random_env
 from repro.runtime.executor import (
     run_doall_serial,

@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.ir.builder import assign, block, c, doall, if_, proc, ref, serial, v
+from repro.ir.builder import assign, c, if_, proc, ref, serial, v
 from repro.ir.expr import BinOp, Call, Unary
-from repro.runtime.interp import Interpreter, InterpreterError, run
+from repro.runtime.interp import InterpreterError, run
 
 
 class TestBasics:

@@ -3,17 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.ir.builder import assign, block, c, doall, proc, ref, serial, v
+from repro.ir.builder import assign, c, doall, proc, ref, serial, v
 from repro.runtime.equivalence import copy_env, random_env
 from repro.runtime.interp import InterpreterError, run
-from repro.runtime.selfsched import (
-    FetchAddCounter,
-    SelfSchedStats,
-    fixed_chunks,
-    guided_chunks,
-    run_self_scheduled,
-    unit_chunks,
-)
+from repro.runtime.selfsched import FetchAddCounter, fixed_chunks, guided_chunks, run_self_scheduled, unit_chunks
 from repro.transforms import coalesce_procedure
 from repro.workloads import get_workload, make_env
 

@@ -1,6 +1,5 @@
 """Unit and property tests for processor allocation."""
 
-import math
 
 import hypothesis.strategies as st
 import pytest

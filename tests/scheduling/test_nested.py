@@ -14,7 +14,7 @@ from repro.scheduling.nested import (
     simulate_outer_only,
     simulate_sequential,
 )
-from repro.scheduling.policies import SelfScheduled, StaticBlock
+from repro.scheduling.policies import SelfScheduled
 
 P8 = MachineParams(processors=8, dispatch_cost=20, barrier_cost=100, loop_overhead=2)
 

@@ -27,6 +27,14 @@ procedure saxpy(X[1], Y[1]; n)
 end
 """
 
+RACY_KERNEL = """
+procedure chase(A[1]; n)
+  doall i = 2, n
+    A(i) := A(i - 1) + 1.0
+  end
+end
+"""
+
 N = M = 12
 
 
@@ -98,6 +106,58 @@ class TestEndpoints:
         )
         assert out["engine"] in ("mp-pool", "serial-fallback")
         assert np.array_equal(out["arrays"]["B"], expected_from(A))
+
+    def test_lint_clean_source(self, service):
+        client, _ = service
+        out = client.lint(DSL_KERNEL)
+        assert out["schema"] == "repro.lint/v1"
+        assert out["procedure"] == "saxpy"
+        assert out["ok"] is True
+        assert out["findings"] == []
+
+    def test_lint_racy_source_flagged(self, service):
+        client, _ = service
+        out = client.lint(RACY_KERNEL)
+        assert out["ok"] is False
+        assert "RACE001" in {f["rule"] for f in out["findings"]}
+
+    def test_lint_counts_in_metrics(self, service):
+        client, _ = service
+        client.lint(DSL_KERNEL)
+        client.lint(RACY_KERNEL)
+        assert client.metrics()["server"]["lints"] == 2
+
+    def test_run_mp_enforce_safe_kernel_dispatches(self, service):
+        client, _ = service
+        key = client.compile(PY_KERNEL, backend="mp")["key"]
+        A, B = env()
+        out = client.run(
+            key,
+            {"A": A, "B": B},
+            {"n": N, "m": M},
+            workers=2,
+            backend="mp",
+            safety="enforce",
+        )
+        assert np.array_equal(out["arrays"]["B"], expected_from(A))
+        if out["engine"] == "mp-pool":
+            assert out["safety"] == "enforce"
+            assert out["blocked_dispatches"] == 0
+
+    def test_run_mp_enforce_racy_kernel_falls_back_serial(self, service):
+        client, _ = service
+        # analyze=False keeps the lying DOALL claim (mark_doall would
+        # demote it); the safety gate is the last line of defense.
+        key = client.compile(RACY_KERNEL, backend="mp", analyze=False)["key"]
+        n = 32
+        A = np.zeros(n + 1)
+        out = client.run(
+            key, {"A": A}, {"n": n}, workers=2, backend="mp", safety="enforce"
+        )
+        # Refused dispatch, serial rerun: exact recurrence semantics.
+        assert out["engine"] == "serial-fallback"
+        assert "RACE001" in out["fallback_reason"]
+        assert np.allclose(out["arrays"]["A"][2:], np.arange(1, n))
 
     def test_metrics_schema(self, service):
         client, _ = service
@@ -193,4 +253,32 @@ class TestErrors:
         key = client.compile(PY_KERNEL)["key"]
         with pytest.raises(ServiceError) as err:
             client.run(key, {"Z": np.zeros((2, 2))}, {"n": 1, "m": 1})
+        assert err.value.status == 400
+
+    def test_run_rejects_unknown_safety_mode(self, service):
+        client, _ = service
+        key = client.compile(PY_KERNEL)["key"]
+        A, B = env()
+        with pytest.raises(ServiceError) as err:
+            client.run(
+                key, {"A": A, "B": B}, {"n": N, "m": M}, safety="paranoid"
+            )
+        assert err.value.status == 400
+
+    def test_lint_requires_source(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError) as err:
+            client._request("POST", "/lint", {"frontend": "dsl"})
+        assert err.value.status == 400
+
+    def test_lint_rejects_unknown_option(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError) as err:
+            client.lint(DSL_KERNEL, bogus=True)
+        assert err.value.status == 400
+
+    def test_lint_rejects_broken_source(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError) as err:
+            client.lint("procedure nope(\n")
         assert err.value.status == 400

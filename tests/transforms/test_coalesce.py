@@ -13,7 +13,6 @@ from repro.ir.stmt import LoopKind
 from repro.ir.validate import validate
 from repro.runtime.equivalence import assert_equivalent
 from repro.runtime.executor import run_doall_shuffled
-from repro.runtime.interp import run
 from repro.transforms.base import TransformError
 from repro.transforms.coalesce import (
     coalesce,

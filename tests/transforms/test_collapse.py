@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.ir.builder import assign, block, c, doall, proc, ref, serial, v
+from repro.ir.builder import assign, c, doall, proc, ref, serial, v
 from repro.ir.expr import Const
 from repro.ir.validate import validate
 from repro.runtime.equivalence import random_env

@@ -1,10 +1,9 @@
 """Unit tests for loop distribution (fission)."""
 
-import pytest
 
 from repro.frontend.dsl import parse
-from repro.ir import to_source, validate
-from repro.ir.builder import assign, block, c, doall, proc, ref, serial, v
+from repro.ir import validate
+from repro.ir.builder import assign, c, doall, proc, ref, serial, v
 from repro.ir.visitor import collect_loops
 from repro.runtime.equivalence import assert_equivalent
 from repro.transforms.coalesce import coalesce_procedure

@@ -4,7 +4,7 @@ import pytest
 
 from repro.frontend.dsl import parse
 from repro.ir import validate
-from repro.ir.builder import assign, block, c, doall, proc, ref, serial, v
+from repro.ir.builder import assign, c, doall, proc, ref, serial, v
 from repro.ir.visitor import collect_loops
 from repro.runtime.equivalence import assert_equivalent
 from repro.transforms.base import TransformError

@@ -1,6 +1,5 @@
 """Unit tests for loop normalization."""
 
-import numpy as np
 import pytest
 
 from repro.ir.builder import assign, c, doall, proc, ref, serial, v

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ir.builder import assign, block, c, doall, proc, ref, v
+from repro.ir.builder import assign, c, doall, proc, ref, v
 from repro.ir.stmt import Block, Procedure
 from repro.ir.validate import ValidationError
 from repro.runtime.equivalence import assert_equivalent

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.ir.builder import assign, block, c, doall, proc, ref, v
-from repro.ir.expr import BinOp, Const, Var
+from repro.ir.expr import BinOp, Const
 from repro.ir.validate import validate
 from repro.ir.visitor import walk_exprs
 from repro.runtime.equivalence import assert_equivalent

@@ -6,9 +6,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.ir.builder import assign, block, c, doall, proc, ref, serial, v
-from repro.ir.expr import Call, Const, Var
 from repro.ir.validate import validate
-from repro.ir.visitor import walk_exprs
 from repro.runtime.equivalence import assert_equivalent
 from repro.runtime.interp import Interpreter
 from repro.transforms.base import TransformError

@@ -37,6 +37,8 @@ RACE001   carried flow dependence (write, then read, across chunks)
 RACE002   cross-chunk write overlap (two iterations write one element)
 RACE003   carried anti dependence (read, then overwrite, across chunks)
 PRIV002   unproven-private scalar (live into an iteration that writes it)
+SPEC001   dynamically provable (informational: the runtime inspector of
+          ``safety=speculate`` can decide this dispatch exactly)
 ========  ============================================================
 
 Everything here is conservative in the safe direction: recognition
@@ -65,8 +67,10 @@ __all__ = [
     "RULES",
     "SafetyFinding",
     "SafetyReport",
+    "array_access_sets",
     "collect_guarded_accesses",
     "dispatchable",
+    "inspector_eligible",
     "verify_procedure",
 ]
 
@@ -76,6 +80,7 @@ RULES: dict[str, str] = {
     "RACE002": "cross-chunk write overlap",
     "RACE003": "carried anti dependence",
     "PRIV002": "unproven-private scalar",
+    "SPEC001": "dynamically provable",
 }
 
 _HINTS: dict[str, str] = {
@@ -95,6 +100,11 @@ _HINTS: dict[str, str] = {
     "PRIV002": (
         "the scalar is live into an iteration that also writes it; assign "
         "it from loop-local values before every use, or drop it to serial"
+    ),
+    "SPEC001": (
+        "no array is both written and read and every scalar is provably "
+        "private, so a subscript-only runtime inspector decides this "
+        "dispatch exactly; run with safety=speculate"
     ),
 }
 
@@ -123,7 +133,7 @@ class SafetyFinding:
     """One structured diagnostic from the verifier."""
 
     rule: str
-    severity: str  # "error" | "warning"
+    severity: str  # "error" | "warning" | "info"
     loop_var: str  # the dispatched loop's index variable
     message: str
     hint: str
@@ -180,12 +190,16 @@ class SafetyReport:
 
     ``by_id`` maps ``id(loop)`` of each dispatchable loop *in the exact
     procedure object verified* to its verdict, so the runtime can gate a
-    dispatch without re-walking the tree.
+    dispatch without re-walking the tree.  ``dynamic`` collects the
+    runtime certificates (:class:`repro.parallel.speculate.SpecCertificate`)
+    a ``safety=speculate`` run appends after inspecting or speculating a
+    statically-unproven dispatch.
     """
 
     procedure: str
     loops: tuple[LoopSafety, ...]
     by_id: dict[int, LoopSafety] = field(default_factory=dict, repr=False)
+    dynamic: list[object] = field(default_factory=list, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -215,6 +229,8 @@ class SafetyReport:
             for f in v.findings:
                 lines.append(f"    {f.format()}")
                 lines.append(f"      hint: {f.hint}")
+        for cert in self.dynamic:
+            lines.append(f"  {cert}")
         return "\n".join(lines)
 
 
@@ -614,6 +630,70 @@ def _common_prefix(a: tuple[Loop, ...], b: tuple[Loop, ...]) -> int:
     return k
 
 
+def array_access_sets(stmts: Iterable[Stmt]) -> tuple[set[str], set[str]]:
+    """``(written, read)`` array *names* touched anywhere in ``stmts``.
+
+    Reads include subscript expressions, guard conditions, loop bounds
+    and assignment right-hand sides — everything except the written
+    reference itself.  Name-level (not element-level): this is the
+    eligibility test for the runtime inspector, which is exact only when
+    ``written & read`` is empty (then every value an iteration consumes
+    is loop-invariant, so subscript-only inspection sees the same
+    addresses any interleaving would produce).
+    """
+    written: set[str] = set()
+    read: set[str] = set()
+
+    def reads_of(e: Expr) -> None:
+        stack = [e]
+        while stack:
+            cur = stack.pop()
+            if isinstance(cur, ArrayRef):
+                read.add(cur.name)
+            stack.extend(cur.children())
+
+    stack = list(stmts)
+    while stack:
+        s = stack.pop()
+        if isinstance(s, Assign):
+            if isinstance(s.target, ArrayRef):
+                written.add(s.target.name)
+                for idx in s.target.indices:
+                    reads_of(idx)
+            reads_of(s.value)
+        elif isinstance(s, Block):
+            stack.extend(s.stmts)
+        elif isinstance(s, If):
+            reads_of(s.cond)
+            stack.extend((s.then, s.orelse))
+        elif isinstance(s, Loop):
+            for e in (s.lower, s.upper, s.step):
+                reads_of(e)
+            stack.append(s.body)
+    return written, read
+
+
+def inspector_eligible(loop: Loop) -> tuple[bool, str]:
+    """Can the runtime inspector decide this dispatch exactly?
+
+    ``(True, reason)`` when subscript-only inspection is sound: no array
+    is both written and read in the dispatched body (so every consumed
+    array value is unchanged by the loop) — write disjointness is then
+    the whole safety question.  ``(False, reason)`` names the first
+    obstruction.  Scalar privacy (PRIV002) is judged by the static
+    verifier and checked by callers separately.
+    """
+    written, read = array_access_sets([loop.body])
+    overlap = sorted(written & read)
+    if overlap:
+        return False, (
+            "array(s) %s are both written and read: values flow between "
+            "iterations, subscript-only inspection cannot decide this"
+            % ", ".join(overlap)
+        )
+    return True, "no array is both written and read"
+
+
 def _written_scalars(stmts: Iterable[Stmt]) -> set[str]:
     out: set[str] = set()
     stack = list(stmts)
@@ -760,11 +840,27 @@ def _verify_dispatch(
     shared_ok = set(proc.scalars) - _written_scalars(proc.body.stmts)
     findings = _scan_races(loop, outer, nest, levels, shared_ok)
     findings += _scan_scalars(loop, outer, nest)
+    if findings and not any(f.rule == "PRIV002" for f in findings):
+        eligible, reason = inspector_eligible(loop)
+        if eligible:
+            findings.append(
+                SafetyFinding(
+                    rule="SPEC001",
+                    severity="info",
+                    loop_var=loop.var,
+                    message=(
+                        "statically unproven, but dynamically provable: "
+                        f"{reason}, so safety=speculate can certify this "
+                        "dispatch at runtime"
+                    ),
+                    hint=_HINTS["SPEC001"],
+                )
+            )
     return LoopSafety(
         loop_var=loop.var,
         shape=nest.shape,
         index_vars=nest.index_vars,
-        proven=not findings,
+        proven=not any(f.severity == "error" for f in findings),
         findings=tuple(findings),
     )
 

@@ -271,10 +271,13 @@ def transform_function(
             claimed blocks through a native ctypes kernel when a compiler
             is available, degrading to the generated Python chunk
             automatically — ``.last.chunk_lang`` reports what ran),
-            ``safety`` (``"off"``/``"warn"``/``"enforce"``, default warn:
-            every run is verified by the chunk-safety analyser and the
-            report attached to ``.last.safety``; enforce refuses unproven
-            dispatches — see :mod:`repro.analysis.safety`).
+            ``safety`` (``"off"``/``"warn"``/``"enforce"``/``"speculate"``,
+            default warn: every run is verified by the chunk-safety
+            analyser and the report attached to ``.last.safety``; enforce
+            refuses unproven dispatches; speculate decides them at
+            runtime via inspection or shadow-buffered speculation with
+            commit/rollback — see :mod:`repro.analysis.safety` and
+            :mod:`repro.parallel.speculate`).
     """
     source = fn if isinstance(fn, str) else textwrap.dedent(inspect.getsource(fn))
     original, proc, results, from_cache = lower_and_coalesce(

@@ -121,12 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--safety",
-        choices=("off", "warn", "enforce"),
+        choices=("off", "warn", "enforce", "speculate"),
         default=None,
         help="chunk-safety mode for --backend mp --run: warn (default) "
         "verifies every dispatch and reports findings on stderr, enforce "
         "refuses unproven dispatches (they run serially; a fully-refused "
-        "run is an error), off skips verification",
+        "run is an error), speculate decides unproven dispatches at "
+        "runtime (inspector proof or shadow-buffered speculation with "
+        "commit/rollback), off skips verification",
     )
     parser.add_argument(
         "--gantt",
@@ -257,6 +259,16 @@ def _run_transformed(args, workload, proc) -> int:
             f"{len(result.dispatches)} dispatches{blocked}, "
             f"{result.claims} claims, {result.lock_ops} lock ops]"
         )
+        if result.safety_mode == "speculate":
+            print(
+                f"speculate: inspected={result.inspected} "
+                f"proven_dynamic={result.proven_dynamic} "
+                f"speculated={result.speculated} "
+                f"committed={result.committed} "
+                f"rolled_back={result.rolled_back}"
+            )
+            for cert in result.certificates:
+                print(f"speculate: {cert}")
         if args.gantt:
             for d in result.dispatches:
                 print(f"-- measured schedule of DOALL {d.loop_var} (µs) --")

@@ -62,6 +62,17 @@ RULE_DOCS: dict[str, RuleDoc] = {
         "(an accumulator, a running flag) diverges from serial "
         "execution.",
     ),
+    "SPEC001": RuleDoc(
+        "SPEC001",
+        RULES["SPEC001"],
+        "info",
+        "The loop could not be proven race-free statically, but no array "
+        "is both written and read and every scalar is provably private — "
+        "so a subscript-only runtime inspector can decide each dispatch "
+        "exactly.  Run with safety=speculate to dispatch it when the "
+        "inspector proves the write sets disjoint (falling back to "
+        "serial otherwise).",
+    ),
 }
 
 

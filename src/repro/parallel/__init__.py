@@ -26,6 +26,9 @@ flat iterations from a shared fetch&add counter over numpy arrays backed by
   can be plotted against simulator predictions.
 * :mod:`repro.parallel.backend` — the ``backend="mp"`` adapter used by
   :func:`repro.api.coalesce_jit`, with graceful serial fallback.
+* :mod:`repro.parallel.speculate` — the ``safety="speculate"`` logic:
+  inspector/executor planning, shadow-array chunk-log validation, and the
+  runtime certificates recorded for dynamically-decided dispatches.
 """
 
 from repro.parallel.counter import SharedClaimCounter, policy_plan
@@ -48,6 +51,13 @@ from repro.parallel.runtime import (
     run_parallel_procedure,
 )
 from repro.parallel.shm import SharedArrayPool
+from repro.parallel.speculate import (
+    SpecCertificate,
+    SpecPlan,
+    SpecValidation,
+    speculation_plan,
+    validate_chunk_logs,
+)
 
 __all__ = [
     "ClaimEvent",
@@ -60,6 +70,9 @@ __all__ = [
     "SafetyVerificationError",
     "SharedArrayPool",
     "SharedClaimCounter",
+    "SpecCertificate",
+    "SpecPlan",
+    "SpecValidation",
     "WorkerCrashError",
     "WorkerPool",
     "compile_mp_procedure",
@@ -67,5 +80,7 @@ __all__ = [
     "resolve_safety",
     "run_parallel_doall",
     "run_parallel_procedure",
+    "speculation_plan",
     "to_sim_result",
+    "validate_chunk_logs",
 ]

@@ -11,6 +11,10 @@ Degradation policy (all observable via :attr:`MPCompiledProcedure.last`):
   :class:`repro.parallel.errors.SafetyVerificationError` (a
   ``ParallelDispatchError``) → serial pygen rerun, refusal reason (with
   rule codes) recorded in ``fallback_reason``;
+* ``safety="speculate"`` and every dispatch refused (scalar hazards) or
+  refuted by the runtime inspector → same graceful serial rerun; a
+  *rolled-back* speculation is not a fallback — the runtime already
+  re-ran the loop serially and the result is exact;
 * timeout → workers killed, shared memory unlinked, serial pygen rerun on
   the untouched caller arrays — the graceful-fallback path;
 * worker crash → :class:`repro.parallel.runtime.WorkerCrashError` is
@@ -58,7 +62,11 @@ class MPCompiledProcedure:
     the chunk-safety mode (``None`` → ``"warn"``): ``"enforce"`` refuses
     unproven dispatches — they run serially, and a fully-refused run
     falls back to the serial backend with the rule codes recorded in
-    ``fallback_reason``.
+    ``fallback_reason``; ``"speculate"`` gives unproven dispatches a
+    dynamic chance (inspection / shadow-buffered speculation) and only
+    falls back when every dispatch is beyond dynamic help
+    (``last.inspected`` / ``speculated`` / ``committed`` /
+    ``rolled_back`` account for what happened).
     """
 
     proc: Procedure

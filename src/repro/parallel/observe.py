@@ -60,6 +60,16 @@ class DispatchCounters:
     safety_unproven: int = 0
     safety_blocked: int = 0
     safety_findings: dict[str, int] | None = None
+    #: ``safety="speculate"`` activity: dispatches routed through the
+    #: runtime inspector, dispatches the inspector proved disjoint (then
+    #: executed normally), dispatches executed speculatively against
+    #: shadow arrays, and how those speculations resolved (committed vs
+    #: rolled back to serial).
+    spec_inspected: int = 0
+    spec_proven_dynamic: int = 0
+    spec_speculated: int = 0
+    spec_committed: int = 0
+    spec_rolled_back: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -82,6 +92,13 @@ class DispatchCounters:
                 "unproven": self.safety_unproven,
                 "blocked": self.safety_blocked,
                 "findings": dict(self.safety_findings or {}),
+            },
+            "speculate": {
+                "inspected": self.spec_inspected,
+                "proven_dynamic": self.spec_proven_dynamic,
+                "speculated": self.spec_speculated,
+                "committed": self.spec_committed,
+                "rolled_back": self.spec_rolled_back,
             },
         }
 
@@ -151,6 +168,22 @@ def record_safety_block(count: int = 1) -> None:
     """Count dispatches refused under ``safety="enforce"`` (ran serially)."""
     with _DISPATCH_LOCK:
         DISPATCH.safety_blocked += count
+
+
+def record_speculate(
+    inspected: int = 0,
+    proven_dynamic: int = 0,
+    speculated: int = 0,
+    committed: int = 0,
+    rolled_back: int = 0,
+) -> None:
+    """Fold one ``safety="speculate"`` event into :data:`DISPATCH`."""
+    with _DISPATCH_LOCK:
+        DISPATCH.spec_inspected += inspected
+        DISPATCH.spec_proven_dynamic += proven_dynamic
+        DISPATCH.spec_speculated += speculated
+        DISPATCH.spec_committed += committed
+        DISPATCH.spec_rolled_back += rolled_back
 
 
 def metrics_snapshot(

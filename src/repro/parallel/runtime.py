@@ -46,6 +46,7 @@ Robustness contract:
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import time
 from dataclasses import dataclass, field
@@ -74,6 +75,7 @@ from repro.parallel.observe import (
     record_run,
     record_safety,
     record_safety_block,
+    record_speculate,
 )
 from repro.parallel.pool import (
     WorkerPool,
@@ -83,7 +85,15 @@ from repro.parallel.pool import (
     terminate_procs,
 )
 from repro.parallel.shm import SharedArrayPool
+from repro.parallel.speculate import (
+    SpecCertificate,
+    SpecPlan,
+    shadow_alias,
+    speculation_plan,
+    validate_chunk_logs,
+)
 from repro.parallel.worker import worker_main
+from repro.runtime.inspector import inspect_dispatch
 from repro.runtime.interp import Interpreter, InterpreterError, eval_bound
 from repro.scheduling.policies import SchedulingPolicy
 
@@ -132,13 +142,18 @@ def resolve_safety(requested: str | None) -> str:
     additionally refuses to dispatch any loop the verifier cannot prove
     race-free (it runs serially instead, or — when *nothing* is provable —
     the whole run raises :class:`SafetyVerificationError` before any
-    worker is created).  ``"off"`` skips verification entirely.
+    worker is created).  ``"speculate"`` gives those unproven loops a
+    dynamic chance instead: a runtime inspector proves disjointness where
+    it can, speculation with commit/rollback covers the rest, and only
+    loops neither can handle (scalar hazards) drop to serial.  ``"off"``
+    skips verification entirely.
     """
     if requested is None:
         return "warn"
-    if requested not in ("off", "warn", "enforce"):
+    if requested not in ("off", "warn", "enforce", "speculate"):
         raise ValueError(
-            f"safety must be 'off', 'warn', or 'enforce' (got {requested!r})"
+            "safety must be 'off', 'warn', 'enforce', or 'speculate' "
+            f"(got {requested!r})"
         )
     return requested
 
@@ -146,9 +161,11 @@ def resolve_safety(requested: str | None) -> str:
 def _safety_gate(proc: Procedure, mode: str):
     """Verify ``proc``; return ``(report, blocked-loop-id set)``.
 
-    Under ``"enforce"`` a verifier crash fails closed (the run is refused
-    rather than optimistically dispatched); under ``"warn"`` it degrades
-    to an unchecked run.
+    Under ``"enforce"`` and ``"speculate"`` a verifier crash fails closed
+    (the run is refused rather than optimistically dispatched); under
+    ``"warn"`` it degrades to an unchecked run.  The blocked set is the
+    statically-unproven loops — what enforce runs serially and speculate
+    hands to the inspector/speculation machinery.
     """
     if mode == "off":
         return None, frozenset()
@@ -157,14 +174,14 @@ def _safety_gate(proc: Procedure, mode: str):
     try:
         report = verify_procedure(proc)
     except Exception as exc:
-        if mode == "enforce":
+        if mode in ("enforce", "speculate"):
             raise SafetyVerificationError(
-                f"safety=enforce: chunk-safety verification of "
+                f"safety={mode}: chunk-safety verification of "
                 f"{proc.name!r} failed: {exc}"
             ) from exc
         return None, frozenset()
     record_safety(report)
-    if mode != "enforce":
+    if mode not in ("enforce", "speculate"):
         return report, frozenset()
     blocked = frozenset(
         loop_id for loop_id, v in report.by_id.items() if not v.proven
@@ -218,6 +235,13 @@ class ParallelRunResult:
     #: ran the native kernel), ``"py"``, or ``"mixed"`` (some workers
     #: degraded to the Python chunk mid-fleet).
     chunk_lang: str = "py"
+    #: How ``safety=speculate`` handled this dispatch: ``"proven-dynamic"``
+    #: (inspector certified, normal execution), ``"committed"`` /
+    #: ``"rolled-back"`` (speculative execution), or None (not speculated).
+    speculation: str | None = None
+    #: The workers' recorded chunk access logs (speculative dispatches
+    #: only): ``(lo, hi, writes, reads)`` per executed chunk.
+    spec_logs: list = field(default_factory=list, repr=False)
 
     @property
     def total_iterations(self) -> int:
@@ -255,6 +279,20 @@ class ParallelProcedureResult:
     safety: object | None = field(default=None, repr=False)
     #: Dispatches refused under enforce and executed serially instead.
     blocked_dispatches: int = 0
+    #: ``safety=speculate`` accounting: dispatches the inspector addressed,
+    #: the subset it proved (dispatched normally with a certificate),
+    #: dispatches run speculatively, and how those resolved.
+    inspected: int = 0
+    proven_dynamic: int = 0
+    speculated: int = 0
+    committed: int = 0
+    rolled_back: int = 0
+
+    @property
+    def certificates(self) -> list:
+        """Runtime certificates recorded on the safety report (may be [])."""
+        report = self.safety
+        return list(getattr(report, "dynamic", ()) or ())
 
     @property
     def claims(self) -> int:
@@ -497,6 +535,7 @@ def _build_job(
     log_events: bool,
     caches: _DispatchCaches,
     chunk_lang: str,
+    speculate: dict | None = None,
 ) -> dict:
     """The picklable job descriptor both worker flavors execute.
 
@@ -506,6 +545,12 @@ def _build_job(
     gcc both succeed — the descriptor also carries the native kernel
     (``c_so``/``c_fname``/``c_sig``/``c_scalar_types``); otherwise the
     dispatch degrades to Python and the fallback is counted in metrics.
+
+    A speculative dispatch instead ships the dispatched ``Loop`` itself
+    plus shadow-segment specs and the written→shadow alias map: workers
+    run the recording interpreter against the shadows (chunk kernels
+    cannot log element accesses), so the chunk source is ignored and the
+    native path is skipped.
     """
     extra = tuple(
         sorted(k for k in env if k not in proc.scalars and k != loop.var)
@@ -523,6 +568,14 @@ def _build_job(
         "batch": batch,
         "log_events": log_events,
     }
+    if speculate is not None:
+        job["specs"] = list(job["specs"]) + list(speculate["specs"])
+        job["speculate"] = {
+            "loop": speculate["loop"],
+            "written": tuple(speculate["written"]),
+            "aliases": dict(speculate["aliases"]),
+        }
+        return job
     if chunk_lang == "c":
         views = pool.views
         eligible = all(
@@ -563,9 +616,11 @@ def _finalize_result(
     lock_ops = 0
     langs: set[str] = set()
     events: list[ClaimEvent] = []
+    spec_logs: list = []
     for wid, msg in results.items():
-        _, _, iters, wclaims, wlocks, wevents, wlang = msg
+        _, _, iters, wclaims, wlocks, wevents, wlang, wextra = msg
         langs.add(wlang)
+        spec_logs.extend(wextra.get("spec_log", ()))
         if wid < active:
             per_worker[wid] = iters
         elif iters:  # pragma: no cover - plan contract violated
@@ -590,6 +645,7 @@ def _finalize_result(
         chunk_lang = "py"
     else:
         chunk_lang = "mixed"
+    spec_logs.sort(key=lambda log: (log[0], log[1]))
     return ParallelRunResult(
         loop.var,
         lo,
@@ -602,6 +658,7 @@ def _finalize_result(
         events,
         lock_ops=lock_ops,
         chunk_lang=chunk_lang,
+        spec_logs=spec_logs,
     )
 
 
@@ -624,6 +681,7 @@ def _dispatch_spawn(
     ctx: multiprocessing.context.BaseContext,
     caches: _DispatchCaches,
     chunk_lang: str = "py",
+    speculate: dict | None = None,
 ) -> ParallelRunResult:
     """Run one DOALL on a freshly spawned fleet (the PR-1 baseline path)."""
     lo = eval_bound(loop.lower, env, pool.views, "loop lower bound")
@@ -634,7 +692,8 @@ def _dispatch_spawn(
     active = max(1, min(workers, n))
     plan = caches.plan_for(policy, n, active, chunk)
     job = _build_job(
-        proc, loop, pool, env, plan, lo, batch, log_events, caches, chunk_lang
+        proc, loop, pool, env, plan, lo, batch, log_events, caches,
+        chunk_lang, speculate,
     )
     counter = (
         None if plan.static is not None else SharedClaimCounter(lo, hi, ctx)
@@ -678,6 +737,7 @@ def _dispatch_pool(
     log_events: bool,
     caches: _DispatchCaches,
     chunk_lang: str = "py",
+    speculate: dict | None = None,
 ) -> ParallelRunResult:
     """Run one DOALL on the persistent pool: a message, not a fork."""
     lo = eval_bound(loop.lower, env, wpool.views, "loop lower bound")
@@ -691,13 +751,79 @@ def _dispatch_pool(
     plan = caches.plan_for(policy, n, active, chunk)
     job = _build_job(
         proc, loop, wpool.shared, env, plan, lo, batch, log_events, caches,
-        chunk_lang,
+        chunk_lang, speculate,
     )
     t_base, results = wpool.dispatch(job, lo, hi, deadline)
     result = _finalize_result(results, loop, lo, hi, n, active, plan, t_base)
     if job.get("chunk_lang") == "c" and result.chunk_lang != "c":
         record_chunk_fallback()  # worker-side dlopen/bind degradation
     return result
+
+
+# ---------------------------------------------------------------------------
+# Speculative dispatch (safety="speculate")
+# ---------------------------------------------------------------------------
+
+#: Process-global counter making shadow alias names unique per dispatch
+#: occurrence, so a persistent worker never mistakes a stale shadow
+#: attachment for the current one.
+_SPEC_TOKEN = itertools.count()
+
+
+def _speculative_dispatch(dispatch_fn, loop, env, views, written):
+    """Dispatch ``loop`` into shadow copies of its written arrays.
+
+    ``dispatch_fn(info)`` must run the loop through a normal engine with
+    the speculation descriptor attached (workers then execute the
+    recording interpreter against the shadows).  The gathered chunk logs
+    are validated for cross-chunk conflicts; on success the shadows are
+    committed into ``views`` by bulk copy-back, on failure ``views`` are
+    left exactly as before the dispatch (the caller retries serially).
+    Returns ``(result, validation)``.  The shadow segments are unlinked
+    on every exit path.
+    """
+    token = next(_SPEC_TOKEN)
+    aliases = {name: shadow_alias(name, token) for name in written}
+    shadow = SharedArrayPool({aliases[name]: views[name] for name in written})
+    try:
+        info = {
+            "loop": loop,
+            "written": tuple(written),
+            "aliases": aliases,
+            "specs": shadow.specs(),
+        }
+        result = dispatch_fn(info)
+        validation = validate_chunk_logs(result.spec_logs)
+        if validation.ok:
+            for name in written:
+                np.copyto(views[name], shadow.views[aliases[name]])
+        return result, validation
+    finally:
+        shadow.close()
+
+
+def _speculation_plans(
+    loops, blocked: frozenset[int], report
+) -> dict[int, SpecPlan]:
+    """The per-loop speculation plan for every statically-blocked loop."""
+    plans: dict[int, SpecPlan] = {}
+    for lp in loops:
+        if id(lp) in blocked:
+            verdict = report.by_id.get(id(lp)) if report is not None else None
+            plans[id(lp)] = speculation_plan(lp, verdict)
+    return plans
+
+
+def _inspect_certificate(loop, insp) -> SpecCertificate:
+    return SpecCertificate(
+        loop_var=loop.var,
+        mode="inspector",
+        status="proven-dynamic" if insp.proven else "refuted",
+        iterations=insp.iterations,
+        conflicts=len(insp.conflicts),
+        wall_s=insp.wall_s,
+        detail=insp.describe(),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -717,6 +843,7 @@ def _exec_hybrid(
     out: ParallelProcedureResult,
     deadline: float | None,
     blocked: frozenset[int] = frozenset(),
+    on_blocked=None,
 ) -> None:
     """Execute a statement tree, dispatching every reachable DOALL.
 
@@ -724,14 +851,18 @@ def _exec_hybrid(
     parent (their control flow must interleave with dispatches — the
     pivot loop of Gauss–Jordan); everything else falls through to the
     interpreter over the shared views in one call.  Loops whose ``id`` is
-    in ``blocked`` (unproven under ``safety="enforce"``) are never handed
-    to workers — they run serially in the parent over the same views,
-    and the refusal is counted.
+    in ``blocked`` (statically unproven) go to ``on_blocked``: under
+    ``safety="enforce"`` that runs them serially in the parent and counts
+    the refusal; under ``"speculate"`` it tries the inspector or a
+    speculative dispatch first (see :func:`_make_blocked_handler`).
     """
+    if on_blocked is None:
+        on_blocked = _serial_blocked_handler(interp, views, out)
     if isinstance(stmt, Block):
         for s in stmt.stmts:
             _exec_hybrid(
-                s, dispatch, interp, env, views, out, deadline, blocked
+                s, dispatch, interp, env, views, out, deadline, blocked,
+                on_blocked,
             )
         return
     if deadline is not None and time.monotonic() > deadline:
@@ -740,10 +871,7 @@ def _exec_hybrid(
         )
     if isinstance(stmt, Loop) and _dispatchable(stmt):
         if id(stmt) in blocked:
-            record_safety_block()
-            out.blocked_dispatches += 1
-            interp._exec(stmt, env, views)
-            out.serial_stmts += 1
+            on_blocked(stmt, env)
             return
         out.dispatches.append(dispatch(stmt, env))
         return
@@ -759,7 +887,8 @@ def _exec_hybrid(
         for value in range(lo, hi + 1, st):
             env[stmt.var] = value
             _exec_hybrid(
-                stmt.body, dispatch, interp, env, views, out, deadline, blocked
+                stmt.body, dispatch, interp, env, views, out, deadline,
+                blocked, on_blocked,
             )
         if saved is _MISSING:
             env.pop(stmt.var, None)
@@ -771,12 +900,105 @@ def _exec_hybrid(
         cond = interp._eval(stmt.cond, env, views)
         branch = stmt.then if cond else stmt.orelse
         _exec_hybrid(
-            branch, dispatch, interp, env, views, out, deadline, blocked
+            branch, dispatch, interp, env, views, out, deadline, blocked,
+            on_blocked,
         )
         out.serial_stmts += 1
         return
     interp._exec(stmt, env, views)
     out.serial_stmts += 1
+
+
+def _serial_blocked_handler(interp, views, out):
+    """Enforce-mode handling of a blocked loop: serial in the parent."""
+
+    def handler(stmt: Loop, env: dict[str, int | float]) -> None:
+        record_safety_block()
+        out.blocked_dispatches += 1
+        interp._exec(stmt, env, views)
+        out.serial_stmts += 1
+
+    return handler
+
+
+def _make_blocked_handler(
+    mode: str,
+    plans: Mapping[int, SpecPlan],
+    report,
+    interp: Interpreter,
+    views: Mapping[str, np.ndarray],
+    out: ParallelProcedureResult,
+    dispatch,
+) -> object:
+    """The per-dispatch policy for statically-unproven loops.
+
+    Enforce (and any plan-less loop under speculate) drops to serial.
+    Speculate routes by plan: inspector-eligible loops are addressed
+    first and dispatched normally when proven; value-carrying loops run
+    speculatively into shadows with commit-or-rollback; scalar-hazard
+    loops are refused to serial.  Every dynamic decision leaves a
+    :class:`SpecCertificate` on the safety report.
+    """
+    serial = _serial_blocked_handler(interp, views, out)
+    if mode != "speculate":
+        return serial
+
+    def handler(stmt: Loop, env: dict[str, int | float]) -> None:
+        plan = plans.get(id(stmt))
+        if plan is None or plan.action == "refuse":
+            serial(stmt, env)
+            return
+        if plan.action == "inspect":
+            record_speculate(inspected=1)
+            out.inspected += 1
+            insp = inspect_dispatch(stmt, env, views)
+            if report is not None:
+                report.dynamic.append(_inspect_certificate(stmt, insp))
+            if not insp.proven:
+                serial(stmt, env)
+                return
+            record_speculate(proven_dynamic=1)
+            out.proven_dynamic += 1
+            result = dispatch(stmt, env)
+            result.speculation = "proven-dynamic"
+            out.dispatches.append(result)
+            return
+        # plan.action == "speculate"
+        record_speculate(speculated=1)
+        out.speculated += 1
+        t0 = time.monotonic()
+        result, validation = _speculative_dispatch(
+            lambda info: dispatch(stmt, env, speculate=info),
+            stmt, env, views, plan.written,
+        )
+        status = "committed" if validation.ok else "rolled-back"
+        result.speculation = status
+        out.dispatches.append(result)
+        if report is not None:
+            report.dynamic.append(
+                SpecCertificate(
+                    loop_var=stmt.var,
+                    mode="speculative",
+                    status=status,
+                    iterations=result.total_iterations,
+                    chunks=validation.chunks,
+                    conflicts=len(validation.conflicts),
+                    wall_s=time.monotonic() - t0,
+                    detail=validation.describe(),
+                )
+            )
+        if validation.ok:
+            record_speculate(committed=1)
+            out.committed += 1
+        else:
+            # Misspeculation: the shadows are gone, the primaries
+            # untouched — retry serially for the exact serial result.
+            record_speculate(rolled_back=1)
+            out.rolled_back += 1
+            interp._exec(stmt, env, views)
+            out.serial_stmts += 1
+
+    return handler
 
 
 # ---------------------------------------------------------------------------
@@ -818,7 +1040,15 @@ def run_parallel_doall(
     ``safety`` selects the chunk-safety mode (see :func:`resolve_safety`;
     default ``"warn"``).  Under ``"enforce"`` a loop the verifier cannot
     prove race-free raises :class:`SafetyVerificationError` *before* any
-    worker or shared segment is created.
+    worker or shared segment is created.  Under ``"speculate"`` that loop
+    gets a dynamic chance first: the runtime inspector certifies it when
+    it can (normal dispatch, ``result.speculation == "proven-dynamic"``),
+    otherwise the dispatch runs speculatively into shadow segments and is
+    committed or — on a detected cross-chunk conflict — rolled back and
+    re-run serially, leaving the caller's arrays bit-identical to a
+    serial execution (``result.speculation`` is ``"committed"`` or
+    ``"rolled-back"``).  Only a scalar-hazard loop (or an
+    inspector-refuted one) still raises, exactly like enforce.
     """
     validate(proc)
     body = proc.body
@@ -834,31 +1064,110 @@ def run_parallel_doall(
         )
     mode = resolve_safety(safety)
     report, blocked = _safety_gate(proc, mode)
-    if id(loop) in blocked:
-        record_safety_block()
-        raise SafetyVerificationError(
-            f"safety=enforce refused to dispatch {proc.name!r}: "
-            f"{_unproven_summary(report)}"
-        )
     env: dict[str, int | float] = dict(scalars or {})
+    spec_plan: SpecPlan | None = None
+    speculation_tag: str | None = None
+    if id(loop) in blocked:
+        if mode == "enforce":
+            record_safety_block()
+            raise SafetyVerificationError(
+                f"safety=enforce refused to dispatch {proc.name!r}: "
+                f"{_unproven_summary(report)}"
+            )
+        plan = speculation_plan(
+            loop, report.by_id.get(id(loop)) if report is not None else None
+        )
+        if plan.action == "refuse":
+            record_safety_block()
+            raise SafetyVerificationError(
+                f"safety=speculate refused to dispatch {proc.name!r}: "
+                f"{plan.reason}"
+            )
+        if plan.action == "inspect":
+            record_speculate(inspected=1)
+            insp = inspect_dispatch(loop, env, arrays)
+            if report is not None:
+                report.dynamic.append(_inspect_certificate(loop, insp))
+            if not insp.proven:
+                record_safety_block()
+                raise SafetyVerificationError(
+                    f"safety=speculate: runtime inspector refuted dispatch "
+                    f"of {proc.name!r}: {insp.describe()}"
+                )
+            record_speculate(proven_dynamic=1)
+            speculation_tag = "proven-dynamic"
+        else:
+            spec_plan = plan
     deadline = None if timeout is None else time.monotonic() + timeout
     caches = _DispatchCaches()
     lang = resolve_chunk_lang(chunk_lang)
+    validation = None
+    t_spec = time.monotonic()
     if reuse_pool:
         with WorkerPool(arrays, workers=workers, method=method) as wpool:
-            result = _dispatch_pool(
-                wpool, proc, loop, env, policy, chunk, claim_batch,
-                deadline, log_events, caches, lang,
-            )
-            wpool.copy_back(arrays)
+            if spec_plan is None:
+                result = _dispatch_pool(
+                    wpool, proc, loop, env, policy, chunk, claim_batch,
+                    deadline, log_events, caches, lang,
+                )
+                wpool.copy_back(arrays)
+            else:
+                record_speculate(speculated=1)
+                result, validation = _speculative_dispatch(
+                    lambda info: _dispatch_pool(
+                        wpool, proc, loop, env, policy, chunk, claim_batch,
+                        deadline, log_events, caches, lang, speculate=info,
+                    ),
+                    loop, env, wpool.views, spec_plan.written,
+                )
+                if validation.ok:
+                    wpool.copy_back(arrays)
     else:
         ctx = mp_context(method)
         with SharedArrayPool(arrays) as pool:
-            result = _dispatch_spawn(
-                proc, loop, pool, env, workers, policy, chunk, claim_batch,
-                deadline, log_events, ctx, caches, lang,
+            if spec_plan is None:
+                result = _dispatch_spawn(
+                    proc, loop, pool, env, workers, policy, chunk,
+                    claim_batch, deadline, log_events, ctx, caches, lang,
+                )
+                pool.copy_back(arrays)
+            else:
+                record_speculate(speculated=1)
+                result, validation = _speculative_dispatch(
+                    lambda info: _dispatch_spawn(
+                        proc, loop, pool, env, workers, policy, chunk,
+                        claim_batch, deadline, log_events, ctx, caches,
+                        lang, speculate=info,
+                    ),
+                    loop, env, pool.views, spec_plan.written,
+                )
+                if validation.ok:
+                    pool.copy_back(arrays)
+    if validation is not None:
+        status = "committed" if validation.ok else "rolled-back"
+        result.speculation = status
+        if report is not None:
+            report.dynamic.append(
+                SpecCertificate(
+                    loop_var=loop.var,
+                    mode="speculative",
+                    status=status,
+                    iterations=result.total_iterations,
+                    chunks=validation.chunks,
+                    conflicts=len(validation.conflicts),
+                    wall_s=time.monotonic() - t_spec,
+                    detail=validation.describe(),
+                )
             )
-            pool.copy_back(arrays)
+        if validation.ok:
+            record_speculate(committed=1)
+        else:
+            # Misspeculation: the caller's arrays were never touched —
+            # re-run serially for the exact serial result.
+            record_speculate(rolled_back=1)
+            Interpreter()._exec(loop, dict(env), arrays)
+    elif speculation_tag is not None:
+        result.speculation = speculation_tag
     record_run(result)
     return result
 
@@ -911,15 +1220,36 @@ def run_parallel_procedure(
     (counted in ``result.blocked_dispatches``); when *no* dispatchable
     loop is proven, the run raises :class:`SafetyVerificationError`
     before any worker is created — a run that could only ever execute
-    serially should not pay for a pool.
+    serially should not pay for a pool.  Under ``"speculate"``, unproven
+    loops are inspected (dispatching with a certificate when proven) or
+    run speculatively with commit/rollback; per-dispatch outcomes land in
+    ``result.inspected`` / ``proven_dynamic`` / ``speculated`` /
+    ``committed`` / ``rolled_back`` and certificates on the safety
+    report.  The refuse-everything raise then only fires when every
+    dispatchable loop has a scalar hazard no dynamic mode can fix.
     """
     validate(proc)
     _check_dispatchable(proc)
     mode = resolve_safety(safety)
     report, blocked = _safety_gate(proc, mode)
+    plans: dict[int, SpecPlan] = {}
     if blocked:
         loops = _dispatchable_loops(proc.body)
-        if all(id(lp) in blocked for lp in loops):
+        if mode == "speculate":
+            plans = _speculation_plans(loops, blocked, report)
+            workable = [
+                lp
+                for lp in loops
+                if id(lp) not in blocked
+                or plans[id(lp)].action != "refuse"
+            ]
+            if not workable:
+                record_safety_block(len(loops))
+                raise SafetyVerificationError(
+                    f"safety=speculate refused every dispatch in "
+                    f"{proc.name!r}: {_unproven_summary(report)}"
+                )
+        elif all(id(lp) in blocked for lp in loops):
             record_safety_block(len(loops))
             raise SafetyVerificationError(
                 f"safety=enforce refused every dispatch in {proc.name!r}: "
@@ -940,44 +1270,60 @@ def run_parallel_procedure(
     if pool is not None:
         pool.load(arrays)
 
-        def dispatch(loop: Loop, env: Mapping) -> ParallelRunResult:
+        def dispatch(
+            loop: Loop, env: Mapping, speculate: dict | None = None
+        ) -> ParallelRunResult:
             return _dispatch_pool(
                 pool, proc, loop, env, policy, chunk, claim_batch,
-                deadline, log_events, caches, lang,
+                deadline, log_events, caches, lang, speculate,
             )
 
+        handler = _make_blocked_handler(
+            mode, plans, report, interp, pool.views, out, dispatch
+        )
         _exec_hybrid(
             proc.body, dispatch, interp, env, pool.views, out, deadline,
-            blocked,
+            blocked, handler,
         )
         pool.copy_back(arrays)
     elif reuse_pool:
         with WorkerPool(arrays, workers=workers, method=method) as wpool:
 
-            def dispatch(loop: Loop, env: Mapping) -> ParallelRunResult:
+            def dispatch(
+                loop: Loop, env: Mapping, speculate: dict | None = None
+            ) -> ParallelRunResult:
                 return _dispatch_pool(
                     wpool, proc, loop, env, policy, chunk, claim_batch,
-                    deadline, log_events, caches, lang,
+                    deadline, log_events, caches, lang, speculate,
                 )
 
+            handler = _make_blocked_handler(
+                mode, plans, report, interp, wpool.views, out, dispatch
+            )
             _exec_hybrid(
                 proc.body, dispatch, interp, env, wpool.views, out, deadline,
-                blocked,
+                blocked, handler,
             )
             wpool.copy_back(arrays)
     else:
         ctx = mp_context(method)
         with SharedArrayPool(arrays) as spool:
 
-            def dispatch(loop: Loop, env: Mapping) -> ParallelRunResult:
+            def dispatch(
+                loop: Loop, env: Mapping, speculate: dict | None = None
+            ) -> ParallelRunResult:
                 return _dispatch_spawn(
                     proc, loop, spool, env, workers, policy, chunk,
                     claim_batch, deadline, log_events, ctx, caches, lang,
+                    speculate,
                 )
 
+            handler = _make_blocked_handler(
+                mode, plans, report, interp, spool.views, out, dispatch
+            )
             _exec_hybrid(
                 proc.body, dispatch, interp, env, spool.views, out, deadline,
-                blocked,
+                blocked, handler,
             )
             spool.copy_back(arrays)
     out.wall_time = time.monotonic() - t_start

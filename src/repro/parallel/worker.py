@@ -53,14 +53,45 @@ from repro.parallel.shm import attach_array
 
 def _make_invoker(
     job: dict[str, Any], arrays: dict
-) -> tuple[Callable[[int, int], None], str]:
+) -> tuple[Callable[[int, int], None], str, dict[str, Any]]:
     """Build the ``invoke(lo, hi)`` callable for one job.
 
-    Returns ``(invoke, lang)`` where ``lang`` is the chunk language
-    actually bound — ``"c"`` only when the native kernel loaded and every
-    array qualifies for the zero-copy call convention; otherwise the
-    Python chunk (the job always carries its source).
+    Returns ``(invoke, lang, extra)`` where ``lang`` is the chunk
+    language actually bound — ``"c"`` only when the native kernel loaded
+    and every array qualifies for the zero-copy call convention;
+    otherwise the Python chunk (the job always carries its source) —
+    and ``extra`` is the per-job payload shipped back to the parent
+    alongside the claim accounting (empty for normal dispatches).
+
+    A *speculative* job (``job["speculate"]``) binds neither chunk
+    flavor: the worker executes the dispatched loop with the recording
+    interpreter, written arrays remapped to their shadow segments, and
+    every claimed chunk appends ``(lo, hi, writes, reads)`` to
+    ``extra["spec_log"]`` for the parent's conflict validation.
     """
+    spec = job.get("speculate")
+    if spec is not None:
+        from repro.runtime.inspector import record_chunk
+
+        aliases = spec["aliases"]
+        watch = frozenset(spec["written"])
+        exec_arrays = {
+            name: arrays[aliases.get(name, name)]
+            for name in job["array_order"]
+        }
+        env = {
+            name: job["scalars"][name] for name in job["scalar_order"]
+        }
+        loop = spec["loop"]
+        log: list = []
+
+        def invoke_spec(lo: int, hi: int) -> None:
+            reads, writes = record_chunk(
+                loop, env, exec_arrays, lo, hi, watch
+            )
+            log.append((lo, hi, tuple(writes), tuple(reads)))
+
+        return invoke_spec, "py", {"spec_log": log}
     if job.get("chunk_lang") == "c":
         try:
             from repro.codegen.cload import load_chunk_kernel
@@ -86,7 +117,7 @@ def _make_invoker(
             def invoke(lo: int, hi: int, _fn=fn, _args=tuple(args)) -> None:
                 _fn(lo, hi, *_args)
 
-            return invoke, "c"
+            return invoke, "c", {}
         except Exception:
             pass  # degrade to the Python chunk; the parent sees lang="py"
     func = compile_chunk_source(job["source"], job["fname"])
@@ -96,28 +127,31 @@ def _make_invoker(
     def invoke(lo: int, hi: int, _fn=func, _args=tuple(call_args)) -> None:
         _fn(lo, hi, *_args)
 
-    return invoke, "py"
+    return invoke, "py", {}
 
 
 def run_plan(
     wid: int, job: dict[str, Any], counter, arrays: dict
-) -> tuple[int, int, int, list, str]:
+) -> tuple[int, int, int, list, str, dict[str, Any]]:
     """Execute one worker's share of a dispatch.
 
-    Returns ``(iterations, claims, lock_ops, events, lang)`` where
+    Returns ``(iterations, claims, lock_ops, events, lang, extra)`` where
     ``claims`` counts executed chunks, ``lock_ops`` counts counter critical
-    sections (``claims == lock_ops`` unless claims were batched), and
-    ``lang`` is the chunk language actually executed (``"c"``/``"py"``).
+    sections (``claims == lock_ops`` unless claims were batched), ``lang``
+    is the chunk language actually executed (``"c"``/``"py"``), and
+    ``extra`` carries any per-job payload (the recorded ``spec_log`` of a
+    speculative dispatch; empty otherwise).
 
     ``job`` keys: ``source``/``fname`` (Python chunk function),
     ``chunk_lang`` plus ``c_so``/``c_fname``/``c_sig``/``c_scalar_types``
-    (native kernel, optional), ``array_order``/``scalar_order``/``scalars``
+    (native kernel, optional), ``speculate`` (speculative dispatch
+    descriptor, optional), ``array_order``/``scalar_order``/``scalars``
     (call convention), ``plan``
     (:class:`repro.parallel.counter.PolicyPlan`), ``lo`` (loop lower
     bound, for static chunk lists), ``batch`` (chunks per claim),
     ``log_events``.
     """
-    func, lang = _make_invoker(job, arrays)
+    func, lang, extra = _make_invoker(job, arrays)
     plan = job["plan"]
     log_events = job["log_events"]
     events: list[tuple[int, int, float, float, float]] = []
@@ -128,7 +162,7 @@ def run_plan(
     if wid >= plan.workers:
         # Pool larger than the iteration space: this worker sits the
         # dispatch out (the plan was built for plan.workers processes).
-        return 0, 0, 0, events, lang
+        return 0, 0, 0, events, lang, extra
 
     if plan.static is not None:
         lo0 = job["lo"]
@@ -163,7 +197,7 @@ def run_plan(
                 t0 = t1 = t2
     if plan.static is not None:
         lock_ops = 0  # static plans never touch the shared counter
-    return iterations, claims, lock_ops, events, lang
+    return iterations, claims, lock_ops, events, lang, extra
 
 
 def worker_main(wid: int, job: dict[str, Any], counter, queue) -> None:
@@ -180,10 +214,12 @@ def worker_main(wid: int, job: dict[str, Any], counter, queue) -> None:
             view, shm = attach_array(spec)
             arrays[spec.name] = view
             segments.append(shm)
-        iterations, claims, lock_ops, events, lang = run_plan(
+        iterations, claims, lock_ops, events, lang, extra = run_plan(
             wid, job, counter, arrays
         )
-        queue.put(("ok", wid, iterations, claims, lock_ops, events, lang))
+        queue.put(
+            ("ok", wid, iterations, claims, lock_ops, events, lang, extra)
+        )
     except BaseException:
         failed = True
         try:
@@ -205,30 +241,34 @@ def pool_worker_main(wid: int, specs: list, counter, jobs, results) -> None:
 
     ``jobs`` is this worker's private queue of ``("job", seq, job)`` /
     ``("stop",)`` messages; ``results`` is the shared result queue, fed
-    one ``("ok", wid, seq, iterations, claims, lock_ops, events, lang)``
-    or ``("err", wid, seq, traceback)`` message per job.
+    one ``("ok", wid, seq, iterations, claims, lock_ops, events, lang,
+    extra)`` or ``("err", wid, seq, traceback)`` message per job.
 
     The shared arrays are attached once, up front — each dispatch is then
     a message plus the claim loop, no fork, no re-attach.  Any specs a job
-    carries beyond the initial set are attached on demand (and cached), so
-    one pool can serve procedures over growing array environments.
-    Native chunk kernels are likewise cached for the worker's lifetime
-    (dlopened once per shape).  A failed job poisons the pool: the worker
-    reports the traceback and exits nonzero, and the parent tears the
-    fleet down.
+    carries beyond the initial set are attached on demand and cached by
+    name *and* backing segment — a name reused over a fresh segment (each
+    speculative dispatch ships newly-created shadow segments) is
+    re-attached, never served stale.  Native chunk kernels are likewise
+    cached for the worker's lifetime (dlopened once per shape).  A failed
+    job poisons the pool: the worker reports the traceback and exits
+    nonzero, and the parent tears the fleet down.
     """
     segments = []
     failed = False
     seq = None
     try:
         arrays: dict = {}
+        attached: dict[str, str] = {}  # spec name -> backing segment
 
         def attach(spec_list) -> None:
             for spec in spec_list:
-                if spec.name not in arrays:
-                    view, shm = attach_array(spec)
-                    arrays[spec.name] = view
-                    segments.append(shm)
+                if attached.get(spec.name) == spec.segment:
+                    continue
+                view, shm = attach_array(spec)
+                arrays[spec.name] = view
+                attached[spec.name] = spec.segment
+                segments.append(shm)
 
         attach(specs)
         while True:
@@ -237,11 +277,14 @@ def pool_worker_main(wid: int, specs: list, counter, jobs, results) -> None:
                 break
             _, seq, job = msg
             attach(job.get("specs", ()))
-            iterations, claims, lock_ops, events, lang = run_plan(
+            iterations, claims, lock_ops, events, lang, extra = run_plan(
                 wid, job, counter, arrays
             )
             results.put(
-                ("ok", wid, seq, iterations, claims, lock_ops, events, lang)
+                (
+                    "ok", wid, seq, iterations, claims, lock_ops, events,
+                    lang, extra,
+                )
             )
     except BaseException:
         failed = True

@@ -8,8 +8,16 @@
   iterations can run in any order.
 * :mod:`repro.runtime.equivalence` — harness asserting transformed programs
   compute the same arrays as the original.
+* :mod:`repro.runtime.inspector` — the dynamic half of ``safety=speculate``:
+  subscript-only inspection proving statically-unproven dispatches disjoint
+  at runtime, plus the chunk-recording executor speculation uses.
 """
 
+from repro.runtime.inspector import (
+    InspectionResult,
+    inspect_dispatch,
+    record_chunk,
+)
 from repro.runtime.interp import (
     Interpreter,
     InterpreterError,
@@ -34,15 +42,18 @@ from repro.runtime.selfsched import (
 
 __all__ = [
     "FetchAddCounter",
+    "InspectionResult",
     "Interpreter",
     "InterpreterError",
     "OpCounts",
     "SelfSchedStats",
     "assert_equivalent",
     "eval_bound",
+    "inspect_dispatch",
     "fixed_chunks",
     "guided_chunks",
     "random_env",
+    "record_chunk",
     "run",
     "run_doall_serial",
     "run_doall_shuffled",

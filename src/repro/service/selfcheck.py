@@ -3,13 +3,16 @@
 ``python -m repro.service.selfcheck`` starts a server on an ephemeral port
 with a throwaway cache, then drives it through the client exactly like a
 real deployment: health check, compile a kernel twice (the second must be
-served from the artifact cache), run it on the mp backend — once with
+served from the artifact cache and, with a compiler on PATH, must report
+pre-warmed native chunk kernels), run it on the mp backend — once with
 ``chunk_lang="c"`` when a compiler is available (asserting the native
 kernel path actually engaged) — verify every served result
-bit-for-bit against a local serial run, and round-trip ``POST /lint``
+bit-for-bit against a local serial run, round-trip ``POST /lint``
 on a clean kernel and a seeded-race program (asserting the RACE001
-verdict comes back).  Exits nonzero on any failure, so CI can gate on
-it directly.
+verdict comes back), and round-trip a ``safety="speculate"`` run on a
+conflicting histogram (asserting the speculation rolled back and the
+served arrays match the serial semantics exactly).  Exits nonzero on
+any failure, so CI can gate on it directly.
 """
 
 from __future__ import annotations
@@ -34,6 +37,14 @@ procedure chase(A[1]; n)
 end
 """
 
+HISTOGRAM = """
+procedure histogram(H[1], K[1]; n)
+  doall i = 1, n
+    H(int(K(i))) := H(int(K(i))) + 1.0
+  end
+end
+"""
+
 N = M = 24
 
 
@@ -51,8 +62,14 @@ def main() -> int:
             health = client.healthz()
             assert health["status"] == "ok", health
 
+            from repro.codegen.cload import have_compiler
+
             first = client.compile(KERNEL, backend="mp")
             assert not first["cached"], first
+            if have_compiler():
+                # /compile pre-warms the native chunk kernel, so the
+                # first /run resolves it from the artifact cache.
+                assert first["warm_kernels"] >= 1, first
             second = client.compile(KERNEL, backend="mp")
             assert second["cached"], second
             assert second["key"] == first["key"]
@@ -73,8 +90,6 @@ def main() -> int:
                 "served mp result diverged from local serial"
             )
 
-            from repro.codegen.cload import have_compiler
-
             lang = "py"
             if have_compiler():
                 B2 = np.zeros_like(A)
@@ -88,6 +103,29 @@ def main() -> int:
                     "served native-chunk result diverged from local serial"
                 )
                 lang = native["chunk_lang"]
+
+            # safety=speculate round trip: duplicate keys force a
+            # cross-chunk conflict, the speculation must roll back, and
+            # the served result must equal the serial semantics exactly.
+            hist = client.compile(HISTOGRAM, backend="mp", analyze=False)
+            hn = 48
+            H = np.zeros(9)
+            K = np.zeros(hn + 1)
+            K[1:] = rng.integers(1, 9, size=hn).astype(float)
+            spec = client.run(
+                hist["key"], {"H": H, "K": K}, {"n": hn},
+                workers=2, backend="mp", policy="static",
+                safety="speculate",
+            )
+            assert spec["engine"] == "mp-pool", spec["engine"]
+            sblock = spec.get("speculate")
+            assert sblock and sblock["rolled_back"] == 1, sblock
+            expected_H = H.copy()
+            for i in range(1, hn + 1):
+                expected_H[int(K[i])] += 1.0
+            assert np.array_equal(spec["arrays"]["H"], expected_H), (
+                "served speculate result diverged from serial semantics"
+            )
 
             clean = client.lint(KERNEL)
             assert clean["schema"] == "repro.lint/v1", clean
@@ -107,12 +145,17 @@ def main() -> int:
                 assert metrics["dispatch"]["chunk_lang"]["c"] >= 1, (
                     metrics["dispatch"]
                 )
+            assert metrics["dispatch"]["speculate"]["rolled_back"] >= 1, (
+                metrics["dispatch"]
+            )
             print(
                 "service selfcheck OK: "
                 f"compile_s={first['compile_s']:.4f} -> "
                 f"{second['compile_s']:.4f} (cached), "
+                f"warm_kernels={first['warm_kernels']}, "
                 f"run engine={out['engine']} wall_s={out['wall_s']:.4f}, "
                 f"chunk_lang={lang}, "
+                f"speculate rolled_back={sblock['rolled_back']}, "
                 f"lint verdicts ok={clean['ok']}/dirty={not dirty['ok']}, "
                 f"cache hits={metrics['cache']['hits']}"
             )

@@ -17,9 +17,16 @@ Start it with ``python -m repro serve`` and talk JSON::
 ``POST /lint`` compiles the source exactly the way the mp backend would
 and returns the chunk-safety verifier's structured findings
 (:mod:`repro.lint`, schema ``repro.lint/v1``).  ``POST /run`` accepts a
-``safety`` option (``"off"``/``"warn"``/``"enforce"``); an enforce run
-whose every dispatch is refused degrades to the serial build with the
-refusal reason in the response.
+``safety`` option (``"off"``/``"warn"``/``"enforce"``/``"speculate"``);
+an enforce run whose every dispatch is refused degrades to the serial
+build with the refusal reason in the response, and a speculate run
+reports its per-dispatch dynamic outcomes (inspected / proven_dynamic /
+speculated / committed / rolled_back) in a ``speculate`` block.
+
+``POST /compile`` with ``backend="mp"`` also *pre-warms* the native chunk
+kernels for every dispatchable loop of the program — gcc runs at compile
+time, content-addressed into the artifact cache, so the first ``/run``
+resolves each kernel as a cache hit instead of paying compile latency.
 """
 
 from __future__ import annotations
@@ -78,6 +85,9 @@ class CompiledProgram:
     compile_s: float
     serial: CompiledProcedure
     cbackend: object | None = None  # CProcedure when backend == "c"
+    #: Native chunk kernels compiled (or cache-hit) at /compile time for
+    #: the mp backend, so the first /run never pays gcc latency.
+    warm_kernels: int = 0
 
     def describe(self) -> dict:
         return {
@@ -90,6 +100,7 @@ class CompiledProgram:
             "loop_source": to_source(self.proc),
             "arrays": dict(self.proc.arrays),
             "scalars": list(self.proc.scalars),
+            "warm_kernels": self.warm_kernels,
         }
 
 
@@ -277,6 +288,9 @@ class ReproServer(ThreadingHTTPServer):
             except CCompileError as exc:
                 raise RequestError(400, f"C compile failed: {exc}") from exc
             from_cache = from_cache and cbackend.from_cache
+        warm_kernels = 0
+        if backend == "mp":
+            warm_kernels = _prewarm_chunk_kernels(proc, self.cache)
         program = CompiledProgram(
             key=key,
             proc=proc,
@@ -286,6 +300,7 @@ class ReproServer(ThreadingHTTPServer):
             compile_s=time.perf_counter() - t0,
             serial=compile_procedure(proc),
             cbackend=cbackend,
+            warm_kernels=warm_kernels,
         )
         with self._state_lock:
             self.programs[key] = program
@@ -346,10 +361,13 @@ class ReproServer(ThreadingHTTPServer):
             )
         timeout = body.get("timeout")
         safety = body.get("safety")
-        if safety is not None and safety not in ("off", "warn", "enforce"):
+        if safety is not None and safety not in (
+            "off", "warn", "enforce", "speculate",
+        ):
             raise RequestError(
                 400,
-                f"safety must be 'off', 'warn', or 'enforce' (got {safety!r})",
+                "safety must be 'off', 'warn', 'enforce', or 'speculate' "
+                f"(got {safety!r})",
             )
 
         t0 = time.perf_counter()
@@ -381,6 +399,17 @@ class ReproServer(ThreadingHTTPServer):
                     "safety": result.safety_mode,
                     "blocked_dispatches": result.blocked_dispatches,
                 }
+                if result.safety_mode == "speculate":
+                    stats["speculate"] = {
+                        "inspected": result.inspected,
+                        "proven_dynamic": result.proven_dynamic,
+                        "speculated": result.speculated,
+                        "committed": result.committed,
+                        "rolled_back": result.rolled_back,
+                        "certificates": [
+                            c.to_dict() for c in result.certificates
+                        ],
+                    }
             except ParallelDispatchError as exc:
                 # Nothing dispatchable (or safety=enforce refused every
                 # dispatch): degrade exactly like backend="mp" in-process —
@@ -405,6 +434,31 @@ class ReproServer(ThreadingHTTPServer):
             **stats,
             "arrays": {name: a.tolist() for name, a in arrays.items()},
         }
+
+
+def _prewarm_chunk_kernels(proc, cache) -> int:
+    """Compile the native chunk kernel for every dispatchable loop.
+
+    Runs gcc at /compile time with the integer-scalar type signature
+    (what JSON-decoded scalar payloads resolve to), content-addressed
+    into the artifact cache — so the first /run's kernel resolution is a
+    cache hit, never a compile.  Returns the number of kernels warmed;
+    failures (no compiler, ineligible shape) warm nothing and cost one
+    attempt each.
+    """
+    from repro.codegen.cload import have_compiler
+    from repro.parallel.runtime import _dispatchable_loops, _DispatchCaches
+
+    if not have_compiler():
+        return 0
+    caches = _DispatchCaches()
+    caches.store = cache
+    env = {name: 1 for name in proc.scalars}
+    warmed = 0
+    for lp in _dispatchable_loops(proc.body):
+        if caches.chunk_kernel(proc, lp, (), env) is not None:
+            warmed += 1
+    return warmed
 
 
 def _decode_arrays(raw, proc) -> dict[str, np.ndarray]:

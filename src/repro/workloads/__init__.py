@@ -12,10 +12,22 @@ from repro.workloads.kernels import (
     stencil3d,
 )
 from repro.workloads.gauss import gauss_jordan, gauss_reference
+from repro.workloads.irregular import (
+    histogram,
+    histogram_disjoint,
+    ragged_update,
+    scatter_perm,
+)
 from repro.workloads.racy import racy_flow, racy_overlap, racy_scalar
-from repro.workloads.shapes import RACY_WORKLOADS, WORKLOADS, get_workload
+from repro.workloads.shapes import (
+    IRREGULAR_WORKLOADS,
+    RACY_WORKLOADS,
+    WORKLOADS,
+    get_workload,
+)
 
 __all__ = [
+    "IRREGULAR_WORKLOADS",
     "RACY_WORKLOADS",
     "WORKLOADS",
     "Workload",
@@ -23,6 +35,8 @@ __all__ = [
     "gauss_jordan",
     "gauss_reference",
     "get_workload",
+    "histogram",
+    "histogram_disjoint",
     "jacobi2d",
     "make_env",
     "mark_nest",
@@ -31,6 +45,8 @@ __all__ = [
     "racy_flow",
     "racy_overlap",
     "racy_scalar",
+    "ragged_update",
     "saxpy2d",
+    "scatter_perm",
     "stencil3d",
 ]

@@ -14,6 +14,12 @@ from repro.workloads.kernels import (
     saxpy2d,
     stencil3d,
 )
+from repro.workloads.irregular import (
+    histogram,
+    histogram_disjoint,
+    ragged_update,
+    scatter_perm,
+)
 from repro.workloads.racy import racy_flow, racy_overlap, racy_scalar
 
 WORKLOADS: dict[str, Callable[[], Workload]] = {
@@ -36,11 +42,30 @@ RACY_WORKLOADS: dict[str, Callable[[], Workload]] = {
     "racy_scalar": racy_scalar,
 }
 
+#: Statically-unprovable loops whose legality depends on runtime data
+#: (see :mod:`repro.workloads.irregular`).  Kept out of ``WORKLOADS`` so
+#: nothing dispatches them without a dynamic check (``safety=speculate``);
+#: resolvable by name everywhere via :func:`get_workload`.
+IRREGULAR_WORKLOADS: dict[str, Callable[[], Workload]] = {
+    "histogram": histogram,
+    "histogram_disjoint": histogram_disjoint,
+    "scatter_perm": scatter_perm,
+    "ragged_update": ragged_update,
+}
+
 
 def get_workload(name: str) -> Workload:
-    """Instantiate a registered workload (racy counter-examples too)."""
-    factory = WORKLOADS.get(name) or RACY_WORKLOADS.get(name)
+    """Instantiate a registered workload (racy and irregular ones too)."""
+    factory = (
+        WORKLOADS.get(name)
+        or RACY_WORKLOADS.get(name)
+        or IRREGULAR_WORKLOADS.get(name)
+    )
     if factory is None:
-        known = sorted(WORKLOADS) + sorted(RACY_WORKLOADS)
+        known = (
+            sorted(WORKLOADS)
+            + sorted(RACY_WORKLOADS)
+            + sorted(IRREGULAR_WORKLOADS)
+        )
         raise ValueError(f"unknown workload {name!r}; known: {known}")
     return factory()

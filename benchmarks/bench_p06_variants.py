@@ -1,0 +1,241 @@
+"""P6 bench — the variant farm: measured selection vs fixed defaults.
+
+PR 6 gave every chunk shape one native build; the farm (PR 7) gives it a
+catalog — gcc/clang at ``-O2``/``-O3``/``-march=native``, an in-chunk
+OpenMP build, the whole-slice numpy chunk, the interpreted floor — and a
+first-use calibrator that measures which build wins *and* how many chunks
+each counter claim should batch, then pins the ``(variant, claim_batch)``
+decision in the artifact cache.  This bench publishes the numbers behind
+that design:
+
+* a per-variant chunk-body throughput grid (seconds per flat iteration,
+  every available variant, measured through the worker's own invoker);
+* a win-rate table: which variants actually won dispatches during the
+  bench's calibrated runs (``dispatch.variants.wins`` delta);
+* calibrated-vs-default end-to-end wall time on matmul, saxpy2d, and the
+  histogram family — the fixed-default side runs the pre-farm
+  configuration (default build, ``claim_batch=1``), the calibrated side
+  pays one measured warm-up and then dispatches its pinned decision with
+  zero re-measurement.
+
+The histogram row uses ``histogram_disjoint`` (injective keys): the same
+gather/scatter shape the ISSUE names, but race-free for the data actually
+supplied, so the parallel result can be asserted bit-identical to serial.
+
+Acceptance (full mode): calibrated dispatch is >= 1.5x faster end-to-end
+than the fixed defaults on at least one workload, and every run — both
+sides, every workload — is bit-identical to serial pygen.  On a 1-CPU
+host that margin comes from the claim-batch sweep alone: unit-policy
+claims collapse from one lock round-trip per iteration to one per pinned
+batch.  ``REPRO_BENCH_SMOKE=1`` shrinks sizes and skips the timing claim.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.codegen.cload import have_compiler
+from repro.codegen.pygen import compile_procedure
+from repro.experiments.report import Table
+from repro.parallel import run_parallel_doall
+from repro.parallel.observe import DISPATCH
+from repro.parallel.runtime import _DispatchCaches
+from repro.transforms import coalesce_procedure
+from repro.tuning import reset_tuning_memo, variant_grid
+from repro.workloads import get_workload, make_env
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+CPUS = os.cpu_count() or 1
+WORKERS = 2
+#: (workload, scalars) — moderate sizes: big enough that the unit-policy
+#: counter traffic dominates the fixed-default side, small enough that
+#: the claim_batch=1 runs stay CI-friendly.
+CASES = (
+    ("matmul", {"n": 12} if SMOKE else {"n": 48}),
+    ("saxpy2d", {"n": 40, "m": 40} if SMOKE else {"n": 200, "m": 200}),
+    (
+        "histogram_disjoint",
+        {"n": 2_000, "b": 2_000} if SMOKE else {"n": 50_000, "b": 50_000},
+    ),
+)
+GRID_BUDGET_S = 0.02 if SMOKE else 0.10
+
+
+def _prepare(name: str, scalars: dict):
+    w = get_workload(name)
+    proc, _ = coalesce_procedure(w.proc)
+    arrays, sc = make_env(w, scalars=scalars, seed=0)
+    baseline = {k: v.copy() for k, v in arrays.items()}
+    compile_procedure(w.proc).run(baseline, sc)
+    return proc, arrays, sc, baseline
+
+
+def _throughput_grid(cases) -> dict:
+    """Seconds per flat iteration for every available variant, per shape."""
+    grid = {}
+    for name, scalars in cases:
+        proc, arrays, sc, _ = _prepare(name, scalars)
+        loop = proc.body.stmts[0]
+        per_iter = variant_grid(
+            proc, loop, sc, arrays, _DispatchCaches(), budget=GRID_BUDGET_S
+        )
+        grid[name] = {
+            v: round(s, 9) for v, s in sorted(per_iter.items())
+        }
+    return grid
+
+
+def _timed_run(proc, arrays, sc, baseline, name, **options) -> dict:
+    """One warmed, timed mp run, asserted bit-identical to serial.
+
+    The warm-up run absorbs pool spin-up, kernel builds, and (on the
+    calibrated side) the one measured calibration; the timed run must
+    dispatch with zero re-measurement — pinned decisions only.
+    """
+    warm = {k: v.copy() for k, v in arrays.items()}
+    run_parallel_doall(
+        proc, warm, sc, workers=WORKERS, policy="unit", reuse_pool=True,
+        log_events=False, **options,
+    )
+    cal_before = DISPATCH.calibrations + DISPATCH.quick_calibrations
+    env = {k: v.copy() for k, v in arrays.items()}
+    t0 = time.perf_counter()
+    result = run_parallel_doall(
+        proc, env, sc, workers=WORKERS, policy="unit", reuse_pool=True,
+        log_events=False, **options,
+    )
+    wall = time.perf_counter() - t0
+    cal_timed = (
+        DISPATCH.calibrations + DISPATCH.quick_calibrations - cal_before
+    )
+    assert cal_timed == 0, (
+        f"{name}: timed run re-measured ({cal_timed} calibrations)"
+    )
+    for k in env:
+        assert np.array_equal(env[k], baseline[k]), (name, options, k)
+    return {
+        "wall_s": round(wall, 4),
+        "claims": result.claims,
+        "lock_ops": result.lock_ops,
+        "variant": result.variant,
+        "claim_batch": result.claim_batch,
+    }
+
+
+def _end_to_end(name: str, scalars: dict) -> dict:
+    """Fixed pre-farm defaults vs the calibrated pinned decision."""
+    proc, arrays, sc, baseline = _prepare(name, scalars)
+    case = {"workload": name, "scalars": scalars}
+
+    case["default"] = _timed_run(
+        proc, arrays, sc, baseline, name, claim_batch=1, calibrate=False,
+    )
+    # The calibrated side: the warm-up run measures and pins (or resolves
+    # a decision pinned by a previous bench run — that is the design
+    # working); the timed run re-measures nothing either way, asserted
+    # inside _timed_run.
+    case["calibrated"] = _timed_run(
+        proc, arrays, sc, baseline, name, claim_batch="auto",
+        calibrate=True,
+    )
+    wall_c = case["calibrated"]["wall_s"]
+    case["speedup"] = (
+        round(case["default"]["wall_s"] / wall_c, 2) if wall_c > 0 else None
+    )
+    return case
+
+
+def run() -> tuple[Table, Table, dict]:
+    reset_tuning_memo()
+    grid = _throughput_grid(CASES)
+    wins_before = dict(DISPATCH.variant_wins or {})
+    cases = [_end_to_end(name, scalars) for name, scalars in CASES]
+    wins = {
+        v: count - wins_before.get(v, 0)
+        for v, count in (DISPATCH.variant_wins or {}).items()
+        if count - wins_before.get(v, 0) > 0
+    }
+
+    grid_table = Table(
+        "P6a: variant farm — chunk-body time per flat iteration",
+        ["workload", "variant", "ns_per_iter"],
+        notes=(
+            f"host has {CPUS} CPU(s); every available variant measured "
+            "through the worker's own invoker (warmup + median over a "
+            "representative slice); variants a shape refuses are absent."
+        ),
+    )
+    for name, per_variant in grid.items():
+        for variant, s in per_variant.items():
+            grid_table.add(name, variant, round(s * 1e9, 1))
+
+    e2e_table = Table(
+        "P6b: calibrated (variant, claim_batch) vs fixed defaults",
+        ["workload", "default_s", "calibrated_s", "speedup",
+         "variant", "batch", "lock_ops"],
+        notes=(
+            f"policy=unit, {WORKERS} workers, persistent pool; default = "
+            "pre-farm build with claim_batch=1; calibrated = pinned "
+            "decision after one measured warm-up (the timed run performs "
+            "zero calibration); all runs bit-identical to serial. "
+            f"dispatch win-rate this bench: {wins}"
+        ),
+    )
+    for case in cases:
+        e2e_table.add(
+            case["workload"],
+            case["default"]["wall_s"],
+            case["calibrated"]["wall_s"],
+            case["speedup"],
+            case["calibrated"]["variant"],
+            case["calibrated"]["claim_batch"],
+            case["calibrated"]["lock_ops"],
+        )
+
+    payload = {
+        "smoke": SMOKE,
+        "cpus": CPUS,
+        "workers": WORKERS,
+        "have_compiler": have_compiler(),
+        "throughput_grid": grid,
+        "variant_wins": wins,
+        "cases": cases,
+    }
+    return grid_table, e2e_table, payload
+
+
+def test_p06_variants(benchmark, save_table, save_json):
+    grid_table, e2e_table, payload = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    save_table("p06_variants", grid_table, e2e_table)
+    save_json("BENCH_p06_variants", payload)
+
+    # Every shape's farm has at least two usable builds on any host
+    # (numpy or a compiler plus the interpreted floor) except pure
+    # gather/scatter, which numpy refuses — it still gets the py floor.
+    for name, per_variant in payload["throughput_grid"].items():
+        assert per_variant, f"{name}: empty variant grid"
+        assert "py" in per_variant, f"{name}: interpreted floor missing"
+
+    # Acceptance: the pinned (variant, claim_batch) decision beats the
+    # fixed defaults >= 1.5x end-to-end on at least one workload.  A
+    # timing claim, so full mode only; smoke runs still exercised the
+    # whole path and the bit-for-bit asserts above.
+    if not SMOKE:
+        speedups = {
+            c["workload"]: c["speedup"]
+            for c in payload["cases"]
+            if c["speedup"] is not None
+        }
+        assert any(s >= 1.5 for s in speedups.values()), (
+            f"expected >=1.5x on >=1 workload, got {speedups}"
+        )
+
+
+if __name__ == "__main__":
+    gt, et, p = run()
+    print(gt.format())
+    print()
+    print(et.format())

@@ -266,11 +266,17 @@ def transform_function(
             ``timeout``, ``fallback``, ``method``, ``reuse_pool`` (default
             True: one persistent worker fleet serves every dispatch of a
             run), ``claim_batch`` (chunks handed out per fetch&add critical
-            section for unit/fixed policies; GSS always claims singly),
-            ``chunk_lang`` (``"c"``/``"py"``/``"auto"``: workers execute
-            claimed blocks through a native ctypes kernel when a compiler
-            is available, degrading to the generated Python chunk
-            automatically — ``.last.chunk_lang`` reports what ran),
+            section for unit/fixed policies — GSS always claims singly;
+            the default ``"auto"`` sizes the batch from the calibrator's
+            measured per-chunk service time),
+            ``chunk_lang`` (``"c"``/``"numpy"``/``"py"``/``"auto"``:
+            workers execute claimed blocks through a native ctypes kernel
+            when a compiler is available — whole-slice numpy on
+            compiler-less hosts — degrading automatically;
+            ``.last.chunk_lang`` reports what ran), ``variants`` and
+            ``calibrate`` (the kernel variant farm: restrict the candidate
+            builds and/or measure them all on first use, dispatching the
+            winner — see :mod:`repro.tuning`),
             ``safety`` (``"off"``/``"warn"``/``"enforce"``/``"speculate"``,
             default warn: every run is verified by the chunk-safety
             analyser and the report attached to ``.last.safety``; enforce

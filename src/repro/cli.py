@@ -105,19 +105,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--claim-batch",
-        type=int,
-        default=1,
+        type=lambda v: v if v == "auto" else int(v),
+        default="auto",
         metavar="K",
         help="chunks handed out per fetch&add critical section for the "
-        "unit/fixed policies (GSS always claims singly)",
+        "unit/fixed policies (GSS always claims singly); the default "
+        "'auto' sizes the batch from the calibrator's measured per-chunk "
+        "service time",
     )
     parser.add_argument(
         "--chunk-lang",
-        choices=("auto", "py", "c"),
+        choices=("auto", "py", "c", "numpy"),
         default="auto",
         help="with --backend mp: language workers execute claimed blocks "
         "in — c (native ctypes kernel, the default when a C compiler is "
-        "on PATH, with automatic fallback to py) or py (generated Python)",
+        "on PATH), numpy (whole-slice vectorized, the compiler-less "
+        "default), or py (generated Python); faster paths fall back "
+        "automatically",
+    )
+    parser.add_argument(
+        "--variants",
+        default=None,
+        metavar="NAMES",
+        help="with --backend mp: restrict the kernel variant farm to a "
+        "comma-separated subset (e.g. gcc-O3,numpy; see "
+        "repro.tuning.variants.VARIANTS)",
+    )
+    parser.add_argument(
+        "--calibrate",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="with --backend mp --run: measure every available kernel "
+        "variant of each chunk shape and dispatch the winner (the "
+        "decision is pinned in the artifact cache); --no-calibrate "
+        "disables all measurement",
     )
     parser.add_argument(
         "--safety",
@@ -239,6 +260,8 @@ def _run_transformed(args, workload, proc) -> int:
                 claim_batch=args.claim_batch,
                 chunk_lang=args.chunk_lang,
                 safety=args.safety,
+                variants=args.variants,
+                calibrate=args.calibrate,
             )
         except (ParallelError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -253,9 +276,20 @@ def _run_transformed(args, workload, proc) -> int:
             if result.blocked_dispatches
             else ""
         )
+        variant_names = result.variants
+        variant_info = (
+            f"variants {'+'.join(variant_names)}"
+            if variant_names
+            else f"{result.chunk_lang} chunks"
+        )
+        if result.calibrations or result.pinned_decisions:
+            variant_info += (
+                f" ({result.calibrations} calibrated, "
+                f"{result.pinned_decisions} pinned)"
+            )
         label = (
             f"mp[{args.policy}, {args.workers} workers, {engine}, "
-            f"{result.chunk_lang} chunks, "
+            f"{variant_info}, "
             f"{len(result.dispatches)} dispatches{blocked}, "
             f"{result.claims} claims, {result.lock_ops} lock ops]"
         )

@@ -53,6 +53,25 @@ def have_compiler(cc: str = "gcc") -> bool:
     return _compiler_path(cc) is not None
 
 
+@functools.lru_cache(maxsize=None)
+def supports_openmp(cc: str = "gcc") -> bool:
+    """Can ``cc`` build an ``-fopenmp`` shared object on this host?
+
+    Probed once per compiler per process by compiling a one-line OpenMP
+    translation unit (some clang installs lack ``libomp``; the probe is the
+    only reliable test).  ``supports_openmp.cache_clear()`` resets (tests).
+    """
+    if not have_compiler(cc):
+        return False
+    probe = "#include <omp.h>\nint probe_(void) { return omp_get_max_threads(); }\n"
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro_omp_") as tmp:
+            _compile_into(Path(tmp), "omp_probe", probe, cc, "-O0", omp=True)
+        return True
+    except Exception:
+        return False
+
+
 @dataclass
 class CProcedure:
     """A compiled procedure and the handle keeping its library alive."""
@@ -106,7 +125,8 @@ def _compile_into(
     c_path = tmp / f"{name}.c"
     so_path = tmp / f"lib{name}.so"
     c_path.write_text(source)
-    cmd = [cc, optimize, "-fPIC", "-shared", str(c_path), "-o", str(so_path), "-lm"]
+    cmd = [cc, *optimize.split(), "-fPIC", "-shared",
+           str(c_path), "-o", str(so_path), "-lm"]
     if omp:
         cmd.insert(1, "-fopenmp")
     result = subprocess.run(cmd, capture_output=True, text=True)
@@ -196,6 +216,7 @@ def compile_chunk_library(
     cc: str = "gcc",
     optimize: str = "-O2",
     cache: object = "default",
+    omp: bool = False,
 ) -> tuple[str, bool]:
     """Compile one chunk-kernel translation unit; return ``(so_path, hit)``.
 
@@ -206,12 +227,17 @@ def compile_chunk_library(
     bypassed, builds go to a private process-lifetime directory keyed by
     the same hash (one build per shape per process, nothing leaked).
 
-    No OpenMP: a chunk kernel is single-threaded by design — parallelism
-    comes from the worker processes claiming blocks around it.
+    ``optimize`` may carry several whitespace-separated flags
+    (``"-O3 -march=native"``) — the variant farm sweeps these.  ``omp=True``
+    links ``-fopenmp`` for the two-level in-chunk ``parallel for`` variant;
+    plain chunk kernels stay single-threaded by design (parallelism comes
+    from the worker processes claiming blocks around them).
     """
     if not have_compiler(cc):
         raise CCompileError(f"no C compiler {cc!r} on PATH")
-    key = artifact_key("chunk_clib", source=source, cc=cc, optimize=optimize)
+    key = artifact_key(
+        "chunk_clib", source=source, cc=cc, optimize=optimize, omp=omp
+    )
     so_name = f"lib{name}.so"
     store = resolve_cache(cache)
     if store is None:
@@ -219,7 +245,7 @@ def compile_chunk_library(
         if so_path.exists():
             return str(so_path), True
         built = _compile_into(
-            _private_dir() / key[:16], name, source, cc, optimize, omp=False
+            _private_dir() / key[:16], name, source, cc, optimize, omp=omp
         )
         built.replace(so_path)
         return str(so_path), False
@@ -227,12 +253,12 @@ def compile_chunk_library(
     if entry is not None:
         return str(entry.file_path(so_name)), True
     with tempfile.TemporaryDirectory(prefix="repro_chunk_") as tmp:
-        built = _compile_into(Path(tmp), name, source, cc, optimize, omp=False)
+        built = _compile_into(Path(tmp), name, source, cc, optimize, omp=omp)
         entry = store.put(
             key,
             {so_name: built.read_bytes(), f"{name}.c": source},
             meta={"kind": "chunk_clib", "name": name, "cc": cc,
-                  "optimize": optimize},
+                  "optimize": optimize, "omp": omp},
         )
     return str(entry.file_path(so_name)), False
 

@@ -42,10 +42,12 @@ class DispatchCounters:
     iterations: int = 0
     wall_s: float = 0.0
     fallbacks: int = 0
-    #: Per-chunk-language dispatch counts: "c" (native kernel), "py"
-    #: (interpreted chunk), "mixed" (workers of one dispatch disagreed —
-    #: some dlopened the kernel, some degraded).
+    #: Per-chunk-language dispatch counts: "c" (native kernel), "numpy"
+    #: (whole-slice vectorized chunk), "py" (interpreted chunk), "mixed"
+    #: (workers of one dispatch disagreed — some dlopened the kernel,
+    #: some degraded).
     chunk_c: int = 0
+    chunk_numpy: int = 0
     chunk_py: int = 0
     chunk_mixed: int = 0
     #: Dispatches that *wanted* the C chunk language but degraded to
@@ -70,6 +72,15 @@ class DispatchCounters:
     spec_speculated: int = 0
     spec_committed: int = 0
     spec_rolled_back: int = 0
+    #: Variant-farm activity (:mod:`repro.tuning`): dispatches won per
+    #: variant name, full calibrations run (variant sweep + claim-batch
+    #: sweep), quick calibrations (claim-batch only, the
+    #: ``claim_batch="auto"`` path), and decisions served from a pinned
+    #: cache-manifest entry with zero re-measurement.
+    variant_wins: dict[str, int] | None = None
+    calibrations: int = 0
+    quick_calibrations: int = 0
+    pinned_hits: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -82,9 +93,16 @@ class DispatchCounters:
             "fallbacks": self.fallbacks,
             "chunk_lang": {
                 "c": self.chunk_c,
+                "numpy": self.chunk_numpy,
                 "py": self.chunk_py,
                 "mixed": self.chunk_mixed,
                 "fallbacks": self.chunk_fallbacks,
+            },
+            "variants": {
+                "wins": dict(self.variant_wins or {}),
+                "calibrations": self.calibrations,
+                "quick_calibrations": self.quick_calibrations,
+                "pinned_hits": self.pinned_hits,
             },
             "safety": {
                 "checked": self.safety_checked,
@@ -128,10 +146,19 @@ def record_run(result) -> None:
             lang = getattr(d, "chunk_lang", "py")
             if lang == "c":
                 DISPATCH.chunk_c += 1
+            elif lang == "numpy":
+                DISPATCH.chunk_numpy += 1
             elif lang == "mixed":
                 DISPATCH.chunk_mixed += 1
             else:
                 DISPATCH.chunk_py += 1
+            variant = getattr(d, "variant", None)
+            if variant:
+                if DISPATCH.variant_wins is None:
+                    DISPATCH.variant_wins = {}
+                DISPATCH.variant_wins[variant] = (
+                    DISPATCH.variant_wins.get(variant, 0) + 1
+                )
 
 
 def record_fallback() -> None:
@@ -168,6 +195,21 @@ def record_safety_block(count: int = 1) -> None:
     """Count dispatches refused under ``safety="enforce"`` (ran serially)."""
     with _DISPATCH_LOCK:
         DISPATCH.safety_blocked += count
+
+
+def record_calibration(full: bool = True) -> None:
+    """Count one micro-calibration (``full``: variant sweep included)."""
+    with _DISPATCH_LOCK:
+        if full:
+            DISPATCH.calibrations += 1
+        else:
+            DISPATCH.quick_calibrations += 1
+
+
+def record_pinned_hit(count: int = 1) -> None:
+    """Count decisions served from a pinned cache manifest (no measuring)."""
+    with _DISPATCH_LOCK:
+        DISPATCH.pinned_hits += count
 
 
 def record_speculate(

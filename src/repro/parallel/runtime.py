@@ -27,7 +27,11 @@ Two dispatch engines serve those drivers:
 ``claim_batch=k`` lets unit/fixed self-scheduling take ``k`` chunks per
 counter critical section (GSS keeps its one-chunk atomic
 read-of-remaining semantics — see
-:meth:`repro.parallel.counter.SharedClaimCounter.claim_batch`).
+:meth:`repro.parallel.counter.SharedClaimCounter.claim_batch`).  The
+default ``claim_batch="auto"`` sizes the batch from the measured
+per-chunk service time via the variant farm's micro-calibration
+(:mod:`repro.tuning.calibrate`), pinning the decision in the artifact
+cache so warm runs dispatch with zero re-measurement.
 
 Robustness contract:
 
@@ -57,6 +61,7 @@ import numpy as np
 from repro.cache import artifact_key, resolve_cache
 from repro.codegen.cgen import generate_chunk_c
 from repro.codegen.cload import compile_chunk_library, have_compiler
+from repro.codegen.npgen import generate_chunk_numpy
 from repro.codegen.pygen import generate_chunk_source
 from repro.ir.expr import Const
 from repro.ir.printer import to_source
@@ -96,6 +101,8 @@ from repro.parallel.worker import worker_main
 from repro.runtime.inspector import inspect_dispatch
 from repro.runtime.interp import Interpreter, InterpreterError, eval_bound
 from repro.scheduling.policies import SchedulingPolicy
+from repro.tuning.calibrate import make_tuner
+from repro.tuning.variants import default_variant, variant_by_name
 
 __all__ = [
     "ClaimEvent",
@@ -117,20 +124,23 @@ def resolve_chunk_lang(requested: str | None) -> str:
     """Resolve a requested chunk language to what this host can run.
 
     ``None``/``"auto"`` pick ``"c"`` when a compiler is on PATH, else
-    ``"py"``.  An explicit ``"c"`` without a compiler degrades to ``"py"``
-    and records a chunk fallback (the run still succeeds — the C path is
-    an optimization, never a requirement).  Anything else raises
-    :class:`ValueError`.
+    ``"numpy"`` — a compiler-less host runs whole-slice vectorized chunks
+    rather than the interpreted ones (shapes the numpy generator refuses
+    still degrade per-dispatch to ``"py"``).  An explicit ``"c"`` without
+    a compiler degrades to ``"numpy"`` and records a chunk fallback (the
+    run still succeeds — native chunks are an optimization, never a
+    requirement).  Anything else raises :class:`ValueError`.
     """
     if requested in (None, "auto"):
-        return "c" if have_compiler() else "py"
-    if requested not in ("py", "c"):
+        return "c" if have_compiler() else "numpy"
+    if requested not in ("py", "c", "numpy"):
         raise ValueError(
-            f"chunk_lang must be 'py', 'c', or 'auto' (got {requested!r})"
+            "chunk_lang must be 'py', 'c', 'numpy', or 'auto' "
+            f"(got {requested!r})"
         )
     if requested == "c" and not have_compiler():
         record_chunk_fallback()
-        return "py"
+        return "numpy"
     return requested
 
 
@@ -232,9 +242,15 @@ class ParallelRunResult:
     #: batched, 0 for static plans (no shared counter at all).
     lock_ops: int = 0
     #: Chunk language the workers actually executed: ``"c"`` (every worker
-    #: ran the native kernel), ``"py"``, or ``"mixed"`` (some workers
-    #: degraded to the Python chunk mid-fleet).
+    #: ran the native kernel), ``"numpy"`` (whole-slice vectorized),
+    #: ``"py"``, or ``"mixed"`` (some workers degraded mid-fleet).
     chunk_lang: str = "py"
+    #: Variant-farm build the dispatch executed (``"gcc-O3"``,
+    #: ``"numpy"``, ``"py"``, ...) or None when workers disagreed.
+    variant: str | None = None
+    #: Chunks claimed per counter critical section, as actually resolved
+    #: (the calibrated/heuristic value behind ``claim_batch="auto"``).
+    claim_batch: int = 1
     #: How ``safety=speculate`` handled this dispatch: ``"proven-dynamic"``
     #: (inspector certified, normal execution), ``"committed"`` /
     #: ``"rolled-back"`` (speculative execution), or None (not speculated).
@@ -287,6 +303,16 @@ class ParallelProcedureResult:
     speculated: int = 0
     committed: int = 0
     rolled_back: int = 0
+    #: Variant-farm accounting: micro-calibrations this run performed
+    #: (full + quick) and decisions served from a pinned manifest entry
+    #: with zero re-measurement.
+    calibrations: int = 0
+    pinned_decisions: int = 0
+
+    @property
+    def variants(self) -> list[str]:
+        """Distinct variant-farm builds the run's dispatches executed."""
+        return sorted({d.variant for d in self.dispatches if d.variant})
 
     @property
     def certificates(self) -> list:
@@ -308,12 +334,13 @@ class ParallelProcedureResult:
 
     @property
     def chunk_lang(self) -> str:
-        """Aggregate chunk language across dispatches (``c``/``py``/``mixed``)."""
+        """Aggregate chunk language across dispatches
+        (``c``/``numpy``/``py``/``mixed``)."""
         langs = {d.chunk_lang for d in self.dispatches}
-        if langs == {"c"}:
-            return "c"
-        if langs <= {"py"}:
+        if not langs:
             return "py"
+        if len(langs) == 1:
+            return langs.pop()
         return "mixed"
 
 
@@ -388,7 +415,11 @@ class _DispatchCaches:
     source: dict = field(default_factory=dict)
     plans: dict = field(default_factory=dict)
     kernels: dict = field(default_factory=dict)
+    np_chunks: dict = field(default_factory=dict)
     store: object = "default"  # resolved on first use
+    #: The run's :class:`repro.tuning.calibrate.DispatchTuner` (None for
+    #: the legacy fixed-default path).
+    tuner: object = None
 
     def _store(self):
         if self.store == "default":
@@ -435,6 +466,7 @@ class _DispatchCaches:
         loop: Loop,
         extra: tuple[str, ...],
         env: Mapping[str, int | float],
+        variant=None,
     ) -> tuple[str, str, tuple[str, ...], tuple[str, ...]] | None:
         """Compiled C kernel for this loop shape, or None (stay on Python).
 
@@ -442,13 +474,18 @@ class _DispatchCaches:
         job descriptor needs for the native path.  Keyed by loop identity
         plus the *C types* of the live scalar values (a hybrid program can
         feed the same loop integer scalars on one dispatch and serially
-        computed floats on the next — those are different kernels).  Any
-        codegen or compile failure is memoized as None, so a shape that
-        cannot go native costs one attempt per run, not one per dispatch.
+        computed floats on the next — those are different kernels) plus
+        the farm variant: ``variant`` (a
+        :class:`repro.tuning.variants.Variant`) selects the compiler,
+        flag set, and — for the OpenMP variants — the in-chunk
+        ``parallel for`` body; None means the pre-farm default build.
+        Any codegen or compile failure is memoized as None, so a shape
+        that cannot go native costs one attempt per run, not one per
+        dispatch.
 
         Behind the per-run memo, :func:`compile_chunk_library` is
         content-addressed in the artifact cache: across processes and runs
-        each kernel shape is compiled by gcc exactly once.
+        each kernel build is compiled exactly once.
         """
         scalar_order = list(proc.scalars) + list(extra)
         types = tuple(
@@ -457,7 +494,7 @@ class _DispatchCaches:
             else "long"
             for s in scalar_order
         )
-        key = (id(loop), extra, types)
+        key = (id(loop), extra, types, variant.name if variant else None)
         if key in self.kernels:
             return self.kernels[key]
         fname = f"{proc.name}__chunk"
@@ -471,9 +508,16 @@ class _DispatchCaches:
                 loop=loop,
                 name=fname,
                 scalar_types=dict(zip(scalar_order, types)),
+                omp=bool(variant and variant.omp),
             )
+            build = {}
+            if variant is not None:
+                build = dict(
+                    cc=variant.cc, optimize=variant.optimize,
+                    omp=variant.omp,
+                )
             so_path, _ = compile_chunk_library(
-                source, fname, cache=self._store()
+                source, fname, cache=self._store(), **build
             )
             sig: list[str] = []
             for rank in proc.arrays.values():
@@ -484,6 +528,47 @@ class _DispatchCaches:
         except Exception:
             hit = None
         self.kernels[key] = hit
+        return hit
+
+    def numpy_chunk(
+        self, proc: Procedure, loop: Loop, extra: tuple[str, ...]
+    ) -> tuple[str, str] | None:
+        """Whole-slice numpy chunk source, or None (shape refused).
+
+        Returns ``(np_source, np_fname)``.  Refusals — shapes outside
+        :mod:`repro.codegen.npgen`'s vectorization-safety rules — are
+        memoized per run, and accepted sources are disk-memoized under
+        kind ``"chunk_numpy"`` like the Python chunk source.
+        """
+        key = (id(loop), extra)
+        if key in self.np_chunks:
+            return self.np_chunks[key]
+        try:
+            widened = Procedure(
+                proc.name, proc.body, proc.arrays,
+                tuple(proc.scalars) + extra,
+            )
+            fname = f"{proc.name}__chunk_np"
+
+            def generate() -> str:
+                return generate_chunk_numpy(widened, loop=loop, name=fname)
+
+            store = self._store()
+            if store is None:
+                source = generate()
+            else:
+                ckey = artifact_key(
+                    "chunk_numpy",
+                    loop=to_source(loop),
+                    name=fname,
+                    arrays=list(proc.arrays),
+                    scalars=list(proc.scalars) + list(extra),
+                )
+                source = store.memo_text(ckey, "chunk_np.py", generate)
+            hit = (source, fname)
+        except Exception:
+            hit = None
+        self.np_chunks[key] = hit
         return hit
 
     def plan_for(
@@ -536,15 +621,24 @@ def _build_job(
     caches: _DispatchCaches,
     chunk_lang: str,
     speculate: dict | None = None,
+    decision=None,
 ) -> dict:
     """The picklable job descriptor both worker flavors execute.
 
     The Python chunk source is always present (the safety net every
     fallback lands on).  When ``chunk_lang == "c"`` and the shape compiles
     — every array float64 C-contiguous at its declared rank, codegen and
-    gcc both succeed — the descriptor also carries the native kernel
-    (``c_so``/``c_fname``/``c_sig``/``c_scalar_types``); otherwise the
-    dispatch degrades to Python and the fallback is counted in metrics.
+    the compiler both succeed — the descriptor also carries the native
+    kernel (``c_so``/``c_fname``/``c_sig``/``c_scalar_types``); when
+    ``chunk_lang == "numpy"`` and the shape passes the vectorization
+    rules it carries the whole-slice chunk (``np_source``/``np_fname``);
+    otherwise the dispatch degrades to Python and the fallback is counted
+    in metrics.  ``job["variant"]`` names the farm build attached.
+
+    A pinned/measured ``decision``
+    (:class:`repro.tuning.calibrate.TuningDecision`) overrides the build:
+    its variant selects both the chunk language and — for C variants —
+    the compiler, flag set, and in-chunk OpenMP body.
 
     A speculative dispatch instead ships the dispatched ``Loop`` itself
     plus shadow-segment specs and the written→shadow alias map: workers
@@ -567,6 +661,7 @@ def _build_job(
         "lo": lo,
         "batch": batch,
         "log_events": log_events,
+        "variant": "py",
     }
     if speculate is not None:
         job["specs"] = list(job["specs"]) + list(speculate["specs"])
@@ -576,7 +671,15 @@ def _build_job(
             "aliases": dict(speculate["aliases"]),
         }
         return job
-    if chunk_lang == "c":
+    variant = None
+    lang = chunk_lang
+    if decision is not None:
+        try:
+            variant = variant_by_name(decision.variant)
+            lang = variant.lang
+        except ValueError:
+            variant = None
+    if lang == "c":
         views = pool.views
         eligible = all(
             views[a].dtype == np.float64
@@ -585,7 +688,9 @@ def _build_job(
             for a, rank in proc.arrays.items()
         )
         kernel = (
-            caches.chunk_kernel(proc, loop, extra, env) if eligible else None
+            caches.chunk_kernel(proc, loop, extra, env, variant=variant)
+            if eligible
+            else None
         )
         if kernel is not None:
             so_path, c_fname, sig, scalar_types = kernel
@@ -594,9 +699,43 @@ def _build_job(
             job["c_fname"] = c_fname
             job["c_sig"] = sig
             job["c_scalar_types"] = scalar_types
+            job["variant"] = (variant or default_variant("c")).name
+        else:
+            record_chunk_fallback()
+    elif lang == "numpy":
+        npk = caches.numpy_chunk(proc, loop, extra)
+        if npk is not None:
+            np_source, np_fname = npk
+            job["chunk_lang"] = "numpy"
+            job["np_source"] = np_source
+            job["np_fname"] = np_fname
+            job["variant"] = "numpy"
         else:
             record_chunk_fallback()
     return job
+
+
+def _resolve_claim_batch(
+    requested, decision, plan, n: int, active: int
+) -> int:
+    """Resolve ``claim_batch`` (int or ``"auto"``) to the value workers use.
+
+    Explicit integers pass through (floored at 1).  ``"auto"`` takes the
+    calibrated batch when a decision carries one — clamped so this
+    dispatch still gives every worker at least one claim round — and
+    otherwise a conservative load-balance heuristic.  GSS and static
+    plans never batch.
+    """
+    if requested != "auto":
+        return max(1, int(requested))
+    if plan.rule is None or plan.rule[0] == "gss":
+        return 1
+    per_claim = 1 if plan.rule[0] == "unit" else max(1, plan.rule[1])
+    chunks = max(1, -(-n // per_claim))
+    cap = max(1, chunks // max(1, active))
+    if decision is not None and decision.claim_batch:
+        return max(1, min(decision.claim_batch, cap))
+    return max(1, min(64, chunks // (max(1, active) * 8), cap))
 
 
 def _finalize_result(
@@ -639,10 +778,10 @@ def _finalize_result(
             f"executed for a range of {n}"
         )
     events.sort(key=lambda e: (e.worker, e.t_claim))
-    if langs == {"c"}:
-        chunk_lang = "c"
-    elif langs <= {"py"}:
+    if not langs:
         chunk_lang = "py"
+    elif len(langs) == 1:
+        chunk_lang = next(iter(langs))
     else:
         chunk_lang = "mixed"
     spec_logs.sort(key=lambda log: (log[0], log[1]))
@@ -665,6 +804,47 @@ def _finalize_result(
 # ---------------------------------------------------------------------------
 # Dispatch engines
 # ---------------------------------------------------------------------------
+
+
+def _tuned_decision(
+    caches: _DispatchCaches,
+    proc: Procedure,
+    loop: Loop,
+    env: Mapping[str, int | float],
+    views: Mapping[str, np.ndarray],
+    plan,
+    n: int,
+    workers: int,
+    chunk: int | None,
+    batch,
+    speculate: dict | None,
+):
+    """Consult the run's tuner (never for speculative dispatches)."""
+    if speculate is not None or caches.tuner is None:
+        return None
+    return caches.tuner.decision_for(
+        proc, loop, env, views, plan, n, workers, chunk, caches, batch
+    )
+
+
+def _stamp_result(result: ParallelRunResult, job: dict, batch: int):
+    """Record the dispatch's resolved batch and variant on its result.
+
+    The variant reflects what workers *actually executed*: a fleet that
+    degraded from the attached build (dlopen/bind failure) reports
+    ``"py"`` and counts a chunk fallback, exactly like a parent-side
+    degradation.
+    """
+    result.claim_batch = batch
+    wanted = job.get("chunk_lang", "py")
+    if result.chunk_lang == wanted:
+        result.variant = job.get("variant", "py")
+    elif result.chunk_lang == "py":
+        result.variant = "py"
+        record_chunk_fallback()  # worker-side dlopen/bind degradation
+    else:
+        record_chunk_fallback()  # mixed fleet: some workers degraded
+    return result
 
 
 def _dispatch_spawn(
@@ -691,9 +871,14 @@ def _dispatch_spawn(
         return _empty_result(loop, lo, hi, workers, policy)
     active = max(1, min(workers, n))
     plan = caches.plan_for(policy, n, active, chunk)
+    decision = _tuned_decision(
+        caches, proc, loop, env, pool.views, plan, n, workers, chunk,
+        batch, speculate,
+    )
+    batch_n = _resolve_claim_batch(batch, decision, plan, n, active)
     job = _build_job(
-        proc, loop, pool, env, plan, lo, batch, log_events, caches,
-        chunk_lang, speculate,
+        proc, loop, pool, env, plan, lo, batch_n, log_events, caches,
+        chunk_lang, speculate, decision,
     )
     counter = (
         None if plan.static is not None else SharedClaimCounter(lo, hi, ctx)
@@ -720,9 +905,7 @@ def _dispatch_spawn(
     for p in procs:
         p.join(timeout=5.0)
     result = _finalize_result(results, loop, lo, hi, n, active, plan, t_base)
-    if job.get("chunk_lang") == "c" and result.chunk_lang != "c":
-        record_chunk_fallback()  # worker-side dlopen/bind degradation
-    return result
+    return _stamp_result(result, job, batch_n)
 
 
 def _dispatch_pool(
@@ -749,15 +932,18 @@ def _dispatch_pool(
         return _empty_result(loop, lo, hi, wpool.workers, policy)
     active = max(1, min(wpool.workers, n))
     plan = caches.plan_for(policy, n, active, chunk)
+    decision = _tuned_decision(
+        caches, proc, loop, env, wpool.views, plan, n, wpool.workers,
+        chunk, batch, speculate,
+    )
+    batch_n = _resolve_claim_batch(batch, decision, plan, n, active)
     job = _build_job(
-        proc, loop, wpool.shared, env, plan, lo, batch, log_events, caches,
-        chunk_lang, speculate,
+        proc, loop, wpool.shared, env, plan, lo, batch_n, log_events,
+        caches, chunk_lang, speculate, decision,
     )
     t_base, results = wpool.dispatch(job, lo, hi, deadline)
     result = _finalize_result(results, loop, lo, hi, n, active, plan, t_base)
-    if job.get("chunk_lang") == "c" and result.chunk_lang != "c":
-        record_chunk_fallback()  # worker-side dlopen/bind degradation
-    return result
+    return _stamp_result(result, job, batch_n)
 
 
 # ---------------------------------------------------------------------------
@@ -1017,9 +1203,11 @@ def run_parallel_doall(
     log_events: bool = True,
     method: str | None = None,
     reuse_pool: bool = False,
-    claim_batch: int = 1,
+    claim_batch: int | str = "auto",
     chunk_lang: str | None = None,
     safety: str | None = None,
+    variants=None,
+    calibrate: bool | None = None,
 ) -> ParallelRunResult:
     """Execute a single-DOALL procedure across worker processes.
 
@@ -1032,10 +1220,23 @@ def run_parallel_doall(
 
     ``chunk_lang`` selects how workers execute claimed blocks: ``"c"``
     (native kernel via ctypes — the default when a compiler is available),
-    ``"py"`` (generated Python), or ``None``/``"auto"``.  The C path
-    degrades to Python automatically on any codegen, compile, or load
-    failure; the language actually used is reported in
-    ``result.chunk_lang``.
+    ``"numpy"`` (whole-slice vectorized — the compiler-less default),
+    ``"py"`` (generated Python), or ``None``/``"auto"``.  Faster paths
+    degrade automatically on any codegen, compile, or load failure; the
+    language actually used is reported in ``result.chunk_lang``.
+
+    ``claim_batch`` is an explicit chunks-per-critical-section count or
+    ``"auto"`` (default): unit/fixed dispatches size the batch from the
+    measured per-chunk service time — a bounded first-use
+    micro-calibration whose decision is pinned in the artifact cache, so
+    warm runs re-measure nothing (see :mod:`repro.tuning.calibrate`).
+    ``variants`` restricts the farm to named builds
+    (:data:`repro.tuning.variants.VARIANTS`; comma string or list), and
+    ``calibrate=True`` runs a full variant sweep — measure every
+    available build of the chunk shape, dispatch the winner — while
+    ``calibrate=False`` disables measurement entirely.  The build
+    executed is reported in ``result.variant`` and the resolved batch in
+    ``result.claim_batch``.
 
     ``safety`` selects the chunk-safety mode (see :func:`resolve_safety`;
     default ``"warn"``).  Under ``"enforce"`` a loop the verifier cannot
@@ -1098,9 +1299,12 @@ def run_parallel_doall(
             speculation_tag = "proven-dynamic"
         else:
             spec_plan = plan
+    if claim_batch != "auto":
+        claim_batch = int(claim_batch)
     deadline = None if timeout is None else time.monotonic() + timeout
     caches = _DispatchCaches()
     lang = resolve_chunk_lang(chunk_lang)
+    caches.tuner = make_tuner(lang, variants, calibrate)
     validation = None
     t_spec = time.monotonic()
     if reuse_pool:
@@ -1183,10 +1387,12 @@ def run_parallel_procedure(
     log_events: bool = True,
     method: str | None = None,
     reuse_pool: bool = True,
-    claim_batch: int = 1,
+    claim_batch: int | str = "auto",
     pool: WorkerPool | None = None,
     chunk_lang: str | None = None,
     safety: str | None = None,
+    variants=None,
+    calibrate: bool | None = None,
 ) -> ParallelProcedureResult:
     """Execute a whole procedure, dispatching every reachable DOALL.
 
@@ -1210,9 +1416,12 @@ def run_parallel_procedure(
     name and shape, and the caller must serialize concurrent runs on one
     pool.
 
-    ``chunk_lang`` selects the workers' chunk language exactly as in
-    :func:`run_parallel_doall` (default: native C when a compiler is
-    available, with automatic per-dispatch fallback to Python).
+    ``chunk_lang``, ``claim_batch`` (default ``"auto"``), ``variants``,
+    and ``calibrate`` behave exactly as in :func:`run_parallel_doall`;
+    decisions are resolved per dispatched loop shape, so a hybrid program
+    calibrates each of its DOALLs at most once per run and every later
+    dispatch of the same shape reuses the pinned decision
+    (``result.calibrations`` / ``result.pinned_decisions`` count both).
 
     ``safety`` selects the chunk-safety mode (default ``"warn"``: verify
     and report, dispatch everything).  Under ``"enforce"``, unproven
@@ -1255,6 +1464,8 @@ def run_parallel_procedure(
                 f"safety=enforce refused every dispatch in {proc.name!r}: "
                 f"{_unproven_summary(report)}"
             )
+    if claim_batch != "auto":
+        claim_batch = int(claim_batch)
     env: dict[str, int | float] = dict(scalars or {})
     deadline = None if timeout is None else time.monotonic() + timeout
     t_start = time.monotonic()
@@ -1267,6 +1478,7 @@ def run_parallel_procedure(
     interp = Interpreter()
     caches = _DispatchCaches()
     lang = resolve_chunk_lang(chunk_lang)
+    caches.tuner = make_tuner(lang, variants, calibrate)
     if pool is not None:
         pool.load(arrays)
 
@@ -1327,5 +1539,10 @@ def run_parallel_procedure(
             )
             spool.copy_back(arrays)
     out.wall_time = time.monotonic() - t_start
+    if caches.tuner is not None:
+        out.calibrations = (
+            caches.tuner.calibrations + caches.tuner.quick_calibrations
+        )
+        out.pinned_decisions = caches.tuner.pinned_hits
     record_run(out)
     return out

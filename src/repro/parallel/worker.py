@@ -12,7 +12,7 @@ Two flavors share one claim/execute core (:func:`run_plan`):
   spawn) and cached by source, so a loop shape dispatched many times —
   one dispatch per pivot row in a hybrid program — is compiled once.
 
-Chunk bodies execute in one of two *languages* (``job["chunk_lang"]``):
+Chunk bodies execute in one of three *languages* (``job["chunk_lang"]``):
 
 * ``"py"`` — the generated Python chunk function
   (:func:`repro.codegen.pygen.compile_chunk_source`), always present in
@@ -24,7 +24,11 @@ Chunk bodies execute in one of two *languages* (``job["chunk_lang"]``):
   array views (``ndarray.ctypes`` pointers — zero copies), so a claimed
   block runs entirely in native code between two fetch&adds.  Any failure
   to load or bind the kernel degrades this worker to the Python chunk for
-  the dispatch; the language actually used is reported back to the parent.
+  the dispatch; the language actually used is reported back to the parent;
+* ``"numpy"`` — the whole-slice vectorized chunk
+  (:func:`repro.codegen.npgen.compile_numpy_chunk`): the claimed flat
+  range executes as one ``np.arange`` evaluation — the compiler-less
+  fast path.  Same degradation contract as the C kernel.
 
 Both run the paper's protocol: fetch&add a chunk (or a *batch* of chunks,
 amortizing the lock round-trip) from the shared counter, execute the
@@ -118,6 +122,22 @@ def _make_invoker(
                 _fn(lo, hi, *_args)
 
             return invoke, "c", {}
+        except Exception:
+            pass  # degrade to the Python chunk; the parent sees lang="py"
+    if job.get("chunk_lang") == "numpy":
+        try:
+            from repro.codegen.npgen import compile_numpy_chunk
+
+            np_fn = compile_numpy_chunk(job["np_source"], job["np_fname"])
+            np_args = [arrays[n] for n in job["array_order"]]
+            np_args += [job["scalars"][n] for n in job["scalar_order"]]
+
+            def invoke_np(
+                lo: int, hi: int, _fn=np_fn, _args=tuple(np_args)
+            ) -> None:
+                _fn(lo, hi, *_args)
+
+            return invoke_np, "numpy", {}
         except Exception:
             pass  # degrade to the Python chunk; the parent sees lang="py"
     func = compile_chunk_source(job["source"], job["fname"])

@@ -6,7 +6,10 @@ real deployment: health check, compile a kernel twice (the second must be
 served from the artifact cache and, with a compiler on PATH, must report
 pre-warmed native chunk kernels), run it on the mp backend — once with
 ``chunk_lang="c"`` when a compiler is available (asserting the native
-kernel path actually engaged) — verify every served result
+kernel path actually engaged) — run it twice more with
+``calibrate=True`` (asserting the first served run calibrates and pins a
+variant decision and the warm second run performs zero calibration while
+reporting its pinned variant) — verify every served result
 bit-for-bit against a local serial run, round-trip ``POST /lint``
 on a clean kernel and a seeded-race program (asserting the RACE001
 verdict comes back), and round-trip a ``safety="speculate"`` run on a
@@ -104,6 +107,32 @@ def main() -> int:
                 )
                 lang = native["chunk_lang"]
 
+            # Calibrated dispatch round trip: the first unit-policy run
+            # measures (or loads a previously pinned decision); the warm
+            # second run must re-measure nothing and still report the
+            # pinned variant it dispatched.
+            B3 = np.zeros_like(A)
+            cal = client.run(
+                first["key"], {"A": A, "B": B3}, {"n": N, "m": M},
+                workers=2, backend="mp", policy="unit", calibrate=True,
+            )
+            assert cal["calibrations"] >= 1 or cal["pinned_decisions"] >= 1, (
+                cal
+            )
+            assert cal["variants"], cal
+            assert np.array_equal(cal["arrays"]["B"], expected_B), (
+                "served calibrated result diverged from local serial"
+            )
+            B4 = np.zeros_like(A)
+            warm = client.run(
+                first["key"], {"A": A, "B": B4}, {"n": N, "m": M},
+                workers=2, backend="mp", policy="unit", calibrate=True,
+            )
+            assert warm["calibrations"] == 0, warm
+            assert warm["pinned_decisions"] >= 1, warm
+            assert warm["variants"] == cal["variants"], warm
+            assert np.array_equal(warm["arrays"]["B"], expected_B)
+
             # safety=speculate round trip: duplicate keys force a
             # cross-chunk conflict, the speculation must roll back, and
             # the served result must equal the serial semantics exactly.
@@ -148,6 +177,9 @@ def main() -> int:
             assert metrics["dispatch"]["speculate"]["rolled_back"] >= 1, (
                 metrics["dispatch"]
             )
+            vstats = metrics["dispatch"]["variants"]
+            assert vstats["wins"], vstats
+            assert vstats["pinned_hits"] >= 1, vstats
             print(
                 "service selfcheck OK: "
                 f"compile_s={first['compile_s']:.4f} -> "
@@ -155,6 +187,9 @@ def main() -> int:
                 f"warm_kernels={first['warm_kernels']}, "
                 f"run engine={out['engine']} wall_s={out['wall_s']:.4f}, "
                 f"chunk_lang={lang}, "
+                f"calibrated variants={'+'.join(warm['variants'])} "
+                f"(warm calibrations={warm['calibrations']}, "
+                f"pinned={warm['pinned_decisions']}), "
                 f"speculate rolled_back={sblock['rolled_back']}, "
                 f"lint verdicts ok={clean['ok']}/dirty={not dirty['ok']}, "
                 f"cache hits={metrics['cache']['hits']}"

@@ -352,12 +352,28 @@ class ReproServer(ThreadingHTTPServer):
         workers = int(body.get("workers", 4))
         policy = body.get("policy", "gss")
         chunk = body.get("chunk")
-        claim_batch = int(body.get("claim_batch", 1))
+        claim_batch = body.get("claim_batch", "auto")
+        if claim_batch != "auto":
+            try:
+                claim_batch = int(claim_batch)
+            except (TypeError, ValueError) as exc:
+                raise RequestError(
+                    400,
+                    f"claim_batch must be an int or 'auto' "
+                    f"(got {claim_batch!r})",
+                ) from exc
         chunk_lang = body.get("chunk_lang", "auto")
-        if chunk_lang not in ("auto", "py", "c"):
+        if chunk_lang not in ("auto", "py", "c", "numpy"):
             raise RequestError(
                 400,
-                f"chunk_lang must be 'auto', 'py', or 'c' (got {chunk_lang!r})",
+                "chunk_lang must be 'auto', 'py', 'c', or 'numpy' "
+                f"(got {chunk_lang!r})",
+            )
+        variants = body.get("variants")
+        calibrate = body.get("calibrate")
+        if calibrate is not None and not isinstance(calibrate, bool):
+            raise RequestError(
+                400, f"calibrate must be a boolean (got {calibrate!r})"
             )
         timeout = body.get("timeout")
         safety = body.get("safety")
@@ -388,6 +404,8 @@ class ReproServer(ThreadingHTTPServer):
                         log_events=bool(body.get("log_events", False)),
                         pool=pool,
                         safety=safety,
+                        variants=variants,
+                        calibrate=calibrate,
                     )
                 engine = "mp-pool"
                 stats = {
@@ -396,6 +414,9 @@ class ReproServer(ThreadingHTTPServer):
                     "lock_ops": result.lock_ops,
                     "iterations": result.total_iterations,
                     "chunk_lang": result.chunk_lang,
+                    "variants": result.variants,
+                    "calibrations": result.calibrations,
+                    "pinned_decisions": result.pinned_decisions,
                     "safety": result.safety_mode,
                     "blocked_dispatches": result.blocked_dispatches,
                 }
@@ -437,27 +458,33 @@ class ReproServer(ThreadingHTTPServer):
 
 
 def _prewarm_chunk_kernels(proc, cache) -> int:
-    """Compile the native chunk kernel for every dispatchable loop.
+    """Build the variant farm for every dispatchable loop at /compile time.
 
-    Runs gcc at /compile time with the integer-scalar type signature
-    (what JSON-decoded scalar payloads resolve to), content-addressed
-    into the artifact cache — so the first /run's kernel resolution is a
-    cache hit, never a compile.  Returns the number of kernels warmed;
-    failures (no compiler, ineligible shape) warm nothing and cost one
-    attempt each.
+    Compiles every available C variant (and generates the numpy chunk)
+    with the integer-scalar type signature (what JSON-decoded scalar
+    payloads resolve to), content-addressed into the artifact cache — so
+    the first /run's kernel resolution is a cache hit, never a compile,
+    whichever variant calibration later picks.  Returns the number of
+    builds warmed; failures (no compiler, ineligible shape) warm nothing
+    and cost one attempt each.
     """
-    from repro.codegen.cload import have_compiler
     from repro.parallel.runtime import _dispatchable_loops, _DispatchCaches
+    from repro.tuning.variants import available_variants
 
-    if not have_compiler():
-        return 0
     caches = _DispatchCaches()
     caches.store = cache
     env = {name: 1 for name in proc.scalars}
     warmed = 0
     for lp in _dispatchable_loops(proc.body):
-        if caches.chunk_kernel(proc, lp, (), env) is not None:
-            warmed += 1
+        for variant in available_variants("auto"):
+            if variant.lang == "c":
+                built = caches.chunk_kernel(proc, lp, (), env, variant=variant)
+            elif variant.lang == "numpy":
+                built = caches.numpy_chunk(proc, lp, ())
+            else:
+                continue  # the py chunk needs no warming
+            if built is not None:
+                warmed += 1
     return warmed
 
 

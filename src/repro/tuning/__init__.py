@@ -1,0 +1,40 @@
+"""Multi-variant kernel farm: measured selection and dispatch autotuning.
+
+One chunk shape, many builds (:mod:`repro.tuning.variants`); a bounded
+first-use micro-calibration picks the winner and sweeps ``claim_batch``
+against the measured per-chunk service time
+(:mod:`repro.tuning.calibrate`); the decision is pinned in the artifact
+cache so later runs dispatch the winner with zero re-measurement.
+"""
+
+from repro.tuning.calibrate import (
+    DispatchTuner,
+    TuningDecision,
+    make_tuner,
+    measure_counter_cost,
+    pick_claim_batch,
+    reset_tuning_memo,
+    variant_grid,
+)
+from repro.tuning.variants import (
+    VARIANTS,
+    Variant,
+    available_variants,
+    default_variant,
+    variant_by_name,
+)
+
+__all__ = [
+    "DispatchTuner",
+    "TuningDecision",
+    "VARIANTS",
+    "Variant",
+    "available_variants",
+    "default_variant",
+    "make_tuner",
+    "measure_counter_cost",
+    "pick_claim_batch",
+    "reset_tuning_memo",
+    "variant_by_name",
+    "variant_grid",
+]

@@ -1,0 +1,153 @@
+"""The variant catalog: every way this repo can build one chunk kernel.
+
+ComPar-style (PAPERS.md #4): instead of hard-coding one compiler and one
+flag set, the farm enumerates candidate builds of the *same* chunk shape —
+gcc vs clang, ``-O2``/``-O3``/``-march=native``, an ``-fopenmp`` build with
+an in-chunk ``parallel for`` (two-level process × thread scheduling), the
+whole-slice numpy chunk, and the interpreted chunk — and the calibrator
+(:mod:`repro.tuning.calibrate`) measures which one wins on this host.
+
+Availability is probed, never assumed: clang variants vanish on gcc-only
+hosts, the OpenMP variant requires a working ``-fopenmp`` toolchain *and*
+an iteration-granularity race-freedom proof for the loop, and the numpy
+variant requires the shape to pass :mod:`repro.codegen.npgen`'s safety
+rules.  A host with no compiler at all still has a farm: numpy + py.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen.cload import have_compiler, supports_openmp
+
+__all__ = [
+    "Variant",
+    "VARIANTS",
+    "available_variants",
+    "default_variant",
+    "variant_by_name",
+]
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One candidate build of a chunk kernel."""
+
+    name: str
+    lang: str  # "c" | "numpy" | "py"
+    cc: str | None = None
+    optimize: str = "-O2"
+    omp: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "lang": self.lang,
+            "cc": self.cc,
+            "optimize": self.optimize,
+            "omp": self.omp,
+        }
+
+
+#: The full catalog, best-guess-first within each language.
+VARIANTS: tuple[Variant, ...] = (
+    Variant("gcc-O2", "c", cc="gcc", optimize="-O2"),
+    Variant("gcc-O3", "c", cc="gcc", optimize="-O3"),
+    # -ffp-contract=off: -march=native would otherwise fuse multiply-adds
+    # (FMA), breaking the farm's bit-for-bit-equals-serial contract.
+    Variant(
+        "gcc-native", "c", cc="gcc",
+        optimize="-O3 -march=native -ffp-contract=off",
+    ),
+    Variant("gcc-omp", "c", cc="gcc", optimize="-O3", omp=True),
+    Variant("clang-O2", "c", cc="clang", optimize="-O2"),
+    Variant("clang-O3", "c", cc="clang", optimize="-O3"),
+    Variant(
+        "clang-native", "c", cc="clang",
+        optimize="-O3 -march=native -ffp-contract=off",
+    ),
+    Variant("clang-omp", "c", cc="clang", optimize="-O3", omp=True),
+    Variant("numpy", "numpy"),
+    Variant("py", "py"),
+)
+
+_BY_NAME = {v.name: v for v in VARIANTS}
+
+
+def variant_by_name(name: str) -> Variant:
+    """Catalog lookup; raises ``ValueError`` for unknown names."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown variant {name!r} (known: {', '.join(_BY_NAME)})"
+        ) from None
+
+
+def _normalize_names(names) -> list[str] | None:
+    """Accept a comma string, an iterable of names, ``"all"``, or None."""
+    if names is None:
+        return None
+    if isinstance(names, str):
+        names = [n.strip() for n in names.split(",") if n.strip()]
+    names = list(names)
+    if names in ([], ["all"]):
+        return None
+    for n in names:
+        variant_by_name(n)
+    return names
+
+
+def available_variants(
+    lang: str = "auto",
+    names=None,
+    omp_ok: bool = True,
+) -> list[Variant]:
+    """The candidate set on *this* host for a requested chunk language.
+
+    ``lang`` restricts by language the way ``chunk_lang`` does: ``"c"`` →
+    compiled variants only, ``"numpy"`` → numpy (plus the py floor),
+    ``"py"`` → py only, ``"auto"`` → everything.  ``names`` (list or comma
+    string) instead selects an explicit subset — explicit names override
+    the language restriction (``variants="numpy"`` forces the numpy build
+    even where the resolved language is ``"c"``); unknown names raise,
+    requested-but-unavailable names are silently dropped (a pinned clang
+    decision must not crash a gcc-only host).  ``omp_ok=False`` removes the
+    in-chunk OpenMP variants (callers pass the loop's race-freedom proof).
+    """
+    wanted = _normalize_names(names)
+    out: list[Variant] = []
+    for v in VARIANTS:
+        if wanted is not None:
+            if v.name not in wanted:
+                continue
+        elif (
+            (lang == "py" and v.lang != "py")
+            or (lang == "numpy" and v.lang == "c")
+            or (lang == "c" and v.lang != "c")
+        ):
+            continue
+        if v.lang == "c":
+            if not have_compiler(v.cc):
+                continue
+            if v.omp and (not omp_ok or not supports_openmp(v.cc)):
+                continue
+        out.append(v)
+    return out
+
+
+def default_variant(lang: str) -> Variant:
+    """The no-calibration default build for a resolved chunk language.
+
+    This is exactly what the runtime built before the farm existed: the
+    first available ``-O2`` compile for ``"c"``, the numpy chunk for
+    ``"numpy"``, the interpreted chunk otherwise.
+    """
+    if lang == "c":
+        for v in VARIANTS:
+            if v.lang == "c" and not v.omp and v.optimize == "-O2":
+                if have_compiler(v.cc):
+                    return v
+    if lang == "numpy":
+        return _BY_NAME["numpy"]
+    return _BY_NAME["py"]

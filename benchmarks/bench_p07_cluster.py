@@ -1,0 +1,154 @@
+"""P7 bench — cluster saturation throughput and tail latency, 1 vs N replicas.
+
+PR 8 turned the single compile-and-run server into ``repro.cluster``: an
+async job queue behind a load-balancing front door, N replica server
+processes sharing one content-addressed artifact store, admission
+control, and crash-retry.  This bench publishes the capacity claim behind
+that design: at saturation (closed-loop, more in-flight clients than
+servers), N replicas should serve roughly N× the throughput of one,
+because each replica is a full process with its own GIL and worker pools.
+
+Method: for each fleet size a throwaway cluster is self-hosted on a fresh
+shared store and hammered with the load harness's mixed workload
+(``run`` / ``submit``+poll / ``compile`` / ``lint``) for a fixed window;
+the harness verifies every served run bit-for-bit against a locally
+computed serial result, so the throughput numbers only count *correct*
+answers.  p50/p99 latency and saturation throughput land in
+``results/BENCH_p07_cluster.json`` (plus a rendered table).
+
+Acceptance (full mode, >= 4 CPUs): the 4-replica fleet sustains >= 2x the
+1-replica saturation throughput, with zero errors and zero verification
+failures on both fleets.  On smaller hosts every replica shares one core,
+so the scaling clause is recorded but not asserted — correctness and the
+zero-failure clauses always are.  ``REPRO_BENCH_SMOKE=1`` shrinks the
+window and fleet for CI.
+"""
+
+import os
+
+from repro.cluster.loadtest import format_report, run_loadtest
+from repro.cluster.router import start_cluster
+from repro.experiments.report import Table
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+CPUS = os.cpu_count() or 1
+
+FLEETS = (1, 2) if SMOKE else (1, 4)
+CONCURRENCY = 4 if SMOKE else 12
+DURATION_S = 1.5 if SMOKE else 6.0
+RUN_N = 16 if SMOKE else 48
+
+
+def _hammer(replicas: int, cache_dir: str) -> dict:
+    router, supervisor, thread = start_cluster(
+        replicas=replicas,
+        cache_dir=cache_dir,
+        drain_s=2.0,
+        sync_timeout_s=120.0,
+    )
+    try:
+        return run_loadtest(
+            port=router.port,
+            mode="closed",
+            concurrency=CONCURRENCY,
+            requests=None,
+            duration_s=DURATION_S,
+            run_n=RUN_N,
+            seed=7,
+        )
+    finally:
+        router.shutdown()
+        router.close()
+        supervisor.stop()
+        thread.join(timeout=10)
+
+
+def run(tmp_root) -> tuple[Table, dict]:
+    table = Table(
+        "P7: cluster saturation throughput, 1 vs N replicas (closed loop)",
+        [
+            "replicas", "requests", "throughput_rps", "p50_ms", "p99_ms",
+            "errors", "rejected", "verify_failures",
+        ],
+        notes=(
+            f"host has {CPUS} CPU(s); concurrency={CONCURRENCY} closed-loop "
+            f"clients for {DURATION_S}s per fleet, mixed "
+            "run/submit-poll/compile/lint workload, every served run "
+            "verified bit-for-bit against a local serial result.  Each "
+            "fleet gets a fresh shared artifact store."
+        ),
+    )
+    docs: dict[int, dict] = {}
+    for replicas in FLEETS:
+        cache_dir = os.path.join(str(tmp_root), f"store-{replicas}")
+        doc = _hammer(replicas, cache_dir)
+        docs[replicas] = doc
+        table.add(
+            replicas,
+            doc["requests"],
+            doc["throughput_rps"],
+            doc["p50_ms"],
+            doc["p99_ms"],
+            doc["errors"],
+            doc["rejected"],
+            doc["verify_failures"],
+        )
+    lo, hi = min(FLEETS), max(FLEETS)
+    scaling = (
+        docs[hi]["throughput_rps"] / docs[lo]["throughput_rps"]
+        if docs[lo]["throughput_rps"] > 0
+        else float("inf")
+    )
+    table.notes += (
+        f"  saturation scaling {hi}r/{lo}r = {scaling:.2f}x; acceptance "
+        f">= 2x at 4 replicas "
+        + ("(checked: host has >= 4 CPUs)."
+           if CPUS >= 4 and not SMOKE
+           else f"(not checkable: {CPUS}-CPU host or smoke mode; "
+                "correctness still verified).")
+    )
+    return table, {"docs": docs, "scaling": scaling}
+
+
+def test_p07_cluster(tmp_path, save_table, save_json, results_dir):
+    table, data = run(tmp_path)
+    save_table("p07_cluster", table)
+    save_json(
+        "BENCH_p07_cluster",
+        {
+            "title": table.title,
+            "headers": list(table.headers),
+            "rows": [list(r) for r in table.rows],
+            "cpus": CPUS,
+            "smoke": SMOKE,
+            "fleets": {str(k): v for k, v in data["docs"].items()},
+            "scaling_x": round(data["scaling"], 3),
+        },
+    )
+    reports = "\n\n".join(
+        f"=== {replicas} replica(s) ===\n{format_report(doc)}"
+        for replicas, doc in data["docs"].items()
+    )
+    (results_dir / "p07_cluster_loadtest.txt").write_text(reports + "\n")
+
+    for replicas, doc in data["docs"].items():
+        # Throughput only counts verified-correct answers: the capacity
+        # claim is vacuous if any served run diverged or errored.
+        assert doc["verify_failures"] == 0, (replicas, doc)
+        assert doc["errors"] == 0, (replicas, doc)
+        assert doc["completed"] > 0, (replicas, doc)
+        assert doc["p99_ms"] >= doc["p50_ms"] > 0, (replicas, doc)
+
+    if CPUS >= 4 and not SMOKE:
+        assert data["scaling"] >= 2.0, (
+            f"4-replica fleet only scaled {data['scaling']:.2f}x over 1"
+        )
+
+
+if __name__ == "__main__":
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro_bench_p07_") as tmp:
+        table, data = run(tmp)
+        print(table.format())
+        print(f"scaling: {data['scaling']:.2f}x")

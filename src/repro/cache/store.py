@@ -275,16 +275,33 @@ class ArtifactCache:
         return len(self._scan())
 
     def _evict_if_needed(self) -> int:
-        """LRU-evict until the store fits ``max_bytes``; bytes freed."""
+        """LRU-evict until the store fits ``max_bytes``; bytes freed.
+
+        Cross-process audit: several replicas may run eviction against the
+        same directory concurrently, and another process may *use* (touch)
+        an entry between our scan and our rmtree.  Each candidate is
+        therefore re-stat'ed immediately before removal — an entry whose
+        mtime moved since the scan was just used by someone else and is
+        spared this round; an entry that vanished was evicted by a peer
+        and is not double-counted.  A reader that loses the race anyway
+        sees a missing/truncated entry, which the corruption-tolerant
+        ``get`` path already converts into a clean miss + recompile.
+        """
         if self.max_bytes is None:
             return 0
         rows = self._scan()
         total = sum(size for _, size, _ in rows)
         freed = 0
         with self._lock:
-            for _, size, path in rows:
+            for mtime, size, path in rows:
                 if total <= self.max_bytes:
                     break
+                try:
+                    if path.stat().st_mtime > mtime:
+                        continue  # touched since the scan: recently used
+                except OSError:
+                    total -= size  # a peer evicted it first
+                    continue
                 shutil.rmtree(path, ignore_errors=True)
                 total -= size
                 freed += size

@@ -32,6 +32,16 @@ bypasses it for one invocation.
 (:mod:`repro.service`) instead: ``POST /compile``, ``POST /run``,
 ``POST /lint``, ``GET /healthz``, ``GET /metrics``.
 
+``python -m repro cluster --replicas N`` starts the N-replica deployment
+(:mod:`repro.cluster`): a front-door router load-balancing those same
+endpoints — plus the async job protocol ``POST /submit`` →
+``GET /poll/<id>`` / ``GET /result/<id>`` / ``POST /cancel/<id>`` — over
+replica server processes that share one artifact-cache directory.
+
+``python -m repro loadtest`` hammers a server or cluster with a mixed
+compile/run/lint/submit-poll workload (open- or closed-loop) and reports
+p50/p99 latency and throughput (``--json`` for machine-readable output).
+
 ``python -m repro lint`` runs the chunk-safety verifier
 (:mod:`repro.lint`) over source files or registered workloads and
 reports structured findings (RACE001/RACE002/RACE003/PRIV002).
@@ -329,6 +339,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.server import serve_main
 
         return serve_main(argv[1:])
+    if argv[:1] == ["cluster"]:
+        from repro.cluster.router import cluster_main
+
+        return cluster_main(argv[1:])
+    if argv[:1] == ["loadtest"]:
+        from repro.cluster.loadtest import loadtest_main
+
+        return loadtest_main(argv[1:])
     if argv[:1] == ["lint"]:
         from repro.lint.cli import lint_main
 

@@ -1,0 +1,78 @@
+"""Per-tenant admission quotas for the cluster job queue.
+
+A tenant is whatever string the client puts in its submit body (default
+``"anon"``).  The quota bounds a tenant's *in-flight* jobs — queued plus
+running — so one chatty client cannot occupy the whole queue; completed
+jobs release their slot immediately, before the result is even polled.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Default cap on in-flight (queued + running) jobs per tenant.
+DEFAULT_TENANT_LIMIT = 64
+
+
+class QuotaExceeded(Exception):
+    """A tenant is at its in-flight limit (maps to HTTP 429)."""
+
+    def __init__(self, tenant: str, limit: int) -> None:
+        super().__init__(
+            f"tenant {tenant!r} is at its in-flight job limit ({limit})"
+        )
+        self.tenant = tenant
+        self.limit = limit
+
+
+class TenantQuotas:
+    """Thread-safe in-flight accounting with per-tenant limits.
+
+    ``default_limit`` applies to every tenant unless ``limits`` carries an
+    override; a limit of 0 or less means "unlimited" for that tenant.
+    """
+
+    def __init__(
+        self,
+        default_limit: int = DEFAULT_TENANT_LIMIT,
+        limits: dict[str, int] | None = None,
+    ) -> None:
+        self.default_limit = default_limit
+        self.limits = dict(limits or {})
+        self._inflight: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def limit_for(self, tenant: str) -> int:
+        return self.limits.get(tenant, self.default_limit)
+
+    def acquire(self, tenant: str) -> None:
+        """Claim one in-flight slot or raise :class:`QuotaExceeded`."""
+        limit = self.limit_for(tenant)
+        with self._lock:
+            held = self._inflight.get(tenant, 0)
+            if limit > 0 and held >= limit:
+                raise QuotaExceeded(tenant, limit)
+            self._inflight[tenant] = held + 1
+
+    def release(self, tenant: str) -> None:
+        with self._lock:
+            held = self._inflight.get(tenant, 0)
+            if held <= 1:
+                self._inflight.pop(tenant, None)
+            else:
+                self._inflight[tenant] = held - 1
+
+    def inflight(self, tenant: str) -> int:
+        with self._lock:
+            return self._inflight.get(tenant, 0)
+
+    def snapshot(self) -> dict:
+        """Live per-tenant gauges for the ``cluster.tenants`` metrics."""
+        with self._lock:
+            return {
+                tenant: {
+                    "inflight": held,
+                    "limit": self.limit_for(tenant),
+                }
+                for tenant, held in sorted(self._inflight.items())
+            }

@@ -1,0 +1,544 @@
+"""The cluster front door: load-balancing router + async job dispatch.
+
+One :class:`ClusterRouter` accepts client traffic and feeds everything —
+synchronous ``/compile``/``/run``/``/lint`` *and* async ``/submit`` jobs —
+through one :class:`~repro.cluster.jobs.JobQueue`, so admission control
+(bounded depth, per-tenant quotas → 429 + ``Retry-After``) and the
+crash-retry budget apply uniformly.  Synchronous endpoints are just
+"submit and wait": the response is the job's result, with a ``cluster``
+block reporting which replica served it and whether it had to be retried.
+
+Dispatcher threads claim jobs and forward them to the least-loaded alive
+replica.  Replica crashes and timeouts surface as transient transport
+errors; the dispatcher re-queues the job (``jobs.retried``) until its
+retry budget runs out, nudges the supervisor to restart the dead process,
+and stamps the final result with ``fallback_reason`` so clients can see
+the degradation.  Replica 4xx responses are *client* errors: they fail
+the job immediately and relay the replica's status code.
+
+Every replica registers compiled programs in its own memory, so a ``run``
+landing on a replica that never saw the ``/compile`` (or was restarted
+since) would 404.  The router remembers each key's compile request and
+repairs on miss: re-issue the compile on that replica — a shared-cache
+hit, so cheap — then retry the run.
+
+Routes::
+
+    POST /compile | /run | /lint      synchronous (queued + balanced)
+    POST /submit                      {kind, body, tenant?} -> job_id
+    GET  /poll/<job_id>               state + timings
+    GET  /result/<job_id>             full result (409 until terminal)
+    POST /cancel/<job_id>             cancel queued / best-effort running
+    GET  /healthz                     router + fleet health
+    GET  /metrics                     repro.metrics/v1 + jobs.* + cluster.*
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from http.server import ThreadingHTTPServer
+
+from repro.cluster.jobs import AdmissionError, Job, JobQueue
+from repro.cluster.quotas import TenantQuotas
+from repro.cluster.replica import ReplicaHandle, ReplicaSupervisor
+from repro.parallel.observe import metrics_snapshot
+from repro.service.client import TRANSIENT_ERRORS, ServiceError
+from repro.service.server import JsonRequestHandler, RequestError
+
+#: Seconds a synchronous endpoint waits for its job before giving up (504).
+DEFAULT_SYNC_TIMEOUT_S = 300.0
+
+#: Job kinds the router accepts.
+JOB_KINDS = ("compile", "run", "lint")
+
+
+class ClusterRouter(ThreadingHTTPServer):
+    """HTTP front door over a :class:`ReplicaSupervisor` fleet."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        supervisor: ReplicaSupervisor,
+        address: tuple[str, int] = ("127.0.0.1", 0),
+        queue: JobQueue | None = None,
+        dispatchers: int | None = None,
+        sync_timeout_s: float = DEFAULT_SYNC_TIMEOUT_S,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _RouterHandler)
+        self.supervisor = supervisor
+        self.queue = queue or JobQueue()
+        self.sync_timeout_s = sync_timeout_s
+        self.verbose = verbose
+        #: key -> the /compile body that produced it (404-repair replays).
+        self._compiles: dict[str, dict] = {}
+        self.counters = {
+            "requests": 0,
+            "errors": 0,
+            "routed_compile": 0,
+            "routed_run": 0,
+            "routed_lint": 0,
+            "repairs": 0,
+        }
+        self._state_lock = threading.Lock()
+        self._inflight = 0
+        self._started = time.monotonic()
+        self._stopping = threading.Event()
+        self._paused = threading.Event()
+        n_dispatchers = (
+            dispatchers
+            if dispatchers is not None
+            else max(4, 2 * len(supervisor.handles))
+        )
+        self._dispatchers = [
+            threading.Thread(
+                target=self._dispatch_loop,
+                name=f"repro-dispatch-{i}",
+                daemon=True,
+            )
+            for i in range(n_dispatchers)
+        ]
+        for t in self._dispatchers:
+            t.start()
+
+    # -- bookkeeping shared with JsonRequestHandler ------------------------
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def bump(self, name: str, by: int = 1) -> None:
+        with self._state_lock:
+            self.counters[name] += by
+
+    def begin_request(self) -> None:
+        with self._state_lock:
+            self._inflight += 1
+
+    def end_request(self) -> None:
+        with self._state_lock:
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        with self._state_lock:
+            return self._inflight
+
+    def drain(self, deadline_s: float = 5.0) -> bool:
+        t0 = time.monotonic()
+        while self.inflight > 0 and time.monotonic() - t0 < deadline_s:
+            time.sleep(0.02)
+        return self.inflight == 0
+
+    # -- maintenance hooks -------------------------------------------------
+    def pause(self) -> None:
+        """Stop claiming jobs (they queue); for maintenance and tests."""
+        self._paused.set()
+
+    def resume(self) -> None:
+        self._paused.clear()
+
+    def close(self) -> None:
+        """Stop dispatchers and the listener (the supervisor is stopped by
+        its owner — typically :func:`start_cluster`'s caller)."""
+        self._stopping.set()
+        with self.queue._cond:  # wake blocked dispatchers
+            self.queue._cond.notify_all()
+        for t in self._dispatchers:
+            t.join(timeout=5.0)
+        self.server_close()
+
+    # -- dispatch ----------------------------------------------------------
+    def pick_replica(self) -> ReplicaHandle | None:
+        """Least-loaded alive replica (the load-balancing policy)."""
+        alive = self.supervisor.alive_handles()
+        if not alive:
+            return None
+        return min(alive, key=lambda h: (h.inflight, h.index))
+
+    def _dispatch_loop(self) -> None:
+        while not self._stopping.is_set():
+            if self._paused.is_set():
+                time.sleep(0.02)
+                continue
+            job = self.queue.next_job(timeout=0.2)
+            if job is None:
+                continue
+            if self._paused.is_set():
+                # Pause landed while we were blocked in next_job: put the
+                # claim back untouched and wait it out.
+                self.queue.unclaim(job)
+                time.sleep(0.02)
+                continue
+            self._execute(job)
+
+    def _execute(self, job: Job) -> None:
+        handle = self.pick_replica()
+        waited = 0.0
+        while handle is None and waited < 10.0 and not self._stopping.is_set():
+            time.sleep(0.1)  # fleet mid-restart: give the supervisor a beat
+            waited += 0.1
+            handle = self.pick_replica()
+        if handle is None:
+            self.queue.requeue(job, "no replica alive")
+            return
+        generation = handle.generation
+        job.replica = handle.index
+        handle.begin()
+        try:
+            result = self._forward(handle, job)
+        except ServiceError as exc:
+            if exc.status >= 500:
+                # The replica answered but is unwell — treat as transient.
+                self.supervisor.report_failure(handle, generation)
+                self.queue.requeue(
+                    job, f"replica {handle.index} HTTP {exc.status}: {exc}"
+                )
+            else:
+                self.queue.fail(job, str(exc), status=exc.status)
+        except TRANSIENT_ERRORS as exc:
+            # Crash, connection reset, or timeout: nudge a restart and
+            # re-queue within the retry budget.
+            self.supervisor.report_failure(handle, generation)
+            self.queue.requeue(
+                job,
+                f"replica {handle.index} unreachable "
+                f"({type(exc).__name__}: {exc})",
+            )
+        except Exception as exc:  # pragma: no cover - router bug guard
+            self.queue.fail(job, f"router error: {exc}")
+        else:
+            if job.fallback_reason is not None:
+                result = dict(result)
+                cluster_block = dict(result.get("cluster") or {})
+                cluster_block["fallback_reason"] = job.fallback_reason
+                result["cluster"] = cluster_block
+            self.queue.finish(job, result)
+        finally:
+            handle.end()
+
+    def _forward(self, handle: ReplicaHandle, job: Job) -> dict:
+        client = handle.client
+        body = job.body
+        if job.kind == "compile":
+            result = client._request("POST", "/compile", body)
+            key = result.get("key")
+            if isinstance(key, str):
+                with self._state_lock:
+                    self._compiles[key] = body
+            self.bump("routed_compile")
+        elif job.kind == "run":
+            try:
+                result = client._request("POST", "/run", body)
+            except ServiceError as exc:
+                if exc.status != 404:
+                    raise
+                result = self._repair_and_rerun(client, body, exc)
+            self.bump("routed_run")
+        elif job.kind == "lint":
+            result = client._request("POST", "/lint", body)
+            self.bump("routed_lint")
+        else:  # unreachable: submit validates kinds
+            raise RequestError(400, f"unknown job kind {job.kind!r}")
+        result["cluster"] = {
+            "replica": handle.index,
+            "attempts": job.attempts,
+            "retries": job.retries,
+        }
+        return result
+
+    def _repair_and_rerun(self, client, body: dict, exc: ServiceError) -> dict:
+        """Replica lost the program registration (fresh process after a
+        restart): replay the remembered compile — a shared-cache hit —
+        and retry the run once."""
+        key = body.get("key")
+        with self._state_lock:
+            compile_body = self._compiles.get(key)
+        if compile_body is None:
+            raise exc
+        client._request("POST", "/compile", compile_body)
+        self.bump("repairs")
+        return client._request("POST", "/run", body)
+
+    # -- request handling --------------------------------------------------
+    def submit_job(self, payload: dict) -> Job:
+        kind = payload.get("kind")
+        if kind not in JOB_KINDS:
+            raise RequestError(
+                400, f"kind must be one of {list(JOB_KINDS)} (got {kind!r})"
+            )
+        body = payload.get("body")
+        if not isinstance(body, dict):
+            raise RequestError(400, "body must be an object")
+        tenant = payload.get("tenant", "anon")
+        if not isinstance(tenant, str) or not tenant:
+            raise RequestError(400, "tenant must be a non-empty string")
+        try:
+            return self.queue.submit(kind, body, tenant=tenant)
+        except AdmissionError as exc:
+            raise RequestError(
+                429,
+                f"rejected: {exc.reason}",
+                headers={"Retry-After": str(int(round(exc.retry_after_s)))},
+            ) from exc
+
+    def run_sync(self, kind: str, body: dict, tenant: str = "anon") -> dict:
+        """Submit + wait: the synchronous endpoints' implementation."""
+        job = self.submit_job({"kind": kind, "body": body, "tenant": tenant})
+        if not job.wait(self.sync_timeout_s):
+            self.queue.cancel(job.id)
+            raise RequestError(
+                504,
+                f"job {job.id} still {job.state} after "
+                f"{self.sync_timeout_s}s",
+            )
+        if job.state == "done":
+            return job.result
+        if job.state == "cancelled":
+            raise RequestError(409, f"job {job.id} was cancelled")
+        status = job.error_status if job.error_status else 503
+        message = job.error or "job failed"
+        if job.fallback_reason:
+            message += f" (fallback_reason: {job.fallback_reason})"
+        raise RequestError(status, message)
+
+    def health(self) -> dict:
+        fleet = self.supervisor.describe()
+        with self._state_lock:
+            counters = dict(self.counters)
+            inflight = self._inflight
+        return {
+            "status": "ok" if fleet["alive"] > 0 else "degraded",
+            "role": "router",
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "inflight": inflight,
+            "queue_depth": self.queue.depth(),
+            **counters,
+            "fleet": {k: fleet[k] for k in ("replicas", "alive", "restarts")},
+        }
+
+    def cluster_stats(self) -> dict:
+        fleet = self.supervisor.describe()
+        fleet["dispatchers"] = len(self._dispatchers)
+        fleet["paused"] = self._paused.is_set()
+        fleet["tenants"] = self.queue.quotas.snapshot()
+        return fleet
+
+    def metrics(self) -> dict:
+        cache = self.supervisor.cache_dir  # occupancy of the shared store
+        return metrics_snapshot(
+            cache=cache if cache else None,
+            server=self.health(),
+            jobs=self.queue.stats(),
+            cluster=self.cluster_stats(),
+        )
+
+
+class _RouterHandler(JsonRequestHandler):
+    """Routes front-door requests to the :class:`ClusterRouter`."""
+
+    server_version = "repro-cluster"
+
+    def _route(self, method: str) -> None:
+        router: ClusterRouter = self.server  # type: ignore[assignment]
+        path = self.path.rstrip("/") or "/"
+        if method == "GET" and path == "/healthz":
+            self._send(200, router.health())
+            return
+        if method == "GET" and path == "/metrics":
+            self._send(200, router.metrics())
+            return
+        if method == "POST" and path in ("/compile", "/run", "/lint"):
+            body = self._body()
+            tenant = body.pop("tenant", "anon")
+            self._send(200, router.run_sync(path[1:], body, tenant=tenant))
+            return
+        if method == "POST" and path == "/submit":
+            job = router.submit_job(self._body())
+            self._send(202, job.describe())
+            return
+        parts = path.lstrip("/").split("/")
+        if len(parts) == 2 and parts[0] in ("poll", "result", "cancel"):
+            verb, job_id = parts
+            router.queue.reap()
+            job = router.queue.get(job_id)
+            if verb == "cancel" and method == "POST":
+                job = router.queue.cancel(job_id)
+                if job is None:
+                    raise RequestError(404, f"unknown job {job_id!r}")
+                self._send(200, job.describe())
+                return
+            if job is None:
+                raise RequestError(
+                    404, f"unknown job {job_id!r} (expired or never existed)"
+                )
+            if verb == "poll" and method == "GET":
+                self._send(200, job.describe())
+                return
+            if verb == "result" and method == "GET":
+                if job.state not in ("done", "failed", "cancelled"):
+                    raise RequestError(
+                        409, f"job {job_id} is still {job.state}"
+                    )
+                self._send(200, job.describe(with_result=True))
+                return
+        raise RequestError(404, f"no route {method} {self.path}")
+
+
+def start_cluster(
+    replicas: int = 2,
+    cache_dir: str | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_pools: int = 4,
+    drain_s: float = 5.0,
+    queue: JobQueue | None = None,
+    max_depth: int | None = None,
+    max_retries: int | None = None,
+    tenant_limit: int | None = None,
+    dispatchers: int | None = None,
+    sync_timeout_s: float = DEFAULT_SYNC_TIMEOUT_S,
+    request_timeout_s: float = 60.0,
+    verbose: bool = False,
+) -> tuple[ClusterRouter, ReplicaSupervisor, threading.Thread]:
+    """Spawn the fleet, start the router on a daemon thread.
+
+    Returns ``(router, supervisor, thread)``; ``router.port`` carries the
+    bound front-door port.  Stop with::
+
+        router.shutdown(); router.close(); supervisor.stop()
+    """
+    supervisor = ReplicaSupervisor(
+        replicas=replicas,
+        cache_dir=cache_dir,
+        host=host,
+        max_pools=max_pools,
+        drain_s=drain_s,
+        request_timeout_s=request_timeout_s,
+    ).start()
+    try:
+        if queue is None:
+            kwargs: dict = {}
+            if max_depth is not None:
+                kwargs["max_depth"] = max_depth
+            if max_retries is not None:
+                kwargs["max_retries"] = max_retries
+            if tenant_limit is not None:
+                kwargs["quotas"] = TenantQuotas(default_limit=tenant_limit)
+            queue = JobQueue(**kwargs)
+        router = ClusterRouter(
+            supervisor,
+            address=(host, port),
+            queue=queue,
+            dispatchers=dispatchers,
+            sync_timeout_s=sync_timeout_s,
+            verbose=verbose,
+        )
+    except BaseException:
+        supervisor.stop()
+        raise
+    thread = threading.Thread(
+        target=router.serve_forever, name="repro-cluster-router", daemon=True
+    )
+    thread.start()
+    return router, supervisor, thread
+
+
+def cluster_main(argv: list[str] | None = None) -> int:
+    """``python -m repro cluster`` entry point."""
+    import argparse
+    import os
+    import pathlib
+    import sys
+
+    from repro.service.server import install_shutdown_handlers
+
+    parser = argparse.ArgumentParser(
+        prog="repro cluster",
+        description="Start the N-replica repro cluster (router + fleet)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8923)
+    parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="shared artifact-cache directory every replica opens "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument("--max-pools", type=int, default=4)
+    parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="admission control: queued jobs beyond this get 429",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="re-dispatch budget per job after replica crashes/timeouts",
+    )
+    parser.add_argument(
+        "--tenant-limit",
+        type=int,
+        default=None,
+        help="per-tenant in-flight job quota (429 beyond it)",
+    )
+    parser.add_argument("--dispatchers", type=int, default=None)
+    parser.add_argument("--drain-s", type=float, default=5.0)
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        cache_dir = os.environ.get(
+            "REPRO_CACHE_DIR", os.path.join("~", ".cache", "repro")
+        )
+    cache_dir = str(pathlib.Path(cache_dir).expanduser())
+
+    supervisor = ReplicaSupervisor(
+        replicas=args.replicas,
+        cache_dir=cache_dir,
+        host=args.host,
+        max_pools=args.max_pools,
+        drain_s=args.drain_s,
+    ).start()
+    queue_kwargs: dict = {}
+    if args.max_depth is not None:
+        queue_kwargs["max_depth"] = args.max_depth
+    if args.max_retries is not None:
+        queue_kwargs["max_retries"] = args.max_retries
+    if args.tenant_limit is not None:
+        queue_kwargs["quotas"] = TenantQuotas(default_limit=args.tenant_limit)
+    router = ClusterRouter(
+        supervisor,
+        address=(args.host, args.port),
+        queue=JobQueue(**queue_kwargs),
+        dispatchers=args.dispatchers,
+        verbose=args.verbose,
+    )
+    ports = [h.port for h in supervisor.handles]
+    print(
+        f"repro cluster: router on http://{args.host}:{router.port}, "
+        f"{args.replicas} replicas on ports {ports} "
+        f"(shared cache: {cache_dir})",
+        file=sys.stderr,
+    )
+    install_shutdown_handlers(router)  # type: ignore[arg-type]
+    router.serve_forever()
+    drained = router.drain(args.drain_s)
+    router.close()
+    supervisor.stop()
+    print(
+        f"repro cluster: shut down "
+        f"({'drained' if drained else 'drain deadline hit'})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(cluster_main())

@@ -121,6 +121,35 @@ class DispatchCounters:
         }
 
 
+@dataclass
+class JobCounters:
+    """Monotonic job-lifecycle counters (the ``jobs`` metrics block).
+
+    Owned by a :class:`repro.cluster.jobs.JobQueue` (each queue carries its
+    own instance, so two clusters in one process do not cross-count); the
+    router folds them into ``GET /metrics`` under ``"jobs"``.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    retried: int = 0
+    rejected: int = 0
+    cancelled: int = 0
+    expired: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "retried": self.retried,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
+            "expired": self.expired,
+        }
+
+
 #: The counters :func:`record_run` / :func:`record_fallback` feed.
 DISPATCH = DispatchCounters()
 _DISPATCH_LOCK = threading.Lock()
@@ -229,13 +258,20 @@ def record_speculate(
 
 
 def metrics_snapshot(
-    cache: object = "default", server: dict | None = None
+    cache: object = "default",
+    server: dict | None = None,
+    jobs: dict | None = None,
+    cluster: dict | None = None,
 ) -> dict:
     """The unified metrics document (what ``GET /metrics`` serves).
 
     ``cache`` is resolved like every other cache argument (``"default"``,
     an :class:`repro.cache.ArtifactCache`, a path, or None); ``server``
     is the server's own request-counter block, absent for in-process use.
+    A cluster front door additionally passes ``jobs`` (the queue's
+    :class:`JobCounters` plus live state gauges) and ``cluster`` (replica
+    fleet health: alive/restarts, per-replica in-flight gauges, tenants),
+    so one schema observes a lone server and an N-replica deployment.
     """
     from repro.cache import resolve_cache
 
@@ -247,6 +283,10 @@ def metrics_snapshot(
     }
     if server is not None:
         doc["server"] = server
+    if jobs is not None:
+        doc["jobs"] = jobs
+    if cluster is not None:
+        doc["cluster"] = cluster
     return doc
 
 

@@ -1,7 +1,8 @@
-"""A small stdlib client for the compile-and-run server.
+"""A small stdlib client for the compile-and-run server and the cluster.
 
-Used by the tests, the CI smoke step, and anything that wants to talk to
-``python -m repro serve`` without hand-rolling HTTP::
+Used by the tests, the CI smoke step, the load-test harness, and anything
+that wants to talk to ``python -m repro serve`` / ``python -m repro
+cluster`` without hand-rolling HTTP::
 
     from repro.service.client import ServiceClient
 
@@ -9,34 +10,79 @@ Used by the tests, the CI smoke step, and anything that wants to talk to
     program = client.compile(SOURCE, backend="mp")
     out = client.run(program["key"], {"A": A, "B": B}, {"n": 64, "m": 64})
     out["arrays"]["B"]          # numpy array, computed by the server
+
+Against a cluster front door the same client also speaks the async job
+protocol::
+
+    job = client.submit("run", key=program["key"], arrays=..., scalars=...)
+    state = client.poll(job["job_id"])
+    out = client.result(job["job_id"])       # once state is "done"
+
+Transient connection failures (replica restarting, listener backlog full,
+connection reset mid-crash) are retried with exponential backoff + full
+jitter when the client is built with ``retries > 0``; HTTP error
+*responses* (4xx/5xx) are never retried here — the cluster router owns
+job-level retry semantics.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
+import time
 import urllib.error
 import urllib.request
 from typing import Mapping
 
 import numpy as np
 
+#: Exception types treated as transient transport failures (safe to retry:
+#: the request never produced a response).  ``URLError`` covers connection
+#: refused/reset wrapped by urllib; the bare ones can escape during
+#: response reads.
+TRANSIENT_ERRORS = (
+    urllib.error.URLError,
+    ConnectionError,
+    TimeoutError,
+    http.client.BadStatusLine,
+    http.client.IncompleteRead,
+)
+
 
 class ServiceError(RuntimeError):
-    """A non-2xx response; carries the HTTP status and decoded body."""
+    """A non-2xx response; carries the HTTP status and decoded body.
 
-    def __init__(self, status: int, payload: dict) -> None:
+    ``retry_after`` is the parsed ``Retry-After`` header in seconds when
+    the server sent one (the cluster's 429 admission rejections do).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        payload: dict,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(
             f"HTTP {status}: {payload.get('error', payload)}"
         )
         self.status = status
         self.payload = payload
+        self.retry_after = retry_after
 
 
 class ServiceClient:
     """Blocking JSON client bound to one server address.
 
     Thread-safe: every call opens its own connection, so one client can be
-    shared by concurrent request threads (the concurrency tests do).
+    shared by concurrent request threads (the concurrency tests and the
+    load harness do).
+
+    ``retries``/``backoff_s``/``backoff_max_s``/``retry_deadline_s``
+    configure transient-connection retry: attempt ``n`` sleeps
+    ``min(backoff_max_s, backoff_s * 2**n)`` scaled by full jitter, and
+    the whole retry loop gives up once ``retry_deadline_s`` has elapsed
+    (or the attempts run out, whichever is first).
     """
 
     def __init__(
@@ -44,12 +90,22 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = 8923,
         timeout: float = 60.0,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        retry_deadline_s: float | None = None,
     ) -> None:
         self.base = f"http://{host}:{port}"
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
+        self.retry_deadline_s = retry_deadline_s
 
     # -- transport --------------------------------------------------------
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request_once(
+        self, method: str, path: str, payload: dict | None
+    ) -> dict:
         data = None if payload is None else json.dumps(payload).encode("utf-8")
         req = urllib.request.Request(
             self.base + path,
@@ -65,7 +121,40 @@ class ServiceClient:
                 body = json.loads(exc.read())
             except Exception:
                 body = {"error": str(exc)}
-            raise ServiceError(exc.code, body) from exc
+            try:
+                retry_after = float(exc.headers.get("Retry-After"))
+            except (TypeError, ValueError):
+                retry_after = None
+            raise ServiceError(exc.code, body, retry_after) from exc
+
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> dict:
+        t0 = time.monotonic()
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceError:
+                raise  # the server answered; job-level retry is not ours
+            except TRANSIENT_ERRORS:
+                elapsed = time.monotonic() - t0
+                out_of_time = (
+                    self.retry_deadline_s is not None
+                    and elapsed >= self.retry_deadline_s
+                )
+                if attempt >= self.retries or out_of_time:
+                    raise
+                sleep = min(
+                    self.backoff_max_s, self.backoff_s * (2**attempt)
+                ) * random.uniform(0.5, 1.0)
+                if self.retry_deadline_s is not None:
+                    sleep = min(
+                        sleep,
+                        max(0.0, self.retry_deadline_s - elapsed),
+                    )
+                time.sleep(sleep)
+                attempt += 1
 
     # -- endpoints --------------------------------------------------------
     def healthz(self) -> dict:
@@ -79,27 +168,36 @@ class ServiceClient:
         source: str,
         backend: str = "python",
         frontend: str = "auto",
+        tenant: str | None = None,
         **options,
     ) -> dict:
-        """POST /compile; returns the program description (with ``key``)."""
-        return self._request(
-            "POST",
-            "/compile",
-            {
-                "source": source,
-                "backend": backend,
-                "frontend": frontend,
-                "options": options,
-            },
-        )
+        """POST /compile; returns the program description (with ``key``).
 
-    def lint(self, source: str, frontend: str = "auto", **options) -> dict:
+        ``tenant`` only matters against a cluster front door (quota
+        accounting); a lone server ignores it.
+        """
+        body = {
+            "source": source,
+            "backend": backend,
+            "frontend": frontend,
+            "options": options,
+        }
+        if tenant is not None:
+            body["tenant"] = tenant
+        return self._request("POST", "/compile", body)
+
+    def lint(
+        self,
+        source: str,
+        frontend: str = "auto",
+        tenant: str | None = None,
+        **options,
+    ) -> dict:
         """POST /lint; returns the structured chunk-safety report."""
-        return self._request(
-            "POST",
-            "/lint",
-            {"source": source, "frontend": frontend, "options": options},
-        )
+        body = {"source": source, "frontend": frontend, "options": options}
+        if tenant is not None:
+            body["tenant"] = tenant
+        return self._request("POST", "/lint", body)
 
     def run(
         self,
@@ -109,7 +207,19 @@ class ServiceClient:
         **options,
     ) -> dict:
         """POST /run; result ``arrays`` come back as float64 ndarrays."""
-        body = {
+        body = self.run_body(key, arrays, scalars, **options)
+        return decode_run_result(self._request("POST", "/run", body))
+
+    # -- async job protocol (cluster front door) ---------------------------
+    @staticmethod
+    def run_body(
+        key: str,
+        arrays: Mapping[str, np.ndarray],
+        scalars: Mapping[str, int | float] | None = None,
+        **options,
+    ) -> dict:
+        """The JSON body of a run request (shared by /run and /submit)."""
+        return {
             "key": key,
             "arrays": {
                 name: np.asarray(a, dtype=np.float64).tolist()
@@ -118,9 +228,66 @@ class ServiceClient:
             "scalars": dict(scalars or {}),
             **options,
         }
-        out = self._request("POST", "/run", body)
+
+    def submit(
+        self, kind: str, tenant: str | None = None, **body
+    ) -> dict:
+        """POST /submit → ``{"job_id": ..., "state": "queued", ...}``.
+
+        ``kind`` is ``"compile"``/``"run"``/``"lint"``; ``body`` is the
+        same payload the synchronous endpoint takes (for runs, build it
+        with :meth:`run_body`).  Raises :class:`ServiceError` with status
+        429 (and ``retry_after`` set) when admission control rejects.
+        """
+        payload = {"kind": kind, "body": body}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        return self._request("POST", "/submit", payload)
+
+    def poll(self, job_id: str) -> dict:
+        """GET /poll/<id> — job state + timings, without the result body."""
+        return self._request("GET", f"/poll/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """GET /result/<id> — the completed job's full result.
+
+        409 while the job is still queued/running.  Run-job results get
+        their ``arrays`` decoded to ndarrays like :meth:`run`.
+        """
+        out = self._request("GET", f"/result/{job_id}")
+        if isinstance(out.get("result"), dict):
+            out["result"] = decode_run_result(out["result"])
+        return out
+
+    def cancel(self, job_id: str) -> dict:
+        """POST /cancel/<id> — cancel a queued (or best-effort running) job."""
+        return self._request("POST", f"/cancel/{job_id}", {})
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        interval: float = 0.02,
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns the result
+        document (:meth:`result`).  Raises TimeoutError past ``timeout``."""
+        t0 = time.monotonic()
+        while True:
+            state = self.poll(job_id)
+            if state["state"] in ("done", "failed", "cancelled"):
+                return self.result(job_id)
+            if time.monotonic() - t0 > timeout:
+                raise TimeoutError(
+                    f"job {job_id} still {state['state']} after {timeout}s"
+                )
+            time.sleep(interval)
+
+
+def decode_run_result(out: dict) -> dict:
+    """Decode served ``arrays`` (nested lists) back into float64 ndarrays."""
+    if isinstance(out.get("arrays"), dict):
         out["arrays"] = {
             name: np.asarray(a, dtype=np.float64)
-            for name, a in out.get("arrays", {}).items()
+            for name, a in out["arrays"].items()
         }
-        return out
+    return out

@@ -14,8 +14,16 @@ bit-for-bit against a local serial run, round-trip ``POST /lint``
 on a clean kernel and a seeded-race program (asserting the RACE001
 verdict comes back), and round-trip a ``safety="speculate"`` run on a
 conflicting histogram (asserting the speculation rolled back and the
-served arrays match the serial semantics exactly).  Exits nonzero on
-any failure, so CI can gate on it directly.
+served arrays match the serial semantics exactly).
+
+It then stands up a two-replica *cluster* over one shared artifact
+store and drives the front door: a synchronous routed run (verified
+bit-for-bit), the async job protocol (submit → poll → result, plus a
+cancel while the dispatchers are paused), and the shared-store warm
+path — a program compiled and calibrated directly on replica A must be
+a cache hit on replica B, whose calibrated run performs zero
+re-calibration and reports the pinned variant decision.  Exits nonzero
+on any failure, so CI can gate on it directly.
 """
 
 from __future__ import annotations
@@ -197,6 +205,111 @@ def main() -> int:
         finally:
             server.shutdown()
             server.close()
+
+    return _cluster_check()
+
+
+def _cluster_check() -> int:
+    """Two replicas, one shared store, the async job protocol."""
+    from repro.api import transform_function
+    from repro.cluster import start_cluster
+    from repro.service.client import ServiceClient
+
+    with tempfile.TemporaryDirectory(prefix="repro_selfcheck_cluster_") as tmp:
+        router, supervisor, thread = start_cluster(
+            replicas=2, cache_dir=tmp, drain_s=2.0, sync_timeout_s=120.0
+        )
+        try:
+            front = ServiceClient(
+                port=router.port, retries=2, backoff_s=0.02
+            )
+            health = front.healthz()
+            assert health["status"] == "ok", health
+            assert health["fleet"]["alive"] == 2, health
+
+            # Shared-store warm path: compile + calibrate on replica A,
+            # then replica B must hit the store cold-process-warm-cache.
+            replica_a, replica_b = supervisor.handles
+            first = replica_a.client.compile(KERNEL, backend="mp")
+            assert not first["cached"], first
+            rng = np.random.default_rng(13)
+            A = rng.random((N + 1, M + 1))
+            expected_B = np.zeros_like(A)
+            transform_function(KERNEL, cache=None)(A, expected_B, N, M)
+            cal = replica_a.client.run(
+                first["key"], {"A": A, "B": np.zeros_like(A)},
+                {"n": N, "m": M},
+                workers=2, backend="mp", policy="unit", calibrate=True,
+            )
+            assert cal["engine"] == "mp-pool", cal["engine"]
+            assert np.array_equal(cal["arrays"]["B"], expected_B)
+            second = replica_b.client.compile(KERNEL, backend="mp")
+            assert second["cached"], second
+            assert second["key"] == first["key"]
+            warm = replica_b.client.run(
+                first["key"], {"A": A, "B": np.zeros_like(A)},
+                {"n": N, "m": M},
+                workers=2, backend="mp", policy="unit", calibrate=True,
+            )
+            assert warm["calibrations"] == 0, warm
+            assert warm["pinned_decisions"] >= 1, warm
+            assert np.array_equal(warm["arrays"]["B"], expected_B), (
+                "replica B's warm calibrated run diverged"
+            )
+
+            # Synchronous routed run through the front door.
+            routed = front.run(
+                first["key"], {"A": A, "B": np.zeros_like(A)},
+                {"n": N, "m": M},
+            )
+            assert np.array_equal(routed["arrays"]["B"], expected_B), (
+                "routed result diverged from local serial"
+            )
+            assert routed["cluster"]["replica"] in (0, 1), routed
+
+            # Async job protocol: submit → poll → result.
+            job = front.submit(
+                "run",
+                **ServiceClient.run_body(
+                    first["key"], {"A": A, "B": np.zeros_like(A)},
+                    {"n": N, "m": M},
+                ),
+            )
+            assert job["state"] in ("queued", "running"), job
+            out = front.wait(job["job_id"], timeout=60)
+            assert out["state"] == "done", out
+            assert np.array_equal(
+                out["result"]["arrays"]["B"], expected_B
+            ), "async job result diverged from local serial"
+
+            # Cancel: pause dispatch so the job stays queued.
+            router.pause()
+            parked = front.submit("lint", source=KERNEL)
+            cancelled = front.cancel(parked["job_id"])
+            assert cancelled["state"] == "cancelled", cancelled
+            router.resume()
+
+            metrics = front.metrics()
+            jobs = metrics["jobs"]
+            assert jobs["submitted"] >= 3, jobs
+            assert jobs["completed"] >= 2, jobs
+            assert jobs["cancelled"] >= 1, jobs
+            assert len(metrics["cluster"]["per_replica"]) == 2, metrics
+            assert metrics["cache"]["entries"] >= 1, metrics["cache"]
+            print(
+                "cluster selfcheck OK: 2 replicas on one store, "
+                f"routed run via replica {routed['cluster']['replica']}, "
+                f"warm cross-replica calibrations={warm['calibrations']} "
+                f"pinned={warm['pinned_decisions']}, "
+                f"jobs submitted={jobs['submitted']} "
+                f"completed={jobs['completed']} "
+                f"cancelled={jobs['cancelled']}"
+            )
+        finally:
+            router.shutdown()
+            router.close()
+            supervisor.stop()
+            thread.join(timeout=10)
     return 0
 
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import signal
 import sys
 import threading
 import time
@@ -66,11 +67,21 @@ PIPELINE_OPTIONS = {
 
 
 class RequestError(Exception):
-    """A client error: maps to an HTTP 4xx with a JSON body."""
+    """A client error: maps to an HTTP 4xx with a JSON body.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``headers`` carries extra response headers — the cluster router uses
+    it for ``Retry-After`` on 429 admission rejections.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.headers = dict(headers or {})
 
 
 @dataclass
@@ -177,12 +188,19 @@ class PoolRegistry:
         with self._lock:
             return len(self._pools)
 
-    def close_all(self) -> None:
+    def close_all(self, force: bool = False) -> None:
+        """Close every pool.  ``force=True`` (the shutdown-deadline path)
+        waits only briefly for a busy pool's run to finish before closing
+        it anyway — the run fails, but the shm segments get unlinked."""
         with self._lock:
             pools, self._pools = list(self._pools.values()), OrderedDict()
         for wp in pools:
-            with wp.lock:
+            locked = wp.lock.acquire(timeout=2.0 if force else -1)
+            try:
                 wp.pool.close()
+            finally:
+                if locked:
+                    wp.lock.release()
 
 
 class ReproServer(ThreadingHTTPServer):
@@ -212,6 +230,7 @@ class ReproServer(ThreadingHTTPServer):
         }
         self._state_lock = threading.Lock()
         self._started = time.monotonic()
+        self._inflight = 0
 
     # -- state ------------------------------------------------------------
     @property
@@ -222,18 +241,45 @@ class ReproServer(ThreadingHTTPServer):
         with self._state_lock:
             self.counters[name] += by
 
+    @property
+    def inflight(self) -> int:
+        with self._state_lock:
+            return self._inflight
+
+    def begin_request(self) -> None:
+        with self._state_lock:
+            self._inflight += 1
+
+    def end_request(self) -> None:
+        with self._state_lock:
+            self._inflight -= 1
+
+    def drain(self, deadline_s: float = 5.0) -> bool:
+        """Wait for in-flight requests to finish (post-``shutdown()``).
+
+        The listener is already closed, so no new work arrives; this
+        blocks until every handler thread has written its response or the
+        deadline passes.  Returns True when fully drained.
+        """
+        t0 = time.monotonic()
+        while self.inflight > 0 and time.monotonic() - t0 < deadline_s:
+            time.sleep(0.02)
+        return self.inflight == 0
+
     def server_metrics(self) -> dict:
         with self._state_lock:
             counters = dict(self.counters)
+            inflight = self._inflight
         return {
             "uptime_s": round(time.monotonic() - self._started, 3),
             "programs": len(self.programs),
             "warm_pools": len(self.pools),
+            "inflight": inflight,
             **counters,
         }
 
-    def close(self) -> None:
-        self.pools.close_all()
+    def close(self, force: bool = False) -> None:
+        self.pools.close_all(force=force)
         self.server_close()
 
     # -- request logic (handler methods delegate here) --------------------
@@ -529,8 +575,15 @@ def _decode_scalars(raw, proc) -> dict[str, int | float]:
     return out
 
 
-class _Handler(BaseHTTPRequestHandler):
-    """Routes requests to the server's handle_* methods; JSON in, JSON out."""
+class JsonRequestHandler(BaseHTTPRequestHandler):
+    """JSON-in/JSON-out handler plumbing shared by server and router.
+
+    Subclasses implement ``_route(method)``; this base provides response
+    encoding, body decoding, error mapping (:class:`RequestError` → 4xx
+    JSON, anything else → 500 with a traceback), quiet logging, and
+    in-flight request accounting against the owning server (what
+    :meth:`ReproServer.drain` waits on during graceful shutdown).
+    """
 
     server_version = "repro-serve"
     protocol_version = "HTTP/1.1"
@@ -539,11 +592,18 @@ class _Handler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(fmt, *args)
 
-    def _send(self, status: int, payload: dict) -> None:
+    def _send(
+        self,
+        status: int,
+        payload: dict,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         data = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
@@ -560,34 +620,20 @@ class _Handler(BaseHTTPRequestHandler):
             raise RequestError(400, "JSON body must be an object")
         return body
 
+    def _route(self, method: str) -> None:
+        raise NotImplementedError
+
     def _dispatch(self, method: str) -> None:
-        server: ReproServer = self.server  # type: ignore[assignment]
+        server = self.server
         server.bump("requests")
+        server.begin_request()
         try:
-            if method == "GET" and self.path == "/healthz":
-                self._send(
-                    200, {"status": "ok", **server.server_metrics()}
-                )
-            elif method == "GET" and self.path == "/metrics":
-                self._send(
-                    200,
-                    metrics_snapshot(
-                        cache=server.cache, server=server.server_metrics()
-                    ),
-                )
-            elif method == "POST" and self.path == "/compile":
-                self._send(200, server.handle_compile(self._body()))
-            elif method == "POST" and self.path == "/run":
-                self._send(200, server.handle_run(self._body()))
-            elif method == "POST" and self.path == "/lint":
-                self._send(200, server.handle_lint(self._body()))
-            else:
-                raise RequestError(
-                    404, f"no route {method} {self.path}"
-                )
+            self._route(method)
         except RequestError as exc:
             server.bump("errors")
-            self._send(exc.status, {"error": str(exc)})
+            self._send(
+                exc.status, {"error": str(exc)}, headers=exc.headers
+            )
         except Exception:
             server.bump("errors")
             import traceback
@@ -596,12 +642,38 @@ class _Handler(BaseHTTPRequestHandler):
                 500,
                 {"error": "internal error", "detail": traceback.format_exc()},
             )
+        finally:
+            server.end_request()
 
     def do_GET(self):  # noqa: N802 - stdlib name
         self._dispatch("GET")
 
     def do_POST(self):  # noqa: N802 - stdlib name
         self._dispatch("POST")
+
+
+class _Handler(JsonRequestHandler):
+    """Routes requests to the server's handle_* methods."""
+
+    def _route(self, method: str) -> None:
+        server: ReproServer = self.server  # type: ignore[assignment]
+        if method == "GET" and self.path == "/healthz":
+            self._send(200, {"status": "ok", **server.server_metrics()})
+        elif method == "GET" and self.path == "/metrics":
+            self._send(
+                200,
+                metrics_snapshot(
+                    cache=server.cache, server=server.server_metrics()
+                ),
+            )
+        elif method == "POST" and self.path == "/compile":
+            self._send(200, server.handle_compile(self._body()))
+        elif method == "POST" and self.path == "/run":
+            self._send(200, server.handle_run(self._body()))
+        elif method == "POST" and self.path == "/lint":
+            self._send(200, server.handle_lint(self._body()))
+        else:
+            raise RequestError(404, f"no route {method} {self.path}")
 
 
 def serve_background(
@@ -621,6 +693,31 @@ def serve_background(
     )
     thread.start()
     return server, thread
+
+
+def install_shutdown_handlers(server: ReproServer) -> threading.Event:
+    """SIGTERM/SIGINT → stop accepting work (must run on the main thread).
+
+    The handler fires ``server.shutdown()`` from a helper thread (calling
+    it inline would deadlock: the signal interrupts the main thread, which
+    is the one running ``serve_forever``).  The caller then drains
+    in-flight requests with a deadline and closes the server — pool
+    close unlinks every shm segment, so a SIGTERM mid-run leaks nothing.
+    Returns the event the handler sets, for "was I signalled" checks.
+    """
+    stopping = threading.Event()
+
+    def _handler(signum: int, frame: object) -> None:
+        if stopping.is_set():  # second signal: give up on draining
+            raise SystemExit(128 + signum)
+        stopping.set()
+        threading.Thread(
+            target=server.shutdown, name="repro-shutdown", daemon=True
+        ).start()
+
+    signal.signal(signal.SIGTERM, _handler)
+    signal.signal(signal.SIGINT, _handler)
+    return stopping
 
 
 def serve_main(argv: list[str] | None = None) -> int:
@@ -649,6 +746,13 @@ def serve_main(argv: list[str] | None = None) -> int:
         default=4,
         help="warm worker pools kept resident (per workers x shape)",
     )
+    parser.add_argument(
+        "--drain-s",
+        type=float,
+        default=5.0,
+        help="graceful-shutdown deadline: seconds to wait for in-flight "
+        "requests after SIGTERM/SIGINT before force-closing pools",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
     if args.no_cache:
@@ -673,12 +777,18 @@ def serve_main(argv: list[str] | None = None) -> int:
         f"(cache: {cache_line})",
         file=sys.stderr,
     )
+    install_shutdown_handlers(server)
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - handler normally wins
         pass
-    finally:
-        server.close()
+    drained = server.drain(args.drain_s)
+    server.close(force=not drained)
+    print(
+        f"repro serve: shut down "
+        f"({'drained' if drained else 'drain deadline hit, force-closed'})",
+        file=sys.stderr,
+    )
     return 0
 
 

@@ -1,0 +1,163 @@
+"""The artifact store under multi-process contention.
+
+Cluster replicas open one shared cache directory, so publication races,
+concurrent LRU eviction, and readers racing evictors are all normal
+operation — these tests drive each case with real OS processes against
+one store root.  Worker functions live at module level so the ``fork``
+start method (and ``spawn``, for that matter) can target them.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.cache import ArtifactCache
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+
+
+def _put_worker(root, key, token, barrier):
+    cache = ArtifactCache(root)
+    barrier.wait()
+    cache.put(key, {"blob.txt": token * 64}, meta={"writer": token})
+
+
+def _get_worker(root, key, queue):
+    cache = ArtifactCache(root)
+    entry = cache.get(key)
+    if entry is None:
+        queue.put(None)
+    else:
+        queue.put(entry.read_text("blob.txt"))
+
+
+def _evict_worker(root, max_bytes, key, barrier):
+    cache = ArtifactCache(root, max_bytes=max_bytes)
+    barrier.wait()
+    cache.put(key, {"blob.bin": b"x" * 4096})
+
+
+@pytest.fixture()
+def ctx():
+    return multiprocessing.get_context("fork")
+
+
+@pytest.fixture()
+def root(tmp_path):
+    return str(tmp_path / "shared-cache")
+
+
+def _run_all(procs, timeout=60):
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=timeout)
+    assert all(p.exitcode == 0 for p in procs), [p.exitcode for p in procs]
+
+
+class TestPublicationRace:
+    def test_same_key_two_writers_one_complete_entry(self, ctx, root):
+        barrier = ctx.Barrier(2)
+        _run_all([
+            ctx.Process(target=_put_worker, args=(root, KEY_A, tok, barrier))
+            for tok in ("one!", "two!")
+        ])
+        cache = ArtifactCache(root)
+        entry = cache.get(KEY_A)
+        assert entry is not None, "both publications vanished"
+        # One rename won wholesale: the blob is exactly one writer's
+        # content, never an interleaving, and matches its manifest size.
+        content = entry.read_text("blob.txt")
+        assert content in ("one!" * 64, "two!" * 64)
+        assert entry.files["blob.txt"] == len(content)
+        assert entry.meta["writer"] * 64 == content
+        # The loser's staging copy was discarded, not leaked.
+        assert cache.entry_count() == 1
+        assert list(cache.tmp_dir.iterdir()) == []
+
+    def test_reader_process_sees_writer_process_entry(self, ctx, root):
+        ArtifactCache(root).put(KEY_A, {"blob.txt": "shared"})
+        queue = ctx.Queue()
+        _run_all([ctx.Process(target=_get_worker, args=(root, KEY_A, queue))])
+        assert queue.get(timeout=10) == "shared"
+
+
+class TestEvictionRaces:
+    def test_eviction_under_reader_is_a_clean_miss(self, ctx, root):
+        cache = ArtifactCache(root, max_bytes=6000)
+        cache.put(KEY_A, {"blob.bin": b"a" * 4096})
+        entry = cache.get(KEY_A)  # the reader holds this manifest
+        assert entry is not None
+        # A peer process publishes past the budget; KEY_A (oldest) goes.
+        barrier = ctx.Barrier(1)
+        _run_all([
+            ctx.Process(
+                target=_evict_worker, args=(root, 6000, KEY_B, barrier)
+            )
+        ])
+        assert not entry.path.is_dir(), "peer should have evicted KEY_A"
+        with pytest.raises(OSError):
+            entry.read_bytes("blob.bin")  # the held handle went stale ...
+        errors_before = cache.stats.errors
+        assert cache.get(KEY_A) is None  # ... and a re-get is a clean miss
+        assert cache.stats.errors == errors_before  # miss, not corruption
+        republished = cache.put(KEY_A, {"blob.bin": b"a" * 4096})
+        assert republished.path.is_dir()
+
+    def test_concurrent_evictors_converge_under_budget(self, ctx, root):
+        seed = ArtifactCache(root, max_bytes=None)
+        for i in range(8):
+            seed.put(("%02d" % i) * 32, {"blob.bin": b"s" * 4096})
+        barrier = ctx.Barrier(2)
+        _run_all([
+            ctx.Process(
+                target=_evict_worker, args=(root, 10000, key, barrier)
+            )
+            for key in (KEY_B, KEY_C)
+        ])
+        after = ArtifactCache(root, max_bytes=10000)
+        assert after.total_bytes() <= 10000
+        # Every surviving entry still verifies — double-eviction of the
+        # same path must not leave half-deleted directories behind.
+        for path in after.objects_dir.iterdir():
+            entry = after.get(path.name)
+            assert entry is not None, f"survivor {path.name} corrupt"
+
+
+class TestCorruptBlobRecovery:
+    def test_peer_detects_truncated_blob_and_recovers(self, ctx, root):
+        cache = ArtifactCache(root)
+        entry = cache.put(KEY_A, {"blob.txt": "precious bytes"})
+        # Simulate a torn write/disk fault: the blob shrinks under its
+        # manifest size.
+        entry.file_path("blob.txt").write_text("precious")
+        queue = ctx.Queue()
+        _run_all([ctx.Process(target=_get_worker, args=(root, KEY_A, queue))])
+        assert queue.get(timeout=10) is None  # peer saw corruption: miss
+        assert not entry.path.is_dir()  # ... and deleted the entry
+        # Recompile/republish path works, and a fresh peer reads it.
+        cache.put(KEY_A, {"blob.txt": "precious bytes"})
+        _run_all([ctx.Process(target=_get_worker, args=(root, KEY_A, queue))])
+        assert queue.get(timeout=10) == "precious bytes"
+
+    def test_peer_detects_mangled_manifest(self, ctx, root):
+        cache = ArtifactCache(root)
+        entry = cache.put(KEY_A, {"blob.txt": "x"})
+        (entry.path / "meta.json").write_text("{not json")
+        queue = ctx.Queue()
+        _run_all([ctx.Process(target=_get_worker, args=(root, KEY_A, queue))])
+        assert queue.get(timeout=10) is None
+        assert not entry.path.is_dir()
+
+    def test_corruption_counters_move_in_the_detecting_process(self, root):
+        cache = ArtifactCache(root)
+        entry = cache.put(KEY_A, {"blob.txt": "abc"})
+        manifest = json.loads((entry.path / "meta.json").read_text())
+        assert manifest["files"] == {"blob.txt": 3}
+        entry.file_path("blob.txt").unlink()
+        assert cache.get(KEY_A) is None
+        assert cache.stats.errors == 1
+        assert cache.stats.misses == 1

@@ -1,0 +1,220 @@
+"""The async job queue: states, admission, quotas, TTLs, retry budgets.
+
+Pure in-process tests — no replicas, no HTTP.  The queue is exercised the
+way the router does: ``submit`` → ``next_job`` → ``finish``/``fail``/
+``requeue``.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster.jobs import AdmissionError, JobQueue
+from repro.cluster.quotas import QuotaExceeded, TenantQuotas
+
+
+class TestLifecycle:
+    def test_submit_starts_queued(self):
+        q = JobQueue()
+        job = q.submit("lint", {"source": "x"})
+        assert job.state == "queued"
+        assert job.id.startswith("j-")
+        assert job.attempts == 0 and job.retries == 0
+        assert q.depth() == 1
+        doc = job.describe()
+        assert doc["job_id"] == job.id
+        assert doc["state"] == "queued"
+        assert "result" not in doc
+        assert job.describe(with_result=True)["result"] is None
+
+    def test_claim_and_finish(self):
+        q = JobQueue()
+        job = q.submit("run", {"key": "k"}, tenant="t1")
+        claimed = q.next_job(timeout=0.1)
+        assert claimed is job
+        assert job.state == "running"
+        assert job.attempts == 1
+        assert q.quotas.inflight("t1") == 1
+        q.finish(job, {"ok": True})
+        assert job.state == "done"
+        assert job.result == {"ok": True}
+        assert job.wait(0.1)
+        assert q.quotas.inflight("t1") == 0  # slot released at settle
+        assert q.counters.completed == 1
+
+    def test_fail_records_error_and_status(self):
+        q = JobQueue()
+        job = q.submit("run", {"key": "k"})
+        q.next_job(timeout=0.1)
+        q.fail(job, "bad request", status=400)
+        assert job.state == "failed"
+        assert job.error == "bad request"
+        assert job.error_status == 400
+        assert q.counters.failed == 1
+
+    def test_fifo_order(self):
+        q = JobQueue()
+        first = q.submit("lint", {"source": "a"})
+        second = q.submit("lint", {"source": "b"})
+        assert q.next_job(timeout=0.1) is first
+        assert q.next_job(timeout=0.1) is second
+
+    def test_next_job_times_out_empty(self):
+        q = JobQueue()
+        t0 = time.monotonic()
+        assert q.next_job(timeout=0.05) is None
+        assert time.monotonic() - t0 < 2.0
+
+
+class TestAdmission:
+    def test_depth_cap_rejects_with_retry_after(self):
+        q = JobQueue(max_depth=2)
+        q.submit("lint", {"source": "a"})
+        q.submit("lint", {"source": "b"})
+        with pytest.raises(AdmissionError) as err:
+            q.submit("lint", {"source": "c"})
+        assert "saturated" in err.value.reason
+        assert err.value.retry_after_s >= 1.0
+        assert q.counters.rejected == 1
+        assert q.counters.submitted == 2
+
+    def test_claimed_jobs_free_depth(self):
+        q = JobQueue(max_depth=1)
+        q.submit("lint", {"source": "a"})
+        q.next_job(timeout=0.1)  # running jobs no longer occupy depth
+        q.submit("lint", {"source": "b"})
+
+    def test_tenant_quota_rejects_only_the_noisy_tenant(self):
+        q = JobQueue(quotas=TenantQuotas(default_limit=1))
+        q.submit("lint", {"source": "a"}, tenant="noisy")
+        with pytest.raises(AdmissionError) as err:
+            q.submit("lint", {"source": "b"}, tenant="noisy")
+        assert "noisy" in str(err.value)
+        q.submit("lint", {"source": "c"}, tenant="quiet")  # unaffected
+        assert q.counters.rejected == 1
+
+    def test_quota_slot_released_at_settle(self):
+        q = JobQueue(quotas=TenantQuotas(default_limit=1))
+        job = q.submit("lint", {"source": "a"}, tenant="t")
+        q.next_job(timeout=0.1)
+        q.finish(job, {})
+        q.submit("lint", {"source": "b"}, tenant="t")
+
+    def test_retry_after_hint_clamped(self):
+        q = JobQueue()
+        assert 1.0 <= q.retry_after_hint() <= 30.0
+
+    def test_quotas_unlimited_when_nonpositive(self):
+        quotas = TenantQuotas(default_limit=0)
+        for _ in range(100):
+            quotas.acquire("t")
+        assert quotas.inflight("t") == 100
+
+    def test_quota_exceeded_carries_tenant(self):
+        quotas = TenantQuotas(default_limit=2)
+        quotas.acquire("t")
+        quotas.acquire("t")
+        with pytest.raises(QuotaExceeded) as err:
+            quotas.acquire("t")
+        assert err.value.tenant == "t" and err.value.limit == 2
+
+
+class TestCancel:
+    def test_cancel_queued_is_immediate(self):
+        q = JobQueue()
+        job = q.submit("lint", {"source": "a"})
+        other = q.submit("lint", {"source": "b"})
+        assert q.cancel(job.id) is job
+        assert job.state == "cancelled"
+        assert q.counters.cancelled == 1
+        # The dispatcher must skip the cancelled job entirely.
+        assert q.next_job(timeout=0.1) is other
+
+    def test_cancel_running_discards_result_at_settle(self):
+        q = JobQueue()
+        job = q.submit("run", {"key": "k"})
+        q.next_job(timeout=0.1)
+        q.cancel(job.id)
+        assert job.state == "running"  # best-effort: flagged, not yanked
+        assert job.cancel_requested
+        q.finish(job, {"arrays": {}})
+        assert job.state == "cancelled"
+        assert job.result is None
+        assert q.counters.cancelled == 1 and q.counters.completed == 0
+
+    def test_cancel_unknown_job(self):
+        assert JobQueue().cancel("j-nope") is None
+
+
+class TestRetries:
+    def test_requeue_jumps_the_line_and_counts(self):
+        q = JobQueue(max_retries=2)
+        job = q.submit("run", {"key": "k"})
+        waiting = q.submit("lint", {"source": "x"})
+        assert q.next_job(timeout=0.1) is job
+        assert q.requeue(job, "replica 0 unreachable")
+        assert job.state == "queued"
+        assert job.fallback_reason == "replica 0 unreachable"
+        assert q.counters.retried == 1
+        # Retried jobs go to the front, ahead of `waiting`.
+        assert q.next_job(timeout=0.1) is job
+        assert job.attempts == 2 and job.retries == 1
+        q.finish(job, {"ok": True})
+        assert q.next_job(timeout=0.1) is waiting
+
+    def test_retry_budget_exhaustion_fails_the_job(self):
+        q = JobQueue(max_retries=1)
+        job = q.submit("run", {"key": "k"})
+        q.next_job(timeout=0.1)
+        assert q.requeue(job, "crash 1")
+        q.next_job(timeout=0.1)
+        assert not q.requeue(job, "crash 2")
+        assert job.state == "failed"
+        assert "retry budget exhausted" in job.error
+        assert job.fallback_reason == "crash 2"
+        assert q.counters.retried == 1 and q.counters.failed == 1
+
+    def test_requeue_after_cancel_settles_cancelled(self):
+        q = JobQueue()
+        job = q.submit("run", {"key": "k"})
+        q.next_job(timeout=0.1)
+        q.cancel(job.id)
+        assert not q.requeue(job, "crash")
+        assert job.state == "cancelled"
+
+
+class TestReaping:
+    def test_settled_jobs_expire_after_ttl(self):
+        q = JobQueue(result_ttl_s=0.05)
+        job = q.submit("lint", {"source": "a"})
+        q.next_job(timeout=0.1)
+        q.finish(job, {"ok": True})
+        assert q.get(job.id) is job
+        time.sleep(0.08)
+        assert q.reap() == 1
+        assert q.get(job.id) is None
+        assert q.counters.expired == 1
+
+    def test_live_jobs_never_reaped(self):
+        q = JobQueue(result_ttl_s=0.01)
+        job = q.submit("lint", {"source": "a"})
+        time.sleep(0.05)
+        assert q.reap() == 0
+        assert q.get(job.id) is job
+
+
+class TestStats:
+    def test_stats_block_shape(self):
+        q = JobQueue()
+        done = q.submit("lint", {"source": "a"})
+        q.submit("lint", {"source": "b"})
+        q.next_job(timeout=0.1)
+        q.finish(done, {})
+        stats = q.stats()
+        assert stats["submitted"] == 2
+        assert stats["completed"] == 1
+        assert stats["depth"] == 1
+        assert stats["states"] == {"done": 1, "queued": 1}
+        assert stats["service_ewma_s"] > 0
+        for key in ("failed", "retried", "rejected", "cancelled", "expired"):
+            assert key in stats

@@ -1,0 +1,135 @@
+"""ServiceClient transient-error retry: backoff, deadlines, and what must
+never be retried."""
+
+import socket
+import threading
+import time
+import urllib.error
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+
+
+def counting(client, exc_or_result):
+    """Replace the transport with a scripted one; returns the call log."""
+    calls = []
+
+    def fake(method, path, payload=None):
+        calls.append((method, path))
+        step = exc_or_result[min(len(calls), len(exc_or_result)) - 1]
+        if isinstance(step, Exception):
+            raise step
+        return step
+
+    client._request_once = fake
+    return calls
+
+
+class TestRetryLoop:
+    def test_exhausts_attempts_then_raises(self):
+        client = ServiceClient(port=1, retries=3, backoff_s=0.001)
+        calls = counting(client, [ConnectionError("down")])
+        with pytest.raises(ConnectionError):
+            client.healthz()
+        assert len(calls) == 4  # 1 try + 3 retries
+
+    def test_zero_retries_is_single_shot(self):
+        client = ServiceClient(port=1)
+        calls = counting(client, [TimeoutError("slow")])
+        with pytest.raises(TimeoutError):
+            client.healthz()
+        assert len(calls) == 1
+
+    def test_succeeds_after_transient_failures(self):
+        client = ServiceClient(port=1, retries=3, backoff_s=0.001)
+        calls = counting(
+            client,
+            [ConnectionResetError("rst"), TimeoutError("slow"), {"ok": True}],
+        )
+        assert client.healthz() == {"ok": True}
+        assert len(calls) == 3
+
+    def test_http_errors_never_retried(self):
+        client = ServiceClient(port=1, retries=5, backoff_s=0.001)
+        calls = counting(client, [ServiceError(404, {"error": "nope"})])
+        with pytest.raises(ServiceError):
+            client.healthz()
+        assert len(calls) == 1  # the server answered: not ours to retry
+
+    def test_deadline_caps_the_loop(self):
+        client = ServiceClient(
+            port=1, retries=10_000, backoff_s=0.02, retry_deadline_s=0.15
+        )
+        calls = counting(client, [ConnectionError("down")])
+        t0 = time.monotonic()
+        with pytest.raises(ConnectionError):
+            client.healthz()
+        elapsed = time.monotonic() - t0
+        assert elapsed < 1.0
+        assert 1 < len(calls) < 100
+
+    def test_backoff_grows_exponentially(self):
+        client = ServiceClient(port=1, retries=4, backoff_s=0.01)
+        sleeps = []
+        calls = counting(client, [ConnectionError("down")])
+
+        import repro.service.client as mod
+
+        original = mod.time.sleep
+        mod.time.sleep = lambda s: sleeps.append(s)
+        try:
+            with pytest.raises(ConnectionError):
+                client.healthz()
+        finally:
+            mod.time.sleep = original
+        assert len(calls) == 5 and len(sleeps) == 4
+        # Full jitter scales each step by [0.5, 1.0]; the ceiling doubles.
+        for n, slept in enumerate(sleeps):
+            assert 0.5 * 0.01 * 2**n <= slept <= 0.01 * 2**n
+
+
+class TestAgainstRealSockets:
+    def test_connection_refused_retries_then_raises(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here now
+        client = ServiceClient(
+            port=port, retries=2, backoff_s=0.01, backoff_max_s=0.05
+        )
+        t0 = time.monotonic()
+        with pytest.raises(urllib.error.URLError):
+            client.healthz()
+        # Two backoff sleeps actually happened.
+        assert time.monotonic() - t0 >= 0.01
+
+    def test_recovers_when_the_listener_comes_back(self):
+        srv = socket.socket()
+        srv.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        srv.bind(("127.0.0.1", 0))
+        srv.listen(4)
+        port = srv.getsockname()[1]
+        body = b'{"status": "ok"}'
+
+        def serve():
+            conn, _ = srv.accept()
+            conn.close()  # first connection: slammed shut, no response
+            conn, _ = srv.accept()
+            conn.recv(65536)
+            conn.sendall(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/json\r\n"
+                + b"Content-Length: %d\r\n\r\n" % len(body)
+                + body
+            )
+            conn.close()
+
+        t = threading.Thread(target=serve, daemon=True)
+        t.start()
+        try:
+            client = ServiceClient(port=port, retries=3, backoff_s=0.01)
+            assert client.healthz() == {"status": "ok"}
+            t.join(timeout=10)
+        finally:
+            srv.close()

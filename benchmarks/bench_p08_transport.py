@@ -1,0 +1,181 @@
+"""P8 bench — array transport latency and bytes-on-wire: json vs wire vs shm.
+
+PR 9 added ``repro.wire/v1`` (framed binary array transport decoded
+zero-copy into the server's shared-memory pools) and a same-host shm
+handoff next to the JSON-lists compatibility path.  This bench publishes
+the claim behind that work: for large float64 payloads the binary frame
+beats JSON by an integer factor in /run latency (no tolist, no float
+text, no list→ndarray rebuild), and the shm handoff beats both because
+the response carries no array bytes at all.
+
+Method: one lone server with a fresh store serves the same 1-D saxpy-
+style kernel over each transport at increasing element counts.  Per
+(size, transport): one warm-up run (excluded), then the median of K
+timed ``client.run`` calls; bytes-per-run comes from the server's
+``bytes_in``/``bytes_out`` counters, delta'd around the timed window.
+Every served result is verified bit-identical to the locally computed
+serial semantics before any latency number is recorded.
+
+Acceptance (full mode, largest size): wire latency >= 5x lower than
+JSON; shm strictly faster than wire; JSON moves >= 10x the bytes of shm
+and >= 2x the bytes of wire (JSON's ~19 bytes per float64 vs 8 raw).
+``REPRO_BENCH_SMOKE=1`` shrinks sizes and repetitions for CI; the
+bit-identity and monotonicity clauses always hold.
+"""
+
+import os
+import statistics
+import time
+
+import numpy as np
+
+from repro.cache import ArtifactCache
+from repro.experiments.report import Table
+from repro.service.client import ServiceClient
+from repro.service.server import serve_background
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+SIZES = (4096, 65536) if SMOKE else (65536, 1_048_576)
+REPS = 2 if SMOKE else 3
+TRANSPORTS = ("json", "wire", "shm")
+
+KERNEL = """
+def p08saxpy(X, Y, n):
+    for i in range(1, n + 1):
+        Y[i] = 2.0 * X[i] + 0.5 * Y[i] + 1.0
+"""
+
+
+def _bytes_counters(server) -> tuple[int, int]:
+    with server._state_lock:
+        return server.counters["bytes_in"], server.counters["bytes_out"]
+
+
+def _measure(client, server, key, X, Y0, expected, transport) -> dict:
+    run = dict(workers=2, backend="mp", chunk_lang="numpy")
+    scalars = {"n": X.shape[0] - 1}
+    out = client.run(key, {"X": X, "Y": Y0}, scalars,
+                     transport=transport, **run)  # warm-up (excluded)
+    assert np.array_equal(out["arrays"]["Y"], expected), (
+        f"{transport} warm-up diverged from serial semantics"
+    )
+    in0, out0 = _bytes_counters(server)
+    lats = []
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        out = client.run(key, {"X": X, "Y": Y0}, scalars,
+                         transport=transport, **run)
+        lats.append(time.perf_counter() - t0)
+        assert np.array_equal(out["arrays"]["Y"], expected), (
+            f"{transport} served result diverged from serial semantics"
+        )
+    in1, out1 = _bytes_counters(server)
+    return {
+        "transport": transport,
+        "p50_ms": round(statistics.median(lats) * 1e3, 3),
+        "bytes_per_run": (in1 - in0 + out1 - out0) // REPS,
+        "identical": True,
+    }
+
+
+def run(tmp_root) -> tuple[Table, dict]:
+    table = Table(
+        "P8: /run array transport — json lists vs repro.wire/v1 vs shm",
+        [
+            "elements", "transport", "p50_ms", "bytes_per_run",
+            "speedup_vs_json", "bytes_vs_json", "identical",
+        ],
+        notes=(
+            f"lone server, saxpy-style 1-D kernel, workers=2 numpy "
+            f"chunks; median of {REPS} timed runs per cell after one "
+            "excluded warm-up; bytes are request+response deltas of the "
+            "server's bytes_in/bytes_out counters; every served array "
+            "verified bit-identical to the serial semantics."
+        ),
+    )
+    cache = ArtifactCache(os.path.join(str(tmp_root), "store"))
+    server, thread = serve_background(cache=cache)
+    docs: dict[int, dict] = {}
+    try:
+        client = ServiceClient(port=server.port, timeout=300.0)
+        key = client.compile(KERNEL, backend="mp")["key"]
+        rng = np.random.default_rng(17)
+        for size in SIZES:
+            X = rng.random(size + 1)
+            Y0 = rng.random(size + 1)
+            expected = Y0.copy()
+            expected[1:] = 2.0 * X[1:] + 0.5 * Y0[1:] + 1.0
+            rows = {
+                t: _measure(client, server, key, X, Y0, expected, t)
+                for t in TRANSPORTS
+            }
+            base = rows["json"]
+            for t in TRANSPORTS:
+                row = rows[t]
+                row["speedup_vs_json"] = round(
+                    base["p50_ms"] / row["p50_ms"], 2
+                ) if row["p50_ms"] else float("inf")
+                row["bytes_vs_json"] = round(
+                    base["bytes_per_run"] / max(1, row["bytes_per_run"]), 2
+                )
+                table.add(
+                    size, t, row["p50_ms"], row["bytes_per_run"],
+                    row["speedup_vs_json"], row["bytes_vs_json"],
+                    row["identical"],
+                )
+            docs[size] = rows
+    finally:
+        server.shutdown()
+        server.close()
+        thread.join(timeout=10)
+    return table, {"sizes": docs}
+
+
+def test_p08_transport(tmp_path, save_table, save_json):
+    table, data = run(tmp_path)
+    save_table("p08_transport", table)
+    save_json(
+        "BENCH_p08_transport",
+        {
+            "title": table.title,
+            "headers": list(table.headers),
+            "rows": [list(r) for r in table.rows],
+            "smoke": SMOKE,
+            "sizes": {str(k): v for k, v in data["sizes"].items()},
+        },
+    )
+    for size, rows in data["sizes"].items():
+        for t in TRANSPORTS:
+            assert rows[t]["identical"], (size, t)
+        # Byte economics hold at every size: raw frames are smaller than
+        # float text, and the shm response carries no array bytes.
+        assert rows["wire"]["bytes_per_run"] < rows["json"]["bytes_per_run"]
+        assert rows["shm"]["bytes_per_run"] < rows["wire"]["bytes_per_run"]
+
+    if not SMOKE:
+        big = data["sizes"][max(SIZES)]
+        json_ms = big["json"]["p50_ms"]
+        wire_ms = big["wire"]["p50_ms"]
+        shm_ms = big["shm"]["p50_ms"]
+        assert json_ms >= 5.0 * wire_ms, (
+            f"wire only {json_ms / wire_ms:.2f}x faster than json at "
+            f"{max(SIZES)} elements"
+        )
+        assert shm_ms < wire_ms, (shm_ms, wire_ms)
+        assert (
+            big["json"]["bytes_per_run"]
+            >= 10 * big["shm"]["bytes_per_run"]
+        ), big
+        assert (
+            big["json"]["bytes_per_run"]
+            >= 2 * big["wire"]["bytes_per_run"]
+        ), big
+
+
+if __name__ == "__main__":
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro_bench_p08_") as tmp:
+        table, _ = run(tmp)
+        print(table.format())

@@ -66,6 +66,10 @@ class Job:
     kind: str  # "compile" | "run" | "lint"
     body: dict
     tenant: str
+    #: Opaque binary request to forward verbatim (wire-transport runs).
+    #: ``body`` then holds only the peeked frame header — the router
+    #: never materializes the array payload.
+    raw_body: bytes | None = None
     state: str = "queued"
     submitted_at: float = 0.0  # time.time(), for clients
     started_at: float | None = None
@@ -74,6 +78,10 @@ class Job:
     attempts: int = 0
     max_retries: int = DEFAULT_MAX_RETRIES
     result: dict | None = None
+    #: Opaque binary result to stream verbatim from ``/result`` (set
+    #: instead of ``result`` for wire-transport runs).
+    result_raw: bytes | None = None
+    result_content_type: str | None = None
     error: str | None = None
     #: HTTP status to relay for client-caused failures (4xx from a replica).
     error_status: int | None = None
@@ -110,6 +118,9 @@ class Job:
             "error": self.error,
             "fallback_reason": self.fallback_reason,
         }
+        if self.result_raw is not None:
+            doc["result_encoding"] = "wire"
+            doc["result_nbytes"] = len(self.result_raw)
         if with_result:
             doc["result"] = self.result
         return doc
@@ -150,8 +161,14 @@ class JobQueue:
         body: dict,
         tenant: str = "anon",
         max_retries: int | None = None,
+        raw_body: bytes | None = None,
     ) -> Job:
-        """Admit a job or raise :class:`AdmissionError` (→ 429)."""
+        """Admit a job or raise :class:`AdmissionError` (→ 429).
+
+        ``raw_body`` attaches an opaque binary request (wire transport)
+        that dispatchers forward verbatim; ``body`` then carries only the
+        peeked frame header used for admission and routing decisions.
+        """
         self.reap()
         hint = self.retry_after_hint()
         with self._cond:
@@ -172,6 +189,7 @@ class JobQueue:
                 kind=kind,
                 body=body,
                 tenant=tenant,
+                raw_body=raw_body,
                 submitted_at=time.time(),
                 max_retries=(
                     self.max_retries if max_retries is None else max_retries
@@ -246,13 +264,26 @@ class JobQueue:
             self._cond.notify()
             return True
 
-    def finish(self, job: Job, result: dict) -> None:
+    def finish(
+        self,
+        job: Job,
+        result: dict | bytes,
+        content_type: str | None = None,
+    ) -> None:
+        """Settle a job as done.  ``result`` is either the decoded dict
+        (JSON path) or the replica's verbatim binary response (wire
+        path), in which case ``content_type`` labels the blob for the
+        ``/result`` stream."""
         with self._cond:
             if job.cancel_requested:
                 self._settle(job, "cancelled")
                 self.counters.cancelled += 1
                 return
-            job.result = result
+            if isinstance(result, (bytes, bytearray)):
+                job.result_raw = bytes(result)
+                job.result_content_type = content_type
+            else:
+                job.result = result
             self._settle(job, "done")
             self.counters.completed += 1
 

@@ -124,7 +124,13 @@ class LoadTest:
         tenant: str = "loadtest",
         timeout_s: float = 120.0,
         seed: int = 7,
+        transport: str = "json",
     ) -> None:
+        if transport not in ("json", "wire", "shm"):
+            raise ValueError(
+                f"unknown transport {transport!r} (json|wire|shm)"
+            )
+        self.transport = transport
         self.client = ServiceClient(
             host=host,
             port=port,
@@ -170,6 +176,7 @@ class LoadTest:
             self.run_key,
             {"A": self.A, "B": self.B0},
             {"n": self.run_n, "m": self.run_n},
+            transport=self.transport,
             tenant=self.tenant,
         )
         latency = time.perf_counter() - t0
@@ -177,13 +184,17 @@ class LoadTest:
         return LoadResult("run", ok, latency)
 
     def _op_submit_poll(self) -> LoadResult:
+        # The shm transport is synchronous-only: async submissions fall
+        # back to the wire frame (still binary, still zero-copy routed).
+        transport = "wire" if self.transport == "shm" else self.transport
         t0 = time.perf_counter()
-        body = ServiceClient.run_body(
+        job = self.client.submit_run(
             self.run_key,
             {"A": self.A, "B": self.B0},
             {"n": self.run_n, "m": self.run_n},
+            tenant=self.tenant,
+            transport=transport,
         )
-        job = self.client.submit("run", tenant=self.tenant, **body)
         doc = self.client.wait(job["job_id"], timeout=self.client.timeout)
         latency = time.perf_counter() - t0
         ok = doc["state"] == "done" and self._verify(doc["result"]["arrays"])
@@ -314,6 +325,7 @@ class LoadTest:
 
     # -- reporting ---------------------------------------------------------
     def _summarize(self, shared: _Shared, wall_s: float, **config) -> dict:
+        config.setdefault("transport", self.transport)
         per_op: dict[str, dict] = {}
         for op in self.ops:
             rows = [r for r in shared.results if r.op == op]
@@ -396,10 +408,12 @@ def run_loadtest(
     run_n: int = 32,
     tenant: str = "loadtest",
     seed: int = 7,
+    transport: str = "json",
 ) -> dict:
     """Programmatic entry point (what the bench and tests call)."""
     test = LoadTest(
-        host=host, port=port, mix=mix, run_n=run_n, tenant=tenant, seed=seed
+        host=host, port=port, mix=mix, run_n=run_n, tenant=tenant,
+        seed=seed, transport=transport,
     )
     test.prepare()
     if mode == "closed":
@@ -458,6 +472,13 @@ def loadtest_main(argv: list[str] | None = None) -> int:
         help="op weights, e.g. run:60,submit_poll:20,compile:10,lint:10",
     )
     parser.add_argument("--run-n", type=int, default=32)
+    parser.add_argument(
+        "--transport",
+        choices=("json", "wire", "shm"),
+        default="json",
+        help="array transport for run ops: json lists, repro.wire/v1 "
+        "binary frames, or same-host shared-memory handoff",
+    )
     parser.add_argument("--tenant", default="loadtest")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
@@ -513,6 +534,7 @@ def loadtest_main(argv: list[str] | None = None) -> int:
             run_n=args.run_n,
             tenant=args.tenant,
             seed=args.seed,
+            transport=args.transport,
         )
     finally:
         if cleanup is not None:

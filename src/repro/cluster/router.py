@@ -8,13 +8,24 @@ crash-retry budget apply uniformly.  Synchronous endpoints are just
 "submit and wait": the response is the job's result, with a ``cluster``
 block reporting which replica served it and whether it had to be retried.
 
-Dispatcher threads claim jobs and forward them to the least-loaded alive
-replica.  Replica crashes and timeouts surface as transient transport
-errors; the dispatcher re-queues the job (``jobs.retried``) until its
-retry budget runs out, nudges the supervisor to restart the dead process,
-and stamps the final result with ``fallback_reason`` so clients can see
-the degradation.  Replica 4xx responses are *client* errors: they fail
-the job immediately and relay the replica's status code.
+Dispatcher threads claim jobs and forward them over pooled keep-alive
+connections.  Runs route *sticky*: the replica that last compiled or ran
+a program key gets that key's next run (warm kernel registrations, warm
+pools — no recalibration), falling back to the least-loaded alive
+replica when the sticky target is dead or unknown.  Replica crashes and
+timeouts surface as transient transport errors; the dispatcher re-queues
+the job (``jobs.retried``) until its retry budget runs out, nudges the
+supervisor to restart the dead process, and stamps the final result with
+``fallback_reason`` so clients can see the degradation.  Replica 4xx
+responses are *client* errors: they fail the job immediately and relay
+the replica's status code.
+
+Binary (``repro.wire/v1``) run requests pass through *opaquely*: the
+router peeks the frame header for the program key and tenant, then
+forwards the original bytes verbatim — it never materializes an ndarray.
+The replica's wire response is kept as a blob (``Job.result_raw``) and
+streamed back out, with the ``cluster`` block spliced into the frame
+header only.
 
 Every replica registers compiled programs in its own memory, so a ``run``
 landing on a replica that never saw the ``/compile`` (or was restarted
@@ -35,14 +46,17 @@ Routes::
 
 from __future__ import annotations
 
+import json
 import threading
 import time
+from collections import OrderedDict
 from http.server import ThreadingHTTPServer
 
+from repro import wire
 from repro.cluster.jobs import AdmissionError, Job, JobQueue
 from repro.cluster.quotas import TenantQuotas
 from repro.cluster.replica import ReplicaHandle, ReplicaSupervisor
-from repro.parallel.observe import metrics_snapshot
+from repro.parallel.observe import TransportCounters, metrics_snapshot
 from repro.service.client import TRANSIENT_ERRORS, ServiceError
 from repro.service.server import JsonRequestHandler, RequestError
 
@@ -51,6 +65,9 @@ DEFAULT_SYNC_TIMEOUT_S = 300.0
 
 #: Job kinds the router accepts.
 JOB_KINDS = ("compile", "run", "lint")
+
+#: Bound on the sticky program-key -> replica map (LRU beyond this).
+STICKY_CAPACITY = 1024
 
 
 class ClusterRouter(ThreadingHTTPServer):
@@ -74,6 +91,8 @@ class ClusterRouter(ThreadingHTTPServer):
         self.verbose = verbose
         #: key -> the /compile body that produced it (404-repair replays).
         self._compiles: dict[str, dict] = {}
+        #: key -> replica index that last served it (sticky routing, LRU).
+        self._sticky: OrderedDict[str, int] = OrderedDict()
         self.counters = {
             "requests": 0,
             "errors": 0,
@@ -81,7 +100,12 @@ class ClusterRouter(ThreadingHTTPServer):
             "routed_run": 0,
             "routed_lint": 0,
             "repairs": 0,
+            "sticky_hits": 0,
+            "bytes_in": 0,
+            "bytes_out": 0,
         }
+        #: Run requests by transport (json / wire / shm).
+        self.transport = TransportCounters()
         self._state_lock = threading.Lock()
         self._inflight = 0
         self._started = time.monotonic()
@@ -111,6 +135,10 @@ class ClusterRouter(ThreadingHTTPServer):
     def bump(self, name: str, by: int = 1) -> None:
         with self._state_lock:
             self.counters[name] += by
+
+    def bump_transport(self, transport: str) -> None:
+        with self._state_lock:
+            self.transport.bump(transport)
 
     def begin_request(self) -> None:
         with self._state_lock:
@@ -150,12 +178,38 @@ class ClusterRouter(ThreadingHTTPServer):
         self.server_close()
 
     # -- dispatch ----------------------------------------------------------
-    def pick_replica(self) -> ReplicaHandle | None:
-        """Least-loaded alive replica (the load-balancing policy)."""
+    def pick_replica(self, key: str | None = None) -> ReplicaHandle | None:
+        """Routing policy: sticky by program key, else least-loaded.
+
+        A key that was compiled or last run on a still-alive replica goes
+        back there — its kernel registrations, chunk variants, and pools
+        are warm, so the run skips recalibration entirely.  Unknown keys
+        (and dead sticky targets) fall back to the least-loaded alive
+        replica; the 404-repair path covers any stale registration.
+        """
         alive = self.supervisor.alive_handles()
         if not alive:
             return None
+        if key is not None:
+            with self._state_lock:
+                sticky_index = self._sticky.get(key)
+                if sticky_index is not None:
+                    self._sticky.move_to_end(key)
+            if sticky_index is not None:
+                for handle in alive:
+                    if handle.index == sticky_index:
+                        self.bump("sticky_hits")
+                        return handle
         return min(alive, key=lambda h: (h.inflight, h.index))
+
+    def _record_sticky(self, key: object, index: int) -> None:
+        if not isinstance(key, str) or not key:
+            return
+        with self._state_lock:
+            self._sticky[key] = index
+            self._sticky.move_to_end(key)
+            while len(self._sticky) > STICKY_CAPACITY:
+                self._sticky.popitem(last=False)
 
     def _dispatch_loop(self) -> None:
         while not self._stopping.is_set():
@@ -174,12 +228,13 @@ class ClusterRouter(ThreadingHTTPServer):
             self._execute(job)
 
     def _execute(self, job: Job) -> None:
-        handle = self.pick_replica()
+        sticky_key = job.body.get("key") if job.kind == "run" else None
+        handle = self.pick_replica(sticky_key)
         waited = 0.0
         while handle is None and waited < 10.0 and not self._stopping.is_set():
             time.sleep(0.1)  # fleet mid-restart: give the supervisor a beat
             waited += 0.1
-            handle = self.pick_replica()
+            handle = self.pick_replica(sticky_key)
         if handle is None:
             self.queue.requeue(job, "no replica alive")
             return
@@ -209,24 +264,34 @@ class ClusterRouter(ThreadingHTTPServer):
         except Exception as exc:  # pragma: no cover - router bug guard
             self.queue.fail(job, f"router error: {exc}")
         else:
-            if job.fallback_reason is not None:
-                result = dict(result)
-                cluster_block = dict(result.get("cluster") or {})
-                cluster_block["fallback_reason"] = job.fallback_reason
-                result["cluster"] = cluster_block
-            self.queue.finish(job, result)
+            if isinstance(result, (bytes, bytearray)):
+                # Wire blob: _forward already spliced the cluster block
+                # (fallback_reason included) into the frame header.
+                self.queue.finish(job, result, content_type=wire.CONTENT_TYPE)
+            else:
+                if job.fallback_reason is not None:
+                    result = dict(result)
+                    cluster_block = dict(result.get("cluster") or {})
+                    cluster_block["fallback_reason"] = job.fallback_reason
+                    result["cluster"] = cluster_block
+                self.queue.finish(job, result)
         finally:
             handle.end()
 
-    def _forward(self, handle: ReplicaHandle, job: Job) -> dict:
+    def _forward(self, handle: ReplicaHandle, job: Job) -> dict | bytes:
         client = handle.client
         body = job.body
+        if job.kind == "run" and job.raw_body is not None:
+            return self._forward_wire(handle, job)
         if job.kind == "compile":
             result = client._request("POST", "/compile", body)
             key = result.get("key")
             if isinstance(key, str):
                 with self._state_lock:
                     self._compiles[key] = body
+                # The compiling replica has the program registered and its
+                # kernels warm: send this key's runs there.
+                self._record_sticky(key, handle.index)
             self.bump("routed_compile")
         elif job.kind == "run":
             try:
@@ -235,6 +300,7 @@ class ClusterRouter(ThreadingHTTPServer):
                 if exc.status != 404:
                     raise
                 result = self._repair_and_rerun(client, body, exc)
+            self._record_sticky(body.get("key"), handle.index)
             self.bump("routed_run")
         elif job.kind == "lint":
             result = client._request("POST", "/lint", body)
@@ -246,6 +312,52 @@ class ClusterRouter(ThreadingHTTPServer):
             "attempts": job.attempts,
             "retries": job.retries,
         }
+        return result
+
+    def _forward_wire(self, handle: ReplicaHandle, job: Job) -> dict | bytes:
+        """Forward a binary run verbatim (zero-copy pass-through).
+
+        The frame bytes go out unchanged and the replica's response blob
+        comes back unparsed; only the frame *header* is rewritten, to
+        splice in the ``cluster`` block.  404-repair replays the
+        remembered JSON compile body, then re-sends the same bytes.
+        """
+        client = handle.client
+        headers = {
+            "Content-Type": wire.CONTENT_TYPE,
+            "Accept": wire.CONTENT_TYPE,
+        }
+        try:
+            rheaders, raw = client._request_raw(
+                "POST", "/run", job.raw_body, headers
+            )
+        except ServiceError as exc:
+            if exc.status != 404:
+                raise
+            key = job.body.get("key")
+            with self._state_lock:
+                compile_body = self._compiles.get(key)
+            if compile_body is None:
+                raise
+            client._request("POST", "/compile", compile_body)
+            self.bump("repairs")
+            rheaders, raw = client._request_raw(
+                "POST", "/run", job.raw_body, headers
+            )
+        self._record_sticky(job.body.get("key"), handle.index)
+        self.bump("routed_run")
+        cluster_block = {
+            "replica": handle.index,
+            "attempts": job.attempts,
+            "retries": job.retries,
+        }
+        if job.fallback_reason is not None:
+            cluster_block["fallback_reason"] = job.fallback_reason
+        ctype = (rheaders.get("Content-Type") or "").split(";")[0].strip()
+        if ctype == wire.CONTENT_TYPE:
+            return wire.patch_frame_body(raw, {"cluster": cluster_block})
+        result = json.loads(raw)  # replica chose JSON (no arrays to carry)
+        result["cluster"] = cluster_block
         return result
 
     def _repair_and_rerun(self, client, body: dict, exc: ServiceError) -> dict:
@@ -262,7 +374,9 @@ class ClusterRouter(ThreadingHTTPServer):
         return client._request("POST", "/run", body)
 
     # -- request handling --------------------------------------------------
-    def submit_job(self, payload: dict) -> Job:
+    def submit_job(
+        self, payload: dict, raw_body: bytes | None = None
+    ) -> Job:
         kind = payload.get("kind")
         if kind not in JOB_KINDS:
             raise RequestError(
@@ -275,7 +389,9 @@ class ClusterRouter(ThreadingHTTPServer):
         if not isinstance(tenant, str) or not tenant:
             raise RequestError(400, "tenant must be a non-empty string")
         try:
-            return self.queue.submit(kind, body, tenant=tenant)
+            return self.queue.submit(
+                kind, body, tenant=tenant, raw_body=raw_body
+            )
         except AdmissionError as exc:
             raise RequestError(
                 429,
@@ -283,9 +399,18 @@ class ClusterRouter(ThreadingHTTPServer):
                 headers={"Retry-After": str(int(round(exc.retry_after_s)))},
             ) from exc
 
-    def run_sync(self, kind: str, body: dict, tenant: str = "anon") -> dict:
-        """Submit + wait: the synchronous endpoints' implementation."""
-        job = self.submit_job({"kind": kind, "body": body, "tenant": tenant})
+    def run_sync_job(
+        self,
+        kind: str,
+        body: dict,
+        tenant: str = "anon",
+        raw_body: bytes | None = None,
+    ) -> Job:
+        """Submit + wait, returning the settled job (``result`` for JSON
+        responses, ``result_raw`` for wire blobs to stream verbatim)."""
+        job = self.submit_job(
+            {"kind": kind, "body": body, "tenant": tenant}, raw_body=raw_body
+        )
         if not job.wait(self.sync_timeout_s):
             self.queue.cancel(job.id)
             raise RequestError(
@@ -294,7 +419,7 @@ class ClusterRouter(ThreadingHTTPServer):
                 f"{self.sync_timeout_s}s",
             )
         if job.state == "done":
-            return job.result
+            return job
         if job.state == "cancelled":
             raise RequestError(409, f"job {job.id} was cancelled")
         status = job.error_status if job.error_status else 503
@@ -302,6 +427,10 @@ class ClusterRouter(ThreadingHTTPServer):
         if job.fallback_reason:
             message += f" (fallback_reason: {job.fallback_reason})"
         raise RequestError(status, message)
+
+    def run_sync(self, kind: str, body: dict, tenant: str = "anon") -> dict:
+        """Submit + wait: the synchronous JSON endpoints' implementation."""
+        return self.run_sync_job(kind, body, tenant=tenant).result
 
     def health(self) -> dict:
         fleet = self.supervisor.describe()
@@ -312,6 +441,7 @@ class ClusterRouter(ThreadingHTTPServer):
             "status": "ok" if fleet["alive"] > 0 else "degraded",
             "role": "router",
             "uptime_s": round(time.monotonic() - self._started, 3),
+            "host_token": wire.host_token(),
             "inflight": inflight,
             "queue_depth": self.queue.depth(),
             **counters,
@@ -323,6 +453,9 @@ class ClusterRouter(ThreadingHTTPServer):
         fleet["dispatchers"] = len(self._dispatchers)
         fleet["paused"] = self._paused.is_set()
         fleet["tenants"] = self.queue.quotas.snapshot()
+        with self._state_lock:
+            fleet["transport"] = self.transport.as_dict()
+            fleet["sticky_keys"] = len(self._sticky)
         return fleet
 
     def metrics(self) -> dict:
@@ -350,12 +483,29 @@ class _RouterHandler(JsonRequestHandler):
             self._send(200, router.metrics())
             return
         if method == "POST" and path in ("/compile", "/run", "/lint"):
+            if path == "/run" and self._wire_request():
+                self._sync_wire_run(router)
+                return
             body = self._body()
             tenant = body.pop("tenant", "anon")
+            if path == "/run":
+                router.bump_transport(
+                    "shm" if body.get("transport") == "shm" else "json"
+                )
             self._send(200, router.run_sync(path[1:], body, tenant=tenant))
             return
         if method == "POST" and path == "/submit":
-            job = router.submit_job(self._body())
+            if self._wire_request():
+                self._submit_wire(router)
+                return
+            payload = self._body()
+            job = router.submit_job(payload)
+            if job.kind == "run":
+                router.bump_transport(
+                    "shm"
+                    if job.body.get("transport") == "shm"
+                    else "json"
+                )
             self._send(202, job.describe())
             return
         parts = path.lstrip("/").split("/")
@@ -381,9 +531,94 @@ class _RouterHandler(JsonRequestHandler):
                     raise RequestError(
                         409, f"job {job_id} is still {job.state}"
                     )
+                if job.result_raw is not None:
+                    self._stream_wire_result(job)
+                    return
                 self._send(200, job.describe(with_result=True))
                 return
         raise RequestError(404, f"no route {method} {self.path}")
+
+    # -- wire-transport routes ---------------------------------------------
+    def _peek_frame(self, raw: bytes) -> dict:
+        try:
+            body, _, _ = wire.peek_header(raw)
+        except wire.WireFormatError as exc:
+            raise RequestError(400, f"bad wire frame: {exc}") from exc
+        return body
+
+    def _sync_wire_run(self, router: ClusterRouter) -> None:
+        """Synchronous binary run: peek the header for routing metadata,
+        forward the bytes opaquely, stream the result blob back."""
+        raw = self._read_body()
+        if not raw:
+            raise RequestError(400, "empty request body (wire frame expected)")
+        body = self._peek_frame(raw)
+        tenant = body.pop("tenant", "anon")
+        if not isinstance(tenant, str) or not tenant:
+            raise RequestError(400, "tenant must be a non-empty string")
+        router.bump_transport("wire")
+        job = router.run_sync_job("run", body, tenant=tenant, raw_body=raw)
+        if job.result_raw is not None:
+            self._send_bytes(
+                200,
+                job.result_raw,
+                job.result_content_type or wire.CONTENT_TYPE,
+            )
+        else:
+            self._send(200, job.result)
+
+    def _submit_wire(self, router: ClusterRouter) -> None:
+        """Async binary submit.  The frame body is the submit envelope
+        ``{kind: "run", tenant?, body: {...run body...}}``; the frame is
+        rewrapped around the inner body and queued for opaque forwarding.
+        """
+        raw = self._read_body()
+        if not raw:
+            raise RequestError(400, "empty request body (wire frame expected)")
+        envelope = self._peek_frame(raw)
+        kind = envelope.get("kind")
+        if kind != "run":
+            raise RequestError(
+                400,
+                "wire submissions carry array payloads: only kind='run' "
+                f"is accepted (got {kind!r}); submit {kind!r} jobs as JSON",
+            )
+        inner = envelope.get("body")
+        if not isinstance(inner, dict):
+            raise RequestError(400, "body must be an object")
+        try:
+            forward = wire.rewrap_frame(raw, inner)
+        except wire.WireFormatError as exc:  # pragma: no cover - peeked ok
+            raise RequestError(400, f"bad wire frame: {exc}") from exc
+        router.bump_transport("wire")
+        job = router.submit_job(
+            {"kind": "run", "body": inner,
+             "tenant": envelope.get("tenant", "anon")},
+            raw_body=forward,
+        )
+        self._send(202, job.describe())
+
+    def _stream_wire_result(self, job) -> None:
+        """Stream a wire result blob; the job doc rides in the frame
+        header (stats body nested under ``result``).  JSON-only clients
+        get a 406 pointing at the wire Accept they need."""
+        if not self._wants_wire(default=True):
+            raise RequestError(
+                406,
+                f"job {job.id} result is wire-encoded; request it with "
+                f"'Accept: {wire.CONTENT_TYPE}'",
+            )
+        doc = job.describe()
+        try:
+            stats_body, _, _ = wire.peek_header(job.result_raw)
+        except wire.WireFormatError:  # pragma: no cover - replica-built
+            stats_body = {}
+        doc["result"] = stats_body
+        self._send_bytes(
+            200,
+            wire.rewrap_frame(job.result_raw, doc),
+            job.result_content_type or wire.CONTENT_TYPE,
+        )
 
 
 def start_cluster(

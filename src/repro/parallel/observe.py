@@ -150,6 +150,30 @@ class JobCounters:
         }
 
 
+@dataclass
+class TransportCounters:
+    """Per-transport request counts (the ``transport`` metrics block).
+
+    Counted wherever a ``/run`` body is accepted: the lone server counts
+    under ``server.transport``, the cluster front door under
+    ``cluster.transport`` — the router's counts are how the pass-through
+    claim is asserted (wire runs increment ``wire`` without the router
+    ever materializing an ndarray).  Callers guard with their own lock.
+    """
+
+    json: int = 0
+    wire: int = 0
+    shm: int = 0
+
+    def bump(self, transport: str) -> None:
+        if transport not in ("json", "wire", "shm"):
+            raise ValueError(f"unknown transport {transport!r}")
+        setattr(self, transport, getattr(self, transport) + 1)
+
+    def as_dict(self) -> dict:
+        return {"json": self.json, "wire": self.wire, "shm": self.shm}
+
+
 #: The counters :func:`record_run` / :func:`record_fallback` feed.
 DISPATCH = DispatchCounters()
 _DISPATCH_LOCK = threading.Lock()

@@ -1393,6 +1393,7 @@ def run_parallel_procedure(
     safety: str | None = None,
     variants=None,
     calibrate: bool | None = None,
+    preloaded: bool = False,
 ) -> ParallelProcedureResult:
     """Execute a whole procedure, dispatching every reachable DOALL.
 
@@ -1414,7 +1415,9 @@ def run_parallel_procedure(
     workers, results are copied back, and the pool is left running for
     the next run.  The pool's array environment must match ``arrays`` by
     name and shape, and the caller must serialize concurrent runs on one
-    pool.
+    pool.  ``preloaded=True`` additionally skips the load/copy-back pair
+    for callers that stage data into ``pool.views`` themselves and read
+    results straight out of them (the binary wire transport).
 
     ``chunk_lang``, ``claim_batch`` (default ``"auto"``), ``variants``,
     and ``calibrate`` behave exactly as in :func:`run_parallel_doall`;
@@ -1480,7 +1483,13 @@ def run_parallel_procedure(
     lang = resolve_chunk_lang(chunk_lang)
     caches.tuner = make_tuner(lang, variants, calibrate)
     if pool is not None:
-        pool.load(arrays)
+        # ``preloaded=True`` is the zero-copy serving path: the caller has
+        # already written the request data into ``pool.views`` (e.g. the
+        # wire transport loading ``np.frombuffer`` views straight into the
+        # shm segments) and will read results out of the views itself, so
+        # the load/copy-back round trip through ``arrays`` is skipped.
+        if not preloaded:
+            pool.load(arrays)
 
         def dispatch(
             loop: Loop, env: Mapping, speculate: dict | None = None
@@ -1497,7 +1506,8 @@ def run_parallel_procedure(
             proc.body, dispatch, interp, env, pool.views, out, deadline,
             blocked, handler,
         )
-        pool.copy_back(arrays)
+        if not preloaded:
+            pool.copy_back(arrays)
     elif reuse_pool:
         with WorkerPool(arrays, workers=workers, method=method) as wpool:
 

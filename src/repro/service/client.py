@@ -11,6 +11,26 @@ cluster`` without hand-rolling HTTP::
     out = client.run(program["key"], {"A": A, "B": B}, {"n": 64, "m": 64})
     out["arrays"]["B"]          # numpy array, computed by the server
 
+Every client keeps one pooled keep-alive ``http.client`` connection per
+calling thread (HTTP/1.1 persistent connections — no per-request TCP
+handshake); a stale pooled socket (server restarted between requests) is
+re-opened transparently.
+
+Three array transports are supported, selected per client
+(``ServiceClient(..., transport="wire")``) or per call
+(``client.run(..., transport="shm")``):
+
+- ``"json"`` (default) — nested lists with ``array_dtypes`` tags, so the
+  caller's dtype survives the round trip; NaN/Inf are sentinel-encoded.
+- ``"wire"`` — the :mod:`repro.wire` binary frame
+  (``application/x-repro-wire``): no text encode/parse, bit-exact arrays.
+  Result arrays come back as zero-copy read-only views over the response
+  buffer; copy before mutating.
+- ``"shm"`` — same-host fast path: arrays are staged into shared-memory
+  segments the server attaches directly, and the response carries only
+  segment names — zero array bytes on the socket.  Gated on the server's
+  ``host_token`` matching this machine.
+
 Against a cluster front door the same client also speaks the async job
 protocol::
 
@@ -30,24 +50,43 @@ from __future__ import annotations
 import http.client
 import json
 import random
+import socket
+import threading
 import time
 import urllib.error
-import urllib.request
-from typing import Mapping
+from typing import Callable, Mapping
 
 import numpy as np
 
+from repro import wire
+
 #: Exception types treated as transient transport failures (safe to retry:
-#: the request never produced a response).  ``URLError`` covers connection
-#: refused/reset wrapped by urllib; the bare ones can escape during
-#: response reads.
+#: the request never produced a response).  ``OSError`` covers connection
+#: refused/reset/timeout at the socket layer; ``HTTPException`` covers a
+#: torn response on a reused keep-alive connection (``BadStatusLine``,
+#: ``RemoteDisconnected``, ``IncompleteRead``, ``CannotSendRequest``).
 TRANSIENT_ERRORS = (
     urllib.error.URLError,
     ConnectionError,
     TimeoutError,
-    http.client.BadStatusLine,
-    http.client.IncompleteRead,
+    OSError,
+    http.client.HTTPException,
 )
+
+
+class _NoDelayConnection(http.client.HTTPConnection):
+    """Keep-alive connection with Nagle's algorithm disabled.
+
+    Request/response exchanges here are latency-bound RPCs; letting the
+    kernel hold the final small segment of a request behind the peer's
+    delayed ACK adds a flat ~40ms to every call."""
+
+    def connect(self) -> None:
+        super().connect()
+        try:
+            self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP socket family
+            pass
 
 
 class ServiceError(RuntimeError):
@@ -71,18 +110,40 @@ class ServiceError(RuntimeError):
         self.retry_after = retry_after
 
 
-class ServiceClient:
-    """Blocking JSON client bound to one server address.
+def _coerce_arrays(
+    arrays: Mapping[str, np.ndarray],
+) -> dict[str, np.ndarray]:
+    """C-contiguous ndarrays, preserving real ndarray dtypes.
 
-    Thread-safe: every call opens its own connection, so one client can be
-    shared by concurrent request threads (the concurrency tests and the
-    load harness do).
+    Plain Python nested lists keep their historical float64 coercion (the
+    service's numeric default); an actual ndarray travels in the caller's
+    dtype on every transport.
+    """
+    out: dict[str, np.ndarray] = {}
+    for name, a in arrays.items():
+        if isinstance(a, np.ndarray):
+            out[name] = np.ascontiguousarray(a)
+        else:
+            out[name] = np.ascontiguousarray(np.asarray(a, dtype=np.float64))
+    return out
+
+
+class ServiceClient:
+    """Blocking client bound to one server address.
+
+    Thread-safe: the connection pool is per-thread (``threading.local``),
+    so one client can be shared by concurrent request threads (the
+    concurrency tests and the load harness do).
 
     ``retries``/``backoff_s``/``backoff_max_s``/``retry_deadline_s``
     configure transient-connection retry: attempt ``n`` sleeps
     ``min(backoff_max_s, backoff_s * 2**n)`` scaled by full jitter, and
     the whole retry loop gives up once ``retry_deadline_s`` has elapsed
     (or the attempts run out, whichever is first).
+
+    ``transport`` sets the default array transport for :meth:`run` /
+    :meth:`submit_run` (``"json"``/``"wire"``/``"shm"``); every call can
+    override it.
     """
 
     def __init__(
@@ -94,47 +155,140 @@ class ServiceClient:
         backoff_s: float = 0.05,
         backoff_max_s: float = 2.0,
         retry_deadline_s: float | None = None,
+        transport: str = "json",
     ) -> None:
+        if transport not in ("json", "wire", "shm"):
+            raise ValueError(f"unknown transport {transport!r}")
+        self.host = host
+        self.port = port
         self.base = f"http://{host}:{port}"
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.backoff_s = backoff_s
         self.backoff_max_s = backoff_max_s
         self.retry_deadline_s = retry_deadline_s
+        self.transport = transport
+        self._local = threading.local()
+        self._host_ok: bool | None = None
 
-    # -- transport --------------------------------------------------------
+    # -- pooled transport --------------------------------------------------
+    def _conn(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = _NoDelayConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.conn = conn
+        return conn
+
+    def _drop_conn(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            self._local.conn = None
+            try:
+                conn.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    def close(self) -> None:
+        """Close this thread's pooled connection (idempotent)."""
+        self._drop_conn()
+
+    def _raw_once(
+        self,
+        method: str,
+        path: str,
+        data: bytes | None,
+        headers: dict[str, str],
+    ) -> tuple[int, object, bytes]:
+        """One HTTP exchange on the pooled keep-alive connection.
+
+        A failure on a *reused* socket gets one immediate retry on a
+        fresh connection — the server may simply have closed an idle
+        keep-alive between our requests, which is not an error worth a
+        backoff cycle.  A failure on a fresh connection propagates to the
+        caller's retry policy.
+        """
+        conn = self._conn()
+        reused = conn.sock is not None
+        try:
+            conn.request(method, path, body=data, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+        except TRANSIENT_ERRORS:
+            self._drop_conn()
+            if not reused:
+                raise
+            conn = self._conn()
+            try:
+                conn.request(method, path, body=data, headers=headers)
+                resp = conn.getresponse()
+                raw = resp.read()
+            except TRANSIENT_ERRORS:
+                self._drop_conn()
+                raise
+        if resp.will_close:
+            self._drop_conn()
+        return resp.status, resp.headers, raw
+
+    def request_bytes(
+        self,
+        method: str,
+        path: str,
+        data: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[object, bytes]:
+        """One request/response, raw bytes in and out.
+
+        Returns ``(response headers, body bytes)``; a 4xx/5xx raises
+        :class:`ServiceError` with the decoded JSON error body.  This is
+        the opaque-forwarding primitive the cluster router uses to pass
+        wire frames through without materializing arrays.
+        """
+        status, rheaders, raw = self._raw_once(
+            method, path, data, dict(headers or {})
+        )
+        if status >= 400:
+            ctype = (rheaders.get("Content-Type") or "").split(";")[0].strip()
+            body: dict
+            if ctype == "application/json":
+                try:
+                    decoded = json.loads(raw)
+                    body = (
+                        decoded
+                        if isinstance(decoded, dict)
+                        else {"error": decoded}
+                    )
+                except ValueError:
+                    body = {"error": raw.decode("utf-8", "replace")[:500]}
+            else:
+                body = {"error": raw.decode("utf-8", "replace")[:500]}
+            try:
+                retry_after = float(rheaders.get("Retry-After"))
+            except (TypeError, ValueError):
+                retry_after = None
+            raise ServiceError(status, body, retry_after)
+        return rheaders, raw
+
     def _request_once(
         self, method: str, path: str, payload: dict | None
     ) -> dict:
-        data = None if payload is None else json.dumps(payload).encode("utf-8")
-        req = urllib.request.Request(
-            self.base + path,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"},
+        data = (
+            None
+            if payload is None
+            else json.dumps(payload, allow_nan=False).encode("utf-8")
         )
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                return json.loads(resp.read())
-        except urllib.error.HTTPError as exc:
-            try:
-                body = json.loads(exc.read())
-            except Exception:
-                body = {"error": str(exc)}
-            try:
-                retry_after = float(exc.headers.get("Retry-After"))
-            except (TypeError, ValueError):
-                retry_after = None
-            raise ServiceError(exc.code, body, retry_after) from exc
+        _, raw = self.request_bytes(
+            method, path, data, {"Content-Type": "application/json"}
+        )
+        return json.loads(raw)
 
-    def _request(
-        self, method: str, path: str, payload: dict | None = None
-    ) -> dict:
+    def _with_retry(self, attempt_fn: Callable):
         t0 = time.monotonic()
         attempt = 0
         while True:
             try:
-                return self._request_once(method, path, payload)
+                return attempt_fn()
             except ServiceError:
                 raise  # the server answered; job-level retry is not ours
             except TRANSIENT_ERRORS:
@@ -156,12 +310,41 @@ class ServiceClient:
                 time.sleep(sleep)
                 attempt += 1
 
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> dict:
+        return self._with_retry(
+            lambda: self._request_once(method, path, payload)
+        )
+
+    def _request_raw(
+        self,
+        method: str,
+        path: str,
+        data: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[object, bytes]:
+        return self._with_retry(
+            lambda: self.request_bytes(method, path, data, headers)
+        )
+
     # -- endpoints --------------------------------------------------------
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
 
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
+
+    def host_compatible(self) -> bool:
+        """True when the server runs on this machine (shm handoff viable).
+
+        Compares the server's ``/healthz`` ``host_token`` against our
+        own; the answer is cached for the client's lifetime.
+        """
+        if self._host_ok is None:
+            remote = self.healthz().get("host_token")
+            self._host_ok = bool(remote) and remote == wire.host_token()
+        return self._host_ok
 
     def compile(
         self,
@@ -204,11 +387,86 @@ class ServiceClient:
         key: str,
         arrays: Mapping[str, np.ndarray],
         scalars: Mapping[str, int | float] | None = None,
+        transport: str | None = None,
         **options,
     ) -> dict:
-        """POST /run; result ``arrays`` come back as float64 ndarrays."""
+        """POST /run over the selected transport; ``arrays`` come back as
+        ndarrays in the dtype the server computed (wire-transport results
+        are zero-copy read-only views; copy before mutating)."""
+        transport = self.transport if transport is None else transport
+        if transport == "wire":
+            return self._run_wire(key, arrays, scalars, **options)
+        if transport == "shm":
+            return self._run_shm(key, arrays, scalars, **options)
+        if transport != "json":
+            raise ValueError(f"unknown transport {transport!r}")
         body = self.run_body(key, arrays, scalars, **options)
         return decode_run_result(self._request("POST", "/run", body))
+
+    def _run_wire(
+        self,
+        key: str,
+        arrays: Mapping[str, np.ndarray],
+        scalars: Mapping[str, int | float] | None = None,
+        **options,
+    ) -> dict:
+        body = {"key": key, "scalars": dict(scalars or {}), **options}
+        frame = wire.encode_frame(body, _coerce_arrays(arrays))
+        rheaders, raw = self._request_raw(
+            "POST",
+            "/run",
+            frame,
+            {"Content-Type": wire.CONTENT_TYPE, "Accept": wire.CONTENT_TYPE},
+        )
+        ctype = (rheaders.get("Content-Type") or "").split(";")[0].strip()
+        if ctype == wire.CONTENT_TYPE:
+            rbody, views = wire.decode_frame(raw)
+            out = dict(rbody)
+            out["arrays"] = dict(views)
+            return out
+        return decode_run_result(json.loads(raw))
+
+    def _run_shm(
+        self,
+        key: str,
+        arrays: Mapping[str, np.ndarray],
+        scalars: Mapping[str, int | float] | None = None,
+        **options,
+    ) -> dict:
+        if not self.host_compatible():
+            raise RuntimeError(
+                "shm transport requires client and server on the same host "
+                "(the server's host_token does not match; use "
+                "transport='wire' instead)"
+            )
+        from repro.parallel.shm import SharedArrayPool
+
+        pool = SharedArrayPool(_coerce_arrays(arrays))
+        try:
+            body = {
+                "key": key,
+                "transport": "shm",
+                "shm_arrays": [
+                    {
+                        "name": s.name,
+                        "segment": s.segment,
+                        "shape": list(s.shape),
+                        "dtype": s.dtype,
+                    }
+                    for s in pool.specs()
+                ],
+                "scalars": dict(scalars or {}),
+                **options,
+            }
+            out = self._request("POST", "/run", body)
+            # The server ran in place on our segments; copy results out
+            # before the pool unlinks them.
+            out["arrays"] = {
+                name: np.array(view) for name, view in pool.views.items()
+            }
+            return out
+        finally:
+            pool.close()
 
     # -- async job protocol (cluster front door) ---------------------------
     @staticmethod
@@ -218,13 +476,19 @@ class ServiceClient:
         scalars: Mapping[str, int | float] | None = None,
         **options,
     ) -> dict:
-        """The JSON body of a run request (shared by /run and /submit)."""
+        """The JSON body of a run request (shared by /run and /submit).
+
+        Arrays carry ``array_dtypes`` tags so the caller's dtype survives
+        the round trip, and non-finite floats are sentinel-encoded (the
+        payload is strictly RFC JSON).
+        """
+        arrs = _coerce_arrays(arrays)
         return {
             "key": key,
             "arrays": {
-                name: np.asarray(a, dtype=np.float64).tolist()
-                for name, a in arrays.items()
+                name: wire.jsonable_array(a) for name, a in arrs.items()
             },
+            "array_dtypes": wire.dtype_tags(arrs),
             "scalars": dict(scalars or {}),
             **options,
         }
@@ -236,13 +500,55 @@ class ServiceClient:
 
         ``kind`` is ``"compile"``/``"run"``/``"lint"``; ``body`` is the
         same payload the synchronous endpoint takes (for runs, build it
-        with :meth:`run_body`).  Raises :class:`ServiceError` with status
-        429 (and ``retry_after`` set) when admission control rejects.
+        with :meth:`run_body`, or use :meth:`submit_run`).  Raises
+        :class:`ServiceError` with status 429 (and ``retry_after`` set)
+        when admission control rejects.
         """
         payload = {"kind": kind, "body": body}
         if tenant is not None:
             payload["tenant"] = tenant
         return self._request("POST", "/submit", payload)
+
+    def submit_run(
+        self,
+        key: str,
+        arrays: Mapping[str, np.ndarray],
+        scalars: Mapping[str, int | float] | None = None,
+        tenant: str | None = None,
+        transport: str | None = None,
+        **options,
+    ) -> dict:
+        """Submit an async run job over json or wire transport.
+
+        Wire submissions ship one binary frame whose header carries the
+        job envelope (kind/tenant) — the router peeks the header and
+        forwards the payload bytes opaquely.  The shm transport is
+        synchronous-only (segment lifetime is scoped to one call); ask
+        for ``run(transport="shm")`` instead.
+        """
+        transport = self.transport if transport is None else transport
+        if transport == "shm":
+            raise ValueError(
+                "the shm transport is synchronous-only; use "
+                "run(transport='shm')"
+            )
+        if transport == "wire":
+            envelope = {
+                "kind": "run",
+                "body": {"key": key, "scalars": dict(scalars or {}), **options},
+            }
+            if tenant is not None:
+                envelope["tenant"] = tenant
+            frame = wire.encode_frame(envelope, _coerce_arrays(arrays))
+            _, raw = self._request_raw(
+                "POST", "/submit", frame, {"Content-Type": wire.CONTENT_TYPE}
+            )
+            return json.loads(raw)
+        if transport != "json":
+            raise ValueError(f"unknown transport {transport!r}")
+        return self.submit(
+            "run", tenant=tenant, **self.run_body(key, arrays, scalars, **options)
+        )
 
     def poll(self, job_id: str) -> dict:
         """GET /poll/<id> — job state + timings, without the result body."""
@@ -252,9 +558,25 @@ class ServiceClient:
         """GET /result/<id> — the completed job's full result.
 
         409 while the job is still queued/running.  Run-job results get
-        their ``arrays`` decoded to ndarrays like :meth:`run`.
+        their ``arrays`` decoded to ndarrays like :meth:`run`; a job that
+        ran over the wire transport streams back as a binary frame
+        (this client always ``Accept``s one).
         """
-        out = self._request("GET", f"/result/{job_id}")
+        rheaders, raw = self._request_raw(
+            "GET",
+            f"/result/{job_id}",
+            None,
+            {"Accept": f"{wire.CONTENT_TYPE}, application/json"},
+        )
+        ctype = (rheaders.get("Content-Type") or "").split(";")[0].strip()
+        if ctype == wire.CONTENT_TYPE:
+            body, views = wire.decode_frame(raw)
+            out = dict(body)
+            result = dict(out.get("result") or {})
+            result["arrays"] = dict(views)
+            out["result"] = result
+            return out
+        out = json.loads(raw)
         if isinstance(out.get("result"), dict):
             out["result"] = decode_run_result(out["result"])
         return out
@@ -284,10 +606,15 @@ class ServiceClient:
 
 
 def decode_run_result(out: dict) -> dict:
-    """Decode served ``arrays`` (nested lists) back into float64 ndarrays."""
+    """Decode served JSON ``arrays`` back into ndarrays.
+
+    ``array_dtypes`` tags (when the server sent them) restore the
+    computed dtype; untagged responses keep the historical float64.
+    """
     if isinstance(out.get("arrays"), dict):
+        tags = out.get("array_dtypes") or {}
         out["arrays"] = {
-            name: np.asarray(a, dtype=np.float64)
-            for name, a in out["arrays"].items()
+            name: wire.array_from_json(data, tags.get(name, "<f8"))
+            for name, data in out["arrays"].items()
         }
     return out

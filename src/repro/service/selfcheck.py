@@ -164,6 +164,31 @@ def main() -> int:
                 "served speculate result diverged from serial semantics"
             )
 
+            # Wire transport round trip: binary frames both directions,
+            # decoded zero-copy, bit-identical to the JSON-served result.
+            wired = client.run(
+                first["key"], {"A": A, "B": np.zeros_like(A)},
+                {"n": N, "m": M}, workers=2, backend="mp",
+                transport="wire",
+            )
+            assert wired["transport"] == "wire", wired
+            assert np.array_equal(wired["arrays"]["B"], expected_B), (
+                "served wire result diverged from local serial"
+            )
+
+            # Same-host shm handoff: the server computes in place inside
+            # the client's segments; the response carries no array bytes.
+            assert client.host_compatible(), "lone server must share host"
+            shm_out = client.run(
+                first["key"], {"A": A, "B": np.zeros_like(A)},
+                {"n": N, "m": M}, workers=2, backend="mp",
+                transport="shm",
+            )
+            assert shm_out["transport"] == "shm", shm_out
+            assert np.array_equal(shm_out["arrays"]["B"], expected_B), (
+                "served shm result diverged from local serial"
+            )
+
             clean = client.lint(KERNEL)
             assert clean["schema"] == "repro.lint/v1", clean
             assert clean["ok"] and not clean["findings"], clean
@@ -188,6 +213,12 @@ def main() -> int:
             vstats = metrics["dispatch"]["variants"]
             assert vstats["wins"], vstats
             assert vstats["pinned_hits"] >= 1, vstats
+            srv = metrics["server"]
+            assert srv["bytes_in"] > 0 and srv["bytes_out"] > 0, srv
+            tcounts = srv["transport"]
+            assert tcounts["json"] >= 1, tcounts
+            assert tcounts["wire"] >= 1, tcounts
+            assert tcounts["shm"] >= 1, tcounts
             print(
                 "service selfcheck OK: "
                 f"compile_s={first['compile_s']:.4f} -> "
@@ -200,6 +231,8 @@ def main() -> int:
                 f"pinned={warm['pinned_decisions']}), "
                 f"speculate rolled_back={sblock['rolled_back']}, "
                 f"lint verdicts ok={clean['ok']}/dirty={not dirty['ok']}, "
+                f"transports json={tcounts['json']} wire={tcounts['wire']} "
+                f"shm={tcounts['shm']}, "
                 f"cache hits={metrics['cache']['hits']}"
             )
         finally:
@@ -267,6 +300,31 @@ def _cluster_check() -> int:
             )
             assert routed["cluster"]["replica"] in (0, 1), routed
 
+            # Wire pass-through: a binary run through the front door (the
+            # router forwards the frame opaquely) — then the same key
+            # again, which must stick to the warm replica with zero
+            # recalibration.
+            wired = front.run(
+                first["key"], {"A": A, "B": np.zeros_like(A)},
+                {"n": N, "m": M},
+                workers=2, backend="mp", policy="unit", calibrate=True,
+                transport="wire",
+            )
+            assert np.array_equal(wired["arrays"]["B"], expected_B), (
+                "routed wire result diverged from local serial"
+            )
+            sticky = front.run(
+                first["key"], {"A": A, "B": np.zeros_like(A)},
+                {"n": N, "m": M},
+                workers=2, backend="mp", policy="unit", calibrate=True,
+                transport="wire",
+            )
+            assert (
+                sticky["cluster"]["replica"] == wired["cluster"]["replica"]
+            ), (wired["cluster"], sticky["cluster"])
+            assert sticky["calibrations"] == 0, sticky
+            assert router.counters["sticky_hits"] >= 1, router.counters
+
             # Async job protocol: submit → poll → result.
             job = front.submit(
                 "run",
@@ -296,9 +354,18 @@ def _cluster_check() -> int:
             assert jobs["cancelled"] >= 1, jobs
             assert len(metrics["cluster"]["per_replica"]) == 2, metrics
             assert metrics["cache"]["entries"] >= 1, metrics["cache"]
+            transports = metrics["cluster"]["transport"]
+            assert transports["wire"] >= 2, transports
+            assert transports["json"] >= 1, transports
+            assert metrics["server"]["bytes_in"] > 0, metrics["server"]
+            assert metrics["server"]["bytes_out"] > 0, metrics["server"]
             print(
                 "cluster selfcheck OK: 2 replicas on one store, "
                 f"routed run via replica {routed['cluster']['replica']}, "
+                f"wire pass-through via replica "
+                f"{wired['cluster']['replica']} "
+                f"(sticky_hits={router.counters['sticky_hits']}, "
+                f"warm calibrations={sticky['calibrations']}), "
                 f"warm cross-replica calibrations={warm['calibrations']} "
                 f"pinned={warm['pinned_decisions']}, "
                 f"jobs submitted={jobs['submitted']} "

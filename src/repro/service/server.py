@@ -27,6 +27,23 @@ speculated / committed / rolled_back) in a ``speculate`` block.
 kernels for every dispatchable loop of the program — gcc runs at compile
 time, content-addressed into the artifact cache, so the first ``/run``
 resolves each kernel as a cache hit instead of paying compile latency.
+
+``POST /run`` speaks three transports, negotiated per request (JSON stays
+the compatibility default):
+
+- **json** — arrays as nested lists, now with ``array_dtypes`` tags (the
+  caller's dtype survives the round trip) and RFC-safe non-finite
+  encoding (NaN/Inf travel as sentinel strings, never as bare tokens).
+- **wire** — ``Content-Type: application/x-repro-wire`` request bodies
+  carry a :mod:`repro.wire` binary frame; arrays decode as zero-copy
+  ``np.frombuffer`` views loaded straight into the warm pool's shm
+  segments, and the response is a wire frame when the client ``Accept``s
+  one.
+- **shm** — a JSON body with ``"transport": "shm"`` names the *client's*
+  shared-memory segments; the server attaches them, runs in place, and
+  responds with segment names only — zero array bytes on the socket in
+  either direction.  Same-host only (the client gates on the
+  ``host_token`` published by ``/healthz``; a failed attach is a 400).
 """
 
 from __future__ import annotations
@@ -45,14 +62,20 @@ from typing import Mapping
 
 import numpy as np
 
+from repro import wire
 from repro.api import lower_and_coalesce
 from repro.cache import artifact_key, resolve_cache
 from repro.codegen.pygen import CompiledProcedure, compile_procedure
 from repro.ir.printer import to_source
 from repro.parallel.errors import ParallelDispatchError, ParallelError
-from repro.parallel.observe import metrics_snapshot, record_fallback
+from repro.parallel.observe import (
+    TransportCounters,
+    metrics_snapshot,
+    record_fallback,
+)
 from repro.parallel.pool import WorkerPool
 from repro.parallel.runtime import run_parallel_procedure
+from repro.parallel.shm import SEGMENT_PREFIX, ArraySpec, attach_array
 
 DEFAULT_PORT = 8923
 
@@ -227,7 +250,10 @@ class ReproServer(ThreadingHTTPServer):
             "runs": 0,
             "lints": 0,
             "errors": 0,
+            "bytes_in": 0,
+            "bytes_out": 0,
         }
+        self.transport = TransportCounters()
         self._state_lock = threading.Lock()
         self._started = time.monotonic()
         self._inflight = 0
@@ -240,6 +266,10 @@ class ReproServer(ThreadingHTTPServer):
     def bump(self, name: str, by: int = 1) -> None:
         with self._state_lock:
             self.counters[name] += by
+
+    def bump_transport(self, transport: str) -> None:
+        with self._state_lock:
+            self.transport.bump(transport)
 
     @property
     def inflight(self) -> int:
@@ -269,12 +299,15 @@ class ReproServer(ThreadingHTTPServer):
     def server_metrics(self) -> dict:
         with self._state_lock:
             counters = dict(self.counters)
+            transport = self.transport.as_dict()
             inflight = self._inflight
         return {
             "uptime_s": round(time.monotonic() - self._started, 3),
             "programs": len(self.programs),
             "warm_pools": len(self.pools),
             "inflight": inflight,
+            "host_token": wire.host_token(),
+            "transport": transport,
             **counters,
         }
 
@@ -384,7 +417,21 @@ class ReproServer(ThreadingHTTPServer):
         self.bump("lints")
         return report.to_dict()
 
-    def handle_run(self, body: dict) -> dict:
+    def handle_run(
+        self,
+        body: dict,
+        wire_views: Mapping[str, np.ndarray] | None = None,
+        want_wire: bool = False,
+    ) -> dict | bytes:
+        """Serve one run over any of the three transports.
+
+        ``wire_views`` carries the zero-copy ``np.frombuffer`` views of a
+        binary request (read-only: they are loaded into the warm pool's
+        shm segments, never mutated); ``want_wire`` asks for a binary
+        response frame (the return value is then ``bytes``).  A JSON body
+        with ``"transport": "shm"`` instead names client-owned segments
+        to attach and run in place.
+        """
         key = body.get("key")
         program = self.programs.get(key) if isinstance(key, str) else None
         if program is None:
@@ -392,7 +439,27 @@ class ReproServer(ThreadingHTTPServer):
                 404, f"unknown program key {key!r} (POST /compile first)"
             )
         proc = program.proc
-        arrays = _decode_arrays(body.get("arrays"), proc)
+        shm_handles: list = []
+        if wire_views is not None:
+            transport = "wire"
+            arrays = _check_wire_arrays(wire_views, proc)
+        elif body.get("transport") == "shm":
+            transport = "shm"
+            arrays, shm_handles = _attach_shm_arrays(
+                body.get("shm_arrays"), proc
+            )
+        elif body.get("transport") in (None, "json"):
+            transport = "json"
+            arrays = _decode_arrays(
+                body.get("arrays"), proc, body.get("array_dtypes")
+            )
+        else:
+            raise RequestError(
+                400,
+                f"unknown transport {body.get('transport')!r} "
+                "(json and shm are the JSON-body transports; binary uses "
+                f"Content-Type: {wire.CONTENT_TYPE})",
+            )
         scalars = _decode_scalars(body.get("scalars"), proc)
         backend = body.get("backend", program.backend)
         workers = int(body.get("workers", 4))
@@ -432,75 +499,153 @@ class ReproServer(ThreadingHTTPServer):
                 f"(got {safety!r})",
             )
 
+        if chunk_lang in ("auto", "c", "numpy") and any(
+            a.dtype != np.float64 for a in arrays.values()
+        ):
+            # The compiled chunk variants (C kernels, numpy slice chunks)
+            # are built for float64; any other served dtype takes the
+            # interpreted chunk floor, which is dtype-generic.
+            chunk_lang = "py"
+
+        run_kwargs = dict(
+            workers=workers,
+            policy=policy,
+            chunk=chunk,
+            claim_batch=claim_batch,
+            chunk_lang=chunk_lang,
+            timeout=timeout,
+            log_events=bool(body.get("log_events", False)),
+            safety=safety,
+            variants=variants,
+            calibrate=calibrate,
+        )
         t0 = time.perf_counter()
-        stats: dict = {}
-        if backend == "mp":
-            try:
+        response: dict | bytes
+        try:
+            if backend == "mp" and transport == "wire":
+                # Zero-copy ingest: the frombuffer views load straight
+                # into the pool's shm segments; the run executes on
+                # ``pool.views`` (the request views are read-only) and
+                # the response is encoded from the views while the lease
+                # is still held.
                 with self.pools.lease(workers, arrays) as pool:
-                    result = run_parallel_procedure(
-                        proc,
-                        arrays,
-                        scalars,
-                        workers=workers,
-                        policy=policy,
-                        chunk=chunk,
-                        claim_batch=claim_batch,
-                        chunk_lang=chunk_lang,
-                        timeout=timeout,
-                        log_events=bool(body.get("log_events", False)),
-                        pool=pool,
-                        safety=safety,
-                        variants=variants,
-                        calibrate=calibrate,
+                    pool.load(arrays)
+                    engine, stats = self._exec_mp(
+                        program, pool.views, scalars, run_kwargs,
+                        pool, preloaded=True,
                     )
-                engine = "mp-pool"
-                stats = {
-                    "dispatches": len(result.dispatches),
-                    "claims": result.claims,
-                    "lock_ops": result.lock_ops,
-                    "iterations": result.total_iterations,
-                    "chunk_lang": result.chunk_lang,
-                    "variants": result.variants,
-                    "calibrations": result.calibrations,
-                    "pinned_decisions": result.pinned_decisions,
-                    "safety": result.safety_mode,
-                    "blocked_dispatches": result.blocked_dispatches,
-                }
-                if result.safety_mode == "speculate":
-                    stats["speculate"] = {
-                        "inspected": result.inspected,
-                        "proven_dynamic": result.proven_dynamic,
-                        "speculated": result.speculated,
-                        "committed": result.committed,
-                        "rolled_back": result.rolled_back,
-                        "certificates": [
-                            c.to_dict() for c in result.certificates
-                        ],
-                    }
-            except ParallelDispatchError as exc:
-                # Nothing dispatchable (or safety=enforce refused every
-                # dispatch): degrade exactly like backend="mp" in-process —
-                # run the serial build, say why.
-                record_fallback()
-                program.serial.run(arrays, scalars)
-                engine = "serial-fallback"
-                stats = {"fallback_reason": f"{type(exc).__name__}: {exc}"}
-            except (ParallelError, ValueError) as exc:
-                raise RequestError(400, f"run failed: {exc}") from exc
-        elif backend == "c" and program.cbackend is not None:
-            program.cbackend.run(arrays, scalars)
-            engine = "c"
-        else:
-            program.serial.run(arrays, scalars)
-            engine = "serial"
+                    response = self._run_response(
+                        key, engine, stats, t0, pool.views,
+                        transport, want_wire,
+                    )
+            elif backend == "mp":
+                with self.pools.lease(workers, arrays) as pool:
+                    engine, stats = self._exec_mp(
+                        program, arrays, scalars, run_kwargs,
+                        pool, preloaded=False,
+                    )
+                response = self._run_response(
+                    key, engine, stats, t0, arrays, transport, want_wire
+                )
+            else:
+                if transport == "wire":
+                    # Serial backends mutate in place; the request views
+                    # are read-only, so materialize writable copies.
+                    arrays = {n: np.array(v) for n, v in arrays.items()}
+                if backend == "c" and program.cbackend is not None:
+                    program.cbackend.run(arrays, scalars)
+                    engine = "c"
+                else:
+                    program.serial.run(arrays, scalars)
+                    engine = "serial"
+                response = self._run_response(
+                    key, engine, {}, t0, arrays, transport, want_wire
+                )
+        except RequestError:
+            raise
+        except (ParallelError, ValueError) as exc:
+            raise RequestError(400, f"run failed: {exc}") from exc
+        finally:
+            if shm_handles:
+                arrays = {}
+                for handle in shm_handles:
+                    try:
+                        handle.close()
+                    except BufferError:  # pragma: no cover - defensive
+                        pass
         self.bump("runs")
-        return {
+        self.bump_transport(transport)
+        return response
+
+    def _exec_mp(
+        self, program, arrays, scalars, run_kwargs, pool, preloaded
+    ) -> tuple[str, dict]:
+        """One mp-backend run on a leased pool, with the serial fallback."""
+        try:
+            result = run_parallel_procedure(
+                program.proc,
+                arrays,
+                scalars,
+                pool=pool,
+                preloaded=preloaded,
+                **run_kwargs,
+            )
+        except ParallelDispatchError as exc:
+            # Nothing dispatchable (or safety=enforce refused every
+            # dispatch): degrade exactly like backend="mp" in-process —
+            # run the serial build, say why.
+            record_fallback()
+            program.serial.run(arrays, scalars)
+            return (
+                "serial-fallback",
+                {"fallback_reason": f"{type(exc).__name__}: {exc}"},
+            )
+        stats = {
+            "dispatches": len(result.dispatches),
+            "claims": result.claims,
+            "lock_ops": result.lock_ops,
+            "iterations": result.total_iterations,
+            "chunk_lang": result.chunk_lang,
+            "variants": result.variants,
+            "calibrations": result.calibrations,
+            "pinned_decisions": result.pinned_decisions,
+            "safety": result.safety_mode,
+            "blocked_dispatches": result.blocked_dispatches,
+        }
+        if result.safety_mode == "speculate":
+            stats["speculate"] = {
+                "inspected": result.inspected,
+                "proven_dynamic": result.proven_dynamic,
+                "speculated": result.speculated,
+                "committed": result.committed,
+                "rolled_back": result.rolled_back,
+                "certificates": [c.to_dict() for c in result.certificates],
+            }
+        return "mp-pool", stats
+
+    def _run_response(
+        self, key, engine, stats, t0, arrays, transport, want_wire
+    ) -> dict | bytes:
+        """Encode a run result for the transport the client negotiated."""
+        base = {
             "key": key,
             "engine": engine,
+            "transport": transport,
             "wall_s": round(time.perf_counter() - t0, 6),
             **stats,
-            "arrays": {name: a.tolist() for name, a in arrays.items()},
         }
+        if transport == "shm":
+            # Results already live in the client's segments; ship names
+            # only — zero array bytes on the socket.
+            base["shm"] = {"arrays": sorted(arrays)}
+            return base
+        if want_wire:
+            return wire.encode_frame(base, arrays)
+        base["arrays"] = {
+            name: wire.jsonable_array(a) for name, a in arrays.items()
+        }
+        base["array_dtypes"] = wire.dtype_tags(arrays)
+        return base
 
 
 def _prewarm_chunk_kernels(proc, cache) -> int:
@@ -534,17 +679,41 @@ def _prewarm_chunk_kernels(proc, cache) -> int:
     return warmed
 
 
-def _decode_arrays(raw, proc) -> dict[str, np.ndarray]:
-    """JSON array payload → float64 ndarrays matching the procedure."""
+def _decode_arrays(raw, proc, dtypes=None) -> dict[str, np.ndarray]:
+    """JSON array payload → ndarrays matching the procedure.
+
+    ``dtypes`` is the optional ``array_dtypes`` tag block
+    (``{name: numpy dtype string}``) that lets a caller's dtype survive
+    the JSON round trip; untagged arrays keep the historical float64
+    default.  Sentinel-encoded non-finite entries (``"NaN"`` etc., see
+    :func:`repro.wire.array_from_json`) decode back to floats.
+    """
     raw = raw or {}
     if not isinstance(raw, dict):
         raise RequestError(400, "'arrays' must be an object of name -> data")
+    if dtypes is None:
+        dtypes = {}
+    if not isinstance(dtypes, dict):
+        raise RequestError(
+            400, "'array_dtypes' must be an object of name -> dtype string"
+        )
     out: dict[str, np.ndarray] = {}
     for name, rank in proc.arrays.items():
         if name not in raw:
             raise RequestError(400, f"missing array {name!r}")
+        tag = dtypes.get(name, "<f8")
         try:
-            arr = np.asarray(raw[name], dtype=np.float64)
+            dtype = np.dtype(tag)
+        except (TypeError, ValueError) as exc:
+            raise RequestError(
+                400, f"array {name!r}: bad dtype tag {tag!r}"
+            ) from exc
+        if dtype.hasobject:
+            raise RequestError(
+                400, f"array {name!r}: object dtypes are not servable"
+            )
+        try:
+            arr = wire.array_from_json(raw[name], dtype)
         except (TypeError, ValueError) as exc:
             raise RequestError(400, f"array {name!r}: {exc}") from exc
         if arr.ndim != rank:
@@ -556,6 +725,96 @@ def _decode_arrays(raw, proc) -> dict[str, np.ndarray]:
     if extra:
         raise RequestError(400, f"unknown arrays: {sorted(extra)}")
     return out
+
+
+def _check_wire_arrays(views, proc) -> dict[str, np.ndarray]:
+    """Validate a wire frame's decoded views against the procedure."""
+    missing = set(proc.arrays) - set(views)
+    if missing:
+        raise RequestError(400, f"missing arrays: {sorted(missing)}")
+    extra = set(views) - set(proc.arrays)
+    if extra:
+        raise RequestError(400, f"unknown arrays: {sorted(extra)}")
+    for name, rank in proc.arrays.items():
+        if views[name].ndim != rank:
+            raise RequestError(
+                400,
+                f"array {name!r}: rank {rank} expected, "
+                f"got {views[name].ndim}",
+            )
+    return dict(views)
+
+
+def _attach_shm_arrays(raw, proc) -> tuple[dict[str, np.ndarray], list]:
+    """Attach the client's shared-memory segments (shm fast path).
+
+    Returns ``(writable views, segment handles to close after the run)``.
+    Every failure is a 400 — a bad handoff must never crash a replica —
+    and any segments attached before the failure are released.
+    """
+    if not isinstance(raw, list) or not raw:
+        raise RequestError(
+            400, "'shm_arrays' must be a non-empty list of segment specs"
+        )
+    arrays: dict[str, np.ndarray] = {}
+    handles: list = []
+    try:
+        for item in raw:
+            if not isinstance(item, dict):
+                raise RequestError(400, "each shm_arrays entry must be an object")
+            name = item.get("name")
+            if not isinstance(name, str) or name not in proc.arrays:
+                raise RequestError(400, f"unknown shm array {name!r}")
+            if name in arrays:
+                raise RequestError(400, f"duplicate shm array {name!r}")
+            segment = item.get("segment")
+            if not isinstance(segment, str) or not segment.startswith(
+                SEGMENT_PREFIX
+            ):
+                raise RequestError(
+                    400,
+                    f"array {name!r}: segment must carry the "
+                    f"{SEGMENT_PREFIX!r} prefix",
+                )
+            shape = item.get("shape")
+            if not isinstance(shape, list) or not all(
+                isinstance(d, int) and d >= 0 for d in shape
+            ):
+                raise RequestError(400, f"array {name!r}: bad shape {shape!r}")
+            try:
+                spec = ArraySpec(
+                    name, segment, tuple(shape), str(item.get("dtype"))
+                )
+                view, handle = attach_array(spec)
+            except RequestError:
+                raise
+            except Exception as exc:
+                raise RequestError(
+                    400,
+                    f"cannot attach segment {segment!r} for array {name!r}: "
+                    f"{exc} (the shm transport requires client and server "
+                    "on the same host)",
+                ) from exc
+            handles.append(handle)
+            if view.ndim != proc.arrays[name]:
+                raise RequestError(
+                    400,
+                    f"array {name!r}: rank {proc.arrays[name]} expected, "
+                    f"got {view.ndim}",
+                )
+            arrays[name] = view
+        missing = set(proc.arrays) - set(arrays)
+        if missing:
+            raise RequestError(400, f"missing arrays: {sorted(missing)}")
+    except BaseException:
+        arrays.clear()
+        for handle in handles:
+            try:
+                handle.close()
+            except BufferError:  # pragma: no cover - defensive
+                pass
+        raise
+    return arrays, handles
 
 
 def _decode_scalars(raw, proc) -> dict[str, int | float]:
@@ -587,6 +846,10 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
 
     server_version = "repro-serve"
     protocol_version = "HTTP/1.1"
+    #: TCP_NODELAY on accepted sockets: responses are written as a few
+    #: small segments (status line, headers, body); Nagle would park the
+    #: last one behind the client's delayed ACK (~40ms per exchange).
+    disable_nagle_algorithm = True
 
     def log_message(self, fmt, *args):  # noqa: N802 - stdlib name
         if getattr(self.server, "verbose", False):
@@ -598,7 +861,10 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
         payload: dict,
         headers: dict[str, str] | None = None,
     ) -> None:
-        data = json.dumps(payload).encode("utf-8")
+        # allow_nan=False: a non-finite float reaching this point is a
+        # server bug (array payloads sentinel-encode NaN/Inf) — fail
+        # loudly instead of emitting non-RFC JSON.
+        data = json.dumps(payload, allow_nan=False).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
@@ -606,10 +872,48 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
+        self.server.bump("bytes_out", len(data))
 
-    def _body(self) -> dict:
+    def _send_bytes(self, status: int, data: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+        self.server.bump("bytes_out", len(data))
+
+    def _send_payload(self, payload: dict | bytes) -> None:
+        """Send a handler result: wire frames as bytes, dicts as JSON."""
+        if isinstance(payload, (bytes, bytearray)):
+            self._send_bytes(200, bytes(payload), wire.CONTENT_TYPE)
+        else:
+            self._send(200, payload)
+
+    def _read_body(self) -> bytes:
+        self._body_read = True
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b""
+        self.server.bump("bytes_in", len(raw))
+        return raw
+
+    def _drain_request_body(self) -> None:
+        """Keep-alive hygiene: a route that never read its request body
+        (e.g. ``POST /cancel/<id>``) must not leave the bytes in the
+        socket, where they would prefix the connection's next request."""
+        if getattr(self, "_body_read", False):
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except (TypeError, ValueError):
+            length = 0
+        if length > 0:
+            try:
+                self.rfile.read(length)
+            except OSError:  # pragma: no cover - client went away
+                pass
+
+    def _body(self) -> dict:
+        raw = self._read_body()
         if not raw:
             raise RequestError(400, "empty request body (JSON expected)")
         try:
@@ -620,6 +924,38 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
             raise RequestError(400, "JSON body must be an object")
         return body
 
+    # -- transport negotiation --------------------------------------------
+    def _content_type(self) -> str:
+        raw = self.headers.get("Content-Type") or ""
+        return raw.split(";", 1)[0].strip().lower()
+
+    def _wire_request(self) -> bool:
+        return self._content_type() == wire.CONTENT_TYPE
+
+    def _wants_wire(self, default: bool) -> bool:
+        """Response-encoding negotiation from the ``Accept`` header.
+
+        An explicit wire Accept wins; an explicit JSON-only Accept turns
+        a wire request into a JSON response; otherwise requests answer in
+        the content type they arrived in (``default``).
+        """
+        accept = (self.headers.get("Accept") or "").lower()
+        if wire.CONTENT_TYPE in accept:
+            return True
+        if "application/json" in accept:
+            return False
+        return default
+
+    def _wire_body(self) -> tuple[dict, dict]:
+        """Decode a binary request body: ``(body, zero-copy views)``."""
+        raw = self._read_body()
+        if not raw:
+            raise RequestError(400, "empty request body (wire frame expected)")
+        try:
+            return wire.decode_frame(raw)
+        except wire.WireFormatError as exc:
+            raise RequestError(400, f"bad wire frame: {exc}") from exc
+
     def _route(self, method: str) -> None:
         raise NotImplementedError
 
@@ -627,6 +963,7 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
         server = self.server
         server.bump("requests")
         server.begin_request()
+        self._body_read = False
         try:
             self._route(method)
         except RequestError as exc:
@@ -643,6 +980,7 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
                 {"error": "internal error", "detail": traceback.format_exc()},
             )
         finally:
+            self._drain_request_body()
             server.end_request()
 
     def do_GET(self):  # noqa: N802 - stdlib name
@@ -669,7 +1007,18 @@ class _Handler(JsonRequestHandler):
         elif method == "POST" and self.path == "/compile":
             self._send(200, server.handle_compile(self._body()))
         elif method == "POST" and self.path == "/run":
-            self._send(200, server.handle_run(self._body()))
+            if self._wire_request():
+                body, views = self._wire_body()
+                out = server.handle_run(
+                    body,
+                    wire_views=views,
+                    want_wire=self._wants_wire(default=True),
+                )
+            else:
+                out = server.handle_run(
+                    self._body(), want_wire=self._wants_wire(default=False)
+                )
+            self._send_payload(out)
         elif method == "POST" and self.path == "/lint":
             self._send(200, server.handle_lint(self._body()))
         else:

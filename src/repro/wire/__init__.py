@@ -1,0 +1,387 @@
+"""``repro.wire/v1`` — framed binary array transport for the serving path.
+
+JSON ``tolist()`` payloads turn a 1M-element float64 array into ~20 MB of
+decimal text that is re-encoded and re-parsed on every hop.  This module
+defines the binary alternative carried over HTTP as
+``Content-Type: application/x-repro-wire``:
+
+.. code-block:: text
+
+    offset  size  field
+    0       4     magic  b"RPW1"
+    4       4     header length H (u32, big-endian)
+    8       H     header: UTF-8 JSON (no NaN/Inf tokens), see below
+    8+H     ...   per array, in header order:
+                      8   payload length (u64, big-endian)
+                      n   raw C-contiguous array bytes
+
+    header = {"schema": "repro.wire/v1",
+              "body":   {...},            # arbitrary JSON side-channel
+              "arrays": [{"name": ..., "dtype": "<f8",
+                          "shape": [...], "order": "C",
+                          "nbytes": ...}, ...]}
+
+Design properties the serving stack relies on:
+
+- **Zero-copy decode** — :func:`decode_frame` returns read-only
+  ``np.frombuffer`` views over the request bytes; the replica loads them
+  straight into its ``SharedArrayPool`` segments with one ``copy_to``.
+- **Opaque routability** — :func:`peek_header` parses only the JSON
+  header (key/tenant peek); :func:`patch_frame_body` and
+  :func:`rewrap_frame` rewrite the header while splicing the payload
+  bytes through untouched, so a router never materializes an ndarray.
+- **Bit-exactness** — array bytes are carried verbatim: NaN payloads,
+  signed zeros, and every dtype survive exactly.  The JSON compatibility
+  helpers at the bottom (:func:`jsonable_array` / :func:`array_from_json`)
+  exist because plain ``json.dumps`` cannot make the same promise.
+
+Frames that fail any structural check raise :class:`WireFormatError`,
+which the HTTP layer maps to a 400 — a truncated or hostile frame must
+never take a replica down.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+SCHEMA = "repro.wire/v1"
+MAGIC = b"RPW1"
+CONTENT_TYPE = "application/x-repro-wire"
+JSON_CONTENT_TYPE = "application/json"
+
+#: Structural ceilings — a frame is rejected before any allocation that
+#: its header could inflate past these.
+MAX_HEADER_BYTES = 16 * 1024 * 1024
+MAX_ARRAYS = 1024
+
+_LEN_U32 = struct.Struct(">I")
+_LEN_U64 = struct.Struct(">Q")
+
+
+class WireFormatError(ValueError):
+    """A frame violates ``repro.wire/v1`` (maps to HTTP 400, never a crash)."""
+
+
+@dataclass(frozen=True)
+class ArrayDesc:
+    """One array's entry in the frame header."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+    nbytes: int
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "dtype": self.dtype,
+            "shape": list(self.shape),
+            "order": "C",
+            "nbytes": self.nbytes,
+        }
+
+
+def encode_frame(body: Mapping[str, Any], arrays: Mapping[str, np.ndarray] | None = None) -> bytes:
+    """Serialize ``body`` + ``arrays`` into one ``repro.wire/v1`` frame.
+
+    Arrays are forced C-contiguous (a copy only when needed); the body
+    must be strictly-finite JSON (``allow_nan=False``) — non-finite
+    floats belong in array payloads, where they travel bit-exactly.
+    """
+    descs: list[dict] = []
+    payloads: list[bytes] = []
+    for name, arr in (arrays or {}).items():
+        arr = np.ascontiguousarray(arr)
+        descs.append(
+            ArrayDesc(name, arr.dtype.str, tuple(arr.shape), arr.nbytes).as_dict()
+        )
+        payloads.append(arr.tobytes())
+    try:
+        header = json.dumps(
+            {"schema": SCHEMA, "body": dict(body), "arrays": descs},
+            separators=(",", ":"),
+            allow_nan=False,
+        ).encode("utf-8")
+    except ValueError as exc:
+        raise WireFormatError(f"frame body is not finite JSON: {exc}") from exc
+    parts = [MAGIC, _LEN_U32.pack(len(header)), header]
+    for blob in payloads:
+        parts.append(_LEN_U64.pack(len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def _parse_desc(raw: Any, index: int) -> ArrayDesc:
+    if not isinstance(raw, dict):
+        raise WireFormatError(f"array desc #{index} is not an object")
+    name = raw.get("name")
+    if not isinstance(name, str) or not name.isidentifier():
+        raise WireFormatError(f"array desc #{index} has a bad name: {name!r}")
+    dtype_str = raw.get("dtype")
+    try:
+        dtype = np.dtype(dtype_str)
+    except (TypeError, ValueError) as exc:
+        raise WireFormatError(
+            f"array {name!r}: bad dtype {dtype_str!r}"
+        ) from exc
+    if dtype.hasobject:
+        raise WireFormatError(f"array {name!r}: object dtypes are not wire-safe")
+    shape_raw = raw.get("shape")
+    if (
+        not isinstance(shape_raw, list)
+        or not shape_raw
+        or not all(isinstance(d, int) and d >= 0 for d in shape_raw)
+    ):
+        raise WireFormatError(f"array {name!r}: bad shape {shape_raw!r}")
+    if raw.get("order", "C") != "C":
+        raise WireFormatError(
+            f"array {name!r}: only C order is defined in {SCHEMA}"
+        )
+    nbytes = raw.get("nbytes")
+    count = 1
+    for dim in shape_raw:
+        count *= dim
+    expected = count * dtype.itemsize
+    if nbytes != expected:
+        raise WireFormatError(
+            f"array {name!r}: nbytes {nbytes!r} does not match "
+            f"dtype {dtype.str} x shape {tuple(shape_raw)} (= {expected})"
+        )
+    return ArrayDesc(name, dtype.str, tuple(shape_raw), expected)
+
+
+def peek_header(data: bytes) -> tuple[dict, list[ArrayDesc], int]:
+    """Parse just the header: ``(body, array descs, payload offset)``.
+
+    This is all a router needs — the payload bytes after the offset are
+    forwarded opaquely.
+    """
+    if len(data) < 8:
+        raise WireFormatError(f"frame too short for a header ({len(data)} bytes)")
+    if data[:4] != MAGIC:
+        raise WireFormatError(f"bad magic {data[:4]!r} (want {MAGIC!r})")
+    (header_len,) = _LEN_U32.unpack_from(data, 4)
+    if header_len > MAX_HEADER_BYTES:
+        raise WireFormatError(f"header length {header_len} exceeds the ceiling")
+    if len(data) < 8 + header_len:
+        raise WireFormatError("frame truncated inside the header")
+    try:
+        header = json.loads(data[8 : 8 + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise WireFormatError(f"header is not valid JSON: {exc}") from exc
+    if not isinstance(header, dict) or header.get("schema") != SCHEMA:
+        raise WireFormatError(
+            f"unsupported schema {header.get('schema') if isinstance(header, dict) else header!r}"
+        )
+    body = header.get("body")
+    if not isinstance(body, dict):
+        raise WireFormatError("header body must be a JSON object")
+    raw_descs = header.get("arrays")
+    if not isinstance(raw_descs, list) or len(raw_descs) > MAX_ARRAYS:
+        raise WireFormatError("header arrays must be a list (bounded)")
+    descs = [_parse_desc(raw, i) for i, raw in enumerate(raw_descs)]
+    names = [d.name for d in descs]
+    if len(set(names)) != len(names):
+        raise WireFormatError(f"duplicate array names: {names}")
+    return body, descs, 8 + header_len
+
+
+def _payload_views(
+    data: bytes, descs: list[ArrayDesc], offset: int
+) -> dict[str, np.ndarray]:
+    mem = memoryview(data)
+    views: dict[str, np.ndarray] = {}
+    for desc in descs:
+        if len(data) < offset + 8:
+            raise WireFormatError(
+                f"frame truncated before array {desc.name!r} length prefix"
+            )
+        (nbytes,) = _LEN_U64.unpack_from(data, offset)
+        if nbytes != desc.nbytes:
+            raise WireFormatError(
+                f"array {desc.name!r}: payload length {nbytes} does not "
+                f"match the declared {desc.nbytes}"
+            )
+        offset += 8
+        if len(data) < offset + nbytes:
+            raise WireFormatError(
+                f"frame truncated inside array {desc.name!r} "
+                f"(need {nbytes} bytes, have {len(data) - offset})"
+            )
+        flat = np.frombuffer(mem[offset : offset + nbytes], dtype=desc.dtype)
+        views[desc.name] = flat.reshape(desc.shape)
+        offset += nbytes
+    if offset != len(data):
+        raise WireFormatError(
+            f"{len(data) - offset} trailing bytes after the last array"
+        )
+    return views
+
+
+def decode_frame(data: bytes) -> tuple[dict, dict[str, np.ndarray]]:
+    """Fully decode a frame: ``(body, {name: read-only zero-copy view})``.
+
+    The views alias ``data`` (``np.frombuffer``) and are therefore
+    read-only; copy (or ``SharedArrayPool.load``) before mutating.
+    """
+    body, descs, offset = peek_header(data)
+    return body, _payload_views(data, descs, offset)
+
+
+def _splice(data: bytes, offset: int, body: Mapping[str, Any], descs: list[ArrayDesc]) -> bytes:
+    try:
+        header = json.dumps(
+            {
+                "schema": SCHEMA,
+                "body": dict(body),
+                "arrays": [d.as_dict() for d in descs],
+            },
+            separators=(",", ":"),
+            allow_nan=False,
+        ).encode("utf-8")
+    except ValueError as exc:
+        raise WireFormatError(f"patched body is not finite JSON: {exc}") from exc
+    return b"".join([MAGIC, _LEN_U32.pack(len(header)), header, data[offset:]])
+
+
+def patch_frame_body(data: bytes, update: Mapping[str, Any]) -> bytes:
+    """Merge ``update`` into the frame's body without touching array bytes.
+
+    This is how the router stamps its ``cluster`` block onto a replica's
+    wire response: one header re-encode, payload spliced through.
+    """
+    body, descs, offset = peek_header(data)
+    body.update(update)
+    return _splice(data, offset, body, descs)
+
+
+def rewrap_frame(data: bytes, new_body: Mapping[str, Any]) -> bytes:
+    """Replace the frame's body entirely, keeping the array payload."""
+    _, descs, offset = peek_header(data)
+    return _splice(data, offset, new_body, descs)
+
+
+# ---------------------------------------------------------------------------
+# Same-host detection for the shm handoff fast path.
+
+_HOST_TOKEN: str | None = None
+
+
+def host_token() -> str:
+    """Opaque token equal between two processes iff they share this boot.
+
+    Combines the hostname with the kernel's per-boot UUID, so a client
+    only attempts the shm fast path against a server on its own machine
+    (the server still 400s a failed attach — this is an optimization
+    gate, not the safety check).
+    """
+    global _HOST_TOKEN
+    if _HOST_TOKEN is None:
+        try:
+            with open("/proc/sys/kernel/random/boot_id") as fh:
+                boot = fh.read().strip()
+        except OSError:  # pragma: no cover - non-Linux
+            boot = "no-boot-id"
+        _HOST_TOKEN = f"{socket.gethostname()}:{boot}"
+    return _HOST_TOKEN
+
+
+# ---------------------------------------------------------------------------
+# JSON compatibility path: dtype tags + RFC-safe non-finite encoding.
+#
+# ``json.dumps(float("nan"))`` emits the non-RFC token ``NaN`` that only
+# some parsers accept; the service now refuses to emit it
+# (``allow_nan=False``) and instead sentinel-encodes non-finite floats as
+# the strings below — but only for arrays that actually contain one, so
+# the common all-finite payload stays a plain number list.
+
+_NONFINITE_DECODE = {
+    "NaN": float("nan"),
+    "Infinity": float("inf"),
+    "-Infinity": float("-inf"),
+}
+
+
+def _encode_nonfinite(value: float) -> str:
+    if value != value:
+        return "NaN"
+    return "Infinity" if value > 0 else "-Infinity"
+
+
+def jsonable_array(arr: np.ndarray) -> list:
+    """``tolist()`` that never smuggles NaN/Inf tokens into JSON.
+
+    Finite arrays (and every integer/bool array) return the plain nested
+    list; arrays with non-finite floats get those entries replaced by the
+    sentinel strings ``"NaN"`` / ``"Infinity"`` / ``"-Infinity"``, which
+    :func:`array_from_json` reverses.
+    """
+    if arr.dtype.kind not in "fc" or bool(np.isfinite(arr).all()):
+        return arr.tolist()
+    if arr.dtype.kind == "c":
+        raise WireFormatError(
+            "non-finite complex arrays have no JSON encoding; use the wire transport"
+        )
+
+    def convert(item):
+        if isinstance(item, list):
+            return [convert(x) for x in item]
+        if isinstance(item, float) and (item != item or item in (float("inf"), float("-inf"))):
+            return _encode_nonfinite(item)
+        return item
+
+    return convert(arr.tolist())
+
+
+def array_from_json(data: Any, dtype: np.dtype | str) -> np.ndarray:
+    """Rebuild an array from :func:`jsonable_array` output + a dtype tag.
+
+    Only the three sentinel strings are accepted; anything else
+    non-numeric raises ``ValueError`` (surfaced as a 400 by the server).
+    """
+    dtype = np.dtype(dtype)
+
+    def convert(item):
+        if isinstance(item, list):
+            return [convert(x) for x in item]
+        if isinstance(item, str):
+            try:
+                return _NONFINITE_DECODE[item]
+            except KeyError:
+                raise ValueError(
+                    f"bad array element {item!r} (only NaN/Infinity/-Infinity "
+                    "strings are accepted)"
+                ) from None
+        return item
+
+    return np.asarray(convert(data), dtype=dtype)
+
+
+def dtype_tags(arrays: Mapping[str, np.ndarray]) -> dict[str, str]:
+    """``{name: dtype.str}`` tags for a JSON request/response."""
+    return {name: np.asarray(arr).dtype.str for name, arr in arrays.items()}
+
+
+__all__ = [
+    "SCHEMA",
+    "MAGIC",
+    "CONTENT_TYPE",
+    "JSON_CONTENT_TYPE",
+    "ArrayDesc",
+    "WireFormatError",
+    "encode_frame",
+    "decode_frame",
+    "peek_header",
+    "patch_frame_body",
+    "rewrap_frame",
+    "host_token",
+    "jsonable_array",
+    "array_from_json",
+    "dtype_tags",
+]

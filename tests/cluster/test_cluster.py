@@ -211,6 +211,10 @@ class TestFleet:
         # Lands on the least-loaded replica: replica 0 registers it.
         key = client.compile(REPAIR_KERNEL)["key"]
         repairs_before = router.counters["repairs"]
+        # Forget the sticky route (as if LRU-evicted) so the run falls
+        # back to least-loaded, then divert that to replica 1 — which
+        # never saw the compile and must 404-repair.
+        router._sticky.pop(key, None)
         handle0 = supervisor.handles[0]
         handle0.begin()  # divert the next run to replica 1
         try:

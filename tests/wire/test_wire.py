@@ -1,0 +1,325 @@
+"""Unit tests for the ``repro.wire/v1`` frame codec.
+
+No sockets here — these pin down the byte format itself: round trips
+across dtypes, bit-exact non-finite payloads, the router's header-only
+peek/patch path, and the full catalogue of malformed frames (every one
+must raise :class:`WireFormatError`, never crash or over-allocate).
+"""
+
+import json
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro import wire
+from repro.wire import WireFormatError
+
+
+def build_frame(header: dict, payloads: list[bytes]) -> bytes:
+    """Hand-rolled frame builder for crafting hostile/malformed frames."""
+    blob = json.dumps(header).encode("utf-8")
+    parts = [wire.MAGIC, struct.pack(">I", len(blob)), blob]
+    for p in payloads:
+        parts.append(struct.pack(">Q", len(p)))
+        parts.append(p)
+    return b"".join(parts)
+
+
+def header_for(arrays: dict[str, np.ndarray], body: dict | None = None) -> dict:
+    return {
+        "schema": wire.SCHEMA,
+        "body": body or {},
+        "arrays": [
+            {
+                "name": name,
+                "dtype": a.dtype.str,
+                "shape": list(a.shape),
+                "order": "C",
+                "nbytes": a.nbytes,
+            }
+            for name, a in arrays.items()
+        ],
+    }
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "dtype", ["<f8", "<f4", "<i8", "<i4", "<u2", "?"]
+    )
+    def test_dtype_preserved(self, dtype):
+        rng = np.random.default_rng(3)
+        arr = (rng.random(37) * 100).astype(dtype)
+        frame = wire.encode_frame({"key": "k"}, {"A": arr})
+        body, views = wire.decode_frame(frame)
+        assert body == {"key": "k"}
+        assert views["A"].dtype == np.dtype(dtype)
+        assert np.array_equal(views["A"], arr)
+
+    def test_multidim_c_order(self):
+        arr = np.arange(24, dtype=np.float64).reshape(2, 3, 4)
+        _, views = wire.decode_frame(wire.encode_frame({}, {"A": arr}))
+        assert views["A"].shape == (2, 3, 4)
+        assert np.array_equal(views["A"], arr)
+
+    def test_fortran_input_is_made_contiguous(self):
+        arr = np.asfortranarray(np.arange(12, dtype=np.float64).reshape(3, 4))
+        _, views = wire.decode_frame(wire.encode_frame({}, {"A": arr}))
+        assert np.array_equal(views["A"], arr)
+
+    def test_empty_and_no_arrays(self):
+        body, views = wire.decode_frame(wire.encode_frame({"x": 1}))
+        assert (body, views) == ({"x": 1}, {})
+        arr = np.zeros((0,), dtype=np.int64)
+        _, views = wire.decode_frame(wire.encode_frame({}, {"A": arr}))
+        assert views["A"].shape == (0,)
+        assert views["A"].dtype == np.int64
+
+    def test_views_are_zero_copy_and_read_only(self):
+        arr = np.arange(8, dtype=np.float64)
+        frame = wire.encode_frame({}, {"A": arr})
+        _, views = wire.decode_frame(frame)
+        view = views["A"]
+        assert not view.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            view[0] = 99.0
+        # The view aliases the frame buffer rather than copying it.
+        assert view.base is not None
+
+    def test_multiple_arrays_keep_header_order(self):
+        a = np.arange(4, dtype=np.float64)
+        b = np.arange(6, dtype=np.int32)
+        _, views = wire.decode_frame(wire.encode_frame({}, {"b": b, "a": a}))
+        assert list(views) == ["b", "a"]
+        assert np.array_equal(views["a"], a)
+        assert np.array_equal(views["b"], b)
+
+    def test_nonfinite_payloads_bit_exact(self):
+        # Includes a non-default NaN payload and signed zero: the frame
+        # must carry the exact bit pattern, not a canonicalized value.
+        bits = np.array(
+            [
+                0x7FF8000000000001,  # NaN, custom payload
+                0x7FF0000000000000,  # +inf
+                0xFFF0000000000000,  # -inf
+                0x8000000000000000,  # -0.0
+                0x3FF0000000000000,  # 1.0
+            ],
+            dtype=np.uint64,
+        )
+        arr = bits.view(np.float64)
+        _, views = wire.decode_frame(wire.encode_frame({}, {"A": arr}))
+        assert np.array_equal(views["A"].view(np.uint64), bits)
+
+    def test_body_must_be_finite_json(self):
+        with pytest.raises(WireFormatError):
+            wire.encode_frame({"bad": float("nan")})
+
+
+class TestHeaderOps:
+    def test_peek_header_parses_without_payload_decode(self):
+        arr = np.arange(16, dtype=np.float64)
+        frame = wire.encode_frame({"key": "k", "tenant": "t"}, {"A": arr})
+        body, descs, offset = wire.peek_header(frame)
+        assert body == {"key": "k", "tenant": "t"}
+        assert [d.name for d in descs] == ["A"]
+        assert descs[0].shape == (16,)
+        assert descs[0].nbytes == arr.nbytes
+        # Payload bytes start right after the header, untouched.
+        (nbytes,) = struct.unpack_from(">Q", frame, offset)
+        assert nbytes == arr.nbytes
+        assert frame[offset + 8 : offset + 8 + nbytes] == arr.tobytes()
+
+    def test_patch_frame_body_merges_and_splices(self):
+        arr = np.arange(9, dtype=np.int64)
+        frame = wire.encode_frame({"key": "k"}, {"A": arr})
+        patched = wire.patch_frame_body(frame, {"cluster": {"replica": 1}})
+        body, views = wire.decode_frame(patched)
+        assert body == {"key": "k", "cluster": {"replica": 1}}
+        assert np.array_equal(views["A"], arr)
+
+    def test_rewrap_frame_replaces_body(self):
+        arr = np.arange(5, dtype=np.float32)
+        frame = wire.encode_frame({"kind": "run", "body": {"key": "k"}}, {"A": arr})
+        rewrapped = wire.rewrap_frame(frame, {"key": "k"})
+        body, views = wire.decode_frame(rewrapped)
+        assert body == {"key": "k"}
+        assert np.array_equal(views["A"], arr)
+
+    def test_patch_with_nonfinite_update_rejected(self):
+        frame = wire.encode_frame({"key": "k"})
+        with pytest.raises(WireFormatError):
+            wire.patch_frame_body(frame, {"bad": float("inf")})
+
+
+class TestMalformedFrames:
+    """Every structurally broken frame maps to WireFormatError."""
+
+    def good(self) -> tuple[bytes, np.ndarray]:
+        arr = np.arange(6, dtype=np.float64)
+        return wire.encode_frame({"key": "k"}, {"A": arr}), arr
+
+    def test_bad_magic(self):
+        frame, _ = self.good()
+        with pytest.raises(WireFormatError, match="magic"):
+            wire.peek_header(b"XXXX" + frame[4:])
+
+    def test_too_short_for_header(self):
+        with pytest.raises(WireFormatError, match="too short"):
+            wire.peek_header(b"RPW1\x00")
+
+    def test_truncated_inside_header(self):
+        frame, _ = self.good()
+        with pytest.raises(WireFormatError, match="truncated"):
+            wire.peek_header(frame[:10])
+
+    def test_header_length_ceiling(self):
+        data = wire.MAGIC + struct.pack(">I", wire.MAX_HEADER_BYTES + 1)
+        with pytest.raises(WireFormatError, match="ceiling"):
+            wire.peek_header(data)
+
+    def test_header_not_json(self):
+        blob = b"not-json"
+        data = wire.MAGIC + struct.pack(">I", len(blob)) + blob
+        with pytest.raises(WireFormatError, match="JSON"):
+            wire.peek_header(data)
+
+    def test_wrong_schema(self):
+        data = build_frame({"schema": "repro.wire/v0", "body": {}, "arrays": []}, [])
+        with pytest.raises(WireFormatError, match="schema"):
+            wire.peek_header(data)
+
+    def test_body_not_object(self):
+        data = build_frame({"schema": wire.SCHEMA, "body": [1], "arrays": []}, [])
+        with pytest.raises(WireFormatError, match="body"):
+            wire.peek_header(data)
+
+    def test_arrays_not_list(self):
+        data = build_frame({"schema": wire.SCHEMA, "body": {}, "arrays": {}}, [])
+        with pytest.raises(WireFormatError, match="arrays"):
+            wire.peek_header(data)
+
+    def test_too_many_arrays(self):
+        desc = {"name": "a", "dtype": "<f8", "shape": [0], "order": "C", "nbytes": 0}
+        data = build_frame(
+            {
+                "schema": wire.SCHEMA,
+                "body": {},
+                "arrays": [dict(desc, name=f"a{i}") for i in range(wire.MAX_ARRAYS + 1)],
+            },
+            [],
+        )
+        with pytest.raises(WireFormatError, match="bounded"):
+            wire.peek_header(data)
+
+    @pytest.mark.parametrize(
+        "mutate,match",
+        [
+            (lambda d: d.update(name="not an identifier"), "name"),
+            (lambda d: d.update(name=7), "name"),
+            (lambda d: d.update(dtype="no-such-dtype"), "dtype"),
+            (lambda d: d.update(dtype="|O"), "object"),
+            (lambda d: d.update(shape=[]), "shape"),
+            (lambda d: d.update(shape=[-1]), "shape"),
+            (lambda d: d.update(shape=["x"]), "shape"),
+            (lambda d: d.update(order="F"), "order"),
+            (lambda d: d.update(nbytes=999), "nbytes"),
+        ],
+    )
+    def test_bad_array_desc(self, mutate, match):
+        arr = np.arange(6, dtype=np.float64)
+        header = header_for({"A": arr})
+        mutate(header["arrays"][0])
+        data = build_frame(header, [arr.tobytes()])
+        with pytest.raises(WireFormatError, match=match):
+            wire.decode_frame(data)
+
+    def test_duplicate_names(self):
+        arr = np.arange(3, dtype=np.float64)
+        header = header_for({"A": arr})
+        header["arrays"].append(dict(header["arrays"][0]))
+        data = build_frame(header, [arr.tobytes(), arr.tobytes()])
+        with pytest.raises(WireFormatError, match="duplicate"):
+            wire.decode_frame(data)
+
+    def test_truncated_before_length_prefix(self):
+        arr = np.arange(6, dtype=np.float64)
+        data = build_frame(header_for({"A": arr}), [])
+        with pytest.raises(WireFormatError, match="length prefix"):
+            wire.decode_frame(data)
+
+    def test_payload_length_mismatch(self):
+        arr = np.arange(6, dtype=np.float64)
+        data = build_frame(header_for({"A": arr}), [arr.tobytes()[:-8]])
+        with pytest.raises(WireFormatError, match="payload length"):
+            wire.decode_frame(data)
+
+    def test_truncated_inside_payload(self):
+        frame, _ = self.good()
+        with pytest.raises(WireFormatError, match="truncated"):
+            wire.decode_frame(frame[:-8])
+
+    def test_trailing_bytes(self):
+        frame, _ = self.good()
+        with pytest.raises(WireFormatError, match="trailing"):
+            wire.decode_frame(frame + b"extra")
+
+    def test_peek_tolerates_missing_payload(self):
+        # The router forwards on the header alone; a frame whose payload
+        # is still in flight must peek fine and only fail a full decode.
+        frame, _ = self.good()
+        (header_len,) = struct.unpack_from(">I", frame, 4)
+        body, descs, _ = wire.peek_header(frame[: 8 + header_len])
+        assert body == {"key": "k"}
+        assert descs[0].name == "A"
+
+
+class TestJsonCompat:
+    def test_finite_arrays_stay_plain_lists(self):
+        arr = np.array([[1.5, 2.5], [3.5, 4.5]])
+        data = wire.jsonable_array(arr)
+        assert data == [[1.5, 2.5], [3.5, 4.5]]
+        # Strict RFC JSON: no NaN tokens needed, allow_nan=False succeeds.
+        json.dumps(data, allow_nan=False)
+        back = wire.array_from_json(data, arr.dtype.str)
+        assert np.array_equal(back, arr)
+
+    def test_integer_arrays_untouched(self):
+        arr = np.array([1, 2, 3], dtype=np.int64)
+        data = wire.jsonable_array(arr)
+        assert data == [1, 2, 3]
+        back = wire.array_from_json(data, "<i8")
+        assert back.dtype == np.int64
+
+    def test_nonfinite_sentinels_round_trip(self):
+        arr = np.array([[np.nan, np.inf], [-np.inf, 0.5]])
+        data = wire.jsonable_array(arr)
+        assert data == [["NaN", "Infinity"], ["-Infinity", 0.5]]
+        json.dumps(data, allow_nan=False)
+        back = wire.array_from_json(data, "<f8")
+        assert np.isnan(back[0, 0])
+        assert back[0, 1] == np.inf
+        assert back[1, 0] == -np.inf
+        assert back[1, 1] == 0.5
+
+    def test_unknown_string_rejected(self):
+        with pytest.raises(ValueError, match="NaN/Infinity"):
+            wire.array_from_json(["nan"], "<f8")
+
+    def test_nonfinite_complex_has_no_json_encoding(self):
+        arr = np.array([complex(np.nan, 1.0)])
+        with pytest.raises(WireFormatError, match="complex"):
+            wire.jsonable_array(arr)
+
+    def test_dtype_tags(self):
+        tags = wire.dtype_tags(
+            {"A": np.zeros(2, dtype=np.int64), "B": np.zeros(2, dtype=np.float32)}
+        )
+        assert tags == {"A": "<i8", "B": "<f4"}
+
+
+def test_host_token_is_stable_and_local():
+    tok = wire.host_token()
+    assert tok == wire.host_token()
+    assert tok.startswith(socket.gethostname() + ":")

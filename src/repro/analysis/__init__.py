@@ -23,6 +23,13 @@ from repro.analysis.doall import (
     loop_carried_dependences,
     mark_doall,
 )
+from repro.analysis.pdg import (
+    PDG,
+    PDGEdge,
+    Reduction,
+    build_pdg,
+    recognize_reduction,
+)
 from repro.analysis.recovery import RecoveredNest, recognize_recovered_nest
 from repro.analysis.safety import (
     LoopSafety,
@@ -46,12 +53,16 @@ __all__ = [
     "LoopSafety",
     "LoopVerdict",
     "NestPlan",
+    "PDG",
+    "PDGEdge",
     "ProcedureSummary",
     "RecoveredNest",
+    "Reduction",
     "SafetyFinding",
     "SafetyReport",
     "affine_of",
     "analyze_procedure",
+    "build_pdg",
     "classify_loop",
     "direction_vectors",
     "has_dependence",
@@ -59,5 +70,6 @@ __all__ = [
     "loop_carried_dependences",
     "mark_doall",
     "recognize_recovered_nest",
+    "recognize_reduction",
     "verify_procedure",
 ]

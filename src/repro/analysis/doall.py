@@ -8,8 +8,9 @@ dependence exists whose direction at this loop's level is ``<`` or ``>``
 
 The classifier is conservative: non-affine subscripts, symbolic coefficients,
 or scalar flow it cannot prove private all demote the loop to serial.
-Reductions (``s := s + …``) are likewise treated as serial; recognizing and
-parallelizing them is a scheduling concern beyond the paper's scope.
+Reductions (``s := s + …``) are likewise serial *here*; recognizing and
+re-tagging them for the partial-accumulator dispatch mode is the job of
+:mod:`repro.analysis.pdg` and :mod:`repro.transforms.reduction`.
 """
 
 from __future__ import annotations

@@ -39,6 +39,10 @@ RACE003   carried anti dependence (read, then overwrite, across chunks)
 PRIV002   unproven-private scalar (live into an iteration that writes it)
 SPEC001   dynamically provable (informational: the runtime inspector of
           ``safety=speculate`` can decide this dispatch exactly)
+FISS001   fission applied (informational, emitted by the transform layer)
+FISS002   fission refused: one dependence SCC spans the body
+RED001    recognized reduction: the carried accumulator dispatches as
+          per-chunk partials with a deterministic ordered combine
 ========  ============================================================
 
 Everything here is conservative in the safe direction: recognition
@@ -55,6 +59,7 @@ from typing import Iterable, Sequence
 
 from repro.analysis.dependence import DependenceTester, LoopInfo
 from repro.analysis.doall import upward_exposed_scalars
+from repro.analysis.pdg import recognize_reduction
 from repro.analysis.recovery import RecoveredNest, recognize_recovered_nest
 from repro.analysis.subscripts import affine_of
 from repro.ir.expr import ArrayRef, BinOp, Const, Expr, Unary, Var
@@ -81,6 +86,9 @@ RULES: dict[str, str] = {
     "RACE003": "carried anti dependence",
     "PRIV002": "unproven-private scalar",
     "SPEC001": "dynamically provable",
+    "FISS001": "fission applied",
+    "FISS002": "fission refused",
+    "RED001": "recognized reduction",
 }
 
 _HINTS: dict[str, str] = {
@@ -105,6 +113,19 @@ _HINTS: dict[str, str] = {
         "no array is both written and read and every scalar is provably "
         "private, so a subscript-only runtime inspector decides this "
         "dispatch exactly; run with safety=speculate"
+    ),
+    "FISS001": (
+        "the loop was split along its dependence SCCs; the clean pieces "
+        "dispatch in parallel while the cyclic residue stays serial"
+    ),
+    "FISS002": (
+        "every statement sits in one dependence cycle, so no sub-loop "
+        "can be separated; break the cycle to expose parallelism"
+    ),
+    "RED001": (
+        "the accumulator loop dispatches as per-chunk partials combined "
+        "in a fixed ascending order — deterministic for a given trip "
+        "count, bit-identical to serial when the operator is exact"
     ),
 }
 
@@ -141,10 +162,23 @@ class SafetyFinding:
     scalar: str | None = None
     directions: tuple[str, ...] | None = None
     exact: bool = True  # False when assumed conservatively (non-affine)
+    src_stmt: int | None = None  # PDG statement index of the source
+    dst_stmt: int | None = None  # PDG statement index of the sink
 
     @property
     def title(self) -> str:
         return RULES.get(self.rule, self.rule)
+
+    def edge(self) -> str | None:
+        """The dependence edge behind this finding, human-readable."""
+        if self.src_stmt is None or self.dst_stmt is None:
+            return None
+        span = (
+            f" at directions ({', '.join(self.directions)})"
+            if self.directions
+            else ""
+        )
+        return f"S{self.src_stmt} -> S{self.dst_stmt}{span}"
 
     def to_dict(self) -> dict:
         return {
@@ -156,6 +190,8 @@ class SafetyFinding:
             "scalar": self.scalar,
             "directions": list(self.directions) if self.directions else None,
             "exact": self.exact,
+            "src_stmt": self.src_stmt,
+            "dst_stmt": self.dst_stmt,
             "message": self.message,
             "hint": self.hint,
         }
@@ -173,6 +209,7 @@ class LoopSafety:
     index_vars: tuple[str, ...]
     proven: bool
     findings: tuple[SafetyFinding, ...]
+    reduction: str | None = None  # recognized accumulator scalar, if any
 
     def to_dict(self) -> dict:
         return {
@@ -180,6 +217,7 @@ class LoopSafety:
             "shape": self.shape,
             "index_vars": list(self.index_vars),
             "proven": self.proven,
+            "reduction": self.reduction,
             "findings": [f.to_dict() for f in self.findings],
         }
 
@@ -723,17 +761,21 @@ def _scan_races(
     shared_ok: set[str],
 ) -> list[SafetyFinding]:
     """Cross-chunk races among the virtual body's array accesses."""
-    accesses = collect_guarded_accesses(Block(nest.body))
+    accesses = [
+        (si, acc)
+        for si, s in enumerate(nest.body)
+        for acc in collect_guarded_accesses(Block((s,)))
+    ]
     outer_levels = [_Level.of_loop(lp) for lp in outer]
     n_outer = len(outer_levels)
     n_virtual = len(levels)
     findings: list[SafetyFinding] = []
     seen: set[tuple] = set()
 
-    for src in accesses:
+    for src_i, src in accesses:
         if not src.is_write:
             continue
-        for sink in accesses:
+        for sink_i, sink in accesses:
             if src.ref.name != sink.ref.name:
                 continue
             k = _common_prefix(src.inner_chain, sink.inner_chain)
@@ -767,7 +809,7 @@ def _scan_races(
                     rule = "RACE001"
                 else:
                     rule = "RACE003"
-                key = (rule, src.ref, sink.ref, directions)
+                key = (rule, src.ref, sink.ref, directions, src_i, sink_i)
                 if key in seen:
                     continue
                 seen.add(key)
@@ -789,6 +831,8 @@ def _scan_races(
                         array=src.ref.name,
                         directions=directions,
                         exact=exact,
+                        src_stmt=src_i,
+                        dst_stmt=sink_i,
                     )
                 )
     return findings
@@ -806,6 +850,22 @@ def _scan_scalars(
     bound = set(nest.index_vars) | {loop.var} | {lp.var for lp in outer}
     findings: list[SafetyFinding] = []
     for name in sorted((exposed & written) - bound):
+        src_stmt = next(
+            (
+                si
+                for si, s in enumerate(nest.body)
+                if name in _written_scalars([s])
+            ),
+            None,
+        )
+        dst_stmt = next(
+            (
+                si
+                for si, s in enumerate(nest.body)
+                if name in upward_exposed_scalars(Block((s,)))[0]
+            ),
+            None,
+        )
         findings.append(
             SafetyFinding(
                 rule="PRIV002",
@@ -818,6 +878,8 @@ def _scan_scalars(
                 ),
                 hint=_HINTS["PRIV002"],
                 scalar=name,
+                src_stmt=src_stmt,
+                dst_stmt=dst_stmt,
             )
         )
     return findings
@@ -840,7 +902,39 @@ def _verify_dispatch(
     shared_ok = set(proc.scalars) - _written_scalars(proc.body.stmts)
     findings = _scan_races(loop, outer, nest, levels, shared_ok)
     findings += _scan_scalars(loop, outer, nest)
-    if findings and not any(f.rule == "PRIV002" for f in findings):
+    # Recognized reductions: the accumulator is genuinely carried
+    # (PRIV002 is *correct*), but the runtime executes the loop as
+    # per-chunk partials with an ordered combine, so the dispatch is
+    # sound.  Convert exactly that finding — and nothing else — into an
+    # informational RED001 verdict.
+    reduction_scalar: str | None = None
+    red = recognize_reduction(loop)
+    if red is not None:
+        errors = [f for f in findings if f.severity == "error"]
+        if errors and all(
+            f.rule == "PRIV002" and f.scalar == red.scalar for f in errors
+        ):
+            findings = [f for f in findings if f not in errors]
+            findings.append(
+                SafetyFinding(
+                    rule="RED001",
+                    severity="info",
+                    loop_var=loop.var,
+                    message=(
+                        f"recognized reduction: '{red.scalar}' accumulates "
+                        f"with '{red.op}'; the runtime dispatches per-chunk "
+                        "partials and combines them in a fixed order"
+                    ),
+                    hint=_HINTS["RED001"],
+                    scalar=red.scalar,
+                    src_stmt=0,
+                    dst_stmt=0,
+                )
+            )
+            reduction_scalar = red.scalar
+    if any(f.severity == "error" for f in findings) and not any(
+        f.rule == "PRIV002" for f in findings
+    ):
         eligible, reason = inspector_eligible(loop)
         if eligible:
             findings.append(
@@ -862,6 +956,7 @@ def _verify_dispatch(
         index_vars=nest.index_vars,
         proven=not any(f.severity == "error" for f in findings),
         findings=tuple(findings),
+        reduction=reduction_scalar,
     )
 
 

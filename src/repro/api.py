@@ -46,15 +46,39 @@ from repro.ir.stmt import Procedure
 from repro.ir.validate import validate
 from repro.transforms.coalesce import CoalesceResult, coalesce_procedure
 from repro.transforms.distribute import distribute_procedure
+from repro.transforms.fission import fission_procedure
 from repro.transforms.normalize import normalize_procedure
+from repro.transforms.reduction import reduction_procedure
 
 __all__ = [
     "CompiledProcedure",
     "TransformedFunction",
     "coalesce_jit",
     "lower_and_coalesce",
+    "normalize_transforms",
     "transform_function",
 ]
+
+#: Optional parallelism-recovery passes, in the order they run.
+TRANSFORM_NAMES = ("fission", "reduction")
+
+
+def normalize_transforms(transforms: object) -> tuple[str, ...]:
+    """Canonicalize a ``transforms`` option: None, a comma string, or
+    a sequence of pass names → a validated tuple in canonical order."""
+    if transforms is None or transforms == "":
+        return ()
+    if isinstance(transforms, str):
+        names = [t.strip() for t in transforms.split(",") if t.strip()]
+    else:
+        names = [str(t) for t in transforms]
+    unknown = sorted(set(names) - set(TRANSFORM_NAMES))
+    if unknown:
+        raise ValueError(
+            f"unknown transforms {unknown} "
+            f"(available: {', '.join(TRANSFORM_NAMES)})"
+        )
+    return tuple(t for t in TRANSFORM_NAMES if t in names)
 
 
 @dataclass
@@ -135,13 +159,19 @@ class TransformedFunction:
 
     def report(self) -> str:
         """Human-readable summary of what the pipeline did."""
-        lines = [f"{self.name}: {len(self.results)} nest(s) coalesced"]
-        for r in self.results:
+        coalesced = [r for r in self.results if not hasattr(r, "outcomes")]
+        transformed = [r for r in self.results if hasattr(r, "outcomes")]
+        lines = [f"{self.name}: {len(coalesced)} nest(s) coalesced"]
+        for r in coalesced:
             bounds = " x ".join(to_source(b) for b in r.bounds)
             lines.append(
                 f"  ({', '.join(r.index_vars)}) depth={r.depth} "
                 f"bounds=[{bounds}] -> flat index {r.flat_var}"
             )
+        for r in transformed:
+            lines.append(f"  {r.summary()}")
+            for f in r.findings:
+                lines.append(f"    {f.format()}")
         safety = self.safety_report
         if not safety.loops:
             lines.append("  safety: no dispatchable DOALL loops")
@@ -158,6 +188,25 @@ class TransformedFunction:
         return "\n".join(lines)
 
 
+def _record_transform_metrics(results: list) -> None:
+    """Fold transform outcomes into the process dispatch counters."""
+    applied = refused = reductions = 0
+    for r in results:
+        if hasattr(r, "applied") and hasattr(r, "refused"):
+            applied += r.applied
+            refused += r.refused
+        elif hasattr(r, "recognized"):
+            reductions += r.recognized
+    if applied or refused or reductions:
+        from repro.parallel.observe import record_transforms
+
+        record_transforms(
+            fission_applied=applied,
+            fission_refused=refused,
+            reductions=reductions,
+        )
+
+
 def lower_and_coalesce(
     source: str,
     frontend: str = "python",
@@ -166,6 +215,7 @@ def lower_and_coalesce(
     distribute: bool = True,
     analyze: bool = True,
     triangular: bool = False,
+    transforms: object = None,
     cache: object = "default",
 ) -> tuple[Procedure, Procedure, list, bool]:
     """The compile-time half of the pipeline, cached by content.
@@ -178,10 +228,21 @@ def lower_and_coalesce(
     machine (other process, the server, the CLI) is a disk read, not a
     recompute.  Returns ``(original, transformed, results, from_cache)``.
 
+    ``transforms`` opts into the parallelism-recovery passes that run
+    between classification and distribution: ``"fission"`` (split mixed
+    serial bodies along their PDG's SCC condensation so clean statements
+    become their own DOALL loops) and ``"reduction"`` (re-tag
+    ``s := s ⊕ expr`` accumulator loops for the partial-accumulator
+    dispatch mode).  Pass a comma string or a sequence of names; their
+    :class:`~repro.transforms.fission.FissionResult` /
+    :class:`~repro.transforms.reduction.ReductionResult` records ride in
+    the returned ``results`` list after the coalesce entries.
+
     ``cache`` is ``"default"`` (the process default store), an explicit
     :class:`repro.cache.ArtifactCache`, a directory path, or None/False to
     bypass caching entirely.
     """
+    passes = normalize_transforms(transforms)
     store = resolve_cache(cache)
     key = None
     if store is not None:
@@ -194,12 +255,14 @@ def lower_and_coalesce(
             distribute=distribute,
             analyze=analyze,
             triangular=triangular,
+            transforms=passes,
         )
         blob = store.get_bytes(key, "pipeline.pkl")
         if blob is not None:
             try:
                 original, proc, results = pickle.loads(blob)
                 validate(proc)
+                _record_transform_metrics(results)
                 return original, proc, results, True
             except Exception:
                 # Unreadable pickle (version skew, corruption the manifest
@@ -216,12 +279,25 @@ def lower_and_coalesce(
     proc = normalize_procedure(original)
     if analyze:
         proc = mark_doall(proc)
+    transform_results: list = []
+    if "fission" in passes:
+        fres = fission_procedure(proc)
+        proc = fres.procedure
+        validate(proc)
+        transform_results.append(fres)
+    if "reduction" in passes:
+        rres = reduction_procedure(proc)
+        proc = rres.procedure
+        validate(proc)
+        transform_results.append(rres)
     if distribute:
         proc = distribute_procedure(proc)
     proc, results = coalesce_procedure(
         proc, depth=depth, style=style, triangular=triangular
     )
+    results = list(results) + transform_results
     validate(proc)
+    _record_transform_metrics(results)
     if store is not None:
         store.put(
             key,
@@ -241,6 +317,7 @@ def transform_function(
     distribute: bool = True,
     analyze: bool = True,
     backend: str = "python",
+    transforms: object = None,
     cache: object = "default",
     **backend_options,
 ) -> TransformedFunction:
@@ -256,6 +333,8 @@ def transform_function(
         backend: ``"python"`` (generated Python), ``"c"`` (gcc + OpenMP),
             or ``"mp"`` (worker processes + shared memory + fetch&add
             self-scheduling — see :mod:`repro.parallel`).
+        transforms: opt-in parallelism-recovery passes
+            (``"fission,reduction"`` — see :func:`lower_and_coalesce`).
         cache: artifact cache for the compile-time half (and, for the C
             backend, the compiled ``.so``): ``"default"``, an
             :class:`repro.cache.ArtifactCache`, a directory path, or
@@ -293,6 +372,7 @@ def transform_function(
         depth=depth,
         distribute=distribute,
         analyze=analyze,
+        transforms=transforms,
         cache=cache,
     )
     if backend != "mp" and backend_options:

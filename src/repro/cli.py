@@ -10,8 +10,12 @@ and prints the transformed program (mini-language or generated Python).
 
 Options:
     --passes LIST   comma-separated subset/order of:
-                    normalize,analyze,distribute,coalesce
+                    normalize,analyze,fission,reduction,distribute,coalesce
                     (default: normalize,analyze,distribute,coalesce)
+    --transforms T  opt-in parallelism-recovery passes for the default
+                    pipeline: fission (split mixed serial bodies along
+                    their dependence SCCs) and/or reduction (dispatch
+                    s := s + expr loops as ordered partial accumulators)
     --style S       index-recovery style: ceiling (paper) or divmod
     --depth N       coalesce at most N levels per nest
     --emit FORM     loop (default) | python | both
@@ -44,7 +48,9 @@ p50/p99 latency and throughput (``--json`` for machine-readable output).
 
 ``python -m repro lint`` runs the chunk-safety verifier
 (:mod:`repro.lint`) over source files or registered workloads and
-reports structured findings (RACE001/RACE002/RACE003/PRIV002).
+reports structured findings (RACE001/RACE002/RACE003/PRIV002, plus
+FISS001/FISS002/RED001 under ``--transforms``) as text, JSON, or
+SARIF 2.1.0 (``--sarif``).
 """
 
 from __future__ import annotations
@@ -76,6 +82,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(omit when using --workload)",
     )
     parser.add_argument("--passes", default=DEFAULT_PASSES)
+    parser.add_argument(
+        "--transforms",
+        metavar="NAMES",
+        default=None,
+        help="comma-separated parallelism-recovery passes run between "
+        "analysis and distribution: fission,reduction (default: none)",
+    )
     parser.add_argument("--style", choices=("ceiling", "divmod"), default="ceiling")
     parser.add_argument("--depth", type=int, default=None)
     parser.add_argument("--emit", choices=("loop", "python", "both"), default="loop")
@@ -200,12 +213,15 @@ def run_pipeline(
     depth: int | None = None,
     triangular: bool = False,
     cache: object = "default",
+    transforms: object = None,
 ):
     """Parse + transform; returns (procedure, coalesce results).
 
     The default pass order is served through the content-addressed
     artifact cache (``repro.cache``); custom pass subsets/orders always
-    recompute.
+    recompute.  ``transforms`` opts the default pipeline into the
+    fission/reduction parallelism-recovery passes; in a custom
+    ``--passes`` list, name them explicitly instead.
     """
     names = [p.strip() for p in passes.split(",") if p.strip()]
     if names == DEFAULT_PASSES.split(","):
@@ -217,23 +233,44 @@ def run_pipeline(
             style=style,
             depth=depth,
             triangular=triangular,
+            transforms=transforms,
             cache=cache,
         )
         return proc, results
+    if transforms:
+        raise ValueError(
+            "--transforms applies to the default pipeline only; with "
+            "--passes, name fission/reduction in the pass list instead"
+        )
     proc = parse(source)
     validate(proc)
-    results = []
+    results: list = []
     for name in names:
         if name == "normalize":
             proc = normalize_procedure(proc)
         elif name == "analyze":
             proc = mark_doall(proc)
+        elif name == "fission":
+            from repro.transforms.fission import fission_procedure
+
+            fres = fission_procedure(proc)
+            proc = fres.procedure
+            results.append(fres)
+        elif name == "reduction":
+            from repro.transforms.reduction import reduction_procedure
+
+            rres = reduction_procedure(proc)
+            proc = rres.procedure
+            results.append(rres)
         elif name == "distribute":
             proc = distribute_procedure(proc)
         elif name == "coalesce":
-            proc, results = coalesce_procedure(
+            proc, cres = coalesce_procedure(
                 proc, depth=depth, style=style, triangular=triangular
             )
+            results = list(cres) + [
+                r for r in results if hasattr(r, "outcomes")
+            ]
         else:
             raise ValueError(f"unknown pass {name!r}")
         validate(proc)
@@ -286,6 +323,8 @@ def _run_transformed(args, workload, proc) -> int:
             if result.blocked_dispatches
             else ""
         )
+        if result.reductions:
+            blocked += f", {result.reductions} reduction(s)"
         variant_names = result.variants
         variant_info = (
             f"variants {'+'.join(variant_names)}"
@@ -405,7 +444,12 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         proc, results = run_pipeline(
-            source, args.passes, args.style, args.depth, args.triangular
+            source,
+            args.passes,
+            args.style,
+            args.depth,
+            args.triangular,
+            transforms=args.transforms,
         )
     except (ParseError, ValidationError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -413,7 +457,14 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.report:
         for r in results:
-            if hasattr(r, "bounds"):  # rectangular CoalesceResult
+            if hasattr(r, "outcomes"):  # FissionResult / ReductionResult
+                print(r.summary(), file=sys.stderr)
+                for f in r.findings:
+                    print(f"  {f.format()}", file=sys.stderr)
+                    edge = f.edge()
+                    if edge is not None:
+                        print(f"    edge: {edge}", file=sys.stderr)
+            elif hasattr(r, "bounds"):  # rectangular CoalesceResult
                 nest = " x ".join(to_source(b) for b in r.bounds)
                 print(
                     f"coalesced nest ({', '.join(r.index_vars)}) "

@@ -11,12 +11,15 @@ the compile server as ``POST /lint``.
 
 from repro.lint.engine import LINT_SCHEMA, LintReport, lint_procedure, lint_source
 from repro.lint.rules import RULE_DOCS, explain
+from repro.lint.sarif import SARIF_VERSION, to_sarif
 
 __all__ = [
     "LINT_SCHEMA",
     "LintReport",
     "RULE_DOCS",
+    "SARIF_VERSION",
     "explain",
     "lint_procedure",
     "lint_source",
+    "to_sarif",
 ]

@@ -6,6 +6,13 @@ Usage::
     python -m repro lint --workload gauss_jordan
     python -m repro lint --workload racy_flow --safety enforce  # exit 1
     python -m repro lint FILE.loop --format json
+    python -m repro lint --workload mixed_update --transforms \
+        fission,reduction --sarif > findings.sarif
+
+``--transforms`` runs the fission/reduction recovery passes before
+verification, surfacing FISS001/FISS002/RED001 findings; ``--sarif``
+(alias for ``--format sarif``) emits a SARIF 2.1.0 log for CI
+code-scanning upload.
 
 Exit codes: 0 clean (or ``--safety warn``), 1 findings under
 ``--safety enforce``, 2 usage or parse errors.
@@ -44,9 +51,24 @@ def build_lint_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="finding output format",
+        help="finding output format (sarif: SARIF 2.1.0 for CI upload)",
+    )
+    parser.add_argument(
+        "--sarif",
+        action="store_const",
+        dest="format",
+        const="sarif",
+        help="shorthand for --format sarif",
+    )
+    parser.add_argument(
+        "--transforms",
+        metavar="NAMES",
+        default=None,
+        help="run the parallelism-recovery passes (fission,reduction) "
+        "before verification and report their findings "
+        "(FISS001/FISS002/RED001)",
     )
     parser.add_argument(
         "--safety",
@@ -119,6 +141,7 @@ def lint_main(argv: list[str] | None = None) -> int:
                 style=args.style,
                 depth=args.depth,
                 triangular=args.triangular,
+                transforms=args.transforms,
                 cache=None if args.no_cache else "default",
             )
         except (ParseError, ValidationError, ValueError) as exc:
@@ -126,7 +149,11 @@ def lint_main(argv: list[str] | None = None) -> int:
             return 2
         reports.append((label, report))
 
-    if args.format == "json":
+    if args.format == "sarif":
+        from repro.lint.sarif import to_sarif
+
+        print(json.dumps(to_sarif(reports), indent=2))
+    elif args.format == "json":
         payload = [
             {"input": label, **report.to_dict()} for label, report in reports
         ]

@@ -10,7 +10,7 @@ the very loops whose claims lint exists to audit).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.analysis.safety import SafetyFinding, SafetyReport, verify_procedure
 from repro.ir.printer import to_source
@@ -27,6 +27,9 @@ class LintReport:
     procedure: str
     safety: SafetyReport
     transformed_source: str
+    #: Informational findings from the opt-in transform passes
+    #: (FISS001/FISS002/RED001), reported alongside the verifier's.
+    transform_findings: list[SafetyFinding] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -34,7 +37,7 @@ class LintReport:
 
     @property
     def findings(self) -> list[SafetyFinding]:
-        return self.safety.findings
+        return list(self.transform_findings) + self.safety.findings
 
     @property
     def errors(self) -> list[SafetyFinding]:
@@ -49,6 +52,15 @@ class LintReport:
             "loops": [v.to_dict() for v in self.safety.loops],
         }
 
+    @staticmethod
+    def _finding_lines(f: SafetyFinding) -> list[str]:
+        lines = [f"  {f.format()}"]
+        edge = f.edge()
+        if edge is not None:
+            lines.append(f"    edge: {edge}")
+        lines.append(f"    hint: {f.hint}")
+        return lines
+
     def format(self) -> str:
         loops = self.safety.loops
         if self.ok:
@@ -59,16 +71,21 @@ class LintReport:
                 if n
                 else "no dispatchable DOALL loops"
             )
-            return f"{self.procedure}: OK ({what})"
+            lines = [f"{self.procedure}: OK ({what})"]
+            for f in self.findings:
+                if f.severity != "error":
+                    lines.extend(self._finding_lines(f))
+            return "\n".join(lines)
         lines = [
             f"{self.procedure}: {len(self.errors)} problem(s) in "
             f"{sum(1 for v in loops if not v.proven)} of {len(loops)} "
             "dispatchable loop(s)"
         ]
+        for f in self.transform_findings:
+            lines.extend(self._finding_lines(f))
         for verdict in loops:
             for f in verdict.findings:
-                lines.append(f"  {f.format()}")
-                lines.append(f"    hint: {f.hint}")
+                lines.extend(self._finding_lines(f))
         return "\n".join(lines)
 
 
@@ -85,9 +102,14 @@ def lint_source(
     depth: int | None = None,
     distribute: bool = True,
     triangular: bool = False,
+    transforms: object = None,
     cache: object = "default",
 ) -> LintReport:
     """Compile ``source`` the way the mp backend would, then verify it.
+
+    ``transforms`` opts into the fission/reduction recovery passes
+    (exactly as ``--transforms`` does at run time); their informational
+    findings (FISS001/FISS002/RED001) join the verifier's in the report.
 
     Raises the pipeline's own errors (``ParseError``,
     ``ValidationError``, ``ValueError``) on malformed input — callers
@@ -95,7 +117,7 @@ def lint_source(
     """
     from repro.api import lower_and_coalesce
 
-    _, proc, _, _ = lower_and_coalesce(
+    _, proc, results, _ = lower_and_coalesce(
         source,
         frontend=frontend,
         style=style,
@@ -103,6 +125,17 @@ def lint_source(
         distribute=distribute,
         analyze=False,  # lint the *claimed* tags, exactly as dispatched
         triangular=triangular,
+        transforms=transforms,
         cache=cache,
     )
-    return lint_procedure(proc)
+    report = lint_procedure(proc)
+    # The verifier independently re-derives RED001 on re-tagged loops;
+    # keep one copy per (rule, loop, scalar).
+    seen = {(f.rule, f.loop_var, f.scalar) for f in report.findings}
+    for r in results:
+        if hasattr(r, "outcomes"):
+            for f in r.findings:
+                if (f.rule, f.loop_var, f.scalar) not in seen:
+                    seen.add((f.rule, f.loop_var, f.scalar))
+                    report.transform_findings.append(f)
+    return report

@@ -73,6 +73,44 @@ RULE_DOCS: dict[str, RuleDoc] = {
         "inspector proves the write sets disjoint (falling back to "
         "serial otherwise).",
     ),
+    "FISS001": RuleDoc(
+        "FISS001",
+        RULES["FISS001"],
+        "info",
+        "Loop fission split this loop along the strongly connected "
+        "components of its statement-level dependence graph.  Statements "
+        "in a dependence cycle stay together in a serial sub-loop; "
+        "acyclic components become their own loops, re-classified by the "
+        "DOALL analyser and re-verified by the safety verifier before "
+        "dispatch.  The message lists each piece (by original statement "
+        "index) and its final kind.",
+    ),
+    "FISS002": RuleDoc(
+        "FISS002",
+        RULES["FISS002"],
+        "info",
+        "Loop fission was attempted but every top-level statement sits "
+        "in one dependence cycle, so no sub-loop can be legally "
+        "separated.  The message names the blocking SCC's statements and "
+        "a representative dependence edge (source statement, sink "
+        "statement, direction vector).  Break the cycle — buffer the "
+        "values an earlier iteration still needs, or restructure the "
+        "recurrence — to expose a parallel piece.",
+    ),
+    "RED001": RuleDoc(
+        "RED001",
+        RULES["RED001"],
+        "info",
+        "The loop matches the reduction idiom s := s ⊕ expr (⊕ one of "
+        "+, *, min, max, optionally guarded).  The accumulator is "
+        "genuinely carried — PRIV002 would be correct — but the runtime "
+        "executes the loop with per-chunk partial accumulators seeded "
+        "with the operator identity and folds them in ascending chunk "
+        "order seeded with the incoming scalar.  The chunk grid depends "
+        "only on the trip count, so the result is deterministic, and "
+        "bit-identical to serial whenever ⊕ is exact on the data "
+        "(min/max always; float +/* on integer-valued data).",
+    ),
 }
 
 

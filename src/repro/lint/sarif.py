@@ -1,0 +1,130 @@
+"""SARIF 2.1.0 rendering of lint reports.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format CI platforms ingest for code-scanning annotations.  This module
+maps :class:`repro.lint.engine.LintReport` findings onto one SARIF run:
+each stable rule code becomes a ``reportingDescriptor``, each finding a
+``result`` whose location names the linted input (the loop variable and
+PDG statement indices ride in ``properties`` — the mini-language has no
+line table after transformation, so statement indices are the stable
+coordinates).
+
+Severity maps onto SARIF levels: ``error`` → ``error``, ``warning`` →
+``warning``, ``info`` → ``note``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.safety import SafetyFinding
+from repro.lint.engine import LintReport
+from repro.lint.rules import RULE_DOCS
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "to_sarif"]
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def _rule_descriptor(code: str) -> dict:
+    doc = RULE_DOCS[code]
+    return {
+        "id": doc.code,
+        "name": doc.title.title().replace(" ", "").replace("-", ""),
+        "shortDescription": {"text": doc.title},
+        "fullDescription": {"text": doc.description},
+        "defaultConfiguration": {"level": _LEVELS[doc.severity]},
+        "help": {"text": doc.description},
+    }
+
+
+def _result(label: str, report: LintReport, finding: SafetyFinding) -> dict:
+    properties: dict = {
+        "procedure": report.procedure,
+        "loop": finding.loop_var,
+    }
+    if finding.array is not None:
+        properties["array"] = finding.array
+    if finding.scalar is not None:
+        properties["scalar"] = finding.scalar
+    if finding.directions:
+        properties["directions"] = list(finding.directions)
+    if finding.src_stmt is not None:
+        properties["src_stmt"] = finding.src_stmt
+    if finding.dst_stmt is not None:
+        properties["dst_stmt"] = finding.dst_stmt
+    edge = finding.edge()
+    if edge is not None:
+        properties["edge"] = edge
+    message = finding.message
+    if finding.hint:
+        message = f"{message}. Hint: {finding.hint}"
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "note"),
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": label},
+                    # Statement indices are 0-based; SARIF regions are
+                    # 1-based.  The region is nominal (the transformed
+                    # program has no line table) but keeps viewers happy.
+                    "region": {"startLine": (finding.src_stmt or 0) + 1},
+                },
+                "logicalLocations": [
+                    {
+                        "name": finding.loop_var,
+                        "fullyQualifiedName": (
+                            f"{report.procedure}::{finding.loop_var}"
+                        ),
+                        "kind": "member",
+                    }
+                ],
+            }
+        ],
+        "properties": properties,
+    }
+
+
+def to_sarif(reports: Sequence[tuple[str, LintReport]]) -> dict:
+    """Render ``(input label, report)`` pairs as one SARIF 2.1.0 log."""
+    results = [
+        _result(label, report, finding)
+        for label, report in reports
+        for finding in report.findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/repro/loop-coalescing"
+                        ),
+                        "rules": [
+                            _rule_descriptor(code)
+                            for code in sorted(RULE_DOCS)
+                        ],
+                    }
+                },
+                "artifacts": [
+                    {"location": {"uri": label}} for label, _ in reports
+                ],
+                "results": results,
+                "properties": {
+                    "schema": "repro.lint/v1",
+                    "clean": all(not r.errors for _, r in reports),
+                },
+            }
+        ],
+    }

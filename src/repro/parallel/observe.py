@@ -72,6 +72,15 @@ class DispatchCounters:
     spec_speculated: int = 0
     spec_committed: int = 0
     spec_rolled_back: int = 0
+    #: Transform activity: pipeline fission outcomes (loops split /
+    #: refused with every statement in one dependence cycle), reductions
+    #: recognized by the verifier or the transform pass, and dispatches
+    #: executed through the runtime's partial-accumulator reduction
+    #: engine.
+    fission_applied: int = 0
+    fission_refused: int = 0
+    reductions_recognized: int = 0
+    reduction_dispatches: int = 0
     #: Variant-farm activity (:mod:`repro.tuning`): dispatches won per
     #: variant name, full calibrations run (variant sweep + claim-batch
     #: sweep), quick calibrations (claim-batch only, the
@@ -117,6 +126,12 @@ class DispatchCounters:
                 "speculated": self.spec_speculated,
                 "committed": self.spec_committed,
                 "rolled_back": self.spec_rolled_back,
+            },
+            "transforms": {
+                "fission_applied": self.fission_applied,
+                "fission_refused": self.fission_refused,
+                "reductions_recognized": self.reductions_recognized,
+                "reduction_dispatches": self.reduction_dispatches,
             },
         }
 
@@ -263,6 +278,24 @@ def record_pinned_hit(count: int = 1) -> None:
     """Count decisions served from a pinned cache manifest (no measuring)."""
     with _DISPATCH_LOCK:
         DISPATCH.pinned_hits += count
+
+
+def record_reduction_dispatch(count: int = 1) -> None:
+    """Count dispatches run through the partial-accumulator engine."""
+    with _DISPATCH_LOCK:
+        DISPATCH.reduction_dispatches += count
+
+
+def record_transforms(
+    fission_applied: int = 0,
+    fission_refused: int = 0,
+    reductions: int = 0,
+) -> None:
+    """Fold one pipeline's transform outcomes into :data:`DISPATCH`."""
+    with _DISPATCH_LOCK:
+        DISPATCH.fission_applied += fission_applied
+        DISPATCH.fission_refused += fission_refused
+        DISPATCH.reductions_recognized += reductions
 
 
 def record_speculate(

@@ -58,15 +58,25 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.analysis.pdg import Reduction, recognize_reduction
 from repro.cache import artifact_key, resolve_cache
 from repro.codegen.cgen import generate_chunk_c
 from repro.codegen.cload import compile_chunk_library, have_compiler
 from repro.codegen.npgen import generate_chunk_numpy
-from repro.codegen.pygen import generate_chunk_source
-from repro.ir.expr import Const
+from repro.codegen.pygen import generate_chunk_source, generate_source
+from repro.ir.expr import (
+    INTRINSICS,
+    ArrayRef,
+    BinOp,
+    Const,
+    Var,
+    apply_binop,
+    min_,
+)
 from repro.ir.printer import to_source
-from repro.ir.stmt import Block, If, Loop, Procedure, Stmt
+from repro.ir.stmt import Assign, Block, If, Loop, LoopKind, Procedure, Stmt
 from repro.ir.validate import validate
+from repro.ir.visitor import walk_exprs, walk_stmts
 from repro.parallel.counter import SharedClaimCounter, policy_plan
 from repro.parallel.errors import (
     ParallelDispatchError,
@@ -77,6 +87,7 @@ from repro.parallel.errors import (
 )
 from repro.parallel.observe import (
     record_chunk_fallback,
+    record_reduction_dispatch,
     record_run,
     record_safety,
     record_safety_block,
@@ -258,6 +269,11 @@ class ParallelRunResult:
     #: The workers' recorded chunk access logs (speculative dispatches
     #: only): ``(lo, hi, writes, reads)`` per executed chunk.
     spec_logs: list = field(default_factory=list, repr=False)
+    #: Set when this dispatch ran through the partial-accumulator
+    #: reduction engine: the accumulator's name and its folded final
+    #: value (also written back into the caller's scalar environment).
+    reduction_scalar: str | None = None
+    reduction_value: float | None = None
 
     @property
     def total_iterations(self) -> int:
@@ -303,6 +319,9 @@ class ParallelProcedureResult:
     speculated: int = 0
     committed: int = 0
     rolled_back: int = 0
+    #: Dispatches executed through the partial-accumulator reduction
+    #: engine (recognized ``s := s ⊕ expr`` loops).
+    reductions: int = 0
     #: Variant-farm accounting: micro-calibrations this run performed
     #: (full + quick) and decisions served from a pinned manifest entry
     #: with zero re-measurement.
@@ -416,6 +435,10 @@ class _DispatchCaches:
     plans: dict = field(default_factory=dict)
     kernels: dict = field(default_factory=dict)
     np_chunks: dict = field(default_factory=dict)
+    #: id(loop) -> :class:`_ReductionPlan` | None (not a reduction).
+    reductions: dict = field(default_factory=dict)
+    #: id(stmt) -> compiled serial-residue entry | False (interpret).
+    residues: dict = field(default_factory=dict)
     store: object = "default"  # resolved on first use
     #: The run's :class:`repro.tuning.calibrate.DispatchTuner` (None for
     #: the legacy fixed-default path).
@@ -622,6 +645,8 @@ def _build_job(
     chunk_lang: str,
     speculate: dict | None = None,
     decision=None,
+    extra_specs: list | None = None,
+    extra_views: Mapping[str, np.ndarray] | None = None,
 ) -> dict:
     """The picklable job descriptor both worker flavors execute.
 
@@ -645,6 +670,12 @@ def _build_job(
     run the recording interpreter against the shadows (chunk kernels
     cannot log element accesses), so the chunk source is ignored and the
     native path is skipped.
+
+    ``extra_specs``/``extra_views`` ship side-channel arrays that live
+    outside the main pool — the reduction engine's per-dispatch partial
+    accumulators.  They extend ``job["specs"]`` (workers attach them on
+    demand) and participate in the native-path eligibility check, but are
+    never copied back through the main pool.
     """
     extra = tuple(
         sorted(k for k in env if k not in proc.scalars and k != loop.var)
@@ -663,6 +694,8 @@ def _build_job(
         "log_events": log_events,
         "variant": "py",
     }
+    if extra_specs:
+        job["specs"] = list(job["specs"]) + list(extra_specs)
     if speculate is not None:
         job["specs"] = list(job["specs"]) + list(speculate["specs"])
         job["speculate"] = {
@@ -680,9 +713,12 @@ def _build_job(
         except ValueError:
             variant = None
     if lang == "c":
-        views = pool.views
+        views = dict(pool.views)
+        if extra_views:
+            views.update(extra_views)
         eligible = all(
-            views[a].dtype == np.float64
+            a in views
+            and views[a].dtype == np.float64
             and views[a].flags["C_CONTIGUOUS"]
             and views[a].ndim == rank
             for a, rank in proc.arrays.items()
@@ -862,6 +898,8 @@ def _dispatch_spawn(
     caches: _DispatchCaches,
     chunk_lang: str = "py",
     speculate: dict | None = None,
+    extra_specs: list | None = None,
+    extra_views: Mapping[str, np.ndarray] | None = None,
 ) -> ParallelRunResult:
     """Run one DOALL on a freshly spawned fleet (the PR-1 baseline path)."""
     lo = eval_bound(loop.lower, env, pool.views, "loop lower bound")
@@ -878,7 +916,7 @@ def _dispatch_spawn(
     batch_n = _resolve_claim_batch(batch, decision, plan, n, active)
     job = _build_job(
         proc, loop, pool, env, plan, lo, batch_n, log_events, caches,
-        chunk_lang, speculate, decision,
+        chunk_lang, speculate, decision, extra_specs, extra_views,
     )
     counter = (
         None if plan.static is not None else SharedClaimCounter(lo, hi, ctx)
@@ -921,6 +959,8 @@ def _dispatch_pool(
     caches: _DispatchCaches,
     chunk_lang: str = "py",
     speculate: dict | None = None,
+    extra_specs: list | None = None,
+    extra_views: Mapping[str, np.ndarray] | None = None,
 ) -> ParallelRunResult:
     """Run one DOALL on the persistent pool: a message, not a fork."""
     lo = eval_bound(loop.lower, env, wpool.views, "loop lower bound")
@@ -939,11 +979,237 @@ def _dispatch_pool(
     batch_n = _resolve_claim_batch(batch, decision, plan, n, active)
     job = _build_job(
         proc, loop, wpool.shared, env, plan, lo, batch_n, log_events,
-        caches, chunk_lang, speculate, decision,
+        caches, chunk_lang, speculate, decision, extra_specs, extra_views,
     )
     t_base, results = wpool.dispatch(job, lo, hi, deadline)
     result = _finalize_result(results, loop, lo, hi, n, active, plan, t_base)
     return _stamp_result(result, job, batch_n)
+
+
+# ---------------------------------------------------------------------------
+# Reduction dispatch (recognized ``s := s ⊕ expr`` loops)
+# ---------------------------------------------------------------------------
+
+#: Upper bound on partial accumulators per reduction dispatch.  The chunk
+#: grid is a pure function of the trip count (never the worker count), so
+#: the folded result is deterministic across fleet sizes.
+_RED_MAX_CHUNKS = 64
+
+#: Finite identity constants for the derived init statement.  ``min`` and
+#: ``max`` use ±float-max instead of ±inf — generated Python and C sources
+#: cannot spell infinity as a literal — which folds exactly like the true
+#: identity for any representable finite data.
+_RED_IDENTITY: dict[str, float] = {
+    "+": 0.0,
+    "*": 1.0,
+    "min": float(np.finfo(np.float64).max),
+    "max": float(-np.finfo(np.float64).max),
+}
+
+
+@dataclass(frozen=True)
+class _ReductionPlan:
+    """Everything one recognized reduction loop needs to dispatch.
+
+    ``origin`` is the loop as written (``s := s ⊕ expr``); ``proc`` /
+    ``loop`` are the derived strip-mined form the workers actually
+    execute; ``partial``/``chunks``/``stride`` name the partial array and
+    the two symbolic grid scalars, so one cached chunk kernel serves
+    every trip count.
+    """
+
+    reduction: Reduction
+    origin: Loop
+    proc: Procedure
+    loop: Loop
+    partial: str
+    chunks: str
+    stride: str
+
+
+def _fresh_red_name(base: str, used: set[str]) -> str:
+    name = base
+    while name in used:
+        name += "_"
+    used.add(name)
+    return name
+
+
+def derive_reduction_dispatch(
+    proc: Procedure, loop: Loop, red: Reduction
+) -> _ReductionPlan:
+    """Build the strip-mined partial-accumulator form of a reduction loop.
+
+    The original ``for i = lo, hi: s := s ⊕ u(i)`` becomes::
+
+        doall __rc = 0, __red_c - 1:
+            __red_p(__rc) := identity
+            for i = lo + __rc*__red_k, min(hi, lo + (__rc+1)*__red_k - 1):
+                [if guard then] __red_p(__rc) := __red_p(__rc) ⊕ u(i)
+
+    ``__red_c`` (chunk count) and ``__red_k`` (chunk stride) stay
+    *symbolic* — shipped as env scalars per dispatch — so the generated
+    chunk source, and therefore the compiled kernel, is one per loop
+    shape rather than one per trip count.  The inner loop keeps the
+    original induction variable, so ``u(i)`` and the guard need no
+    renaming.  Each ``__rc`` owns exactly one partial element and a
+    disjoint slice of the original range: the derived loop is race-free
+    by construction (and the safety verifier can re-prove it).
+    """
+    used = set(proc.arrays) | set(proc.scalars)
+    for s in walk_stmts(proc.body):
+        if isinstance(s, Loop):
+            used.add(s.var)
+    for e in walk_exprs(proc.body):
+        if isinstance(e, Var):
+            used.add(e.name)
+    partial = _fresh_red_name("__red_p", used)
+    chunks = _fresh_red_name("__red_c", used)
+    stride = _fresh_red_name("__red_k", used)
+    rc = _fresh_red_name("__rc", used)
+
+    pref = ArrayRef(partial, (Var(rc),))
+    update = Assign(pref, BinOp(red.op, pref, red.update))
+    body: Stmt = (
+        update if red.guard is None else If(red.guard, Block((update,)))
+    )
+    inner_lo = loop.lower + Var(rc) * Var(stride)
+    inner_hi = min_(loop.upper, loop.lower + (Var(rc) + 1) * Var(stride) - 1)
+    inner = Loop(
+        loop.var, inner_lo, inner_hi, Block((body,)), Const(1),
+        LoopKind.SERIAL,
+    )
+    outer = Loop(
+        rc, Const(0), Var(chunks) - 1,
+        Block((Assign(pref, Const(_RED_IDENTITY[red.op])), inner)),
+        Const(1), LoopKind.DOALL,
+    )
+    arrays = dict(proc.arrays)
+    arrays[partial] = 1
+    derived = Procedure(
+        f"{proc.name}__red", Block((outer,)), arrays,
+        tuple(proc.scalars) + (chunks, stride),
+    )
+    validate(derived)
+    return _ReductionPlan(red, loop, derived, outer, partial, chunks, stride)
+
+
+def _reduction_plan(
+    caches: _DispatchCaches, proc: Procedure, loop: Loop
+) -> _ReductionPlan | None:
+    """The cached reduction plan for ``loop``, or None (dispatch normally).
+
+    Recognition runs once per loop identity per run; a loop that is not
+    the reduction idiom memoizes None and costs nothing on re-dispatch.
+    """
+    key = id(loop)
+    if key not in caches.reductions:
+        red = recognize_reduction(loop)
+        if red is None or red.scalar in proc.arrays:
+            caches.reductions[key] = None
+        else:
+            try:
+                caches.reductions[key] = derive_reduction_dispatch(
+                    proc, loop, red
+                )
+            except Exception:
+                caches.reductions[key] = None
+    return caches.reductions[key]
+
+
+def _reduction_grid(n: int) -> tuple[int, int]:
+    """``(chunk_count, chunk_stride)`` for a trip count of ``n``.
+
+    A pure function of ``n`` alone: the same input always folds through
+    the same partials in the same order, whatever the worker count.
+    """
+    n_chunks = max(1, min(_RED_MAX_CHUNKS, n))
+    return n_chunks, -(-n // n_chunks)
+
+
+def _dispatch_reduction(
+    plan: _ReductionPlan,
+    env: dict,
+    views: Mapping[str, np.ndarray],
+    workers: int,
+    policy: SchedulingPolicy | str,
+    engine,
+) -> ParallelRunResult:
+    """Run a recognized reduction through partial accumulators + ordered fold.
+
+    ``engine(env2, extra_specs, extra_views)`` must dispatch the derived
+    loop through a normal engine with the partial array attached as a
+    side-channel shared segment.  On return the parent folds the partials
+    in ascending chunk order, seeded with the incoming accumulator value,
+    and writes the result back into ``env`` — exactly the serial
+    association ``((s ⊕ p₁) ⊕ p₂) …`` with ``p_c = ((id ⊕ u_{c,1}) ⊕ …)``,
+    which is bit-identical to serial execution whenever ⊕ is exact on the
+    data (min/max always; float +/* on integer-valued data).
+
+    The partial array lives in its own :class:`SharedArrayPool`, shipped
+    via the job's extra specs and unlinked before this function returns —
+    it never flows through the main pool's ``copy_back``.
+    """
+    red = plan.reduction
+    if red.scalar not in env:
+        raise ParallelDispatchError(
+            f"reduction scalar {red.scalar!r} has no incoming value"
+        )
+    lo = eval_bound(plan.origin.lower, env, views, "loop lower bound")
+    hi = eval_bound(plan.origin.upper, env, views, "loop upper bound")
+    n = max(0, hi - lo + 1)
+    result = _empty_result(plan.origin, lo, hi, workers, policy)
+    if n > 0:
+        n_chunks, stride = _reduction_grid(n)
+        seed = np.full(n_chunks, _RED_IDENTITY[red.op], dtype=np.float64)
+        env2 = dict(env)
+        env2[plan.chunks] = n_chunks
+        env2[plan.stride] = stride
+        with SharedArrayPool({plan.partial: seed}) as ppool:
+            result = engine(env2, ppool.specs(), ppool.views)
+            parts = ppool.views[plan.partial][:n_chunks].tolist()
+        acc = env[red.scalar]
+        for part in parts:
+            acc = apply_binop(red.op, acc, part)
+        env[red.scalar] = acc
+    result.reduction_scalar = red.scalar
+    result.reduction_value = float(env[red.scalar])
+    record_reduction_dispatch()
+    return result
+
+
+def _with_reduction(dispatch_raw, proc, caches, views, workers, policy, out):
+    """Wrap an engine closure so recognized reductions take the partial path.
+
+    ``dispatch_raw(dproc, dloop, env, speculate, extra_specs,
+    extra_views)`` is the underlying engine.  The returned closure has the
+    ``dispatch(loop, env, speculate=None)`` signature
+    :func:`_exec_hybrid` expects.  Routing is independent of the safety
+    mode: a DOALL-tagged reduction loop would otherwise dispatch with the
+    accumulator silently frozen at its incoming value (each worker holds
+    a private scalar copy), so the reduction engine is a correctness
+    matter, not an optimization.  Speculative dispatches never take this
+    path — a blocked loop is by definition not a proven reduction.
+    """
+
+    def dispatch(
+        loop: Loop, env, speculate: dict | None = None
+    ) -> ParallelRunResult:
+        if speculate is None:
+            plan = _reduction_plan(caches, proc, loop)
+            if plan is not None:
+                result = _dispatch_reduction(
+                    plan, env, views, workers, policy,
+                    lambda env2, specs, pviews: dispatch_raw(
+                        plan.proc, plan.loop, env2, None, specs, pviews
+                    ),
+                )
+                if out is not None:
+                    out.reductions += 1
+                return result
+        return dispatch_raw(proc, loop, env, speculate, None, None)
+
+    return dispatch
 
 
 # ---------------------------------------------------------------------------
@@ -1019,6 +1285,78 @@ def _inspect_certificate(loop, insp) -> SpecCertificate:
 
 _MISSING = object()
 
+#: Namespace for compiled serial-residue functions (mirrors the chunk
+#: compiler's: the IR intrinsics plus the builtins codegen emits).
+_RESIDUE_NAMESPACE = {**INTRINSICS, "min": min, "max": max, "range": range}
+
+
+def _compile_residue(stmt: Loop, env: Mapping[str, int | float]):
+    """Compile one dispatch-free serial loop into a callable, or ``False``.
+
+    Wraps the subtree in a throwaway procedure, generates Python with
+    :func:`repro.codegen.pygen.generate_source` (the backend the test
+    suite holds bit-identical to the interpreter), and appends a return
+    of every scalar the subtree writes so the parent can fold the
+    results back into ``env``.  Returns ``(fn, array_order, params,
+    returns)`` or ``False`` when the shape cannot be compiled (the
+    caller interprets instead).
+    """
+    try:
+        refs: dict[str, int] = {}
+        for e in walk_exprs(stmt):
+            if isinstance(e, ArrayRef):
+                refs.setdefault(e.name, len(e.indices))
+        bound = {s.var for s in walk_stmts(stmt) if isinstance(s, Loop)}
+        names = {e.name for e in walk_exprs(stmt) if isinstance(e, Var)}
+        writes = {
+            s.target.name
+            for s in walk_stmts(stmt)
+            if isinstance(s, Assign) and isinstance(s.target, Var)
+        } - bound
+        params = tuple(sorted((names - bound - set(refs)) & set(env)))
+        returns = tuple(sorted(writes))
+        wrapper = Procedure("__residue", Block((stmt,)), refs, params)
+        source = generate_source(wrapper, name="__residue")
+        source += "    return (" + "".join(f"{r}, " for r in returns) + ")\n"
+        namespace = dict(_RESIDUE_NAMESPACE)
+        code = compile(source, filename="<residue>", mode="exec")
+        exec(code, namespace)
+        return namespace["__residue"], tuple(refs), params, returns
+    except Exception:
+        return False
+
+
+def _make_residue_runner(caches: _DispatchCaches, interp, views):
+    """Compiled execution of dispatch-free serial loops in the parent.
+
+    The serial residue of a fissioned program (the cyclic-SCC sub-loops)
+    runs in the parent; driving it through the tree interpreter would
+    dominate the wall clock and bury the dispatched majority's speedup.
+    Each residue loop compiles once per run (generated Python, the same
+    backend E10 proves bit-identical to the interpreter) and falls back
+    to the interpreter on any failure — compile or call.
+    """
+
+    def run(stmt: Loop, env: dict) -> None:
+        entry = caches.residues.get(id(stmt))
+        if entry is None:
+            entry = caches.residues[id(stmt)] = _compile_residue(stmt, env)
+        if entry is not False:
+            fn, array_order, params, returns = entry
+            try:
+                args = [views[a] for a in array_order]
+                args += [env[p] for p in params]
+                out_vals = fn(*args)
+            except Exception:
+                caches.residues[id(stmt)] = False
+            else:
+                for name, val in zip(returns, out_vals):
+                    env[name] = val
+                return
+        interp._exec(stmt, env, views)
+
+    return run
+
 
 def _exec_hybrid(
     stmt: Stmt,
@@ -1030,6 +1368,7 @@ def _exec_hybrid(
     deadline: float | None,
     blocked: frozenset[int] = frozenset(),
     on_blocked=None,
+    residue=None,
 ) -> None:
     """Execute a statement tree, dispatching every reachable DOALL.
 
@@ -1041,6 +1380,8 @@ def _exec_hybrid(
     ``safety="enforce"`` that runs them serially in the parent and counts
     the refusal; under ``"speculate"`` it tries the inspector or a
     speculative dispatch first (see :func:`_make_blocked_handler`).
+    Dispatch-free serial loops go to ``residue`` when provided — the
+    compiled serial-residue runner (:func:`_make_residue_runner`).
     """
     if on_blocked is None:
         on_blocked = _serial_blocked_handler(interp, views, out)
@@ -1048,7 +1389,7 @@ def _exec_hybrid(
         for s in stmt.stmts:
             _exec_hybrid(
                 s, dispatch, interp, env, views, out, deadline, blocked,
-                on_blocked,
+                on_blocked, residue,
             )
         return
     if deadline is not None and time.monotonic() > deadline:
@@ -1074,7 +1415,7 @@ def _exec_hybrid(
             env[stmt.var] = value
             _exec_hybrid(
                 stmt.body, dispatch, interp, env, views, out, deadline,
-                blocked, on_blocked,
+                blocked, on_blocked, residue,
             )
         if saved is _MISSING:
             env.pop(stmt.var, None)
@@ -1087,8 +1428,12 @@ def _exec_hybrid(
         branch = stmt.then if cond else stmt.orelse
         _exec_hybrid(
             branch, dispatch, interp, env, views, out, deadline, blocked,
-            on_blocked,
+            on_blocked, residue,
         )
+        out.serial_stmts += 1
+        return
+    if isinstance(stmt, Loop) and residue is not None:
+        residue(stmt, env)
         out.serial_stmts += 1
         return
     interp._exec(stmt, env, views)
@@ -1307,13 +1652,25 @@ def run_parallel_doall(
     caches.tuner = make_tuner(lang, variants, calibrate)
     validation = None
     t_spec = time.monotonic()
+    red_plan = _reduction_plan(caches, proc, loop)
     if reuse_pool:
         with WorkerPool(arrays, workers=workers, method=method) as wpool:
             if spec_plan is None:
-                result = _dispatch_pool(
-                    wpool, proc, loop, env, policy, chunk, claim_batch,
-                    deadline, log_events, caches, lang,
-                )
+                if red_plan is not None:
+                    result = _dispatch_reduction(
+                        red_plan, env, wpool.views, wpool.workers, policy,
+                        lambda env2, specs, pviews: _dispatch_pool(
+                            wpool, red_plan.proc, red_plan.loop, env2,
+                            policy, chunk, claim_batch, deadline,
+                            log_events, caches, lang, extra_specs=specs,
+                            extra_views=pviews,
+                        ),
+                    )
+                else:
+                    result = _dispatch_pool(
+                        wpool, proc, loop, env, policy, chunk, claim_batch,
+                        deadline, log_events, caches, lang,
+                    )
                 wpool.copy_back(arrays)
             else:
                 record_speculate(speculated=1)
@@ -1330,10 +1687,21 @@ def run_parallel_doall(
         ctx = mp_context(method)
         with SharedArrayPool(arrays) as pool:
             if spec_plan is None:
-                result = _dispatch_spawn(
-                    proc, loop, pool, env, workers, policy, chunk,
-                    claim_batch, deadline, log_events, ctx, caches, lang,
-                )
+                if red_plan is not None:
+                    result = _dispatch_reduction(
+                        red_plan, env, pool.views, workers, policy,
+                        lambda env2, specs, pviews: _dispatch_spawn(
+                            red_plan.proc, red_plan.loop, pool, env2,
+                            workers, policy, chunk, claim_batch, deadline,
+                            log_events, ctx, caches, lang,
+                            extra_specs=specs, extra_views=pviews,
+                        ),
+                    )
+                else:
+                    result = _dispatch_spawn(
+                        proc, loop, pool, env, workers, policy, chunk,
+                        claim_batch, deadline, log_events, ctx, caches, lang,
+                    )
                 pool.copy_back(arrays)
             else:
                 record_speculate(speculated=1)
@@ -1491,61 +1859,68 @@ def run_parallel_procedure(
         if not preloaded:
             pool.load(arrays)
 
-        def dispatch(
-            loop: Loop, env: Mapping, speculate: dict | None = None
-        ) -> ParallelRunResult:
+        def raw(dproc, dloop, denv, speculate, extra_specs, extra_views):
             return _dispatch_pool(
-                pool, proc, loop, env, policy, chunk, claim_batch,
+                pool, dproc, dloop, denv, policy, chunk, claim_batch,
                 deadline, log_events, caches, lang, speculate,
+                extra_specs, extra_views,
             )
 
+        dispatch = _with_reduction(
+            raw, proc, caches, pool.views, pool.workers, policy, out
+        )
         handler = _make_blocked_handler(
             mode, plans, report, interp, pool.views, out, dispatch
         )
         _exec_hybrid(
             proc.body, dispatch, interp, env, pool.views, out, deadline,
-            blocked, handler,
+            blocked, handler, _make_residue_runner(caches, interp, pool.views),
         )
         if not preloaded:
             pool.copy_back(arrays)
     elif reuse_pool:
         with WorkerPool(arrays, workers=workers, method=method) as wpool:
 
-            def dispatch(
-                loop: Loop, env: Mapping, speculate: dict | None = None
-            ) -> ParallelRunResult:
+            def raw(dproc, dloop, denv, speculate, extra_specs, extra_views):
                 return _dispatch_pool(
-                    wpool, proc, loop, env, policy, chunk, claim_batch,
+                    wpool, dproc, dloop, denv, policy, chunk, claim_batch,
                     deadline, log_events, caches, lang, speculate,
+                    extra_specs, extra_views,
                 )
 
+            dispatch = _with_reduction(
+                raw, proc, caches, wpool.views, wpool.workers, policy, out
+            )
             handler = _make_blocked_handler(
                 mode, plans, report, interp, wpool.views, out, dispatch
             )
             _exec_hybrid(
                 proc.body, dispatch, interp, env, wpool.views, out, deadline,
                 blocked, handler,
+                _make_residue_runner(caches, interp, wpool.views),
             )
             wpool.copy_back(arrays)
     else:
         ctx = mp_context(method)
         with SharedArrayPool(arrays) as spool:
 
-            def dispatch(
-                loop: Loop, env: Mapping, speculate: dict | None = None
-            ) -> ParallelRunResult:
+            def raw(dproc, dloop, denv, speculate, extra_specs, extra_views):
                 return _dispatch_spawn(
-                    proc, loop, spool, env, workers, policy, chunk,
+                    dproc, dloop, spool, denv, workers, policy, chunk,
                     claim_batch, deadline, log_events, ctx, caches, lang,
-                    speculate,
+                    speculate, extra_specs, extra_views,
                 )
 
+            dispatch = _with_reduction(
+                raw, proc, caches, spool.views, workers, policy, out
+            )
             handler = _make_blocked_handler(
                 mode, plans, report, interp, spool.views, out, dispatch
             )
             _exec_hybrid(
                 proc.body, dispatch, interp, env, spool.views, out, deadline,
                 blocked, handler,
+                _make_residue_runner(caches, interp, spool.views),
             )
             spool.copy_back(arrays)
     out.wall_time = time.monotonic() - t_start

@@ -16,7 +16,11 @@ Start it with ``python -m repro serve`` and talk JSON::
 
 ``POST /lint`` compiles the source exactly the way the mp backend would
 and returns the chunk-safety verifier's structured findings
-(:mod:`repro.lint`, schema ``repro.lint/v1``).  ``POST /run`` accepts a
+(:mod:`repro.lint`, schema ``repro.lint/v1``); an options block with
+``"transforms": "fission,reduction"`` runs the parallelism-recovery
+passes first and adds their FISS001/FISS002/RED001 findings.
+``POST /compile`` accepts the same ``transforms`` option, and mp runs
+of such programs report a ``reductions`` dispatch count.  ``POST /run`` accepts a
 ``safety`` option (``"off"``/``"warn"``/``"enforce"``/``"speculate"``);
 an enforce run whose every dispatch is refused degrades to the serial
 build with the refusal reason in the response, and a speculate run
@@ -86,6 +90,7 @@ PIPELINE_OPTIONS = {
     "distribute": True,
     "analyze": True,
     "triangular": False,
+    "transforms": None,
 }
 
 
@@ -124,18 +129,27 @@ class CompiledProgram:
     warm_kernels: int = 0
 
     def describe(self) -> dict:
-        return {
+        transforms = [r for r in self.results if hasattr(r, "outcomes")]
+        out = {
             "key": self.key,
             "name": self.proc.name,
             "backend": self.backend,
             "cached": self.from_cache,
             "compile_s": round(self.compile_s, 6),
-            "coalesced_nests": len(self.results),
+            "coalesced_nests": len(self.results) - len(transforms),
             "loop_source": to_source(self.proc),
             "arrays": dict(self.proc.arrays),
             "scalars": list(self.proc.scalars),
             "warm_kernels": self.warm_kernels,
         }
+        if transforms:
+            out["transforms"] = {
+                "summary": [r.summary() for r in transforms],
+                "findings": [
+                    f.to_dict() for r in transforms for f in r.findings
+                ],
+            }
+        return out
 
 
 class _WarmPool:
@@ -399,7 +413,12 @@ class ReproServer(ThreadingHTTPServer):
             )
         if frontend not in ("python", "dsl"):
             raise RequestError(400, f"unknown frontend {frontend!r}")
-        options = {"style": "ceiling", "depth": None, "triangular": False}
+        options = {
+            "style": "ceiling",
+            "depth": None,
+            "triangular": False,
+            "transforms": None,
+        }
         for name, value in (body.get("options") or {}).items():
             if name not in options:
                 raise RequestError(400, f"unknown option {name!r}")
@@ -611,6 +630,7 @@ class ReproServer(ThreadingHTTPServer):
             "pinned_decisions": result.pinned_decisions,
             "safety": result.safety_mode,
             "blocked_dispatches": result.blocked_dispatches,
+            "reductions": result.reductions,
         }
         if result.safety_mode == "speculate":
             stats["speculate"] = {
@@ -659,19 +679,37 @@ def _prewarm_chunk_kernels(proc, cache) -> int:
     builds warmed; failures (no compiler, ineligible shape) warm nothing
     and cost one attempt each.
     """
-    from repro.parallel.runtime import _dispatchable_loops, _DispatchCaches
+    from repro.analysis.pdg import recognize_reduction
+    from repro.parallel.runtime import (
+        _dispatchable_loops,
+        _DispatchCaches,
+        derive_reduction_dispatch,
+    )
     from repro.tuning.variants import available_variants
 
     caches = _DispatchCaches()
     caches.store = cache
-    env = {name: 1 for name in proc.scalars}
     warmed = 0
     for lp in _dispatchable_loops(proc.body):
+        # A recognized reduction dispatches the *derived* strip-mined
+        # procedure (partial accumulators), so warm that kernel instead.
+        kproc, kloop = proc, lp
+        red = recognize_reduction(lp)
+        if red is not None and red.scalar not in proc.arrays:
+            try:
+                plan = derive_reduction_dispatch(proc, lp, red)
+            except Exception:
+                plan = None
+            if plan is not None:
+                kproc, kloop = plan.proc, plan.loop
+        env = {name: 1 for name in kproc.scalars}
         for variant in available_variants("auto"):
             if variant.lang == "c":
-                built = caches.chunk_kernel(proc, lp, (), env, variant=variant)
+                built = caches.chunk_kernel(
+                    kproc, kloop, (), env, variant=variant
+                )
             elif variant.lang == "numpy":
-                built = caches.numpy_chunk(proc, lp, ())
+                built = caches.numpy_chunk(kproc, kloop, ())
             else:
                 continue  # the py chunk needs no warming
             if built is not None:

@@ -22,7 +22,19 @@ from repro.transforms.distribute import (
     distribute_procedure,
     statement_dependence_graph,
 )
+from repro.transforms.fission import (
+    FissionOutcome,
+    FissionPiece,
+    FissionResult,
+    fission_loop,
+    fission_procedure,
+)
 from repro.transforms.fuse import fuse, fuse_procedure, fusion_preventing
+from repro.transforms.reduction import (
+    ReductionOutcome,
+    ReductionResult,
+    reduction_procedure,
+)
 from repro.transforms.interchange import interchange
 from repro.transforms.triangular import (
     TriangularResult,
@@ -38,7 +50,12 @@ from repro.transforms.pipeline import Pipeline
 __all__ = [
     "CoalesceResult",
     "CollapseResult",
+    "FissionOutcome",
+    "FissionPiece",
+    "FissionResult",
     "Pipeline",
+    "ReductionOutcome",
+    "ReductionResult",
     "TransformError",
     "TriangularResult",
     "block_recovered_loop",
@@ -53,8 +70,11 @@ __all__ = [
     "distribute_procedure",
     "extract_perfect_nest",
     "statement_dependence_graph",
+    "fission_loop",
+    "fission_procedure",
     "fresh_name",
     "fuse",
+    "reduction_procedure",
     "fuse_procedure",
     "fusion_preventing",
     "interchange",

@@ -46,6 +46,7 @@ serial/parallel boundary changes which iterations may run concurrently.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.ir.expr import Const, Expr, Var, ceil_div, floor_div, mod, mul, sub
 from repro.ir.simplify import simplify
@@ -53,6 +54,9 @@ from repro.ir.stmt import Assign, Block, If, Loop, LoopKind, Procedure, Stmt
 from repro.ir.visitor import free_vars
 from repro.transforms.base import TransformError, fresh_name, used_names
 from repro.transforms.normalize import normalize_loop
+
+if TYPE_CHECKING:
+    from repro.transforms.triangular import TriangularResult
 
 RECOVERY_STYLES = ("ceiling", "divmod")
 MATERIALIZE_MODES = ("assign", "substitute")
@@ -310,7 +314,7 @@ def coalesce_procedure(
     pool = used_names(proc)
     results: list = []
 
-    def try_triangular(s: Loop):
+    def try_triangular(s: Loop) -> TriangularResult | None:
         if not triangular:
             return None
         from repro.transforms.triangular import coalesce_triangular

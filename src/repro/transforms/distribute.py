@@ -29,7 +29,7 @@ from typing import Sequence
 import networkx as nx
 
 from repro.analysis.dependence import DependenceTester, LoopInfo
-from repro.analysis.doall import collect_accesses
+from repro.analysis.doall import AccessInfo, collect_accesses
 from repro.ir.expr import Var
 from repro.ir.stmt import Assign, Block, If, Loop, Procedure, Stmt
 from repro.ir.visitor import walk_exprs, walk_stmts
@@ -98,10 +98,10 @@ def statement_dependence_graph(
 
 
 def _depends(
-    acc_a,
-    acc_b,
-    scalar_reads,
-    scalar_writes,
+    acc_a: Sequence[AccessInfo],
+    acc_b: Sequence[AccessInfo],
+    scalar_reads: Sequence[set[str]],
+    scalar_writes: Sequence[set[str]],
     a: int,
     b: int,
     loop: Loop,

@@ -24,7 +24,7 @@ from typing import Sequence
 
 from repro.analysis.dependence import DependenceTester, LoopInfo
 from repro.analysis.doall import collect_accesses
-from repro.ir.expr import Var
+from repro.ir.expr import Expr, Var
 from repro.ir.stmt import Block, If, Loop, Procedure, Stmt
 from repro.ir.visitor import transform_exprs
 from repro.transforms.base import TransformError
@@ -45,7 +45,7 @@ def _rename_induction(body: Block, old: str, new: str) -> Block:
     if old == new:
         return body
 
-    def fn(e):
+    def fn(e: Expr) -> Expr:
         if isinstance(e, Var) and e.name == old:
             return Var(new)
         return e

@@ -1,0 +1,108 @@
+"""Reduction recognition: re-tag ``s := s ⊕ expr`` loops for dispatch.
+
+The DOALL classifier is right to refuse these loops — the accumulator
+is genuinely carried — but the mp runtime can execute them in parallel
+anyway with per-chunk partial accumulators and a deterministic ordered
+combine (:mod:`repro.parallel.runtime`).  This pass finds serial loops
+matching the idiom (:func:`repro.analysis.pdg.recognize_reduction`)
+and re-tags them DOALL so they reach the dispatch layer; the safety
+verifier recognizes the same idiom and converts the otherwise-fatal
+``PRIV002`` into an informational ``RED001`` verdict, keeping the
+oracle in charge (an unrecognized accumulator still blocks).
+
+Loops nested inside a DOALL body already execute inside chunk
+iterations and are left untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.pdg import Reduction, recognize_reduction
+from repro.analysis.safety import SafetyFinding
+from repro.ir.stmt import Block, If, Loop, LoopKind, Procedure, Stmt
+
+__all__ = [
+    "ReductionOutcome",
+    "ReductionResult",
+    "reduction_procedure",
+]
+
+
+@dataclass(frozen=True)
+class ReductionOutcome:
+    """One recognized accumulation loop."""
+
+    loop_var: str
+    reduction: Reduction
+
+    def finding(self) -> SafetyFinding:
+        red = self.reduction
+        guarded = " (guarded)" if red.guard is not None else ""
+        return SafetyFinding(
+            rule="RED001",
+            severity="info",
+            loop_var=self.loop_var,
+            message=(
+                f"recognized reduction{guarded}: '{red.scalar}' "
+                f"accumulates with '{red.op}'; dispatching as per-chunk "
+                "partials with a deterministic ordered combine"
+            ),
+            hint=(
+                "partials start from the operator identity and fold in "
+                "ascending chunk order seeded with the incoming scalar — "
+                "deterministic for a fixed trip count, bit-identical to "
+                "serial when the operator is exact on the data"
+            ),
+            scalar=red.scalar,
+            src_stmt=0,
+            dst_stmt=0,
+        )
+
+
+@dataclass(frozen=True)
+class ReductionResult:
+    """A re-tagged procedure plus one outcome per recognized loop."""
+
+    procedure: Procedure
+    outcomes: tuple[ReductionOutcome, ...]
+
+    @property
+    def recognized(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def findings(self) -> list[SafetyFinding]:
+        return [o.finding() for o in self.outcomes]
+
+    def summary(self) -> str:
+        return f"reduction: {self.recognized} loop(s) recognized"
+
+
+def reduction_procedure(proc: Procedure) -> ReductionResult:
+    """Re-tag every recognized serial reduction loop as DOALL."""
+    outcomes: list[ReductionOutcome] = []
+
+    def go(s: Stmt) -> Stmt:
+        if isinstance(s, Block):
+            return Block(tuple(go(x) for x in s.stmts))
+        if isinstance(s, If):
+            then = go(s.then)
+            orelse = go(s.orelse)
+            assert isinstance(then, Block) and isinstance(orelse, Block)
+            return If(s.cond, then, orelse)
+        if isinstance(s, Loop):
+            if s.is_doall:
+                return s  # already parallel; inner loops run in-chunk
+            red = recognize_reduction(s)
+            if red is not None:
+                outcomes.append(ReductionOutcome(s.var, red))
+                return s.with_kind(LoopKind.DOALL)
+            body = go(s.body)
+            assert isinstance(body, Block)
+            return s.with_body(body)
+        return s
+
+    body = go(proc.body)
+    assert isinstance(body, Block)
+    return ReductionResult(proc.with_body(body), tuple(outcomes))

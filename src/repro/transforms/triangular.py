@@ -34,6 +34,7 @@ canonical form first.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.ir.expr import (
     BinOp,
@@ -216,7 +217,7 @@ def coalesce_triangular(
     return coalesce_triangular_guarded(loop, flat_var, used)
 
 
-def guarded_waste(n: int, inner_extent_fn) -> float:
+def guarded_waste(n: int, inner_extent_fn: Callable[[int], int]) -> float:
     """Fraction of box iterations the guard discards, for a concrete shape.
 
     ``inner_extent_fn(i)`` gives the true inner extent at outer index i.

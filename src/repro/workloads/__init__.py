@@ -18,9 +18,16 @@ from repro.workloads.irregular import (
     ragged_update,
     scatter_perm,
 )
+from repro.workloads.mixed import (
+    dot_product,
+    guarded_sum,
+    mixed_antidep,
+    mixed_update,
+)
 from repro.workloads.racy import racy_flow, racy_overlap, racy_scalar
 from repro.workloads.shapes import (
     IRREGULAR_WORKLOADS,
+    MIXED_WORKLOADS,
     RACY_WORKLOADS,
     WORKLOADS,
     get_workload,
@@ -28,19 +35,24 @@ from repro.workloads.shapes import (
 
 __all__ = [
     "IRREGULAR_WORKLOADS",
+    "MIXED_WORKLOADS",
     "RACY_WORKLOADS",
     "WORKLOADS",
     "Workload",
+    "dot_product",
     "floyd_warshall",
     "gauss_jordan",
     "gauss_reference",
     "get_workload",
+    "guarded_sum",
     "histogram",
     "histogram_disjoint",
     "jacobi2d",
     "make_env",
     "mark_nest",
     "matmul",
+    "mixed_antidep",
+    "mixed_update",
     "pi_partial_sums",
     "racy_flow",
     "racy_overlap",

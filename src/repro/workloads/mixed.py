@@ -1,0 +1,193 @@
+"""Partially-parallel workloads: mixed bodies and reduction idioms.
+
+These programs are what the fission/reduction transform layer exists
+for.  None of them is a legal DOALL as written — each serial loop either
+mixes independent statements with a genuine recurrence, or carries a
+scalar accumulator — so the untransformed pipeline refuses to dispatch
+anything.  Under ``transforms="fission,reduction"``:
+
+=============== ======== ==============================================
+mixed_update    FISS001  clean element-wise statement splits away from
+                         a first-order recurrence; the clean piece
+                         dispatches DOALL, the recurrence stays serial
+mixed_antidep   FISS002  the two statements form one dependence cycle
+                         (a loop-independent anti dependence one way, a
+                         carried anti dependence back), so fission is
+                         refused and the loop stays serial whole
+dot_product     RED001   ``s := s + A(i) * B(i)`` dispatches as
+                         per-chunk partials with an ordered combine
+guarded_sum     RED001   the same idiom under a data-dependent guard
+=============== ======== ==============================================
+
+Arrays are initialized to small *integer-valued* floats (``np.rint``),
+so float ``+``/``*`` accumulation is exact and the parallel reduction
+is bit-identical to serial — the property the benches and the shadow
+tests assert.  Registered in
+:data:`repro.workloads.shapes.MIXED_WORKLOADS` (kept out of
+``WORKLOADS`` so nothing dispatches them without the transform passes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frontend.dsl import parse
+from repro.workloads.kernels import Workload
+
+
+def _rint_init(*names: str, scale: float = 8.0):
+    """An init hook replacing arrays with small integer-valued floats."""
+
+    def init(arrays, sc, rng):
+        for name in names:
+            a = arrays[name]
+            a[...] = np.rint(rng.standard_normal(a.shape) * scale)
+
+    return init
+
+
+def mixed_update() -> Workload:
+    """A clean element-wise update next to a first-order recurrence.
+
+    Fission splits the body: the ``B`` statement becomes its own DOALL
+    loop while the ``C`` recurrence stays serial (FISS001).
+    """
+    p = parse(
+        """
+        procedure mixed_update(A[1], B[1], C[1]; n)
+          for i = 1, n
+            B(i) := 2.0 * A(i) + 1.0
+            C(i) := C(i - 1) + A(i)
+          end
+        end
+        """
+    )
+
+    def sizes(sc):
+        n = sc["n"]
+        return {name: (n + 1,) for name in "ABC"}
+
+    def reference(arrays, sc):
+        n = sc["n"]
+        a = arrays["A"]
+        arrays["B"][1 : n + 1] = 2.0 * a[1 : n + 1] + 1.0
+        arrays["C"][1 : n + 1] = arrays["C"][0] + np.cumsum(a[1 : n + 1])
+
+    return Workload(
+        "mixed_update",
+        p,
+        sizes,
+        {"n": 96},
+        reference,
+        init=_rint_init("A", "C"),
+    )
+
+
+def mixed_antidep() -> Workload:
+    """Two statements locked in one dependence cycle: fission refused.
+
+    ``A(i) := B(i) + 1`` then ``B(i) := A(i + 1) * 2``: the first reads
+    what the second overwrites in the same iteration (loop-independent
+    anti dependence S0 → S1), and the second reads ``A(i + 1)`` which
+    the *next* iteration's first statement overwrites (carried anti
+    dependence S1 → S0).  Splitting in either order changes which value
+    each statement sees, so the SCC condensation is a single component
+    and fission reports FISS002 with the carried edge.
+    """
+    p = parse(
+        """
+        procedure mixed_antidep(A[1], B[1]; n)
+          for i = 1, n - 1
+            A(i) := B(i) + 1.0
+            B(i) := A(i + 1) * 2.0
+          end
+        end
+        """
+    )
+
+    def sizes(sc):
+        n = sc["n"]
+        return {"A": (n + 1,), "B": (n + 1,)}
+
+    def reference(arrays, sc):
+        n = sc["n"]
+        a0 = arrays["A"].copy()
+        b0 = arrays["B"].copy()
+        arrays["A"][1:n] = b0[1:n] + 1.0
+        arrays["B"][1:n] = a0[2 : n + 1] * 2.0
+
+    return Workload(
+        "mixed_antidep",
+        p,
+        sizes,
+        {"n": 80},
+        reference,
+        init=_rint_init("A", "B"),
+    )
+
+
+def dot_product() -> Workload:
+    """The canonical ``+`` reduction, result witnessed through ``R``."""
+    p = parse(
+        """
+        procedure dot_product(A[1], B[1], R[1]; n, s)
+          for i = 1, n
+            s := s + A(i) * B(i)
+          end
+          R(1) := s
+        end
+        """
+    )
+
+    def sizes(sc):
+        n = sc["n"]
+        return {"A": (n + 1,), "B": (n + 1,), "R": (2,)}
+
+    def reference(arrays, sc):
+        n = sc["n"]
+        arrays["R"][1] = sc.get("s", 0) + float(
+            np.dot(arrays["A"][1 : n + 1], arrays["B"][1 : n + 1])
+        )
+
+    return Workload(
+        "dot_product",
+        p,
+        sizes,
+        {"n": 4096, "s": 0},
+        reference,
+        init=_rint_init("A", "B", scale=4.0),
+    )
+
+
+def guarded_sum() -> Workload:
+    """A ``+`` reduction under a data-dependent guard (still RED001)."""
+    p = parse(
+        """
+        procedure guarded_sum(A[1], R[1]; n, s)
+          for i = 1, n
+            if A(i) > 0.5 then
+              s := s + A(i)
+            end
+          end
+          R(1) := s
+        end
+        """
+    )
+
+    def sizes(sc):
+        n = sc["n"]
+        return {"A": (n + 1,), "R": (2,)}
+
+    def reference(arrays, sc):
+        n = sc["n"]
+        a = arrays["A"][1 : n + 1]
+        arrays["R"][1] = sc.get("s", 0) + float(a[a > 0.5].sum())
+
+    return Workload(
+        "guarded_sum",
+        p,
+        sizes,
+        {"n": 4096, "s": 0},
+        reference,
+        init=_rint_init("A", scale=4.0),
+    )

@@ -20,6 +20,12 @@ from repro.workloads.irregular import (
     ragged_update,
     scatter_perm,
 )
+from repro.workloads.mixed import (
+    dot_product,
+    guarded_sum,
+    mixed_antidep,
+    mixed_update,
+)
 from repro.workloads.racy import racy_flow, racy_overlap, racy_scalar
 
 WORKLOADS: dict[str, Callable[[], Workload]] = {
@@ -53,19 +59,33 @@ IRREGULAR_WORKLOADS: dict[str, Callable[[], Workload]] = {
     "ragged_update": ragged_update,
 }
 
+#: Partially-parallel programs: mixed serial bodies and reduction idioms
+#: (see :mod:`repro.workloads.mixed`).  Dispatchable only under the
+#: ``transforms="fission,reduction"`` recovery passes, so they are kept
+#: out of ``WORKLOADS``; resolvable by name everywhere via
+#: :func:`get_workload`.
+MIXED_WORKLOADS: dict[str, Callable[[], Workload]] = {
+    "mixed_update": mixed_update,
+    "mixed_antidep": mixed_antidep,
+    "dot_product": dot_product,
+    "guarded_sum": guarded_sum,
+}
+
 
 def get_workload(name: str) -> Workload:
-    """Instantiate a registered workload (racy and irregular ones too)."""
+    """Instantiate a registered workload (racy/irregular/mixed too)."""
     factory = (
         WORKLOADS.get(name)
         or RACY_WORKLOADS.get(name)
         or IRREGULAR_WORKLOADS.get(name)
+        or MIXED_WORKLOADS.get(name)
     )
     if factory is None:
         known = (
             sorted(WORKLOADS)
             + sorted(RACY_WORKLOADS)
             + sorted(IRREGULAR_WORKLOADS)
+            + sorted(MIXED_WORKLOADS)
         )
         raise ValueError(f"unknown workload {name!r}; known: {known}")
     return factory()

@@ -1,0 +1,149 @@
+"""SARIF 2.1.0 emission and the transform-aware lint path."""
+
+import json
+
+import pytest
+
+from repro.ir.printer import to_source
+from repro.lint import RULE_DOCS, SARIF_VERSION, lint_source, to_sarif
+from repro.lint.cli import lint_main
+from repro.workloads import get_workload
+
+
+def workload_source(name: str) -> str:
+    return to_source(get_workload(name).proc)
+
+
+def lint_report(name: str, transforms=None):
+    return lint_source(
+        workload_source(name), frontend="dsl", transforms=transforms
+    )
+
+
+class TestTransformFindings:
+    @pytest.mark.parametrize(
+        "name,code",
+        [
+            ("mixed_update", "FISS001"),
+            ("mixed_antidep", "FISS002"),
+            ("dot_product", "RED001"),
+            ("guarded_sum", "RED001"),
+        ],
+    )
+    def test_transform_codes_surface(self, name, code):
+        report = lint_report(name, transforms="fission,reduction")
+        assert report.ok
+        assert code in {f.rule for f in report.findings}
+
+    def test_without_transforms_nothing_dispatches(self):
+        report = lint_report("mixed_update")
+        assert report.ok
+        assert {f.rule for f in report.findings} == set()
+        assert not report.safety.loops
+
+    def test_edge_rendered_in_text_format(self):
+        report = lint_report("mixed_antidep", transforms="fission,reduction")
+        text = report.format()
+        assert "FISS002" in text
+        assert "edge:" in text and "->" in text
+        assert "hint:" in text
+
+    def test_red001_not_duplicated(self):
+        # Both the transform pass and the verifier derive RED001; the
+        # report must carry it once.
+        report = lint_report("dot_product", transforms="fission,reduction")
+        assert [f.rule for f in report.findings].count("RED001") == 1
+
+
+class TestSarifDocument:
+    def sarif(self, names, transforms="fission,reduction"):
+        reports = [(n, lint_report(n, transforms)) for n in names]
+        return to_sarif(reports)
+
+    def test_envelope(self):
+        doc = self.sarif(["mixed_update"])
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert "sarif-schema" in doc["$schema"]
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_all_rules_declared(self):
+        (run,) = self.sarif(["mixed_update"])["runs"]
+        declared = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert declared == set(RULE_DOCS)
+        for rule in run["tool"]["driver"]["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["fullDescription"]["text"]
+
+    def test_results_reference_declared_rules(self):
+        (run,) = self.sarif(
+            ["mixed_update", "mixed_antidep", "dot_product", "racy_flow"]
+        )["runs"]
+        declared = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        codes = {r["ruleId"] for r in run["results"]}
+        assert codes <= declared
+        assert {"FISS001", "FISS002", "RED001", "RACE001"} <= codes
+
+    def test_levels_map_severity(self):
+        (run,) = self.sarif(["dot_product", "racy_flow"])["runs"]
+        by_rule = {r["ruleId"]: r["level"] for r in run["results"]}
+        assert by_rule["RED001"] == "note"
+        assert by_rule["RACE001"] == "error"
+
+    def test_locations_carry_statement_region(self):
+        (run,) = self.sarif(["mixed_antidep"])["runs"]
+        (res,) = [r for r in run["results"] if r["ruleId"] == "FISS002"]
+        (loc,) = res["locations"]
+        assert loc["physicalLocation"]["artifactLocation"]["uri"]
+        assert loc["physicalLocation"]["region"]["startLine"] >= 1
+        assert loc["logicalLocations"][0]["name"] == "i"
+        props = res["properties"]
+        assert props["src_stmt"] is not None
+        assert props["dst_stmt"] is not None
+        assert props["edge"] and "->" in props["edge"]
+
+    def test_clean_property_tracks_errors(self):
+        assert self.sarif(["mixed_update"])["runs"][0]["properties"]["clean"]
+        doc = self.sarif(["racy_flow"])
+        assert not doc["runs"][0]["properties"]["clean"]
+
+    def test_json_serializable(self):
+        doc = self.sarif(["mixed_update", "dot_product"])
+        json.loads(json.dumps(doc))
+
+
+class TestSarifCLI:
+    def test_sarif_flag(self, capsys):
+        rc = lint_main(
+            [
+                "--workload",
+                "dot_product",
+                "--transforms",
+                "fission,reduction",
+                "--sarif",
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        codes = {r["ruleId"] for r in doc["runs"][0]["results"]}
+        assert "RED001" in codes
+
+    def test_format_sarif_spelling(self, capsys):
+        rc = lint_main(["--workload", "racy_flow", "--format", "sarif"])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert {r["ruleId"] for r in doc["runs"][0]["results"]} == {"RACE001"}
+
+    def test_mixed_workloads_resolvable_by_name(self, capsys):
+        rc = lint_main(
+            [
+                "--workload",
+                "mixed_antidep",
+                "--transforms",
+                "fission,reduction",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FISS002" in out and "edge:" in out

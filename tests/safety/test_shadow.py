@@ -18,7 +18,7 @@ from repro.api import lower_and_coalesce
 from repro.ir.builder import assign, doall, proc, ref, v
 from repro.ir.printer import to_source
 from repro.parallel import run_parallel_procedure
-from repro.workloads import RACY_WORKLOADS, WORKLOADS, make_env
+from repro.workloads import MIXED_WORKLOADS, RACY_WORKLOADS, WORKLOADS, make_env
 
 from .shadow import (
     chunk_write_sets,
@@ -182,6 +182,88 @@ class TestChunkReplay:
             for log in shadow.logs:
                 union |= log.writes
             assert everything == union
+
+
+def transformed(p):
+    _, q, _, _ = lower_and_coalesce(
+        to_source(p),
+        frontend="dsl",
+        cache=None,
+        transforms="fission,reduction",
+    )
+    return q
+
+
+class TestShadowAgreesOnMixed:
+    """Static verdicts vs dynamic logs on every partially-parallel workload.
+
+    After fission+reduction the static side either proves a dispatched
+    piece race-free, recognizes a reduction (RED001), or dispatches
+    nothing at all — and the shadow recorder must tell the same story:
+    clean logs for proven pieces, a scalar conflict (PRIV002) exactly
+    where the static side granted RED001, and no dispatches where
+    fission refused.
+    """
+
+    def test_mixed_update_doall_piece_clean_both_ways(self):
+        w = MIXED_WORKLOADS["mixed_update"]()
+        p = transformed(w.proc)
+        report = verify_procedure(p)
+        assert report.ok
+        arrays, sc = make_env(w)
+        shadows = shadow_procedure(p, arrays, sc)
+        assert shadows, "the fissioned B-piece must dispatch"
+        assert combined_verdict(shadows) == set()
+
+    def test_mixed_update_shadow_matches_reference(self):
+        w = MIXED_WORKLOADS["mixed_update"]()
+        arrays, sc = make_env(w)
+        expected = {k: a.copy() for k, a in arrays.items()}
+        w.reference(expected, sc)
+        shadow_procedure(transformed(w.proc), arrays, sc)
+        assert all(np.array_equal(arrays[k], expected[k]) for k in arrays)
+
+    def test_mixed_antidep_dispatches_nothing_either_way(self):
+        w = MIXED_WORKLOADS["mixed_antidep"]()
+        p = transformed(w.proc)
+        arrays, sc = make_env(w)
+        shadows = shadow_procedure(p, arrays, sc)
+        assert shadows == []
+
+    def test_mixed_antidep_forced_claim_flagged_both_ways(self):
+        # If someone hand-claims the refused loop DOALL, both oracles
+        # must catch the anti dependence fission refused over.
+        w = MIXED_WORKLOADS["mixed_antidep"]()
+        lp = w.proc.body.stmts[0]
+        from repro.ir.stmt import Block, LoopKind
+
+        forced = w.proc.with_body(
+            Block((lp.with_kind(LoopKind.DOALL),) + w.proc.body.stmts[1:])
+        )
+        static = static_rules(forced)
+        assert "RACE003" in static
+        arrays, sc = make_env(w)
+        dynamic = combined_verdict(shadow_procedure(forced, arrays, sc))
+        assert "RACE003" in dynamic
+
+    @pytest.mark.parametrize("name", ["dot_product", "guarded_sum"])
+    def test_reduction_scalar_conflict_matches_red001(self, name):
+        w = MIXED_WORKLOADS[name]()
+        p = transformed(w.proc)
+        report = verify_procedure(p)
+        assert report.ok
+        assert "RED001" in {f.rule for f in report.findings}
+        assert any(
+            getattr(lp, "reduction", None) == "s" for lp in report.loops
+        )
+        arrays, sc = make_env(w)
+        shadows = shadow_procedure(p, arrays, sc)
+        assert shadows, "the recognized reduction loop must dispatch"
+        # The recorder sees the same carried accumulator the static side
+        # licensed: its raw verdict is the scalar-conflict code, nothing
+        # else — agreement, since RED001 is exactly "PRIV002, but the
+        # runtime handles it with partials + ordered combine".
+        assert combined_verdict(shadows) == {"PRIV002"}
 
 
 class TestVerdictPrimitives:

@@ -1,0 +1,60 @@
+"""The partially-parallel workload registry (:mod:`repro.workloads.mixed`)."""
+
+import numpy as np
+import pytest
+
+from repro.ir.validate import validate
+from repro.runtime.equivalence import copy_env
+from repro.runtime.interp import run
+from repro.workloads import MIXED_WORKLOADS, get_workload, make_env
+
+
+@pytest.fixture(params=sorted(MIXED_WORKLOADS))
+def workload(request):
+    return get_workload(request.param)
+
+
+class TestMixedRegistry:
+    def test_resolvable_and_valid(self, workload):
+        validate(workload.proc)
+        assert workload.name in MIXED_WORKLOADS
+
+    def test_kept_out_of_main_registry(self):
+        from repro.workloads import WORKLOADS
+
+        assert not set(MIXED_WORKLOADS) & set(WORKLOADS)
+
+    def test_no_loop_claims_doall_as_written(self, workload):
+        # Every mixed program is serial as written — parallelism only
+        # appears through the fission/reduction transforms.
+        def loops(stmts):
+            from repro.ir.stmt import If, Loop
+
+            for s in stmts:
+                if isinstance(s, Loop):
+                    yield s
+                    yield from loops(s.body.stmts)
+                elif isinstance(s, If):
+                    yield from loops(s.then.stmts)
+                    yield from loops(s.orelse.stmts)
+
+        assert all(not lp.is_doall for lp in loops(workload.proc.body.stmts))
+
+    def test_init_produces_integer_valued_inputs(self, workload):
+        # Inputs feeding the accumulations are integer-valued floats, so
+        # `+`/`*` chains are exact and parallel == serial bit-for-bit.
+        arrays, _ = make_env(workload)
+        a = arrays["A"]
+        np.testing.assert_array_equal(a, np.rint(a))
+
+
+class TestMixedOracles:
+    def test_serial_run_matches_reference_bit_identically(self, workload):
+        arrays, sc = make_env(workload, seed=7)
+        expected = copy_env(arrays)
+        run(workload.proc, arrays, sc)
+        workload.reference(expected, sc)
+        for name in workload.proc.arrays:
+            np.testing.assert_array_equal(
+                arrays[name], expected[name], err_msg=name
+            )
